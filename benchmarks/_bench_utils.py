@@ -1,0 +1,28 @@
+"""Helpers shared by the benchmark modules.
+
+Environment knobs:
+
+* ``REPRO_BENCH_AGENTS`` — agents per sweep point (default 800; the paper
+  uses 10,000 — set it for a full-scale run).
+* ``REPRO_BENCH_SEED`` — base seed (default 0).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+#: agents per sweep point (paper: 10,000).
+BENCH_AGENTS = int(os.environ.get("REPRO_BENCH_AGENTS", "800"))
+#: base seed for topology + simulation.
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str,
+         csv: str | None = None) -> None:
+    """Print a result block and persist it under ``results_dir``."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text, encoding="utf-8")
+    if csv is not None:
+        (results_dir / f"{name}.csv").write_text(csv, encoding="utf-8")

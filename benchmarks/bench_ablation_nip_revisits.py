@@ -1,0 +1,42 @@
+"""Ablation A1 — NIP jump targets: revisits allowed vs un-accessed only.
+
+The paper's behavior-1 prose and its Figure-7 pseudocode disagree (see
+DESIGN.md); this bench quantifies the difference at a high NIP value where
+it matters most.  With revisits allowed (our default), a revisited entry
+page is served from cache and the session boundary disappears from the
+log — reconstruction gets harder for every heuristic, matching the
+monotone decay of the paper's Figure 10.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import BENCH_AGENTS, BENCH_SEED, emit
+from repro.evaluation.experiments import PAPER_DEFAULTS, paper_topology
+from repro.evaluation.harness import run_trial
+
+
+def test_nip_revisit_policy(benchmark, results_dir):
+    topology = paper_topology(seed=BENCH_SEED)
+    base = PAPER_DEFAULTS.simulation_config(
+        n_agents=BENCH_AGENTS, seed=BENCH_SEED, nip=0.6)
+
+    def run_both():
+        return (run_trial(topology, base.with_(nip_revisits=True)),
+                run_trial(topology, base.with_(nip_revisits=False)))
+
+    revisit_trial, fresh_trial = benchmark.pedantic(
+        run_both, rounds=1, iterations=1)
+    revisits = revisit_trial.accuracies()
+    fresh = fresh_trial.accuracies()
+
+    # hiding boundaries in the cache must hurt the topology-aware
+    # heuristics; with fresh-only jumps every boundary is detectable.
+    assert revisits["heur4"] < fresh["heur4"]
+    assert revisits["heur3"] < fresh["heur3"]
+
+    lines = [f"Ablation A1 — NIP=0.6 jump policy [{BENCH_AGENTS} agents]",
+             "  heuristic  revisits-allowed  un-accessed-only"]
+    for name in ("heur1", "heur2", "heur3", "heur4"):
+        lines.append(f"  {name:>9}  {revisits[name] * 100:15.1f}%"
+                     f"  {fresh[name] * 100:15.1f}%")
+    emit(results_dir, "ablation_nip_revisits", "\n".join(lines) + "\n")

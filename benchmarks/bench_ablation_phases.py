@@ -1,0 +1,44 @@
+"""Ablation A3 — how much of Smart-SRA's accuracy comes from Phase 2?
+
+Compares, at the Table 5 operating point:
+
+* ``phase1`` — Smart-SRA Phase 1 alone (both time rules, no topology);
+* ``heur4`` — the full two-phase algorithm.
+
+DESIGN.md calls this the central design question: the paper's §3 argues the
+topological second phase is what separates Smart-SRA from the combined
+time-oriented heuristics.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import BENCH_AGENTS, BENCH_SEED, emit
+from repro.core.smart_sra import Phase1Only, SmartSRA
+from repro.evaluation.experiments import PAPER_DEFAULTS, paper_topology
+from repro.evaluation.harness import run_trial
+
+
+def test_phase2_contribution(benchmark, results_dir):
+    topology = paper_topology(seed=BENCH_SEED)
+    config = PAPER_DEFAULTS.simulation_config(
+        n_agents=BENCH_AGENTS, seed=BENCH_SEED)
+    heuristics = {
+        "phase1": Phase1Only(),
+        "heur4": SmartSRA(topology),
+    }
+    trial = benchmark.pedantic(
+        run_trial, args=(topology, config, heuristics),
+        rounds=1, iterations=1)
+    accs = trial.accuracies()
+
+    # Phase 2 must contribute most of the accuracy: time rules alone
+    # cannot see the topology-only session boundaries (NIP/LPP).
+    assert accs["heur4"] > 2.0 * accs["phase1"]
+
+    emit(results_dir, "ablation_phases",
+         "Ablation A3 — Phase 1 alone vs full Smart-SRA "
+         f"[{BENCH_AGENTS} agents]\n"
+         f"  phase1 (time rules only): {accs['phase1'] * 100:5.1f}%\n"
+         f"  heur4  (both phases):     {accs['heur4'] * 100:5.1f}%\n"
+         f"  phase-2 multiplier:       "
+         f"{accs['heur4'] / max(accs['phase1'], 1e-9):.2f}x\n")

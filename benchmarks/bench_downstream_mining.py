@@ -1,0 +1,65 @@
+"""Ablation A5 — downstream impact of reconstruction quality.
+
+The paper motivates session reconstruction as the input step for pattern
+discovery.  This bench closes that loop: mine frequent navigation patterns
+(and train a next-page predictor) on each heuristic's reconstruction, and
+compare against the same artifacts mined from the ground truth.
+
+Reported per heuristic:
+
+* **pattern overlap** — Jaccard overlap of the frequent (length ≥ 2)
+  navigation patterns vs those mined from the ground truth;
+* **predictor hit rate** — top-3 next-page hit rate of a Markov model
+  trained on the reconstruction, evaluated on ground-truth transitions.
+
+Expected: Smart-SRA's patterns agree with ground truth at least as well as
+any baseline's — better sessions mine better patterns.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import BENCH_AGENTS, BENCH_SEED, emit
+from repro.evaluation.experiments import PAPER_DEFAULTS, paper_topology
+from repro.evaluation.harness import standard_heuristics
+from repro.mining.prediction import MarkovPredictor
+from repro.mining.sequential import frequent_sequences, pattern_overlap
+from repro.simulator.population import simulate_population
+
+_MIN_SUPPORT = 0.002
+
+
+def test_downstream_mining(benchmark, results_dir):
+    topology = paper_topology(seed=BENCH_SEED)
+    config = PAPER_DEFAULTS.simulation_config(
+        n_agents=BENCH_AGENTS, seed=BENCH_SEED)
+
+    def run_study():
+        simulation = simulate_population(topology, config)
+        truth_patterns = frequent_sequences(
+            simulation.ground_truth, min_support=_MIN_SUPPORT, max_length=4)
+        outcome = {}
+        for name, heuristic in standard_heuristics(topology).items():
+            sessions = heuristic.reconstruct(simulation.log_requests)
+            mined = frequent_sequences(sessions, min_support=_MIN_SUPPORT,
+                                       max_length=4)
+            overlap = pattern_overlap(truth_patterns, mined)
+            predictor = MarkovPredictor().fit(sessions)
+            hit_rate = predictor.hit_rate(simulation.ground_truth, top=3)
+            outcome[name] = (overlap, hit_rate)
+        return outcome
+
+    outcome = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    time_best_overlap = max(outcome["heur1"][0], outcome["heur2"][0])
+    assert outcome["heur4"][0] >= time_best_overlap, (
+        "Smart-SRA's mined patterns should agree with ground truth at "
+        "least as well as the time heuristics'")
+
+    lines = [f"Ablation A5 — downstream mining fidelity "
+             f"[{BENCH_AGENTS} agents, min support {_MIN_SUPPORT}]",
+             "  heuristic  pattern-overlap  predictor-hit@3"]
+    for name in ("heur1", "heur2", "heur3", "heur4"):
+        overlap, hit_rate = outcome[name]
+        lines.append(f"  {name:>9}  {overlap * 100:14.1f}%"
+                     f"  {hit_rate * 100:14.1f}%")
+    emit(results_dir, "downstream_mining", "\n".join(lines) + "\n")

@@ -1,0 +1,71 @@
+"""Extension A13 — error taxonomy: *how* each heuristic fails.
+
+Breaks every heuristic's misses into the five-way taxonomy of
+:mod:`repro.evaluation.taxonomy` at the Table 5 operating point:
+exact / merged / scattered / partial / lost — once with the paper's
+browser-cache-only setting and once behind a shared proxy.
+
+Expected signatures:
+
+* time heuristics are dominated by MERGED — their giant sessions swallow
+  the real ones whole;
+* Smart-SRA converts most MERGED into EXACT; its residue is SCATTERED
+  (session structure cut wrongly), since with browser caches only, every
+  real page still appears *somewhere* in the user's log;
+* behind a shared proxy, PARTIAL appears for every heuristic: the proxy
+  absorbs first visits entirely, so some real pages never reach the
+  server — the information-theoretic floor no reactive method beats.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import BENCH_AGENTS, BENCH_SEED, emit
+from repro.evaluation.experiments import PAPER_DEFAULTS, paper_topology
+from repro.evaluation.harness import standard_heuristics
+from repro.evaluation.taxonomy import (
+    ErrorCategory,
+    error_breakdown,
+    render_breakdown,
+)
+from repro.simulator.population import simulate_population
+
+
+def _breakdowns(topology, config):
+    simulation = simulate_population(topology, config)
+    return {
+        name: error_breakdown(
+            simulation.ground_truth,
+            heuristic.reconstruct(simulation.log_requests))
+        for name, heuristic in standard_heuristics(topology).items()
+    }
+
+
+def test_error_taxonomy(benchmark, results_dir):
+    topology = paper_topology(seed=BENCH_SEED)
+    base = PAPER_DEFAULTS.simulation_config(n_agents=BENCH_AGENTS,
+                                            seed=BENCH_SEED)
+
+    def run_study():
+        return (_breakdowns(topology, base),
+                _breakdowns(topology, base.with_(proxy_group_size=10)))
+
+    plain, proxied = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    # signature shape assertions
+    assert (plain["heur4"][ErrorCategory.EXACT]
+            > plain["heur2"][ErrorCategory.EXACT])
+    assert (plain["heur2"][ErrorCategory.MERGED]
+            > plain["heur4"][ErrorCategory.MERGED])
+    # with browser caches only, every real page is somewhere in the log:
+    assert plain["heur4"][ErrorCategory.PARTIAL] == 0
+    assert plain["heur4"][ErrorCategory.LOST] == 0
+    # a shared proxy hides pages outright:
+    assert (proxied["heur4"][ErrorCategory.PARTIAL]
+            + proxied["heur4"][ErrorCategory.LOST]) > 0
+
+    emit(results_dir, "error_taxonomy",
+         f"Extension A13 — error taxonomy [{BENCH_AGENTS} agents]\n"
+         "browser caches only:\n"
+         + render_breakdown(plain)
+         + "behind a shared proxy (group size 10):\n"
+         + render_breakdown(proxied))

@@ -1,0 +1,59 @@
+"""Extension A9 — graded similarity (Berendt et al. 2003 style measures).
+
+The paper's binary capture metric cannot distinguish "missed by one page"
+from "completely wrong".  This bench scores all four heuristics with the
+graded LCS-based measures (:mod:`repro.evaluation.similarity`) at the
+Table 5 operating point:
+
+* graded recall — how much of each real session's page order survives in
+  the best matching reconstructed session;
+* graded precision — how much of each reconstructed session is real order;
+* F1 and the fragmentation ratio.
+
+Expected: the graded ranking confirms the binary one (Smart-SRA first),
+while exposing *why* each baseline loses — heur2 under-splits (low
+precision at high recall is impossible for it: it never invents order, it
+glues), heur3's inserted back-moves cost precision, Smart-SRA's branching
+shows up as fragmentation > 1.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import BENCH_AGENTS, BENCH_SEED, emit
+from repro.evaluation.experiments import PAPER_DEFAULTS, paper_topology
+from repro.evaluation.harness import standard_heuristics
+from repro.evaluation.similarity import similarity_report
+from repro.simulator.population import simulate_population
+
+
+def test_graded_similarity(benchmark, results_dir):
+    topology = paper_topology(seed=BENCH_SEED)
+    config = PAPER_DEFAULTS.simulation_config(
+        n_agents=BENCH_AGENTS, seed=BENCH_SEED)
+
+    def run_study():
+        simulation = simulate_population(topology, config)
+        return {
+            name: similarity_report(
+                name, simulation.ground_truth,
+                heuristic.reconstruct(simulation.log_requests))
+            for name, heuristic in standard_heuristics(topology).items()
+        }
+
+    reports = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    # the graded ranking must confirm the paper's binary ranking.
+    f1 = {name: report.f1 for name, report in reports.items()}
+    assert f1["heur4"] == max(f1.values())
+
+    lines = [f"Extension A9 — graded (LCS) similarity "
+             f"[{BENCH_AGENTS} agents]",
+             "  heuristic  recall  precision     F1  fragmentation"]
+    for name in ("heur1", "heur2", "heur3", "heur4"):
+        report = reports[name]
+        lines.append(
+            f"  {name:>9}  {report.graded_recall * 100:5.1f}%"
+            f"  {report.graded_precision * 100:8.1f}%"
+            f"  {report.f1 * 100:5.1f}%"
+            f"  {report.fragmentation:13.2f}")
+    emit(results_dir, "graded_similarity", "\n".join(lines) + "\n")

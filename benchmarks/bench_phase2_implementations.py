@@ -1,0 +1,76 @@
+"""Extension A14 — Phase 2 implementations: reference vs indexed.
+
+Times the paper-pseudocode Phase 2 (re-scan per round) against the indexed
+wave-release implementation on two workload shapes:
+
+* the paper's dense setting (out-degree 15, short candidates) — both are
+  Step-III-bound, parity expected;
+* a sparse-site stress candidate (out-degree 2, 600 requests) — the
+  reference's repeated O(n²) Step-I scans dominate and the indexed version
+  wins severalfold.
+
+Correctness equivalence is asserted on both workloads (and property-tested
+exhaustively in ``tests/property/test_phase2_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from _bench_utils import BENCH_SEED
+from repro.core.phase2 import maximal_sessions, maximal_sessions_fast
+from repro.sessions.model import Request
+from repro.topology.generators import random_site
+
+
+def _session_multiset(sessions):
+    return sorted(tuple((r.page, r.timestamp) for r in session)
+                  for session in sessions)
+
+
+@pytest.fixture(scope="module")
+def sparse_candidate():
+    site = random_site(300, 2, seed=BENCH_SEED)
+    rng = random.Random(BENCH_SEED)
+    pages = sorted(site.pages)
+    candidate = [Request(i * 3.0, "u", rng.choice(pages))
+                 for i in range(600)]
+    return site, candidate
+
+
+@pytest.fixture(scope="module")
+def dense_candidate():
+    site = random_site(300, 15, seed=BENCH_SEED)
+    rng = random.Random(BENCH_SEED)
+    pages = sorted(site.pages)
+    candidate = [Request(i * 6.0, "u", rng.choice(pages))
+                 for i in range(120)]
+    return site, candidate
+
+
+def test_sparse_reference(benchmark, sparse_candidate):
+    site, candidate = sparse_candidate
+    result = benchmark(lambda: maximal_sessions(candidate, site))
+    assert result
+
+
+def test_sparse_indexed(benchmark, sparse_candidate):
+    site, candidate = sparse_candidate
+    result = benchmark(lambda: maximal_sessions_fast(candidate, site))
+    assert _session_multiset(result) == _session_multiset(
+        maximal_sessions(candidate, site))
+
+
+def test_dense_reference(benchmark, dense_candidate):
+    site, candidate = dense_candidate
+    result = benchmark(lambda: maximal_sessions(candidate, site))
+    assert result
+
+
+def test_dense_indexed(benchmark, dense_candidate):
+    site, candidate = dense_candidate
+    result = benchmark(lambda: maximal_sessions_fast(candidate, site))
+    assert _session_multiset(result) == _session_multiset(
+        maximal_sessions(candidate, site))

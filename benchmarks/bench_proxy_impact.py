@@ -1,0 +1,56 @@
+"""Extension A12 — the proxy problem, quantified.
+
+§1 of the paper: "caching performed by the clients' browsers and proxy
+servers will make web log data even less reliable."  This bench puts a
+shared caching proxy in front of groups of agents and measures (a) how
+much of the traffic the server log loses and (b) what that does to every
+heuristic's accuracy.
+
+Expected: accuracy decreases monotonically with proxy group size for all
+heuristics, with Smart-SRA remaining the best reactive option — topology
+lets it re-infer some of the proxy-hidden structure, but nothing reactive
+recovers pages the server never saw.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import BENCH_AGENTS, BENCH_SEED, emit
+from repro.evaluation.experiments import PAPER_DEFAULTS, paper_topology
+from repro.evaluation.harness import run_trial
+
+GROUP_SIZES = (1, 5, 20)
+
+
+def test_proxy_impact(benchmark, results_dir):
+    topology = paper_topology(seed=BENCH_SEED)
+    base = PAPER_DEFAULTS.simulation_config(n_agents=BENCH_AGENTS,
+                                            seed=BENCH_SEED)
+
+    def run_study():
+        return {size: run_trial(topology,
+                                base.with_(proxy_group_size=size))
+                for size in GROUP_SIZES}
+
+    trials = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    heur4_series = [trials[size].accuracies()["heur4"]
+                    for size in GROUP_SIZES]
+    assert heur4_series == sorted(heur4_series, reverse=True), (
+        "accuracy must fall as the proxy swallows more traffic")
+    for size in GROUP_SIZES:
+        accs = trials[size].accuracies()
+        assert accs["heur4"] >= max(accs["heur1"], accs["heur2"]), (
+            f"Smart-SRA must stay best at proxy group size {size}")
+
+    lines = [f"Extension A12 — shared-proxy impact [{BENCH_AGENTS} agents]",
+             "  group  hidden%  log-records  heur1  heur2  heur3  heur4"]
+    for size in GROUP_SIZES:
+        trial = trials[size]
+        accs = trial.accuracies()
+        simulation = trial.simulation
+        lines.append(
+            f"  {size:>5}  {simulation.cache_hit_rate * 100:6.1f}%  "
+            f"{len(simulation.log_requests):>11}  "
+            + "  ".join(f"{accs[h] * 100:5.1f}"
+                        for h in ("heur1", "heur2", "heur3", "heur4")))
+    emit(results_dir, "proxy_impact", "\n".join(lines) + "\n")

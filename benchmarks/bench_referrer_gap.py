@@ -1,0 +1,48 @@
+"""Extension A7 — the reactive gap: what would richer logging buy?
+
+The paper restricts itself to plain CLF (no Referer header) and shows
+Smart-SRA is the best *reactive* heuristic.  This bench adds the
+referrer-chaining heuristic over Combined-Log-Format data from the same
+simulation and measures how much of the remaining gap the Referer header
+closes — the quantitative version of the paper's §1 discussion of
+proactive-vs-reactive trade-offs.
+
+Expected: referrer ≥ heur4 ≥ every CLF-only baseline, with referrer close
+to perfect (its only losses are cache-hidden singleton sessions).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import BENCH_AGENTS, BENCH_SEED, emit
+from repro.evaluation.experiments import PAPER_DEFAULTS, paper_topology
+from repro.evaluation.harness import run_trial, standard_heuristics
+from repro.sessions.referrer import ReferrerHeuristic
+
+
+def test_referrer_gap(benchmark, results_dir):
+    topology = paper_topology(seed=BENCH_SEED)
+    config = PAPER_DEFAULTS.simulation_config(
+        n_agents=BENCH_AGENTS, seed=BENCH_SEED)
+    heuristics = dict(standard_heuristics(topology))
+    heuristics["referrer"] = ReferrerHeuristic()
+
+    trial = benchmark.pedantic(
+        run_trial, args=(topology, config, heuristics),
+        rounds=1, iterations=1)
+    accs = trial.accuracies()
+
+    assert accs["referrer"] > accs["heur4"]
+    assert accs["referrer"] > 0.8
+    assert accs["heur4"] == max(accs[name] for name in
+                                ("heur1", "heur2", "heur3", "heur4"))
+
+    lines = [f"Extension A7 — value of the Referer header "
+             f"[{BENCH_AGENTS} agents]",
+             "  heuristic  log format      matched accuracy"]
+    for name in ("heur1", "heur2", "heur3", "heur4"):
+        lines.append(f"  {name:>9}  plain CLF     {accs[name] * 100:14.1f}%")
+    lines.append(f"  {'referrer':>9}  combined      "
+                 f"{accs['referrer'] * 100:14.1f}%")
+    lines.append(f"  gap closed by richer logging: "
+                 f"{(accs['referrer'] - accs['heur4']) * 100:.1f} points")
+    emit(results_dir, "referrer_gap", "\n".join(lines) + "\n")

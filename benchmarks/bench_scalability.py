@@ -1,0 +1,57 @@
+"""Extension A11 — reconstruction cost scaling with log size.
+
+Measures Smart-SRA wall time as the log grows (by agent count) and checks
+the growth is near-linear: per-user work is bounded by Phase-1 candidate
+sizes (δ caps them), so doubling the users should roughly double the time,
+not square it.  This is the scalability property that makes reactive
+processing viable on real logs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _bench_utils import BENCH_SEED, emit
+from repro.core.smart_sra import SmartSRA
+from repro.evaluation.experiments import PAPER_DEFAULTS, paper_topology
+from repro.simulator.population import simulate_population
+
+_SIZES = (200, 400, 800)
+
+
+def test_scaling_with_log_size(benchmark, results_dir):
+    topology = paper_topology(seed=BENCH_SEED)
+    smart = SmartSRA(topology)
+
+    logs = {}
+    for size in _SIZES:
+        config = PAPER_DEFAULTS.simulation_config(n_agents=size,
+                                                  seed=BENCH_SEED)
+        logs[size] = simulate_population(topology, config).log_requests
+
+    def run_all():
+        timings = {}
+        for size, log in logs.items():
+            start = time.perf_counter()
+            sessions = smart.reconstruct(log)
+            timings[size] = (time.perf_counter() - start, len(log),
+                             len(sessions))
+        return timings
+
+    timings = benchmark.pedantic(run_all, rounds=3, iterations=1)
+
+    small_time, small_records, __ = timings[_SIZES[0]]
+    large_time, large_records, __ = timings[_SIZES[-1]]
+    records_ratio = large_records / small_records
+    time_ratio = large_time / small_time
+    # near-linear: time grows at most ~2x faster than the record count
+    # (generous bound to absorb timer noise on a 3-round median).
+    assert time_ratio < records_ratio * 2.0
+
+    lines = [f"Extension A11 — Smart-SRA scaling (seed {BENCH_SEED})",
+             "  agents  records  sessions  seconds  krec/s"]
+    for size in _SIZES:
+        seconds, records, sessions = timings[size]
+        lines.append(f"  {size:>6}  {records:>7}  {sessions:>8}  "
+                     f"{seconds:7.3f}  {records / seconds / 1000:6.1f}")
+    emit(results_dir, "scalability", "\n".join(lines) + "\n")

@@ -1,0 +1,57 @@
+"""Extension A8 — streaming Smart-SRA: cost and equivalence.
+
+Times the incremental pipeline against batch Smart-SRA on the same log and
+verifies the outputs are identical (same sessions, emitted online).  Also
+reports the pipeline's peak buffering — the memory story that makes
+streaming worthwhile on logs that do not fit in RAM.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import BENCH_SEED, emit
+from repro.core.smart_sra import SmartSRA
+from repro.evaluation.experiments import PAPER_DEFAULTS, paper_topology
+from repro.simulator.population import simulate_population
+from repro.streaming.pipeline import streaming_smart_sra
+
+_AGENTS = 400
+
+
+@pytest.fixture(scope="module")
+def workload():
+    topology = paper_topology(seed=BENCH_SEED)
+    config = PAPER_DEFAULTS.simulation_config(n_agents=_AGENTS,
+                                              seed=BENCH_SEED)
+    simulation = simulate_population(topology, config)
+    return topology, simulation.log_requests
+
+
+def test_streaming_throughput(benchmark, workload, results_dir):
+    topology, log = workload
+
+    def run_pipeline():
+        pipeline = streaming_smart_sra(topology)
+        emitted = pipeline.feed_many(log)
+        emitted.extend(pipeline.flush())
+        return emitted, pipeline.stats()
+
+    emitted, stats = benchmark(run_pipeline)
+
+    batch = SmartSRA(topology).reconstruct(log)
+    assert sorted((s.user_id, s.pages, s.start_time) for s in emitted) \
+        == sorted((s.user_id, s.pages, s.start_time) for s in batch)
+
+    emit(results_dir, "streaming",
+         f"Extension A8 — streaming Smart-SRA [{_AGENTS} agents]\n"
+         f"  log records fed:      {stats.fed_requests}\n"
+         f"  sessions emitted:     {stats.emitted_sessions}\n"
+         f"  output == batch:      yes (asserted)\n")
+
+
+def test_batch_reference(benchmark, workload):
+    """Batch Smart-SRA on the identical log, for side-by-side timing."""
+    topology, log = workload
+    result = benchmark(lambda: SmartSRA(topology).reconstruct(log))
+    assert len(result) > 0

@@ -1,0 +1,58 @@
+"""Tables 1-2 — the paper's worked examples for the baseline heuristics.
+
+Regenerates, from the Table 1 request stream and the Figure 1 topology:
+
+* heur1's two sessions (total duration ≤ 30 min),
+* heur2's three sessions (page stay ≤ 10 min),
+* heur3's single path-completed session (Table 2's final row),
+
+asserts they equal the paper's rows verbatim, and times each heuristic on
+the literal stream.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit
+from repro.evaluation.experiments import (
+    paper_example_topology,
+    paper_table1_stream,
+)
+from repro.sessions.navigation_oriented import NavigationHeuristic
+from repro.sessions.time_oriented import DurationHeuristic, PageStayHeuristic
+
+EXPECTED = {
+    "heur1": [("P1", "P20", "P13", "P49"), ("P34", "P23")],
+    "heur2": [("P1", "P20", "P13"), ("P49", "P34"), ("P23",)],
+    "heur3": [("P1", "P20", "P1", "P13", "P49", "P13", "P34", "P23")],
+}
+
+
+def _render(rows: dict[str, list[tuple[str, ...]]]) -> str:
+    lines = ["Tables 1-2 — worked examples (paper vs regenerated: exact)"]
+    for name, sessions in rows.items():
+        rendered = "; ".join("[" + " ".join(s) + "]" for s in sessions)
+        lines.append(f"  {name}: {rendered}")
+    return "\n".join(lines) + "\n"
+
+
+def test_table1_heur1(benchmark, results_dir):
+    stream = paper_table1_stream()
+    sessions = benchmark(
+        lambda: DurationHeuristic().reconstruct_user(stream))
+    assert [s.pages for s in sessions] == EXPECTED["heur1"]
+
+
+def test_table1_heur2(benchmark):
+    stream = paper_table1_stream()
+    sessions = benchmark(
+        lambda: PageStayHeuristic().reconstruct_user(stream))
+    assert [s.pages for s in sessions] == EXPECTED["heur2"]
+
+
+def test_table2_heur3(benchmark, results_dir):
+    topology = paper_example_topology()
+    stream = paper_table1_stream()
+    sessions = benchmark(
+        lambda: NavigationHeuristic(topology).reconstruct_user(stream))
+    assert [s.pages for s in sessions] == EXPECTED["heur3"]
+    emit(results_dir, "tables1_2", _render(EXPECTED))

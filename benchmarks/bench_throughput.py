@@ -1,0 +1,63 @@
+"""Ablation A4 — reconstruction throughput per heuristic.
+
+Proper timing benchmarks (multiple rounds) of each heuristic over one fixed
+simulated log, reporting requests/second.  The paper argues Smart-SRA's
+shorter sessions make downstream processing cheaper; this bench quantifies
+the reconstruction cost side: the time heuristics are a single pass,
+heur3 pays for path completion, Smart-SRA for its per-candidate iteration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import BENCH_SEED
+from repro.core.smart_sra import SmartSRA
+from repro.evaluation.experiments import PAPER_DEFAULTS, paper_topology
+from repro.sessions.navigation_oriented import NavigationHeuristic
+from repro.sessions.time_oriented import DurationHeuristic, PageStayHeuristic
+from repro.simulator.population import simulate_population
+
+#: throughput population is fixed (not env-scaled) so timings are comparable.
+_AGENTS = 400
+
+
+@pytest.fixture(scope="module")
+def fixed_log():
+    topology = paper_topology(seed=BENCH_SEED)
+    config = PAPER_DEFAULTS.simulation_config(n_agents=_AGENTS,
+                                              seed=BENCH_SEED)
+    simulation = simulate_population(topology, config)
+    return topology, simulation.log_requests
+
+
+def test_throughput_heur1(benchmark, fixed_log):
+    __, log = fixed_log
+    result = benchmark(lambda: DurationHeuristic().reconstruct(log))
+    assert len(result) > 0
+
+
+def test_throughput_heur2(benchmark, fixed_log):
+    __, log = fixed_log
+    result = benchmark(lambda: PageStayHeuristic().reconstruct(log))
+    assert len(result) > 0
+
+
+def test_throughput_heur3(benchmark, fixed_log):
+    topology, log = fixed_log
+    result = benchmark(lambda: NavigationHeuristic(topology).reconstruct(log))
+    assert len(result) > 0
+
+
+def test_throughput_heur4(benchmark, fixed_log):
+    topology, log = fixed_log
+    result = benchmark(lambda: SmartSRA(topology).reconstruct(log))
+    assert len(result) > 0
+
+
+def test_throughput_simulator(benchmark):
+    """Agents simulated per second (the evaluation's own substrate cost)."""
+    topology = paper_topology(seed=BENCH_SEED)
+    config = PAPER_DEFAULTS.simulation_config(n_agents=100, seed=BENCH_SEED)
+    result = benchmark(lambda: simulate_population(topology, config))
+    assert len(result.traces) == 100

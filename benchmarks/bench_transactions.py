@@ -1,0 +1,82 @@
+"""Extension A10 — transaction identification on reconstructed sessions.
+
+Runs the two classic transaction-identification methods downstream of
+Smart-SRA, with the simulator's bimodal (auxiliary/content) timing model
+enabled:
+
+* **Reference Length**: can the timing-based classifier recover the pages
+  the simulator designated as content — and does reconstruction quality
+  matter for it?
+* **Maximal Forward Reference**: transaction counts per heuristic — MFR
+  over heur3's path-completed sessions splits at its inserted back-moves,
+  while Smart-SRA's duplicate-free sessions pass through whole (the
+  paper's §3 argument that avoiding artificial insertions yields directly
+  usable sequences).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import BENCH_AGENTS, BENCH_SEED, emit
+from repro.core.smart_sra import SmartSRA
+from repro.evaluation.experiments import PAPER_DEFAULTS, paper_topology
+from repro.sessions.navigation_oriented import NavigationHeuristic
+from repro.simulator.pages import select_content_pages
+from repro.simulator.population import simulate_population
+from repro.transactions.maximal_forward import maximal_forward_references
+from repro.transactions.reference_length import ReferenceLengthModel
+
+_CONTENT_FRACTION = 0.3
+
+
+def test_transaction_identification(benchmark, results_dir):
+    topology = paper_topology(seed=BENCH_SEED)
+    config = PAPER_DEFAULTS.simulation_config(
+        n_agents=BENCH_AGENTS, seed=BENCH_SEED,
+        content_fraction=_CONTENT_FRACTION)
+    true_content = select_content_pages(topology, _CONTENT_FRACTION)
+
+    def run_study():
+        simulation = simulate_population(topology, config)
+        smart = SmartSRA(topology).reconstruct(simulation.log_requests)
+        nav = NavigationHeuristic(topology).reconstruct(
+            simulation.log_requests)
+
+        model = ReferenceLengthModel.fit(smart, auxiliary_fraction=0.7)
+        detected = model.content_pages(smart)
+        visited = {page for session in simulation.ground_truth
+                   for page in session.pages}
+        relevant = true_content & visited
+        recall = len(detected & relevant) / len(relevant)
+        precision = (len(detected & relevant) / len(detected)
+                     if detected else 0.0)
+
+        smart_transactions = maximal_forward_references(smart)
+        nav_transactions = maximal_forward_references(nav)
+        return {
+            "rl_recall": recall,
+            "rl_precision": precision,
+            "rl_cutoff": model.cutoff,
+            "smart_sessions": len(smart),
+            "smart_transactions": len(smart_transactions),
+            "nav_sessions": len(nav),
+            "nav_transactions": len(nav_transactions),
+        }
+
+    outcome = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    # timing alone must recover most content pages from Smart-SRA output.
+    assert outcome["rl_recall"] > 0.6
+    # Smart-SRA sessions are already forward paths: MFR barely splits them.
+    smart_ratio = outcome["smart_transactions"] / outcome["smart_sessions"]
+    nav_ratio = outcome["nav_transactions"] / outcome["nav_sessions"]
+    assert smart_ratio < nav_ratio
+
+    emit(results_dir, "transactions",
+         f"Extension A10 — transaction identification "
+         f"[{BENCH_AGENTS} agents, content fraction {_CONTENT_FRACTION}]\n"
+         f"  reference-length cutoff:   {outcome['rl_cutoff']:.0f}s\n"
+         f"  content-page recall:       {outcome['rl_recall'] * 100:.1f}%\n"
+         f"  content-page precision:    "
+         f"{outcome['rl_precision'] * 100:.1f}%\n"
+         f"  MFR transactions/session:  Smart-SRA {smart_ratio:.2f}  "
+         f"vs heur3 {nav_ratio:.2f}\n")

@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures.
+
+Every figure/table benchmark writes the rows it regenerates to
+``benchmarks/results/`` (text + CSV) in addition to printing them, so the
+series survive pytest's output capture.  See ``_bench_utils`` for the
+environment knobs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

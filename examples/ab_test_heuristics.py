@@ -1,0 +1,77 @@
+"""Methodology: compare two heuristics the statistically honest way.
+
+Point accuracies from one simulation can mislead — seed noise, metric
+choice, and error *kind* all matter.  This example runs the full honest
+comparison between Smart-SRA and the navigation-oriented baseline:
+
+1. point estimates under both metric readings,
+2. bootstrap confidence intervals (user-resampled),
+3. McNemar's exact paired test on the capture outcomes,
+4. the error-taxonomy breakdown showing *how* each one fails,
+5. the graded LCS view (recall/precision/F1).
+
+Run:  python examples/ab_test_heuristics.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    NavigationHeuristic,
+    SimulationConfig,
+    SmartSRA,
+    evaluate_reconstruction,
+    random_site,
+    simulate_population,
+)
+from repro.evaluation.bootstrap import bootstrap_accuracy
+from repro.evaluation.comparison import compare_heuristics
+from repro.evaluation.similarity import similarity_report
+from repro.evaluation.taxonomy import error_breakdown, render_breakdown
+
+
+def main() -> None:
+    site = random_site(n_pages=300, avg_out_degree=15, seed=2)
+    simulation = simulate_population(
+        site, SimulationConfig(n_agents=600, seed=17))
+    truth = simulation.ground_truth
+    print(f"{len(truth)} ground-truth sessions, "
+          f"{len(simulation.log_requests)} log records\n")
+
+    smart = SmartSRA(site).reconstruct(simulation.log_requests)
+    nav = NavigationHeuristic(site).reconstruct(simulation.log_requests)
+
+    print("1) point estimates")
+    for name, sessions in (("heur4", smart), ("heur3", nav)):
+        report = evaluate_reconstruction(name, truth, sessions)
+        print(f"   {name}: matched {report.matched_accuracy:.1%}   "
+              f"any-capture {report.accuracy:.1%}")
+
+    print("\n2) bootstrap 95% confidence intervals (matched metric)")
+    for name, sessions in (("heur4", smart), ("heur3", nav)):
+        interval = bootstrap_accuracy(truth, sessions, replicates=300,
+                                      seed=1)
+        print(f"   {name}: {interval}")
+
+    print("\n3) McNemar paired test (any-capture outcomes)")
+    result = compare_heuristics(truth, smart, nav, "heur4", "heur3")
+    print(f"   {result}")
+    print(f"   significant at 1%: "
+          f"{'yes' if result.significant(0.01) else 'no'}")
+
+    print("\n4) error taxonomy")
+    print(render_breakdown({
+        "heur4": error_breakdown(truth, smart),
+        "heur3": error_breakdown(truth, nav),
+    }), end="")
+
+    print("\n5) graded (LCS) similarity")
+    for name, sessions in (("heur4", smart), ("heur3", nav)):
+        graded = similarity_report(name, truth, sessions)
+        print(f"   {name}: recall {graded.graded_recall:.1%}  "
+              f"precision {graded.graded_precision:.1%}  "
+              f"F1 {graded.f1:.1%}  "
+              f"fragmentation {graded.fragmentation:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Web pre-fetching: does better session reconstruction help prediction?
+
+The paper's first listed application is *web pre-fetching* — predict the
+next page so the server (or browser) can fetch it early.  This example
+trains a first-order Markov next-page predictor on each heuristic's
+reconstructed sessions and evaluates all of them on the same held-out
+ground truth (a second simulated population on the same site).
+
+The punchline: the predictor trained on Smart-SRA sessions achieves the
+best hit rate, because its training transitions are real hyperlink
+traversals rather than artifacts of bad session splitting.
+
+Run:  python examples/prefetch_recommender.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, random_site, simulate_population, standard_heuristics
+from repro.mining.prediction import MarkovPredictor
+
+
+def main() -> None:
+    site = random_site(n_pages=250, avg_out_degree=12, seed=21)
+    train_sim = simulate_population(
+        site, SimulationConfig(n_agents=500, seed=1))
+    test_sim = simulate_population(
+        site, SimulationConfig(n_agents=200, seed=99))
+    print(f"site {site}\n"
+          f"train log: {len(train_sim.log_requests)} records; "
+          f"test ground truth: {len(test_sim.ground_truth)} sessions\n")
+
+    oracle = MarkovPredictor().fit(train_sim.ground_truth)
+    oracle_hit = oracle.hit_rate(test_sim.ground_truth, top=3)
+
+    print(f"{'training sessions':<38}{'hit@3':>8}")
+    print(f"{'ground truth (proactive oracle)':<38}{oracle_hit:>8.1%}")
+    for name, heuristic in standard_heuristics(site).items():
+        sessions = heuristic.reconstruct(train_sim.log_requests)
+        predictor = MarkovPredictor().fit(sessions)
+        hit = predictor.hit_rate(test_sim.ground_truth, top=3)
+        print(f"{name + ' reconstruction':<38}{hit:>8.1%}")
+
+    page = sorted(site.start_pages)[0]
+    best = MarkovPredictor().fit(train_sim.ground_truth)
+    print(f"\nexample: after {page}, prefetch "
+          f"{', '.join(best.predict(page, top=3))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Reproduce the paper's three figures from the shipped spec files.
+
+Experiments in this repository are declarative artifacts: the ``specs/``
+directory holds one JSON document per figure (plus the reactive-gap
+extension).  This script executes them via the spec runner and renders the
+tables and ASCII charts — the same path as
+``repro run-spec specs/fig9_lpp.json``, minus the shell.
+
+Note: the full three-figure run simulates 40 populations of 800 agents;
+expect a minute or two.  Pass a spec filename argument to run just one.
+
+Run:  python examples/run_paper_experiments.py [specs/fig9_lpp.json]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.evaluation.ascii_chart import render_chart
+from repro.evaluation.harness import SweepResult
+from repro.evaluation.report import render_sweep_table
+from repro.evaluation.spec import load_spec, run_spec
+
+SPEC_DIR = pathlib.Path(__file__).parent.parent / "specs"
+FIGURES = ["fig8_stp.json", "fig9_lpp.json", "fig10_nip.json"]
+
+
+def run_one(path: pathlib.Path) -> None:
+    print(f"=== {path.name}")
+    result = run_spec(load_spec(str(path)))
+    if isinstance(result, SweepResult):
+        print(render_sweep_table(result))
+        print(render_chart(result))
+    else:
+        for name, report in result.reports.items():
+            print(f"  {name}: matched {report.matched_accuracy:.1%}  "
+                  f"captured {report.accuracy:.1%}")
+    print()
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        run_one(pathlib.Path(sys.argv[1]))
+        return
+    for name in FIGURES:
+        run_one(SPEC_DIR / name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Analyze a *real* static site: HTML on disk, rotated logs, robots.
+
+Everything in the other examples runs on generated topologies.  This one
+exercises the adoption path for an actual static web site:
+
+1. write a small documentation-style site (HTML files with real ``<a
+   href>`` links) to a temp directory,
+2. extract its :class:`WebGraph` straight from the HTML,
+3. simulate traffic and a *crawler*, writing a gzip-rotated log set,
+4. stitch the rotation back together, detect and drop the crawler
+   behaviorally, clean, reconstruct with Smart-SRA,
+5. print the site's navigation tree with real conversion rates.
+
+Run:  python examples/static_site_analysis.py
+"""
+
+from __future__ import annotations
+
+import gzip
+import tempfile
+from pathlib import Path
+
+from repro import SimulationConfig, SmartSRA, simulate_population
+from repro.logs.clf import CLFRecord, format_clf_line
+from repro.logs.reader import records_to_requests
+from repro.logs.robots import RobotDetector
+from repro.logs.rotation import read_rotated_logs
+from repro.logs.users import IdentityAddressMap
+from repro.logs.writer import requests_to_records
+from repro.mining.navigation_tree import NavigationTree
+from repro.topology.html import graph_from_html_dir
+
+SITE = {
+    "index.html": ["guide.html", "api.html", "faq.html"],
+    "guide.html": ["index.html", "guide-install.html", "guide-config.html"],
+    "guide-install.html": ["guide.html", "guide-config.html"],
+    "guide-config.html": ["guide.html", "api.html"],
+    "api.html": ["index.html", "api-core.html", "api-logs.html"],
+    "api-core.html": ["api.html", "api-logs.html"],
+    "api-logs.html": ["api.html"],
+    "faq.html": ["index.html", "guide.html"],
+}
+
+
+def write_site(root: Path) -> None:
+    for name, links in SITE.items():
+        anchors = "".join(f'<a href="{href}">{href}</a>' for href in links)
+        root.joinpath(name).write_text(
+            f"<html><body><h1>{name}</h1>{anchors}</body></html>",
+            encoding="utf-8")
+
+
+def crawler_records(graph, start_time: float) -> list[CLFRecord]:
+    """A polite crawler: robots.txt first, then the whole site, fast."""
+    records = [CLFRecord("spider.example", start_time, "GET", "/robots.txt",
+                         "HTTP/1.1", 200, 64)]
+    for index, page in enumerate(sorted(graph.pages)):
+        records.append(CLFRecord(
+            "spider.example", start_time + 1 + index * 0.8, "GET",
+            f"/{page}.html", "HTTP/1.1", 200, 2048))
+    return records
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro_static_site_"))
+    site_dir = workdir / "site"
+    site_dir.mkdir()
+    write_site(site_dir)
+
+    graph = graph_from_html_dir(str(site_dir))
+    print(f"extracted topology from HTML: {graph}")
+    print(f"start pages: {sorted(graph.start_pages)}")
+
+    simulation = simulate_population(
+        graph, SimulationConfig(n_agents=250, seed=4, nip=0.1, lpp=0.25))
+    human = requests_to_records(simulation.log_requests,
+                                IdentityAddressMap())
+    robot = crawler_records(graph, start_time=500.0)
+    everything = sorted(human + robot, key=lambda record: record.timestamp)
+
+    # rotate: older half gzipped, newer half plain.
+    half = len(everything) // 2
+    old_path = workdir / "access.log.1.gz"
+    new_path = workdir / "access.log"
+    with gzip.open(old_path, "wt", encoding="utf-8") as handle:
+        for record in everything[:half]:
+            handle.write(format_clf_line(record) + "\n")
+    with open(new_path, "w", encoding="utf-8") as handle:
+        for record in everything[half:]:
+            handle.write(format_clf_line(record) + "\n")
+    print(f"\nwrote rotated logs: {old_path.name} (gzip) + {new_path.name} "
+          f"({len(everything)} records incl. crawler)")
+
+    records = read_rotated_logs([str(new_path), str(old_path)])
+    kept, robots = RobotDetector().filter(records)
+    print(f"robot detection flagged: {sorted(robots)} "
+          f"({len(records) - len(kept)} records dropped)")
+
+    sessions = SmartSRA(graph).reconstruct(records_to_requests(kept))
+    print(f"Smart-SRA: {len(sessions)} sessions\n")
+
+    tree = NavigationTree(sessions)
+    print("navigation tree (top levels):")
+    print(tree.render(min_support=5, max_depth=3))
+    guide_rate = tree.conversion_rate(["index"], "guide")
+    api_rate = tree.conversion_rate(["index"], "api")
+    print(f"from the home page, {guide_rate:.0%} continue to the guide "
+          f"and {api_rate:.0%} to the API reference")
+
+
+if __name__ == "__main__":
+    main()

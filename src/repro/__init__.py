@@ -1,0 +1,108 @@
+"""repro — reproduction of *A New Approach for Reactive Web Usage Data
+Processing* (Bayir, Toroslu, Cosar; ICDE Workshops 2006).
+
+The library covers the paper end to end:
+
+* :mod:`repro.topology` — web site graphs and generators;
+* :mod:`repro.simulator` — the agent simulator producing ground-truth
+  sessions and the matching server log;
+* :mod:`repro.logs` — Common Log Format round trip, cleaning and user
+  partitioning;
+* :mod:`repro.sessions` — the session model and the three baseline
+  heuristics (time-duration, page-stay, navigation-oriented);
+* :mod:`repro.core` — **Smart-SRA**, the paper's contribution;
+* :mod:`repro.evaluation` — the capture metric and the Figure 8/9/10
+  experiment harness;
+* :mod:`repro.mining` — downstream pattern discovery on reconstructed
+  sessions.
+
+Quickstart::
+
+    from repro import (SmartSRA, random_site, simulate_population,
+                       SimulationConfig, evaluate_reconstruction)
+
+    site = random_site(300, 15, seed=1)
+    sim = simulate_population(site, SimulationConfig(n_agents=500))
+    sessions = SmartSRA(site).reconstruct(sim.log_requests)
+    report = evaluate_reconstruction("smart-sra", sim.ground_truth, sessions)
+    print(f"real accuracy: {report.accuracy:.1%}")
+"""
+
+from repro.core import Phase1Only, SmartSRA, SmartSRAConfig
+from repro.evaluation import (
+    AccuracyReport,
+    evaluate_reconstruction,
+    fig8_sweep,
+    fig9_sweep,
+    fig10_sweep,
+    real_accuracy,
+    run_trial,
+    standard_heuristics,
+    sweep,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    EvaluationError,
+    LogFormatError,
+    ReconstructionError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+from repro.evaluation import describe, render_statistics
+from repro.sessions import (
+    AdaptiveTimeoutHeuristic,
+    DurationHeuristic,
+    NavigationHeuristic,
+    PageStayHeuristic,
+    ReferrerHeuristic,
+    Request,
+    Session,
+    SessionReconstructor,
+    SessionSet,
+)
+from repro.streaming import streaming_phase1, streaming_smart_sra
+from repro.simulator import (
+    SimulationConfig,
+    SimulationResult,
+    simulate_agent,
+    simulate_population,
+)
+from repro.topology import (
+    WebGraph,
+    hierarchical_site,
+    load_graph,
+    power_law_site,
+    random_site,
+    save_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # value types
+    "Request", "Session", "SessionSet", "WebGraph",
+    # heuristics
+    "SessionReconstructor", "DurationHeuristic", "PageStayHeuristic",
+    "NavigationHeuristic", "ReferrerHeuristic", "AdaptiveTimeoutHeuristic",
+    "SmartSRA",
+    "SmartSRAConfig", "Phase1Only",
+    # streaming
+    "streaming_smart_sra", "streaming_phase1",
+    # statistics
+    "describe", "render_statistics",
+    # topology
+    "random_site", "hierarchical_site", "power_law_site",
+    "save_graph", "load_graph",
+    # simulation
+    "SimulationConfig", "SimulationResult", "simulate_agent",
+    "simulate_population",
+    # evaluation
+    "real_accuracy", "evaluate_reconstruction", "AccuracyReport",
+    "standard_heuristics", "run_trial", "sweep",
+    "fig8_sweep", "fig9_sweep", "fig10_sweep",
+    # errors
+    "ReproError", "TopologyError", "SimulationError", "LogFormatError",
+    "ReconstructionError", "EvaluationError", "ConfigurationError",
+    "__version__",
+]

@@ -1,0 +1,471 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands mirror the paper's pipeline:
+
+* ``topology``   — generate a site graph and save it as JSON;
+* ``simulate``   — run the agent simulator over a topology, writing the
+  CLF access log and the ground-truth session file;
+* ``clean``      — run the cleaning pipeline over a (noisy) CLF log;
+* ``reconstruct``— apply one heuristic to a CLF log;
+* ``evaluate``   — score a reconstructed session file against ground truth;
+* ``experiment`` — regenerate Figure 8, 9 or 10 and print the table;
+* ``mine``       — mine frequent navigation patterns from a session file;
+* ``stats``      — profile a session file (lengths, durations, top pages);
+* ``run-spec``   — execute a declarative JSON experiment specification;
+* ``dataset``    — generate a frozen benchmark dataset bundle;
+* ``compare``    — McNemar significance test between two reconstructions;
+* ``anonymize``  — pseudonymize or truncate host identities in a log;
+* ``selftest``   — verify the installation against the paper's worked
+  examples and the pinned golden numbers;
+* ``leaderboard``— rank every heuristic on one simulated workload.
+
+Every command prints a short human-readable summary to stdout; files are
+only written where an ``--output``-style flag points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.smart_sra import SmartSRA
+from repro.evaluation.experiments import fig8_sweep, fig9_sweep, fig10_sweep
+from repro.evaluation.metrics import evaluate_reconstruction
+from repro.evaluation.report import render_csv, render_sweep_table
+from repro.exceptions import ReproError
+from repro.logs.cleaning import LogCleaner
+from repro.logs.reader import read_clf_file, records_to_requests
+from repro.evaluation.statistics import describe, render_statistics
+from repro.logs.users import IdentityAddressMap
+from repro.logs.writer import (
+    requests_to_records,
+    write_clf_file,
+    write_combined_file,
+)
+from repro.mining.sequential import frequent_sequences
+from repro.sessions.base import get_heuristic
+from repro.sessions.model import SessionSet
+from repro.sessions.navigation_oriented import NavigationHeuristic
+from repro.simulator.config import SimulationConfig
+from repro.simulator.population import simulate_population
+from repro.topology.analysis import summarize
+from repro.topology.generators import (
+    hierarchical_site,
+    power_law_site,
+    random_site,
+)
+from repro.topology.io import load_graph, save_graph
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the full argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reactive web usage data processing (Smart-SRA "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topo = sub.add_parser("topology", help="generate a site topology")
+    topo.add_argument("--family", choices=["random", "hierarchical",
+                                           "power-law"], default="random")
+    topo.add_argument("--pages", type=int, default=300)
+    topo.add_argument("--out-degree", type=float, default=15.0,
+                      help="average out-degree (random family)")
+    topo.add_argument("--seed", type=int, default=0)
+    topo.add_argument("--output", required=True, help="JSON output path")
+
+    sim = sub.add_parser("simulate", help="simulate agents over a topology")
+    sim.add_argument("--topology", required=True)
+    sim.add_argument("--agents", type=int, default=1000)
+    sim.add_argument("--stp", type=float, default=0.05)
+    sim.add_argument("--lpp", type=float, default=0.30)
+    sim.add_argument("--nip", type=float, default=0.30)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--log", required=True, help="CLF output path")
+    sim.add_argument("--sessions", required=True,
+                     help="ground-truth session JSON output path")
+    sim.add_argument("--format", choices=["clf", "combined"],
+                     default="clf",
+                     help="log format: plain CLF (the paper's reactive "
+                          "setting) or Combined (adds Referer/User-Agent)")
+
+    clean = sub.add_parser("clean", help="filter a CLF log to page views")
+    clean.add_argument("--log", required=True)
+    clean.add_argument("--output", required=True)
+
+    rec = sub.add_parser("reconstruct", help="apply a heuristic to a log")
+    rec.add_argument("--log", required=True)
+    rec.add_argument("--heuristic", default="heur4",
+                     help="heur1 | heur2 | heur3 | heur4 | phase1 | "
+                          "referrer (needs a combined-format log)")
+    rec.add_argument("--topology",
+                     help="topology JSON (required by heur3/heur4)")
+    rec.add_argument("--output", required=True,
+                     help="session JSON output path")
+
+    ev = sub.add_parser("evaluate", help="score reconstruction vs truth")
+    ev.add_argument("--truth", required=True)
+    ev.add_argument("--reconstructed", required=True)
+    ev.add_argument("--global-match", action="store_true",
+                    help="allow capture across user boundaries")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper figure")
+    exp.add_argument("figure", choices=["fig8", "fig9", "fig10"])
+    exp.add_argument("--agents", type=int, default=2000,
+                     help="agents per sweep point (paper: 10000)")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--csv", help="also write the series as CSV here")
+
+    mine = sub.add_parser("mine", help="mine frequent navigation patterns")
+    mine.add_argument("--sessions", required=True)
+    mine.add_argument("--min-support", type=float, default=0.01)
+    mine.add_argument("--max-length", type=int, default=4)
+    mine.add_argument("--top", type=int, default=20)
+
+    stats = sub.add_parser("stats", help="profile a session JSON file")
+    stats.add_argument("--sessions", required=True)
+    stats.add_argument("--top", type=int, default=5)
+
+    spec = sub.add_parser("run-spec",
+                          help="execute a JSON experiment specification")
+    spec.add_argument("spec", help="path to the spec document")
+    spec.add_argument("--csv", help="write sweep series as CSV here")
+
+    dataset = sub.add_parser("dataset",
+                             help="generate a frozen benchmark dataset")
+    dataset.add_argument("tier", choices=["small", "medium", "large"])
+    dataset.add_argument("--output", required=True,
+                         help="bundle directory to create")
+
+    cmp = sub.add_parser("compare",
+                         help="paired McNemar test between two "
+                              "reconstructions of one ground truth")
+    cmp.add_argument("--truth", required=True)
+    cmp.add_argument("--a", dest="first", required=True,
+                     help="first reconstruction (session JSON)")
+    cmp.add_argument("--b", dest="second", required=True,
+                     help="second reconstruction (session JSON)")
+    cmp.add_argument("--name-a", default="A")
+    cmp.add_argument("--name-b", default="B")
+
+    anon = sub.add_parser("anonymize",
+                          help="anonymize host identities in a log")
+    anon.add_argument("--log", required=True)
+    anon.add_argument("--output", required=True)
+    group = anon.add_mutually_exclusive_group(required=True)
+    group.add_argument("--key", help="keyed pseudonymization secret")
+    group.add_argument("--truncate", type=int, metavar="OCTETS",
+                       help="keep this many leading IPv4 octets (1-3)")
+
+    sub.add_parser("selftest",
+                   help="verify the install against the paper's worked "
+                        "examples")
+
+    board = sub.add_parser("leaderboard",
+                           help="rank all heuristics on one simulation")
+    board.add_argument("--topology", help="topology JSON (random Table 5 "
+                                          "site when omitted)")
+    board.add_argument("--agents", type=int, default=500)
+    board.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    if args.family == "random":
+        graph = random_site(args.pages, args.out_degree, seed=args.seed)
+    elif args.family == "hierarchical":
+        graph = hierarchical_site(args.pages, seed=args.seed)
+    else:
+        graph = power_law_site(args.pages, seed=args.seed)
+    save_graph(graph, args.output)
+    print(f"wrote {args.output}")
+    for key, value in summarize(graph).items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    graph = load_graph(args.topology)
+    config = SimulationConfig(stp=args.stp, lpp=args.lpp, nip=args.nip,
+                              n_agents=args.agents, seed=args.seed)
+    result = simulate_population(graph, config)
+    records = requests_to_records(result.log_requests, IdentityAddressMap())
+    if args.format == "combined":
+        written = write_combined_file(args.log, records)
+    else:
+        written = write_clf_file(args.log, records)
+    result.ground_truth.save(args.sessions)
+    print(f"simulated {args.agents} agents: "
+          f"{len(result.ground_truth)} real sessions, "
+          f"{written} log records "
+          f"(cache hit rate {result.cache_hit_rate:.1%})")
+    print(f"wrote {args.log} and {args.sessions}")
+    return 0
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    records = read_clf_file(args.log, skip_malformed=True)
+    kept, stats = LogCleaner().clean(records)
+    # preserve the input's richness: combined stays combined.
+    has_headers = any(record.referrer is not None
+                      or record.user_agent is not None for record in kept)
+    if has_headers:
+        write_combined_file(args.output, kept)
+    else:
+        write_clf_file(args.output, kept)
+    print(f"kept {stats.kept} of {len(records)} records "
+          f"(dropped: {stats.dropped_resources} resources, "
+          f"{stats.dropped_errors} errors, {stats.dropped_methods} non-GET, "
+          f"{stats.dropped_robots} robot)")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_reconstruct(args: argparse.Namespace) -> int:
+    records = read_clf_file(args.log, skip_malformed=True)
+    requests = records_to_requests(records)
+    if args.heuristic == "referrer":
+        from repro.sessions.referrer import ReferrerHeuristic
+        heuristic = ReferrerHeuristic()
+    elif args.heuristic in ("heur3", "navigation", "heur4", "smart-sra"):
+        if not args.topology:
+            print(f"error: {args.heuristic} requires --topology",
+                  file=sys.stderr)
+            return 2
+        graph = load_graph(args.topology)
+        if args.heuristic in ("heur3", "navigation"):
+            heuristic = NavigationHeuristic(graph)
+        else:
+            heuristic = SmartSRA(graph)
+    else:
+        heuristic = get_heuristic(args.heuristic)
+    sessions = heuristic.reconstruct(requests)
+    sessions.save(args.output)
+    print(f"{heuristic.label}: {len(sessions)} sessions from "
+          f"{len(requests)} requests "
+          f"(mean length {sessions.mean_length():.2f})")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    truth = SessionSet.load(args.truth)
+    reconstructed = SessionSet.load(args.reconstructed)
+    report = evaluate_reconstruction(
+        "cli", truth, reconstructed,
+        match_within_user=not args.global_match)
+    print(f"real sessions:        {report.total_real}")
+    print(f"captured (⊏):         {report.captured}")
+    print(f"real accuracy:        {report.accuracy:.1%}")
+    print(f"exact reconstructions:{report.exact}")
+    print(f"reconstructed total:  {report.reconstructed_count}")
+    print(f"precision:            {report.precision:.1%}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    sweeps = {"fig8": fig8_sweep, "fig9": fig9_sweep, "fig10": fig10_sweep}
+    result = sweeps[args.figure](n_agents=args.agents, seed=args.seed)
+    titles = {
+        "fig8": "Figure 8 — real accuracy (%) vs STP",
+        "fig9": "Figure 9 — real accuracy (%) vs LPP",
+        "fig10": "Figure 10 — real accuracy (%) vs NIP",
+    }
+    print(render_sweep_table(result, titles[args.figure]))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(render_csv(result))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    sessions = SessionSet.load(args.sessions)
+    patterns = frequent_sequences(sessions, min_support=args.min_support,
+                                  max_length=args.max_length)
+    multi = [pattern for pattern in patterns if len(pattern.pages) >= 2]
+    multi.sort(key=lambda pattern: -pattern.support)
+    print(f"{len(patterns)} frequent patterns "
+          f"({len(multi)} of length >= 2); top {args.top}:")
+    for pattern in multi[:args.top]:
+        path = " -> ".join(pattern.pages)
+        print(f"  {pattern.support:6.2%}  {path}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    sessions = SessionSet.load(args.sessions)
+    print(render_statistics(describe(sessions, top=args.top)), end="")
+    return 0
+
+
+def _cmd_run_spec(args: argparse.Namespace) -> int:
+    from repro.evaluation.harness import SweepResult
+    from repro.evaluation.spec import load_spec, run_spec
+    result = run_spec(load_spec(args.spec))
+    if isinstance(result, SweepResult):
+        print(render_sweep_table(result, f"spec sweep: {args.spec}"))
+        if args.csv:
+            with open(args.csv, "w", encoding="utf-8") as handle:
+                handle.write(render_csv(result))
+            print(f"wrote {args.csv}")
+    else:
+        print(f"spec trial: {args.spec}")
+        for name, report in result.reports.items():
+            print(f"  {name}: matched {report.matched_accuracy:.1%}  "
+                  f"captured {report.accuracy:.1%}  "
+                  f"sessions {report.reconstructed_count}")
+    return 0
+
+
+def _cmd_leaderboard(args: argparse.Namespace) -> int:
+    from repro.evaluation.leaderboard import leaderboard, render_leaderboard
+    if args.topology:
+        graph = load_graph(args.topology)
+    else:
+        graph = random_site(300, 15.0, seed=args.seed)
+    config = SimulationConfig(n_agents=args.agents, seed=args.seed)
+    rows = leaderboard(graph, config)
+    print(f"leaderboard over {args.agents} simulated agents "
+          f"(matched accuracy, bootstrap 95% CI):")
+    print(render_leaderboard(rows), end="")
+    print("note: 'referrer' consumes the combined log (with Referer "
+          "headers) — the others see plain CLF.")
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    """Re-derive the paper's worked examples and check them exactly."""
+    from repro.core.smart_sra import SmartSRA
+    from repro.evaluation.experiments import (
+        paper_example_topology,
+        paper_table1_stream,
+        paper_table3_stream,
+    )
+    from repro.sessions.time_oriented import (
+        DurationHeuristic,
+        PageStayHeuristic,
+    )
+
+    topology = paper_example_topology()
+    checks: list[tuple[str, bool]] = []
+
+    heur1 = [s.pages for s in
+             DurationHeuristic().reconstruct_user(paper_table1_stream())]
+    checks.append(("Table 1 / heur1",
+                   heur1 == [("P1", "P20", "P13", "P49"), ("P34", "P23")]))
+
+    heur2 = [s.pages for s in
+             PageStayHeuristic().reconstruct_user(paper_table1_stream())]
+    checks.append(("Table 1 / heur2",
+                   heur2 == [("P1", "P20", "P13"), ("P49", "P34"),
+                             ("P23",)]))
+
+    heur3 = NavigationHeuristic(topology).reconstruct_user(
+        paper_table1_stream())
+    checks.append(("Table 2 / heur3",
+                   [s.pages for s in heur3]
+                   == [("P1", "P20", "P1", "P13", "P49", "P13", "P34",
+                        "P23")]))
+
+    heur4 = SmartSRA(topology).reconstruct_user(paper_table3_stream())
+    checks.append(("Table 4 / Smart-SRA",
+                   {s.pages for s in heur4}
+                   == {("P1", "P13", "P34", "P23"),
+                       ("P1", "P13", "P49", "P23"),
+                       ("P1", "P20", "P23")}))
+
+    failed = 0
+    for label, passed in checks:
+        status = "ok" if passed else "FAILED"
+        print(f"  {label}: {status}")
+        failed += 0 if passed else 1
+    if failed:
+        print(f"selftest FAILED ({failed} of {len(checks)} checks)")
+        return 1
+    print(f"selftest passed ({len(checks)} checks — the paper's worked "
+          f"examples reproduce exactly)")
+    return 0
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    from repro.logs.anonymize import pseudonymize_hosts, truncate_ipv4_hosts
+    records = read_clf_file(args.log, skip_malformed=True)
+    if args.key is not None:
+        anonymous = pseudonymize_hosts(records, key=args.key)
+        scheme = "keyed pseudonyms"
+    else:
+        anonymous = truncate_ipv4_hosts(records, keep_octets=args.truncate)
+        scheme = f"IPv4 /{args.truncate * 8} truncation"
+    has_headers = any(record.referrer is not None
+                      or record.user_agent is not None
+                      for record in anonymous)
+    if has_headers:
+        write_combined_file(args.output, anonymous)
+    else:
+        write_clf_file(args.output, anonymous)
+    hosts_before = len({record.host for record in records})
+    hosts_after = len({record.host for record in anonymous})
+    print(f"anonymized {len(records)} records ({scheme}): "
+          f"{hosts_before} hosts -> {hosts_after}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.evaluation.comparison import compare_heuristics
+    truth = SessionSet.load(args.truth)
+    result = compare_heuristics(
+        truth, SessionSet.load(args.first), SessionSet.load(args.second),
+        name_a=args.name_a, name_b=args.name_b)
+    print(result)
+    print(f"  both captured: {result.both}   neither: {result.neither}")
+    print(f"  significant at 5%: {'yes' if result.significant() else 'no'}")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.datasets import write_dataset
+    manifest = write_dataset(args.tier, args.output)
+    statistics = manifest["statistics"]
+    print(f"wrote dataset '{args.tier}' to {args.output}")
+    for key, value in statistics.items():  # type: ignore[union-attr]
+        print(f"  {key}: {value}")
+    return 0
+
+
+_COMMANDS = {
+    "topology": _cmd_topology,
+    "simulate": _cmd_simulate,
+    "clean": _cmd_clean,
+    "reconstruct": _cmd_reconstruct,
+    "evaluate": _cmd_evaluate,
+    "experiment": _cmd_experiment,
+    "mine": _cmd_mine,
+    "stats": _cmd_stats,
+    "run-spec": _cmd_run_spec,
+    "dataset": _cmd_dataset,
+    "compare": _cmd_compare,
+    "anonymize": _cmd_anonymize,
+    "selftest": _cmd_selftest,
+    "leaderboard": _cmd_leaderboard,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

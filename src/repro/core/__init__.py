@@ -1,0 +1,37 @@
+"""Smart-SRA — the paper's primary contribution (§3).
+
+Smart-SRA (Smart Session Reconstruction Algorithm) reconstructs user
+sessions from a server log in two phases:
+
+* **Phase 1** (:mod:`repro.core.phase1`) splits each user's request stream
+  into *candidate sessions* using both classic time rules — total duration
+  ≤ δ (30 min) and page-stay gap ≤ ρ (10 min).
+* **Phase 2** (:mod:`repro.core.phase2`) re-partitions every candidate into
+  **maximal** page sequences satisfying the timestamp-ordering rule and the
+  topology rule (every consecutive pair hyperlinked, within ρ), without
+  inserting the artificial backward movements the navigation-oriented
+  heuristic needs.
+
+Use :class:`~repro.core.smart_sra.SmartSRA` as a drop-in
+:class:`~repro.sessions.base.SessionReconstructor`:
+
+    >>> from repro.core import SmartSRA
+    >>> from repro.topology import random_site
+    >>> topology = random_site(50, 5, seed=7)
+    >>> reconstructor = SmartSRA(topology)
+
+"""
+
+from repro.core.config import SmartSRAConfig
+from repro.core.phase1 import split_candidates
+from repro.core.phase2 import maximal_sessions, maximal_sessions_fast
+from repro.core.smart_sra import Phase1Only, SmartSRA
+
+__all__ = [
+    "SmartSRA",
+    "Phase1Only",
+    "SmartSRAConfig",
+    "split_candidates",
+    "maximal_sessions",
+    "maximal_sessions_fast",
+]

@@ -1,0 +1,63 @@
+"""Smart-SRA Phase 1 — time-based candidate construction.
+
+Phase 1 walks one user's chronological request stream and cuts it whenever
+either classic time rule fires:
+
+* the gap to the previous request exceeds ρ (``max_gap``), or
+* the span from the candidate's first request exceeds δ (``max_duration``).
+
+Each resulting *candidate session* therefore satisfies both time-oriented
+heuristics simultaneously, which is exactly the paper's Phase 1
+specification.  Candidates are plain request lists, not
+:class:`~repro.sessions.model.Session` objects, because they are an
+intermediate representation consumed by Phase 2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.config import SmartSRAConfig
+from repro.exceptions import ReconstructionError
+from repro.sessions.model import Request
+
+__all__ = ["split_candidates"]
+
+
+def split_candidates(requests: Sequence[Request],
+                     config: SmartSRAConfig | None = None
+                     ) -> list[list[Request]]:
+    """Split one user's request stream into time-consistent candidates.
+
+    Args:
+        requests: the user's requests in non-decreasing timestamp order.
+        config: thresholds; defaults to the paper's δ = 30 min, ρ = 10 min.
+
+    Returns:
+        Candidate sessions in chronological order.  Every candidate ``c``
+        satisfies ``c[-1].timestamp - c[0].timestamp <= δ`` and all
+        consecutive gaps ``<= ρ``.
+
+    Raises:
+        ReconstructionError: if the input is not sorted by timestamp.
+    """
+    if config is None:
+        config = SmartSRAConfig()
+
+    candidates: list[list[Request]] = []
+    current: list[Request] = []
+    for request in requests:
+        if current:
+            if request.timestamp < current[-1].timestamp:
+                raise ReconstructionError(
+                    "request stream not sorted by timestamp: "
+                    f"{current[-1].timestamp} then {request.timestamp}")
+            gap = request.timestamp - current[-1].timestamp
+            span = request.timestamp - current[0].timestamp
+            if gap > config.max_gap or span > config.max_duration:
+                candidates.append(current)
+                current = []
+        current.append(request)
+    if current:
+        candidates.append(current)
+    return candidates

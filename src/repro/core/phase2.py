@@ -1,0 +1,219 @@
+"""Smart-SRA Phase 2 — topological maximal-session extraction.
+
+Phase 2 (paper Figure 2) turns one time-consistent candidate session into
+the set of **maximal** page sequences that satisfy both
+
+* the *timestamp ordering rule* — pages appear in increasing request-time
+  order with consecutive gaps ≤ ρ, and
+* the *topology rule* — every consecutive pair is connected by a hyperlink.
+
+It iterates three steps until the candidate is exhausted:
+
+* **Step I** — collect the candidate's current *referrer-free* pages: pages
+  with no earlier candidate member linking to them within ρ.  (The paper's
+  pseudocode writes the referrer scan with ``j > i``; its worked example —
+  Tables 3-4, where ``P1`` is the sole initial start page — requires
+  *earlier* pages, i.e. ``j < i``.  We follow the worked example; see
+  DESIGN.md.)
+* **Step II** — remove those pages from the candidate.
+* **Step III** — extend every open session whose last page hyperlinks to a
+  removed page within ρ, possibly *branching* one session into several;
+  sessions that could not be extended are carried over unchanged (this is
+  what makes the output maximal).  On the first iteration each removed page
+  simply opens its own session.
+
+The worked example — candidate ``P1@0 P20@6 P13@9 P49@12 P34@14 P23@15``
+over the Figure 1 topology yielding exactly ``[P1 P13 P34 P23]``,
+``[P1 P13 P49 P23]`` and ``[P1 P20 P23]`` — is verified in
+``tests/unit/test_smart_sra.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.config import SmartSRAConfig
+from repro.sessions.model import Request, Session
+from repro.topology.graph import WebGraph
+
+__all__ = ["maximal_sessions", "maximal_sessions_fast"]
+
+
+def maximal_sessions(candidate: Sequence[Request], topology: WebGraph,
+                     config: SmartSRAConfig | None = None) -> list[Session]:
+    """Run Phase 2 on one candidate session.
+
+    Args:
+        candidate: a time-consistent candidate produced by
+            :func:`repro.core.phase1.split_candidates` (chronological).
+        topology: the site's hyperlink graph.  Pages absent from the graph
+            simply have no links (they always become singleton sessions).
+        config: thresholds and the orphan policy; defaults to the paper's.
+
+    Returns:
+        The maximal sessions extracted from ``candidate``, in the order the
+        algorithm produced them.  With the default (paper-faithful) orphan
+        policy some input pages may appear in **no** output session; with
+        ``config.rescue_orphans`` every page appears in at least one.
+    """
+    if config is None:
+        config = SmartSRAConfig()
+    remaining: list[Request] = list(candidate)
+    open_sessions: list[Session] = []
+
+    while remaining:
+        released = _referrer_free(remaining, topology, config.max_gap)
+        released_set = {id(request) for request in released}
+        remaining = [request for request in remaining
+                     if id(request) not in released_set]
+
+        if not open_sessions:
+            # Step III-a: the released pages seed the initial sessions.
+            open_sessions = [Session([request]) for request in released]
+            continue
+
+        # Step III-b: try to extend every open session with every released
+        # page.  One page may extend several sessions, and one session may
+        # be extended by several pages — each combination yields a distinct
+        # branched session, exactly like the paper's Table 4 trace.
+        next_sessions: list[Session] = []
+        extended: set[int] = set()
+        for request in released:
+            placed = False
+            for index, session in enumerate(open_sessions):
+                last = session[-1]
+                # Topology rule + timestamp ordering rule: the new page
+                # must be hyperlinked from the session's last page AND come
+                # later (a released page can predate a session's tail when
+                # its own referrer was consumed in an earlier iteration).
+                if (topology.has_link(last.page, request.page)
+                        and 0 <= request.timestamp - last.timestamp
+                        <= config.max_gap):
+                    next_sessions.append(session.extended(request))
+                    extended.add(index)
+                    placed = True
+            if not placed and config.rescue_orphans:
+                next_sessions.append(Session([request]))
+        for index, session in enumerate(open_sessions):
+            if index not in extended:
+                next_sessions.append(session)
+        open_sessions = next_sessions
+
+    return open_sessions
+
+
+def maximal_sessions_fast(candidate: Sequence[Request], topology: WebGraph,
+                          config: SmartSRAConfig | None = None
+                          ) -> list[Session]:
+    """Optimized Phase 2 — same output set as :func:`maximal_sessions`.
+
+    The reference implementation re-scans the whole candidate for
+    referrer-free pages every round (O(n²) per round, O(n³) worst case).
+    This version computes each request's *blocker set* once and releases
+    requests topological-sort style: a request joins the wave after the
+    wave that removed its last blocker — provably the same waves as the
+    reference (a request is referrer-free exactly when all its blockers
+    are gone).  Step III is also indexed: a released page can only extend
+    sessions whose last page is one of its topology predecessors.
+
+    When it pays: long candidates over sparse topologies (4-5× measured on
+    600-request candidates at out-degree 2, where the reference's repeated
+    Step-I scans dominate).  On the paper's dense 300-page/out-degree-15
+    setting with short candidates, both implementations are Step-III-bound
+    and perform the same — see ``bench_phase2_implementations``.
+
+    Output may differ from the reference in *ordering* only; the session
+    multiset is identical (property-tested).  :class:`~repro.core.smart_sra.
+    SmartSRA` uses this version; the reference stays as the
+    paper-pseudocode ground truth.
+    """
+    if config is None:
+        config = SmartSRAConfig()
+    n = len(candidate)
+    if n == 0:
+        return []
+
+    requests = list(candidate)
+    # Blocker graph: j blocks i (j < i) when page_j links to page_i within
+    # the referrer window ρ.  Computed once, O(n²) total.
+    blocker_count = [0] * n
+    dependents: list[list[int]] = [[] for __ in range(n)]
+    for i in range(n):
+        predecessors = topology.predecessors(requests[i].page)
+        for j in range(i):
+            if (requests[j].page in predecessors
+                    and requests[i].timestamp - requests[j].timestamp
+                    <= config.max_gap):
+                blocker_count[i] += 1
+                dependents[j].append(i)
+
+    wave = [i for i in range(n) if blocker_count[i] == 0]
+    open_sessions: list[Session] = []
+    by_last: dict[str, list[int]] = {}
+    first_wave = True
+    while wave:
+        if first_wave:
+            open_sessions = [Session([requests[i]]) for i in wave]
+            for index, i in enumerate(wave):
+                by_last.setdefault(requests[i].page, []).append(index)
+            first_wave = False
+        else:
+            next_sessions: list[Session] = []
+            next_by_last: dict[str, list[int]] = {}
+            extended: set[int] = set()
+
+            def add(session: Session) -> None:
+                next_by_last.setdefault(session[-1].page, []).append(
+                    len(next_sessions))
+                next_sessions.append(session)
+
+            for i in wave:
+                request = requests[i]
+                placed = False
+                # sorted() pins the extension order: frozenset iteration
+                # varies with hash randomization across processes.
+                for predecessor in sorted(
+                        topology.predecessors(request.page)):
+                    for session_index in by_last.get(predecessor, ()):
+                        session = open_sessions[session_index]
+                        if (0 <= request.timestamp
+                                - session[-1].timestamp <= config.max_gap):
+                            add(session.extended(request))
+                            extended.add(session_index)
+                            placed = True
+                if not placed and config.rescue_orphans:
+                    add(Session([request]))
+            for session_index, session in enumerate(open_sessions):
+                if session_index not in extended:
+                    add(session)
+            open_sessions = next_sessions
+            by_last = next_by_last
+
+        next_wave = []
+        for i in wave:
+            for dependent in dependents[i]:
+                blocker_count[dependent] -= 1
+                if blocker_count[dependent] == 0:
+                    next_wave.append(dependent)
+        next_wave.sort()
+        wave = next_wave
+
+    return open_sessions
+
+
+def _referrer_free(remaining: Sequence[Request], topology: WebGraph,
+                   max_gap: float) -> list[Request]:
+    """Step I — pages of ``remaining`` with no earlier referrer within ρ.
+
+    The first remaining request is always referrer-free (it has no earlier
+    member), which guarantees the Phase 2 loop makes progress.
+    """
+    released: list[Request] = []
+    for index, request in enumerate(remaining):
+        has_referrer = any(
+            topology.has_link(earlier.page, request.page)
+            and request.timestamp - earlier.timestamp <= max_gap
+            for earlier in remaining[:index])
+        if not has_referrer:
+            released.append(request)
+    return released

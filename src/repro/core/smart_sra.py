@@ -1,0 +1,89 @@
+"""The :class:`SmartSRA` reconstructor facade (paper's **heur4**).
+
+Composes Phase 1 (:func:`repro.core.phase1.split_candidates`) and Phase 2
+(:func:`repro.core.phase2.maximal_sessions`) behind the standard
+:class:`~repro.sessions.base.SessionReconstructor` interface, plus
+:class:`Phase1Only`, the "both time rules, no topology" ablation
+reconstructor used to quantify how much of Smart-SRA's accuracy comes from
+Phase 2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.config import SmartSRAConfig
+from repro.core.phase1 import split_candidates
+from repro.core.phase2 import maximal_sessions_fast
+from repro.exceptions import ConfigurationError
+from repro.sessions.base import HEURISTIC_REGISTRY, SessionReconstructor
+from repro.sessions.model import Request, Session
+from repro.topology.graph import WebGraph
+
+__all__ = ["SmartSRA", "Phase1Only"]
+
+
+class SmartSRA(SessionReconstructor):
+    """heur4 — Smart Session Reconstruction Algorithm.
+
+    Args:
+        topology: the site's hyperlink graph.
+        config: thresholds and orphan policy; defaults to the paper's
+            (δ = 30 min, ρ = 10 min, orphans dropped).
+
+    Example:
+        >>> from repro.topology import WebGraph
+        >>> graph = WebGraph([("A", "B")], start_pages=["A"])
+        >>> from repro.sessions.model import Request
+        >>> stream = [Request(0.0, "u", "A"), Request(60.0, "u", "B")]
+        >>> [s.pages for s in SmartSRA(graph).reconstruct(stream)]
+        [('A', 'B')]
+    """
+
+    name = "heur4"
+    label = "Smart-SRA"
+
+    def __init__(self, topology: WebGraph,
+                 config: SmartSRAConfig | None = None) -> None:
+        self.topology = topology
+        self.config = config if config is not None else SmartSRAConfig()
+
+    def reconstruct_user(self, requests: Sequence[Request]) -> list[Session]:
+        sessions: list[Session] = []
+        for candidate in split_candidates(requests, self.config):
+            sessions.extend(
+                maximal_sessions_fast(candidate, self.topology,
+                                      self.config))
+        return sessions
+
+
+class Phase1Only(SessionReconstructor):
+    """Ablation reconstructor: Smart-SRA Phase 1 without Phase 2.
+
+    Equivalent to applying *both* time-oriented heuristics simultaneously
+    (duration ≤ δ and page stay ≤ ρ) and stopping there.  Comparing this
+    against full Smart-SRA isolates the contribution of the topological
+    phase (benchmark ``bench_ablation_phases``).
+    """
+
+    name = "phase1"
+    label = "Smart-SRA Phase 1 only (combined time rules)"
+
+    def __init__(self, config: SmartSRAConfig | None = None) -> None:
+        self.config = config if config is not None else SmartSRAConfig()
+
+    def reconstruct_user(self, requests: Sequence[Request]) -> list[Session]:
+        return [Session(candidate)
+                for candidate in split_candidates(requests, self.config)]
+
+
+def _smart_sra_needs_topology() -> SessionReconstructor:  # pragma: no cover
+    raise ConfigurationError(
+        "heur4 (Smart-SRA) requires a site topology; construct "
+        "SmartSRA(topology) directly or use "
+        "repro.evaluation.harness.standard_heuristics(topology)")
+
+
+HEURISTIC_REGISTRY.setdefault("heur4", _smart_sra_needs_topology)
+HEURISTIC_REGISTRY.setdefault("smart-sra", _smart_sra_needs_topology)
+HEURISTIC_REGISTRY.setdefault("phase1", Phase1Only)

@@ -1,0 +1,140 @@
+"""Canonical benchmark datasets.
+
+Downstream work comparing against Smart-SRA needs *fixed* inputs, not
+"some random topology with seed 0 on my machine".  This module freezes
+three named dataset tiers — topology, ground truth, CLF log, all from
+pinned seeds — and writes them as a directory bundle:
+
+====== ======= ======== ==============================================
+tier   pages   agents   intended use
+====== ======= ======== ==============================================
+small  60      200      unit-test-speed experiments, tutorials
+medium 300     2,000    Table 5-shaped development runs
+large  300     10,000   the paper's full evaluation scale
+====== ======= ======== ==============================================
+
+A bundle directory contains ``topology.json``, ``ground_truth.json``,
+``access.log`` (plain CLF) and ``access_combined.log`` (with Referer /
+User-Agent), plus a ``MANIFEST.json`` recording the exact generation
+parameters — enough for an independent implementation to verify it
+regenerates the same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.logs.users import IdentityAddressMap
+from repro.logs.writer import (
+    requests_to_records,
+    write_clf_file,
+    write_combined_file,
+)
+from repro.simulator.config import SimulationConfig
+from repro.simulator.population import SimulationResult, simulate_population
+from repro.topology.generators import random_site
+from repro.topology.graph import WebGraph
+from repro.topology.io import save_graph
+
+__all__ = ["DatasetSpec", "DATASET_TIERS", "build_dataset", "write_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """Frozen generation parameters for one dataset tier."""
+
+    name: str
+    n_pages: int
+    avg_out_degree: float
+    n_agents: int
+    topology_seed: int
+    simulation_seed: int
+    stp: float = 0.05
+    lpp: float = 0.30
+    nip: float = 0.30
+
+    def topology(self) -> WebGraph:
+        """The tier's pinned topology."""
+        return random_site(self.n_pages, self.avg_out_degree,
+                           seed=self.topology_seed)
+
+    def simulation_config(self) -> SimulationConfig:
+        """The tier's pinned simulation configuration."""
+        return SimulationConfig(stp=self.stp, lpp=self.lpp, nip=self.nip,
+                                n_agents=self.n_agents,
+                                seed=self.simulation_seed)
+
+
+#: the three frozen tiers.  Seeds are arbitrary but MUST never change —
+#: they define the datasets.
+DATASET_TIERS: dict[str, DatasetSpec] = {
+    "small": DatasetSpec("small", n_pages=60, avg_out_degree=6,
+                         n_agents=200, topology_seed=1001,
+                         simulation_seed=2001),
+    "medium": DatasetSpec("medium", n_pages=300, avg_out_degree=15,
+                          n_agents=2_000, topology_seed=1002,
+                          simulation_seed=2002),
+    "large": DatasetSpec("large", n_pages=300, avg_out_degree=15,
+                         n_agents=10_000, topology_seed=1003,
+                         simulation_seed=2003),
+}
+
+
+def build_dataset(tier: str) -> tuple[DatasetSpec, WebGraph,
+                                      SimulationResult]:
+    """Generate a tier in memory.
+
+    Raises:
+        ConfigurationError: for an unknown tier name.
+    """
+    spec = DATASET_TIERS.get(tier)
+    if spec is None:
+        known = ", ".join(sorted(DATASET_TIERS))
+        raise ConfigurationError(
+            f"unknown dataset tier {tier!r}; known: {known}")
+    topology = spec.topology()
+    simulation = simulate_population(topology, spec.simulation_config())
+    return spec, topology, simulation
+
+
+def write_dataset(tier: str, directory: str) -> dict[str, object]:
+    """Generate a tier and write the bundle to ``directory``.
+
+    Returns:
+        The manifest that was written (also saved as ``MANIFEST.json``).
+
+    Raises:
+        ConfigurationError: for an unknown tier.
+    """
+    spec, topology, simulation = build_dataset(tier)
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    save_graph(topology, str(path / "topology.json"))
+    simulation.ground_truth.save(str(path / "ground_truth.json"))
+    records = requests_to_records(simulation.log_requests,
+                                  IdentityAddressMap())
+    clf_lines = write_clf_file(str(path / "access.log"), records)
+    write_combined_file(str(path / "access_combined.log"), records)
+
+    manifest: dict[str, object] = {
+        "format_version": _FORMAT_VERSION,
+        "tier": asdict(spec),
+        "statistics": {
+            "real_sessions": len(simulation.ground_truth),
+            "log_records": clf_lines,
+            "cache_hit_rate": round(simulation.cache_hit_rate, 4),
+            "pages": topology.page_count,
+            "links": topology.edge_count,
+        },
+        "files": ["topology.json", "ground_truth.json", "access.log",
+                  "access_combined.log"],
+    }
+    with open(path / "MANIFEST.json", "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=1)
+    return manifest

@@ -1,0 +1,106 @@
+"""Evaluation: the paper's accuracy metric and experiment harness (§5).
+
+* :mod:`repro.evaluation.subsequence` — the capture relation ``R ⊏ H``
+  (contiguous subsequence / substring search over page sequences);
+* :mod:`repro.evaluation.metrics` — real accuracy plus extended diagnostics;
+* :mod:`repro.evaluation.harness` — run one simulated trial through any set
+  of heuristics;
+* :mod:`repro.evaluation.experiments` — the paper's literal examples
+  (Figure 1, Tables 1/3) and the Figure 8/9/10 parameter sweeps;
+* :mod:`repro.evaluation.report` — plain-text and CSV rendering.
+"""
+
+from repro.evaluation.experiments import (
+    PAPER_DEFAULTS,
+    fig8_sweep,
+    fig9_sweep,
+    fig10_sweep,
+    paper_example_topology,
+    paper_table1_stream,
+    paper_table3_stream,
+)
+from repro.evaluation.harness import (
+    TrialResult,
+    run_trial,
+    standard_heuristics,
+    sweep,
+)
+from repro.evaluation.leaderboard import (
+    LeaderboardRow,
+    leaderboard,
+    render_leaderboard,
+)
+from repro.evaluation.metrics import (
+    AccuracyReport,
+    evaluate_reconstruction,
+    real_accuracy,
+    session_captured,
+)
+from repro.evaluation.report import render_csv, render_sweep_table
+from repro.evaluation.simcache import cached_simulation, simulation_cache_key
+from repro.evaluation.spec import load_spec, run_spec
+from repro.evaluation.statistics import SessionStatistics, describe, render_statistics
+from repro.evaluation.ascii_chart import render_chart
+from repro.evaluation.bootstrap import AccuracyInterval, bootstrap_accuracy
+from repro.evaluation.comparison import McNemarResult, compare_heuristics
+from repro.evaluation.similarity import (
+    SimilarityReport,
+    lcs_length,
+    session_overlap,
+    similarity_report,
+)
+from repro.evaluation.subsequence import contains, find
+from repro.evaluation.svg_chart import render_svg, save_svg
+from repro.evaluation.taxonomy import (
+    ErrorCategory,
+    classify_session,
+    error_breakdown,
+    render_breakdown,
+)
+
+__all__ = [
+    "contains",
+    "find",
+    "session_captured",
+    "real_accuracy",
+    "evaluate_reconstruction",
+    "AccuracyReport",
+    "standard_heuristics",
+    "run_trial",
+    "sweep",
+    "TrialResult",
+    "PAPER_DEFAULTS",
+    "paper_example_topology",
+    "paper_table1_stream",
+    "paper_table3_stream",
+    "fig8_sweep",
+    "fig9_sweep",
+    "fig10_sweep",
+    "render_sweep_table",
+    "render_csv",
+    "SessionStatistics",
+    "describe",
+    "render_statistics",
+    "render_chart",
+    "lcs_length",
+    "session_overlap",
+    "similarity_report",
+    "SimilarityReport",
+    "run_spec",
+    "load_spec",
+    "bootstrap_accuracy",
+    "AccuracyInterval",
+    "ErrorCategory",
+    "classify_session",
+    "error_breakdown",
+    "render_breakdown",
+    "compare_heuristics",
+    "McNemarResult",
+    "render_svg",
+    "save_svg",
+    "cached_simulation",
+    "simulation_cache_key",
+    "leaderboard",
+    "render_leaderboard",
+    "LeaderboardRow",
+]

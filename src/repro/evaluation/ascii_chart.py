@@ -1,0 +1,79 @@
+"""ASCII line charts for accuracy sweeps.
+
+The paper's Figures 8-10 are line charts; the benchmark harness regenerates
+their *data*, and this module renders it as a terminal chart so a bench run
+visually reproduces the figure, not just its table.  Pure text, no plotting
+dependency — the charts land in ``benchmarks/results/*.txt`` next to the
+tables.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.harness import SweepResult
+from repro.exceptions import EvaluationError
+
+__all__ = ["render_chart"]
+
+#: plot glyph per series, in series order (heur1..heur4, then extras).
+_GLYPHS = "1234abcdef"
+
+
+def render_chart(result: SweepResult, title: str = "", height: int = 16,
+                 metric: str = "matched") -> str:
+    """Render a sweep as an ASCII line chart.
+
+    Args:
+        result: the sweep to plot.
+        title: heading line.
+        height: chart rows (y resolution).
+        metric: ``"matched"`` or ``"captured"``.
+
+    Returns:
+        The chart with a y-axis in percent, one column group per swept
+        value, one glyph per heuristic, and a legend.
+
+    Raises:
+        EvaluationError: for a non-positive height or an empty sweep.
+    """
+    if height <= 0:
+        raise EvaluationError(f"height must be positive, got {height}")
+    series = result.series(metric)
+    if not series or not result.values:
+        raise EvaluationError("cannot chart an empty sweep")
+
+    names = list(series)
+    peak = max(max(values) for values in series.values())
+    top = max(0.05, peak)  # avoid a zero-height axis
+    column_width = 3
+    width = len(result.values) * column_width
+
+    # grid[row][col]; row 0 is the top.
+    grid = [[" "] * width for __ in range(height)]
+    for series_index, name in enumerate(names):
+        glyph = _GLYPHS[series_index % len(_GLYPHS)]
+        for point_index, value in enumerate(series[name]):
+            row = height - 1 - round((value / top) * (height - 1))
+            col = point_index * column_width + 1
+            if grid[row][col] == " ":
+                grid[row][col] = glyph
+            else:
+                grid[row][col] = "*"  # collision: series overlap here
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        fraction = (height - 1 - row_index) / (height - 1)
+        label = f"{fraction * top * 100:5.1f}% |"
+        lines.append(label + "".join(row))
+    axis = " " * 6 + " +" + "-" * width
+    lines.append(axis)
+    ticks = " " * 8
+    for value in result.values:
+        ticks += f"{value:g}"[:column_width].ljust(column_width)
+    lines.append(ticks.rstrip() + f"   ({result.parameter})")
+    legend = "  ".join(
+        f"{_GLYPHS[index % len(_GLYPHS)]}={name}"
+        for index, name in enumerate(names))
+    lines.append("legend: " + legend + "   (*=overlap)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,139 @@
+"""Paired statistical comparison of two heuristics (McNemar's test).
+
+"Heuristic A scored 58.9%, heuristic B 46.8%" — is that difference real or
+seed noise?  Since both heuristics reconstruct the *same* ground truth,
+the right test is paired: for every real session, did A capture it, did B?
+Only the *discordant* sessions (captured by exactly one of the two) carry
+information, and under the null hypothesis of equal accuracy they split
+50/50 — McNemar's exact test on a binomial.
+
+The paper reports point estimates only; this module is what lets the
+reproduction say "Smart-SRA's advantage is significant at p < 0.001" and
+lets users vet their own variants honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import stats
+
+from repro.evaluation.subsequence import contains
+from repro.exceptions import EvaluationError
+from repro.sessions.model import Session, SessionSet
+
+__all__ = ["McNemarResult", "compare_heuristics"]
+
+
+@dataclass(frozen=True, slots=True)
+class McNemarResult:
+    """Outcome of a paired capture comparison.
+
+    Attributes:
+        name_a / name_b: labels of the two reconstructions.
+        both: sessions captured by both.
+        only_a / only_b: the discordant counts.
+        neither: sessions captured by neither.
+        p_value: two-sided exact McNemar p-value (1.0 when there are no
+            discordant sessions — the methods are indistinguishable).
+        accuracy_a / accuracy_b: the two any-capture accuracies.
+    """
+
+    name_a: str
+    name_b: str
+    both: int
+    only_a: int
+    only_b: int
+    neither: int
+    p_value: float
+    accuracy_a: float
+    accuracy_b: float
+
+    @property
+    def winner(self) -> str | None:
+        """The label with more discordant wins, or ``None`` on a tie."""
+        if self.only_a > self.only_b:
+            return self.name_a
+        if self.only_b > self.only_a:
+            return self.name_b
+        return None
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the difference is significant at level ``alpha``."""
+        return self.p_value < alpha
+
+    def __str__(self) -> str:
+        verdict = self.winner or "tie"
+        return (f"{self.name_a} {self.accuracy_a:.1%} vs "
+                f"{self.name_b} {self.accuracy_b:.1%} — discordant "
+                f"{self.only_a}/{self.only_b}, p={self.p_value:.2e} "
+                f"({verdict})")
+
+
+def _captured_flags(ground_truth: SessionSet, reconstructed: SessionSet,
+                    match_within_user: bool) -> list[bool]:
+    pool_by_user: dict[str, list[Session]] = {}
+    for session in reconstructed:
+        if session:
+            pool_by_user.setdefault(session.user_id, []).append(session)
+    all_sessions = [session for session in reconstructed if session]
+    flags = []
+    for real in ground_truth:
+        if not real:
+            flags.append(False)
+            continue
+        pool = (pool_by_user.get(real.user_id, []) if match_within_user
+                else all_sessions)
+        flags.append(any(contains(candidate.pages, real.pages)
+                         for candidate in pool))
+    return flags
+
+
+def compare_heuristics(ground_truth: SessionSet,
+                       reconstructed_a: SessionSet,
+                       reconstructed_b: SessionSet,
+                       name_a: str = "A", name_b: str = "B",
+                       match_within_user: bool = True) -> McNemarResult:
+    """Run McNemar's exact test on two reconstructions of one ground truth.
+
+    Capture here is the per-session any-capture relation (⊏) — the natural
+    per-item pairing; the one-to-one matched metric is a set-level quantity
+    and has no per-session boolean.
+
+    Raises:
+        EvaluationError: for an empty ground truth.
+    """
+    if len(ground_truth) == 0:
+        raise EvaluationError("cannot compare against an empty ground truth")
+
+    flags_a = _captured_flags(ground_truth, reconstructed_a,
+                              match_within_user)
+    flags_b = _captured_flags(ground_truth, reconstructed_b,
+                              match_within_user)
+
+    both = only_a = only_b = neither = 0
+    for a, b in zip(flags_a, flags_b):
+        if a and b:
+            both += 1
+        elif a:
+            only_a += 1
+        elif b:
+            only_b += 1
+        else:
+            neither += 1
+
+    discordant = only_a + only_b
+    if discordant == 0:
+        p_value = 1.0
+    else:
+        p_value = stats.binomtest(min(only_a, only_b), discordant,
+                                  0.5, alternative="two-sided").pvalue
+
+    total = len(ground_truth)
+    return McNemarResult(
+        name_a=name_a, name_b=name_b,
+        both=both, only_a=only_a, only_b=only_b, neither=neither,
+        p_value=float(p_value),
+        accuracy_a=(both + only_a) / total,
+        accuracy_b=(both + only_b) / total,
+    )

@@ -1,0 +1,150 @@
+"""The paper's literal examples and headline experiments.
+
+This module pins down, as data and one-call functions, everything §5 and
+the worked examples define:
+
+* :func:`paper_example_topology` — the Figure 1 / Figure 3 six-page graph;
+* :func:`paper_table1_stream` / :func:`paper_table3_stream` — the worked
+  request sequences;
+* :data:`PAPER_DEFAULTS` — Table 5's simulation and topology parameters;
+* :func:`fig8_sweep`, :func:`fig9_sweep`, :func:`fig10_sweep` — the three
+  accuracy experiments (vary STP / LPP / NIP with everything else fixed).
+
+Scale note: the paper runs 10,000 agents per sweep point.  The sweep
+functions accept ``n_agents`` so tests and default benchmark runs can use
+smaller, seeded populations; pass ``n_agents=10_000`` to reproduce full
+scale (see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evaluation.harness import SweepResult, sweep
+from repro.sessions.model import Request
+from repro.simulator.config import SimulationConfig
+from repro.topology.generators import random_site
+from repro.topology.graph import WebGraph
+
+__all__ = [
+    "PaperDefaults",
+    "PAPER_DEFAULTS",
+    "paper_example_topology",
+    "paper_table1_stream",
+    "paper_table3_stream",
+    "paper_topology",
+    "fig8_sweep",
+    "fig9_sweep",
+    "fig10_sweep",
+    "FIG8_STP_VALUES",
+    "FIG9_LPP_VALUES",
+    "FIG10_NIP_VALUES",
+]
+
+_MINUTE = 60.0
+
+
+@dataclass(frozen=True, slots=True)
+class PaperDefaults:
+    """Table 5 of the paper, verbatim.
+
+    Attributes mirror the table rows: topology size and out-degree, stay
+    time distribution, population size and the three fixed behavioral
+    probabilities.
+    """
+
+    n_pages: int = 300
+    avg_out_degree: float = 15.0
+    mean_stay_minutes: float = 2.2
+    stay_deviation_minutes: float = 0.5
+    n_agents: int = 10_000
+    stp: float = 0.05
+    lpp: float = 0.30
+    nip: float = 0.30
+
+    def simulation_config(self, **overrides: object) -> SimulationConfig:
+        """Materialize a :class:`SimulationConfig` from these defaults."""
+        base = SimulationConfig(
+            stp=self.stp, lpp=self.lpp, nip=self.nip,
+            mean_stay=self.mean_stay_minutes * _MINUTE,
+            stay_deviation=self.stay_deviation_minutes * _MINUTE,
+            n_agents=self.n_agents)
+        return base.with_(**overrides) if overrides else base
+
+
+PAPER_DEFAULTS = PaperDefaults()
+
+#: Figure 8's x-axis: STP from 1% to 20% in 1% steps.
+FIG8_STP_VALUES = tuple(round(0.01 * step, 2) for step in range(1, 21))
+#: Figure 9's x-axis: LPP from 0% to 90% in 10% steps.
+FIG9_LPP_VALUES = tuple(round(0.10 * step, 1) for step in range(0, 10))
+#: Figure 10's x-axis: NIP from 0% to 90% in 10% steps.
+FIG10_NIP_VALUES = tuple(round(0.10 * step, 1) for step in range(0, 10))
+
+
+def paper_example_topology() -> WebGraph:
+    """The six-page example site of Figures 1 and 3.
+
+    Edges (read off the paper's traces in Tables 2 and 4): P1→{P20, P13},
+    P13→{P49, P34}, {P20, P34, P49}→P23.  Start pages (gray in Figure 3):
+    P1 and P49.
+    """
+    edges = [
+        ("P1", "P20"), ("P1", "P13"),
+        ("P13", "P49"), ("P13", "P34"),
+        ("P20", "P23"), ("P34", "P23"), ("P49", "P23"),
+    ]
+    return WebGraph(edges, start_pages=["P1", "P49"])
+
+
+def _stream(times_minutes: list[tuple[str, float]],
+            user_id: str) -> list[Request]:
+    return [Request(minutes * _MINUTE, user_id, page)
+            for page, minutes in times_minutes]
+
+
+def paper_table1_stream(user_id: str = "u0") -> list[Request]:
+    """Table 1's request sequence: P1@0, P20@6, P13@15, P49@29, P34@32,
+    P23@47 (minutes)."""
+    return _stream([("P1", 0), ("P20", 6), ("P13", 15),
+                    ("P49", 29), ("P34", 32), ("P23", 47)], user_id)
+
+
+def paper_table3_stream(user_id: str = "u0") -> list[Request]:
+    """Table 3's request sequence: P1@0, P20@6, P13@9, P49@12, P34@14,
+    P23@15 (minutes) — a single Phase 1 candidate."""
+    return _stream([("P1", 0), ("P20", 6), ("P13", 9),
+                    ("P49", 12), ("P34", 14), ("P23", 15)], user_id)
+
+
+def paper_topology(seed: int = 0) -> WebGraph:
+    """A Table 5 topology: 300 pages, average out-degree 15."""
+    return random_site(PAPER_DEFAULTS.n_pages, PAPER_DEFAULTS.avg_out_degree,
+                       seed=seed)
+
+
+def _figure_sweep(parameter: str, values: tuple[float, ...],
+                  n_agents: int, seed: int,
+                  topology: WebGraph | None) -> SweepResult:
+    if topology is None:
+        topology = paper_topology(seed=seed)
+    config = PAPER_DEFAULTS.simulation_config(n_agents=n_agents, seed=seed)
+    return sweep(topology, config, parameter, list(values))
+
+
+def fig8_sweep(n_agents: int = 2000, seed: int = 0,
+               topology: WebGraph | None = None) -> SweepResult:
+    """Figure 8 — real accuracy vs STP (1%-20%), LPP/NIP at Table 5 values."""
+    return _figure_sweep("stp", FIG8_STP_VALUES, n_agents, seed, topology)
+
+
+def fig9_sweep(n_agents: int = 2000, seed: int = 0,
+               topology: WebGraph | None = None) -> SweepResult:
+    """Figure 9 — real accuracy vs LPP (0%-90%), STP/NIP at Table 5 values."""
+    return _figure_sweep("lpp", FIG9_LPP_VALUES, n_agents, seed, topology)
+
+
+def fig10_sweep(n_agents: int = 2000, seed: int = 0,
+                topology: WebGraph | None = None) -> SweepResult:
+    """Figure 10 — real accuracy vs NIP (0%-90%), STP/LPP at Table 5 values."""
+    return _figure_sweep("nip", FIG10_NIP_VALUES, n_agents, seed, topology)

@@ -1,0 +1,186 @@
+"""Experiment harness: simulate, reconstruct, evaluate.
+
+The harness ties the substrates together exactly the way the paper's §5
+evaluation does:
+
+1. simulate an agent population over a topology
+   (:func:`~repro.simulator.population.simulate_population`);
+2. feed the resulting server log to each heuristic;
+3. score every heuristic's output against the ground truth with the
+   capture metric.
+
+:func:`run_trial` performs one such experiment for one configuration;
+:func:`sweep` repeats it while varying a single simulation parameter — the
+shape of the paper's Figures 8-10.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.config import SmartSRAConfig
+from repro.core.smart_sra import SmartSRA
+from repro.evaluation.metrics import AccuracyReport, evaluate_reconstruction
+from repro.exceptions import EvaluationError
+from repro.sessions.base import SessionReconstructor
+from repro.sessions.navigation_oriented import NavigationHeuristic
+from repro.sessions.time_oriented import DurationHeuristic, PageStayHeuristic
+from repro.simulator.config import SimulationConfig
+from repro.simulator.population import SimulationResult, simulate_population
+from repro.topology.graph import WebGraph
+
+__all__ = ["standard_heuristics", "run_trial", "sweep", "TrialResult",
+           "SweepResult"]
+
+
+def standard_heuristics(topology: WebGraph,
+                        smart_config: SmartSRAConfig | None = None
+                        ) -> dict[str, SessionReconstructor]:
+    """The paper's four heuristics, keyed ``heur1`` … ``heur4``.
+
+    Args:
+        topology: the simulated site (needed by heur3 and heur4).
+        smart_config: optional non-default Smart-SRA thresholds.
+    """
+    return {
+        "heur1": DurationHeuristic(),
+        "heur2": PageStayHeuristic(),
+        "heur3": NavigationHeuristic(topology),
+        "heur4": SmartSRA(topology, smart_config),
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class TrialResult:
+    """One experiment: one simulated population, all heuristics scored.
+
+    Attributes:
+        simulation: the full simulation output (topology, ground truth,
+            log, per-agent traces).
+        reports: per-heuristic :class:`AccuracyReport`, keyed by the name
+            used in the heuristics mapping.
+    """
+
+    simulation: SimulationResult
+    reports: dict[str, AccuracyReport]
+
+    def accuracies(self, metric: str = "matched") -> dict[str, float]:
+        """Convenience view: ``{heuristic: real accuracy}``.
+
+        Args:
+            metric: ``"matched"`` (one-to-one, the headline series) or
+                ``"captured"`` (any-capture).
+
+        Raises:
+            EvaluationError: for an unknown metric name.
+        """
+        if metric == "matched":
+            return {name: report.matched_accuracy
+                    for name, report in self.reports.items()}
+        if metric == "captured":
+            return {name: report.accuracy
+                    for name, report in self.reports.items()}
+        raise EvaluationError(
+            f"unknown metric {metric!r}; use 'matched' or 'captured'")
+
+
+def run_trial(topology: WebGraph, config: SimulationConfig,
+              heuristics: Mapping[str, SessionReconstructor] | None = None,
+              cache_dir: str | None = None) -> TrialResult:
+    """Simulate one population and evaluate every heuristic on its log.
+
+    Args:
+        topology: the site to simulate.
+        config: simulation parameters.
+        heuristics: reconstructors to score; defaults to the paper's four
+            (:func:`standard_heuristics`).
+        cache_dir: optional simulation disk cache
+            (:func:`repro.evaluation.simcache.cached_simulation`); repeated
+            trials with identical inputs skip the simulation entirely.
+    """
+    if heuristics is None:
+        heuristics = standard_heuristics(topology)
+    if cache_dir is not None:
+        from repro.evaluation.simcache import cached_simulation
+        simulation = cached_simulation(topology, config, cache_dir)
+    else:
+        simulation = simulate_population(topology, config)
+    reports = {}
+    for name, heuristic in heuristics.items():
+        reconstructed = heuristic.reconstruct(simulation.log_requests)
+        reports[name] = evaluate_reconstruction(
+            name, simulation.ground_truth, reconstructed)
+    return TrialResult(simulation=simulation, reports=reports)
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """A parameter sweep: one :class:`TrialResult` per parameter value.
+
+    Attributes:
+        parameter: the swept :class:`SimulationConfig` field name.
+        values: the swept values, in run order.
+        trials: the corresponding trial results.
+    """
+
+    parameter: str
+    values: tuple[float, ...]
+    trials: tuple[TrialResult, ...]
+
+    def series(self, metric: str = "matched") -> dict[str, list[float]]:
+        """Per-heuristic accuracy series aligned with :attr:`values`.
+
+        Args:
+            metric: ``"matched"`` (default) or ``"captured"``; see
+                :class:`~repro.evaluation.metrics.AccuracyReport`.
+        """
+        names = list(self.trials[0].reports) if self.trials else []
+        return {name: [trial.accuracies(metric)[name]
+                       for trial in self.trials]
+                for name in names}
+
+    def rows(self, metric: str = "matched") -> list[dict[str, float]]:
+        """Row-per-value view: ``{parameter: v, heur1: a1, …}``."""
+        table = []
+        for value, trial in zip(self.values, self.trials):
+            row: dict[str, float] = {self.parameter: value}
+            row.update(trial.accuracies(metric))
+            table.append(row)
+        return table
+
+
+def sweep(topology: WebGraph, base_config: SimulationConfig, parameter: str,
+          values: Sequence[float],
+          heuristic_factory=None, cache_dir: str | None = None
+          ) -> SweepResult:
+    """Vary one simulation parameter, evaluating all heuristics per value.
+
+    Args:
+        topology: the (fixed) site.
+        base_config: configuration holding every other parameter fixed.
+        parameter: name of the :class:`SimulationConfig` field to vary
+            (``"stp"``, ``"lpp"`` or ``"nip"`` for the paper's figures).
+        values: parameter values, run in order.
+        heuristic_factory: optional ``() -> Mapping[str, reconstructor]``
+            called per value; defaults to the paper's four heuristics.
+        cache_dir: optional simulation disk cache shared by all points.
+
+    Raises:
+        EvaluationError: for an empty value list or an unknown parameter.
+    """
+    if not values:
+        raise EvaluationError("sweep requires at least one parameter value")
+    if not hasattr(base_config, parameter):
+        raise EvaluationError(
+            f"unknown simulation parameter {parameter!r}")
+
+    trials = []
+    for value in values:
+        config = base_config.with_(**{parameter: value})
+        heuristics = (heuristic_factory() if heuristic_factory is not None
+                      else None)
+        trials.append(run_trial(topology, config, heuristics,
+                                cache_dir=cache_dir))
+    return SweepResult(parameter=parameter, values=tuple(values),
+                       trials=tuple(trials))

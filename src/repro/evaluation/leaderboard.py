@@ -1,0 +1,140 @@
+"""Heuristic leaderboard: every method, one simulation, ranked with CIs.
+
+The figures compare the paper's four heuristics; the library has grown
+more (phase1 ablation, adaptive timeout, referrer upper baseline).  The
+leaderboard runs *all* of them against one simulation — the referrer
+heuristic sees the combined-log view (with referrers), everything else the
+plain-CLF view — and ranks by matched accuracy with bootstrap confidence
+intervals, so a single call answers "where does my new heuristic land?".
+
+Custom entries participate by name through the same constructor table as
+the spec runner.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.evaluation.bootstrap import AccuracyInterval, bootstrap_accuracy
+from repro.evaluation.metrics import evaluate_reconstruction
+from repro.evaluation.spec import build_heuristics
+from repro.exceptions import EvaluationError
+from repro.sessions.base import SessionReconstructor
+from repro.sessions.model import Request
+from repro.sessions.referrer import ReferrerHeuristic
+from repro.simulator.config import SimulationConfig
+from repro.simulator.population import SimulationResult, simulate_population
+from repro.topology.graph import WebGraph
+
+__all__ = ["LeaderboardRow", "leaderboard", "render_leaderboard",
+           "DEFAULT_LINEUP"]
+
+#: heuristics ranked by default (referrer last = the data-advantage entry).
+DEFAULT_LINEUP = ("heur1", "heur2", "adaptive", "phase1", "heur3", "heur4",
+                  "referrer")
+
+
+@dataclass(frozen=True, slots=True)
+class LeaderboardRow:
+    """One ranked entry.
+
+    Attributes:
+        rank: 1-based position by matched accuracy.
+        name: heuristic name.
+        matched: one-to-one matched accuracy with bootstrap CI.
+        captured: any-capture accuracy.
+        sessions: reconstructed session count.
+        log_view: ``"clf"`` or ``"combined"`` — which input the heuristic
+            consumed.
+    """
+
+    rank: int
+    name: str
+    matched: AccuracyInterval
+    captured: float
+    sessions: int
+    log_view: str
+
+
+def leaderboard(topology: WebGraph, config: SimulationConfig,
+                names: tuple[str, ...] = DEFAULT_LINEUP,
+                simulation: SimulationResult | None = None,
+                replicates: int = 200) -> list[LeaderboardRow]:
+    """Run and rank the lineup on one simulation.
+
+    Args:
+        topology: the site (simulated fresh unless ``simulation`` given).
+        config: simulation parameters.
+        names: lineup to run (spec-runner heuristic names).
+        simulation: reuse an existing simulation instead of running one.
+        replicates: bootstrap resamples per entry.
+
+    Returns:
+        Rows sorted by descending matched accuracy (rank 1 first).
+
+    Raises:
+        EvaluationError: for an unknown heuristic name (via
+            :func:`~repro.evaluation.spec.build_heuristics`).
+    """
+    if simulation is None:
+        simulation = simulate_population(topology, config)
+    heuristics: Mapping[str, SessionReconstructor] = build_heuristics(
+        list(names), topology)
+
+    plain_log = tuple(request.without_referrer()
+                      for request in simulation.log_requests)
+
+    scored = []
+    for name, heuristic in heuristics.items():
+        if isinstance(heuristic, ReferrerHeuristic):
+            view, log = "combined", simulation.log_requests
+        else:
+            view, log = "clf", plain_log
+        sessions = heuristic.reconstruct(log)
+        report = evaluate_reconstruction(name, simulation.ground_truth,
+                                         sessions)
+        interval = bootstrap_accuracy(simulation.ground_truth, sessions,
+                                      replicates=replicates, seed=0)
+        scored.append((interval.estimate, name, interval, report, view,
+                       len(sessions)))
+
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    return [
+        LeaderboardRow(rank=position, name=name, matched=interval,
+                       captured=report.accuracy, sessions=session_count,
+                       log_view=view)
+        for position, (__, name, interval, report, view, session_count)
+        in enumerate(scored, start=1)
+    ]
+
+
+def render_leaderboard(rows: list[LeaderboardRow]) -> str:
+    """Render leaderboard rows as an aligned text table.
+
+    Raises:
+        EvaluationError: for an empty leaderboard.
+    """
+    if not rows:
+        raise EvaluationError("nothing to render")
+    lines = ["  #  heuristic  view      matched [95% CI]      captured"
+             "  sessions"]
+    for row in rows:
+        interval = row.matched
+        lines.append(
+            f"  {row.rank}  {row.name:>9}  {row.log_view:<8}"
+            f"  {interval.estimate * 100:5.1f}% "
+            f"[{interval.low * 100:5.1f}, {interval.high * 100:5.1f}]"
+            f"  {row.captured * 100:7.1f}%"
+            f"  {row.sessions:8}")
+    return "\n".join(lines) + "\n"
+
+
+def leaderboard_from_requests(topology: WebGraph,
+                              simulation: SimulationResult,
+                              names: tuple[str, ...] = DEFAULT_LINEUP,
+                              replicates: int = 200
+                              ) -> list[LeaderboardRow]:
+    """Leaderboard over an existing simulation (no re-simulation)."""
+    return leaderboard(topology, simulation.config, names=names,
+                       simulation=simulation, replicates=replicates)

@@ -1,0 +1,95 @@
+"""Disk cache for simulation results.
+
+Sweeps re-simulate the same (topology, configuration) pairs across bench
+runs; at the paper's 10,000-agent scale each simulation costs seconds to
+minutes.  :func:`cached_simulation` memoizes
+:func:`~repro.simulator.population.simulate_population` on disk, keyed by
+the topology fingerprint and every simulation parameter, so repeated
+experiment runs pay the cost once.
+
+Only the evaluation-relevant outputs are persisted (ground truth and log
+requests — not per-agent traces), which is what
+:func:`~repro.evaluation.harness.run_trial` consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+
+from repro.sessions.model import Request, SessionSet
+from repro.simulator.config import SimulationConfig
+from repro.simulator.population import SimulationResult, simulate_population
+from repro.topology.graph import WebGraph
+
+__all__ = ["simulation_cache_key", "cached_simulation"]
+
+_FORMAT_VERSION = 2  # bump when the simulator's behavior model changes
+
+
+def simulation_cache_key(topology: WebGraph, config: SimulationConfig,
+                         horizon: float,
+                         arrival_profile: str) -> str:
+    """Deterministic cache key covering every behavior-relevant input."""
+    payload = json.dumps({
+        "format": _FORMAT_VERSION,
+        "topology": topology.fingerprint(),
+        "config": dataclasses.asdict(config),
+        "horizon": horizon,
+        "arrival_profile": arrival_profile,
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+def cached_simulation(topology: WebGraph, config: SimulationConfig,
+                      cache_dir: str, horizon: float = 86_400.0,
+                      arrival_profile: str = "uniform") -> SimulationResult:
+    """Simulate, or reload a previous identical simulation from disk.
+
+    The returned :class:`SimulationResult` from a cache hit carries empty
+    ``traces`` (per-agent drill-down is not persisted); ``ground_truth``
+    and ``log_requests`` — everything evaluation needs — are exact.
+
+    Args:
+        topology: the site to browse.
+        config: simulation parameters.
+        cache_dir: directory for cache entries (created if missing).
+        horizon / arrival_profile: as in
+            :func:`~repro.simulator.population.simulate_population`.
+    """
+    directory = pathlib.Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    key = simulation_cache_key(topology, config, horizon, arrival_profile)
+    entry = directory / f"sim_{key}.json"
+
+    if entry.exists():
+        with open(entry, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        ground_truth = SessionSet.from_jsonable(payload["ground_truth"])
+        log_requests = tuple(
+            Request(item["t"], item["u"], item["p"],
+                    referrer=item.get("r"))
+            for item in payload["log"])
+        return SimulationResult(
+            topology=topology, config=config, ground_truth=ground_truth,
+            log_requests=log_requests, traces=())
+
+    result = simulate_population(topology, config, horizon=horizon,
+                                 arrival_profile=arrival_profile)
+    payload = {
+        "ground_truth": result.ground_truth.to_jsonable(),
+        "log": [
+            {"t": request.timestamp, "u": request.user_id,
+             "p": request.page,
+             **({"r": request.referrer}
+                if request.referrer is not None else {})}
+            for request in result.log_requests
+        ],
+    }
+    temporary = entry.with_suffix(".tmp")
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    temporary.replace(entry)  # atomic publish: no torn cache entries
+    return result

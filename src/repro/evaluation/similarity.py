@@ -1,0 +1,158 @@
+"""Graded session-similarity measures (beyond binary capture).
+
+The paper's accuracy metric is binary: a real session is either captured
+(⊏) or lost.  The evaluation framework it cites (Berendt, Mobasher,
+Spiliopoulou & Nakagawa, 2003 — reference [2]) argues for *graded*
+measures: a reconstruction that recovers 4 of a session's 5 pages in order
+is better than one that recovers none, even though both fail the binary
+test.  This module implements the graded complement:
+
+* :func:`lcs_length` — longest common subsequence of two page sequences
+  (order-preserving, gaps allowed);
+* :func:`session_overlap` — normalized LCS, the "degree of overlap"
+  between one real and one reconstructed session;
+* :func:`similarity_report` — corpus-level aggregates: mean best overlap
+  per real session (a graded recall), mean best overlap per reconstructed
+  session (a graded precision), their harmonic mean, and a fragmentation
+  ratio (how many sessions the heuristic cuts per real session).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import EvaluationError
+from repro.sessions.model import Session, SessionSet
+
+__all__ = [
+    "lcs_length",
+    "session_overlap",
+    "SimilarityReport",
+    "similarity_report",
+]
+
+
+def lcs_length(first: Sequence[str], second: Sequence[str]) -> int:
+    """Length of the longest common subsequence of two page sequences.
+
+    Classic dynamic program, O(len(first) × len(second)) time with a
+    two-row table.  Unlike the capture relation ⊏, the common subsequence
+    may be interrupted in *both* sequences — it measures how much of the
+    visit order survived, not whether it survived contiguously.
+    """
+    if not first or not second:
+        return 0
+    # keep the shorter sequence as the table row for cache friendliness.
+    if len(second) > len(first):
+        first, second = second, first
+    previous = [0] * (len(second) + 1)
+    for symbol in first:
+        current = [0]
+        for index, other in enumerate(second, start=1):
+            if symbol == other:
+                current.append(previous[index - 1] + 1)
+            else:
+                current.append(max(previous[index], current[index - 1]))
+        previous = current
+    return previous[-1]
+
+
+def session_overlap(real: Session, reconstructed: Session) -> float:
+    """Degree of overlap: ``|LCS(real, reconstructed)| / |real|``.
+
+    1.0 means every page of the real session appears in the reconstructed
+    one in the right order (possibly interleaved with others); 0.0 means
+    nothing survived.
+
+    Raises:
+        EvaluationError: for an empty real session (overlap undefined).
+    """
+    if not real:
+        raise EvaluationError("overlap undefined for an empty real session")
+    if not reconstructed:
+        return 0.0
+    return lcs_length(real.pages, reconstructed.pages) / len(real)
+
+
+@dataclass(frozen=True, slots=True)
+class SimilarityReport:
+    """Corpus-level graded similarity between truth and reconstruction.
+
+    Attributes:
+        heuristic: name of the evaluated reconstructor.
+        graded_recall: mean over real sessions of the best overlap any
+            same-user reconstructed session achieves.
+        graded_precision: mean over reconstructed sessions of
+            ``|LCS| / |H|`` against their best same-user real session —
+            how much of what the heuristic outputs is real order.
+        f1: harmonic mean of the two (0.0 when both are 0).
+        fragmentation: ``reconstructed count / real count`` — > 1 means
+            over-splitting (or Smart-SRA's deliberate branching), < 1
+            under-splitting.
+    """
+
+    heuristic: str
+    graded_recall: float
+    graded_precision: float
+    f1: float
+    fragmentation: float
+
+
+def similarity_report(heuristic: str, ground_truth: SessionSet,
+                      reconstructed: SessionSet) -> SimilarityReport:
+    """Compute the graded similarity aggregates.
+
+    Matching is within-user, like the capture metric: a real session is
+    compared only against reconstructed sessions of the same user.
+
+    Raises:
+        EvaluationError: for an empty ground truth.
+    """
+    real_sessions = [session for session in ground_truth if session]
+    if not real_sessions:
+        raise EvaluationError(
+            "cannot compute similarity against an empty ground truth")
+
+    recon_by_user: dict[str, list[Session]] = {}
+    for session in reconstructed:
+        if session:
+            recon_by_user.setdefault(session.user_id, []).append(session)
+    truth_by_user: dict[str, list[Session]] = {}
+    for session in real_sessions:
+        truth_by_user.setdefault(session.user_id, []).append(session)
+
+    recall_total = 0.0
+    for real in real_sessions:
+        pool = recon_by_user.get(real.user_id, [])
+        recall_total += max(
+            (session_overlap(real, candidate) for candidate in pool),
+            default=0.0)
+    graded_recall = recall_total / len(real_sessions)
+
+    recon_sessions = [session for session in reconstructed if session]
+    if recon_sessions:
+        precision_total = 0.0
+        for candidate in recon_sessions:
+            pool = truth_by_user.get(candidate.user_id, [])
+            precision_total += max(
+                (lcs_length(candidate.pages, real.pages) / len(candidate)
+                 for real in pool),
+                default=0.0)
+        graded_precision = precision_total / len(recon_sessions)
+    else:
+        graded_precision = 0.0
+
+    if graded_recall + graded_precision > 0:
+        f1 = (2 * graded_recall * graded_precision
+              / (graded_recall + graded_precision))
+    else:
+        f1 = 0.0
+
+    return SimilarityReport(
+        heuristic=heuristic,
+        graded_recall=graded_recall,
+        graded_precision=graded_precision,
+        f1=f1,
+        fragmentation=len(recon_sessions) / len(real_sessions),
+    )

@@ -1,0 +1,142 @@
+"""Descriptive statistics of session sets.
+
+Before comparing heuristics, analysts profile the sessions themselves —
+length and duration distributions, page popularity, entry/exit pages.
+:func:`describe` computes the profile; :func:`render_statistics` renders it
+as the text block the CLI's ``stats`` command prints.  The same numbers
+also make the simulator auditable: e.g. mean page-stay time of the ground
+truth should match Table 5's 2.2 minutes (asserted in the test suite).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.exceptions import EvaluationError
+from repro.sessions.model import SessionSet
+
+__all__ = ["SessionStatistics", "describe", "render_statistics"]
+
+
+@dataclass(frozen=True, slots=True)
+class SessionStatistics:
+    """Profile of a session set.
+
+    Attributes:
+        session_count: number of sessions.
+        user_count: distinct users owning them.
+        total_requests: sum of session lengths.
+        mean_length / median_length / max_length: session length stats
+            (requests per session).
+        length_histogram: ``{length: count}``, ascending lengths.
+        mean_duration / max_duration: session wall-clock stats, seconds.
+        mean_gap: mean inter-request gap across all sessions, seconds
+            (the empirical page-stay time).
+        distinct_pages: size of the page vocabulary.
+        top_pages: most requested pages with counts, descending.
+        top_entry_pages: most common first pages with counts, descending.
+        page_entropy: Shannon entropy (bits) of the page-visit
+            distribution — how spread out the traffic is.
+    """
+
+    session_count: int
+    user_count: int
+    total_requests: int
+    mean_length: float
+    median_length: float
+    max_length: int
+    length_histogram: dict[int, int]
+    mean_duration: float
+    max_duration: float
+    mean_gap: float
+    distinct_pages: int
+    top_pages: list[tuple[str, int]]
+    top_entry_pages: list[tuple[str, int]]
+    page_entropy: float
+
+
+def describe(sessions: SessionSet, top: int = 5) -> SessionStatistics:
+    """Compute the full profile of ``sessions``.
+
+    Args:
+        sessions: the set to profile; must contain at least one non-empty
+            session.
+        top: how many most-popular pages / entry pages to report.
+
+    Raises:
+        EvaluationError: for an empty set or a non-positive ``top``.
+    """
+    non_empty = [session for session in sessions if session]
+    if not non_empty:
+        raise EvaluationError("cannot profile an empty session set")
+    if top <= 0:
+        raise EvaluationError(f"top must be positive, got {top}")
+
+    lengths = sorted(len(session) for session in non_empty)
+    total_requests = sum(lengths)
+    middle = len(lengths) // 2
+    if len(lengths) % 2:
+        median = float(lengths[middle])
+    else:
+        median = (lengths[middle - 1] + lengths[middle]) / 2.0
+
+    durations = [session.duration for session in non_empty]
+    gaps = [later.timestamp - earlier.timestamp
+            for session in non_empty
+            for earlier, later in zip(session.requests,
+                                      session.requests[1:])]
+
+    page_counts: Counter[str] = Counter(
+        page for session in non_empty for page in session.pages)
+    entry_counts: Counter[str] = Counter(
+        session.pages[0] for session in non_empty)
+
+    entropy = 0.0
+    for count in page_counts.values():
+        probability = count / total_requests
+        entropy -= probability * math.log2(probability)
+
+    return SessionStatistics(
+        session_count=len(non_empty),
+        user_count=len({session.user_id for session in non_empty}),
+        total_requests=total_requests,
+        mean_length=total_requests / len(non_empty),
+        median_length=median,
+        max_length=lengths[-1],
+        length_histogram=dict(sorted(Counter(lengths).items())),
+        mean_duration=sum(durations) / len(durations),
+        max_duration=max(durations),
+        mean_gap=sum(gaps) / len(gaps) if gaps else 0.0,
+        distinct_pages=len(page_counts),
+        top_pages=page_counts.most_common(top),
+        top_entry_pages=entry_counts.most_common(top),
+        page_entropy=entropy,
+    )
+
+
+def render_statistics(stats: SessionStatistics) -> str:
+    """Render :class:`SessionStatistics` as an aligned text block."""
+    lines = [
+        f"sessions:        {stats.session_count} "
+        f"({stats.user_count} users)",
+        f"requests:        {stats.total_requests} over "
+        f"{stats.distinct_pages} distinct pages "
+        f"(entropy {stats.page_entropy:.2f} bits)",
+        f"session length:  mean {stats.mean_length:.2f}, "
+        f"median {stats.median_length:g}, max {stats.max_length}",
+        f"session duration: mean {stats.mean_duration / 60:.2f} min, "
+        f"max {stats.max_duration / 60:.2f} min",
+        f"page-stay time:  mean {stats.mean_gap / 60:.2f} min",
+        "top pages:       " + ", ".join(
+            f"{page} ({count})" for page, count in stats.top_pages),
+        "top entry pages: " + ", ".join(
+            f"{page} ({count})" for page, count in stats.top_entry_pages),
+    ]
+    bars = []
+    scale = max(stats.length_histogram.values())
+    for length, count in list(stats.length_histogram.items())[:12]:
+        bar = "#" * max(1, round(20 * count / scale))
+        bars.append(f"  {length:>4}: {bar} {count}")
+    return "\n".join(lines + ["length histogram:"] + bars) + "\n"

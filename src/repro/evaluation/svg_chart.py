@@ -1,0 +1,145 @@
+"""Publication-style SVG line charts for accuracy sweeps.
+
+The ASCII charts (:mod:`repro.evaluation.ascii_chart`) live in the
+terminal; this module writes the same figures as standalone SVG files —
+no plotting dependency, just hand-assembled SVG — so the benchmark run
+leaves behind genuine counterparts of the paper's Figures 8-10 under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.harness import SweepResult
+from repro.exceptions import EvaluationError
+
+__all__ = ["render_svg", "save_svg"]
+
+#: default series colors (colorblind-safe Okabe-Ito subset).
+_COLORS = ("#0072B2", "#E69F00", "#009E73", "#D55E00",
+           "#CC79A7", "#56B4E9")
+
+_WIDTH = 640
+_HEIGHT = 400
+_MARGIN_LEFT = 64
+_MARGIN_RIGHT = 150
+_MARGIN_TOP = 48
+_MARGIN_BOTTOM = 56
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def render_svg(result: SweepResult, title: str = "",
+               metric: str = "matched") -> str:
+    """Render a sweep as an SVG document string.
+
+    Args:
+        result: the sweep to plot.
+        title: chart heading.
+        metric: ``"matched"`` or ``"captured"``.
+
+    Raises:
+        EvaluationError: for an empty sweep.
+    """
+    series = result.series(metric)
+    if not series or not result.values:
+        raise EvaluationError("cannot chart an empty sweep")
+
+    values = list(result.values)
+    peak = max(max(points) for points in series.values())
+    y_top = max(0.05, min(1.0, peak * 1.1))
+    x_min, x_max = min(values), max(values)
+    x_span = (x_max - x_min) or 1.0
+
+    plot_width = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_height = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def x_of(value: float) -> float:
+        return _MARGIN_LEFT + (value - x_min) / x_span * plot_width
+
+    def y_of(accuracy: float) -> float:
+        return (_MARGIN_TOP
+                + (1 - accuracy / y_top) * plot_height)
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_WIDTH / 2}" y="24" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{_escape(title)}</text>')
+
+    # gridlines + y labels (five divisions)
+    for step in range(6):
+        accuracy = y_top * step / 5
+        y = y_of(accuracy)
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{y:.1f}" '
+            f'x2="{_WIDTH - _MARGIN_RIGHT}" y2="{y:.1f}" '
+            f'stroke="#dddddd" stroke-width="1"/>')
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{accuracy * 100:.0f}%</text>')
+
+    # x axis ticks
+    for value in values:
+        x = x_of(value)
+        base = _HEIGHT - _MARGIN_BOTTOM
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{base}" x2="{x:.1f}" '
+            f'y2="{base + 5}" stroke="#333333"/>')
+        parts.append(
+            f'<text x="{x:.1f}" y="{base + 20}" '
+            f'text-anchor="middle">{value:g}</text>')
+    parts.append(
+        f'<text x="{(_MARGIN_LEFT + _WIDTH - _MARGIN_RIGHT) / 2}" '
+        f'y="{_HEIGHT - 12}" text-anchor="middle" font-style="italic">'
+        f'{_escape(result.parameter.upper())}</text>')
+
+    # axes
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP}" '
+        f'x2="{_MARGIN_LEFT}" y2="{_HEIGHT - _MARGIN_BOTTOM}" '
+        f'stroke="#333333" stroke-width="1.5"/>')
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_HEIGHT - _MARGIN_BOTTOM}" '
+        f'x2="{_WIDTH - _MARGIN_RIGHT}" y2="{_HEIGHT - _MARGIN_BOTTOM}" '
+        f'stroke="#333333" stroke-width="1.5"/>')
+
+    # series polylines + markers + legend
+    for index, (name, points) in enumerate(series.items()):
+        color = _COLORS[index % len(_COLORS)]
+        coordinates = " ".join(
+            f"{x_of(value):.1f},{y_of(point):.1f}"
+            for value, point in zip(values, points))
+        parts.append(
+            f'<polyline points="{coordinates}" fill="none" '
+            f'stroke="{color}" stroke-width="2"/>')
+        for value, point in zip(values, points):
+            parts.append(
+                f'<circle cx="{x_of(value):.1f}" cy="{y_of(point):.1f}" '
+                f'r="3" fill="{color}"/>')
+        legend_y = _MARGIN_TOP + 10 + index * 20
+        legend_x = _WIDTH - _MARGIN_RIGHT + 16
+        parts.append(
+            f'<line x1="{legend_x}" y1="{legend_y}" '
+            f'x2="{legend_x + 22}" y2="{legend_y}" stroke="{color}" '
+            f'stroke-width="2"/>')
+        parts.append(
+            f'<text x="{legend_x + 28}" y="{legend_y + 4}">'
+            f'{_escape(name)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def save_svg(result: SweepResult, path: str, title: str = "",
+             metric: str = "matched") -> None:
+    """Render and write the chart to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_svg(result, title, metric))

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except ReproError`` clause while letting genuine programming errors
+(``TypeError`` from misuse of the Python API, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """A web topology is structurally invalid or a graph operation failed.
+
+    Raised, for example, when a generator is asked for more out-links than
+    nodes, when a start-page set is empty, or when a serialized topology
+    cannot be decoded.
+    """
+
+
+class SimulationError(ReproError):
+    """The agent simulator was configured or driven inconsistently.
+
+    Raised for invalid probability parameters, impossible navigation
+    requests, or a topology with no reachable pages.
+    """
+
+
+class LogFormatError(ReproError):
+    """A web access log line or record violates the Common Log Format."""
+
+    def __init__(self, message: str, line_number: int | None = None,
+                 line: str | None = None) -> None:
+        super().__init__(message)
+        #: 1-based line number in the source file, when known.
+        self.line_number = line_number
+        #: the offending raw line, when known.
+        self.line = line
+
+    def __str__(self) -> str:  # pragma: no cover - trivial formatting
+        base = super().__str__()
+        if self.line_number is not None:
+            return f"line {self.line_number}: {base}"
+        return base
+
+
+class ReconstructionError(ReproError):
+    """A session reconstruction heuristic received invalid input.
+
+    Raised when a request stream is not sorted by timestamp, when a
+    heuristic is configured with non-positive thresholds, or when the
+    supplied topology does not cover the requested pages and the heuristic
+    requires it to.
+    """
+
+
+class EvaluationError(ReproError):
+    """The evaluation harness was given inconsistent inputs.
+
+    Raised, for example, when ground-truth and reconstructed session sets
+    refer to disjoint agent populations, or when an experiment sweep is
+    configured with an empty parameter grid.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A configuration object contains invalid or contradictory values."""

@@ -1,0 +1,234 @@
+"""Common Log Format record model, formatting and parsing.
+
+A CLF line looks like::
+
+    192.168.7.3 - - [04/Jul/2026:10:15:42 +0000] "GET /P13.html HTTP/1.1" 200 5120
+
+carrying the paper's seven attributes: client IP, access date/time, request
+method, URL, transfer protocol, status code and bytes transmitted.  The
+timestamp is second-granular (like real CLF); simulated sub-second clock
+values are floored on write, which is exactly the quantization a real
+server would impose.
+"""
+
+from __future__ import annotations
+
+import calendar
+import re
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from repro.exceptions import LogFormatError
+
+__all__ = [
+    "CLFRecord",
+    "format_clf_line",
+    "parse_clf_line",
+    "format_combined_line",
+    "parse_combined_line",
+    "parse_log_line",
+    "page_to_url",
+    "url_to_page",
+]
+
+#: month abbreviations in CLF dates, index 1-12.
+_MONTHS = ("", "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+           "Jul", "Aug", "Sep", "Oct", "Nov", "Dec")
+_MONTH_NUMBER = {name: number for number, name in enumerate(_MONTHS) if name}
+
+_CLF_BODY = (
+    r'^(?P<host>\S+) (?P<ident>\S+) (?P<authuser>\S+) '
+    r'\[(?P<day>\d{2})/(?P<month>[A-Za-z]{3})/(?P<year>\d{4}):'
+    r'(?P<hour>\d{2}):(?P<minute>\d{2}):(?P<second>\d{2}) '
+    r'(?P<tz_sign>[+-])(?P<tz_hours>\d{2})(?P<tz_minutes>\d{2})\] '
+    r'"(?P<method>[A-Z]+) (?P<url>\S+) (?P<protocol>[^"]+)" '
+    r'(?P<status>\d{3}) (?P<bytes>\d+|-)')
+
+_CLF_PATTERN = re.compile(_CLF_BODY + r'$')
+_COMBINED_PATTERN = re.compile(
+    _CLF_BODY + r' "(?P<referrer>[^"]*)" "(?P<user_agent>[^"]*)"$')
+
+
+@dataclass(frozen=True, slots=True)
+class CLFRecord:
+    """One access-log entry (the paper's seven CLF attributes).
+
+    Attributes:
+        host: client IP address.
+        timestamp: access time as UTC epoch seconds.
+        method: HTTP request method (``GET`` or ``POST`` in the paper).
+        url: requested URL path.
+        protocol: transfer protocol (``HTTP/1.0`` or ``HTTP/1.1``).
+        status: HTTP status code.
+        size: bytes transmitted (``None`` renders as CLF's ``-``).
+        ident / authuser: the two rarely populated CLF identity fields.
+        referrer: Referer header URL (Combined Log Format only; ``None``
+            renders as ``"-"`` and means a direct entry).
+        user_agent: User-Agent header (Combined Log Format only).
+    """
+
+    host: str
+    timestamp: float
+    method: str
+    url: str
+    protocol: str
+    status: int
+    size: int | None
+    ident: str = "-"
+    authuser: str = "-"
+    referrer: str | None = None
+    user_agent: str | None = None
+
+    @property
+    def is_page_view(self) -> bool:
+        """Whether this record plausibly represents a user page view.
+
+        A successful (2xx) GET is the classic page-view filter; everything
+        else (POSTs, redirects, errors) is dropped during cleaning.
+        """
+        return self.method == "GET" and 200 <= self.status < 300
+
+
+def format_clf_line(record: CLFRecord) -> str:
+    """Render ``record`` as one CLF line (no trailing newline).
+
+    The timestamp is floored to whole seconds and rendered in UTC.
+    """
+    moment = datetime.fromtimestamp(int(record.timestamp), tz=timezone.utc)
+    date = (f"{moment.day:02d}/{_MONTHS[moment.month]}/{moment.year:04d}:"
+            f"{moment.hour:02d}:{moment.minute:02d}:{moment.second:02d} "
+            f"+0000")
+    size = "-" if record.size is None else str(record.size)
+    return (f"{record.host} {record.ident} {record.authuser} [{date}] "
+            f'"{record.method} {record.url} {record.protocol}" '
+            f"{record.status} {size}")
+
+
+def parse_clf_line(line: str, line_number: int | None = None) -> CLFRecord:
+    """Parse one CLF line into a :class:`CLFRecord`.
+
+    Args:
+        line: the raw log line (trailing newline tolerated).
+        line_number: optional 1-based position, attached to errors.
+
+    Raises:
+        LogFormatError: if the line does not match CLF, names an impossible
+            calendar date, or uses an unknown month abbreviation.
+    """
+    match = _CLF_PATTERN.match(line.rstrip("\n"))
+    if match is None:
+        raise LogFormatError("line does not match Common Log Format",
+                             line_number=line_number, line=line)
+    return _record_from_fields(match.groupdict(), line, line_number)
+
+
+def format_combined_line(record: CLFRecord) -> str:
+    """Render ``record`` as one Combined Log Format line.
+
+    The Combined (a.k.a. NCSA extended) format appends the quoted Referer
+    and User-Agent headers after the CLF fields; absent values render as
+    ``"-"``.  Embedded double quotes are not supported (real servers
+    escape them inconsistently; this writer rejects them outright).
+
+    Raises:
+        LogFormatError: if the referrer or user agent contains a double
+            quote.
+    """
+    referrer = record.referrer if record.referrer is not None else "-"
+    user_agent = record.user_agent if record.user_agent is not None else "-"
+    for label, value in (("referrer", referrer), ("user agent", user_agent)):
+        if '"' in value:
+            raise LogFormatError(
+                f"{label} may not contain a double quote: {value!r}")
+    return f'{format_clf_line(record)} "{referrer}" "{user_agent}"'
+
+
+def parse_combined_line(line: str,
+                        line_number: int | None = None) -> CLFRecord:
+    """Parse one Combined Log Format line.
+
+    Raises:
+        LogFormatError: if the line does not match the combined format.
+    """
+    match = _COMBINED_PATTERN.match(line.rstrip("\n"))
+    if match is None:
+        raise LogFormatError(
+            "line does not match Combined Log Format",
+            line_number=line_number, line=line)
+    fields = match.groupdict()
+    referrer = fields.pop("referrer")
+    user_agent = fields.pop("user_agent")
+    record = _record_from_fields(fields, line, line_number)
+    return CLFRecord(
+        host=record.host, timestamp=record.timestamp, method=record.method,
+        url=record.url, protocol=record.protocol, status=record.status,
+        size=record.size, ident=record.ident, authuser=record.authuser,
+        referrer=None if referrer == "-" else referrer,
+        user_agent=None if user_agent == "-" else user_agent,
+    )
+
+
+def parse_log_line(line: str, line_number: int | None = None) -> CLFRecord:
+    """Parse a line in either format (combined first, then plain CLF).
+
+    Raises:
+        LogFormatError: if the line matches neither format.
+    """
+    try:
+        return parse_combined_line(line, line_number)
+    except LogFormatError:
+        return parse_clf_line(line, line_number)
+
+
+def _record_from_fields(fields: dict[str, str], line: str,
+                        line_number: int | None) -> CLFRecord:
+    """Assemble a record from the regex groups shared by both formats."""
+    month = _MONTH_NUMBER.get(fields["month"].capitalize())
+    if month is None:
+        raise LogFormatError(
+            f"unknown month abbreviation {fields['month']!r}",
+            line_number=line_number, line=line)
+    try:
+        moment = datetime(int(fields["year"]), month, int(fields["day"]),
+                          int(fields["hour"]), int(fields["minute"]),
+                          int(fields["second"]))
+    except ValueError as exc:
+        raise LogFormatError(f"invalid date/time: {exc}",
+                             line_number=line_number, line=line) from exc
+    epoch = calendar.timegm(moment.timetuple())
+    offset = (int(fields["tz_hours"]) * 3600 + int(fields["tz_minutes"]) * 60)
+    if fields["tz_sign"] == "+":
+        epoch -= offset
+    else:
+        epoch += offset
+    size = None if fields["bytes"] == "-" else int(fields["bytes"])
+    return CLFRecord(
+        host=fields["host"],
+        timestamp=float(epoch),
+        method=fields["method"],
+        url=fields["url"],
+        protocol=fields["protocol"],
+        status=int(fields["status"]),
+        size=size,
+        ident=fields["ident"],
+        authuser=fields["authuser"],
+    )
+
+
+def page_to_url(page: str) -> str:
+    """Map a page identifier to its URL path (``"P13"`` → ``"/P13.html"``)."""
+    return f"/{page}.html"
+
+
+def url_to_page(url: str) -> str:
+    """Inverse of :func:`page_to_url`; foreign URLs pass through unchanged.
+
+    ``"/P13.html"`` → ``"P13"``; query strings are stripped first, so
+    ``"/P13.html?ref=mail"`` also maps to ``"P13"``.  A URL that does not
+    follow the convention (e.g. ``"/img/logo.png"``) is returned as-is
+    (minus the query string) so cleaning filters can still reason about it.
+    """
+    path = url.split("?", 1)[0]
+    if path.startswith("/") and path.endswith(".html"):
+        return path[1:-len(".html")]
+    return path

@@ -1,0 +1,79 @@
+"""Parse access-log files back into records and request streams.
+
+The reader auto-detects the line format: Combined Log Format lines (with
+quoted Referer / User-Agent fields) are tried first, plain CLF second, so a
+single code path ingests both kinds of files — and mixed files, which real
+log rotations do produce.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import LogFormatError
+from repro.logs.clf import CLFRecord, parse_log_line, url_to_page
+from repro.sessions.model import Request
+
+__all__ = ["read_clf_file", "iter_clf_lines", "records_to_requests"]
+
+
+def iter_clf_lines(lines: Iterable[str], *,
+                   skip_malformed: bool = False) -> Iterator[CLFRecord]:
+    """Parse an iterable of log lines lazily (either format, per line).
+
+    Blank lines are always skipped.
+
+    Args:
+        lines: raw log lines.
+        skip_malformed: when ``True``, silently drop lines that fail to
+            parse (real logs contain garbage); when ``False`` (default),
+            raise on the first bad line.
+
+    Raises:
+        LogFormatError: for a malformed line when ``skip_malformed`` is
+            ``False``; the error carries the 1-based line number.
+    """
+    for line_number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            yield parse_log_line(line, line_number=line_number)
+        except LogFormatError:
+            if not skip_malformed:
+                raise
+
+
+def read_clf_file(path: str, *,
+                  skip_malformed: bool = False) -> list[CLFRecord]:
+    """Read and parse a whole access-log file (plain CLF or combined).
+
+    Args:
+        path: log file path.
+        skip_malformed: see :func:`iter_clf_lines`.
+
+    Raises:
+        LogFormatError: as :func:`iter_clf_lines`.
+    """
+    with open(path, encoding="utf-8") as handle:
+        return list(iter_clf_lines(handle, skip_malformed=skip_malformed))
+
+
+def records_to_requests(records: Iterable[CLFRecord],
+                        page_views_only: bool = True) -> list[Request]:
+    """Project log records onto the reconstruction-relevant fields.
+
+    The inverse of :func:`repro.logs.writer.requests_to_records` up to user
+    identity: the resulting ``user_id`` is the record's IP address.  A
+    combined-format referrer survives as the request's ``referrer`` page.
+
+    Args:
+        records: parsed records, any order (preserved).
+        page_views_only: drop records failing the page-view filter.
+    """
+    return [
+        Request(record.timestamp, record.host, url_to_page(record.url),
+                referrer=(url_to_page(record.referrer)
+                          if record.referrer is not None else None))
+        for record in records
+        if not page_views_only or record.is_page_view
+    ]

@@ -1,0 +1,88 @@
+"""Following a growing access-log file (``tail -f`` for pipelines).
+
+Connects the on-disk world to the streaming reconstructor: a server
+appends to ``access.log``; :func:`follow_log` yields each new line's
+parsed record as it lands, handling partially written lines (a record is
+only emitted once its newline arrives) and log truncation (rotation
+resets the read offset).
+
+Example — live session emission from a growing file::
+
+    pipeline = streaming_smart_sra(topology)
+    for record in follow_log("access.log", poll_interval=0.5,
+                             idle_timeout=30.0):
+        for request in records_to_requests([record]):
+            for session in pipeline.feed(request):
+                handle(session)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable, Iterator
+
+from repro.exceptions import LogFormatError
+from repro.logs.clf import CLFRecord, parse_log_line
+
+__all__ = ["follow_log"]
+
+
+def follow_log(path: str, poll_interval: float = 0.5,
+               idle_timeout: float | None = None,
+               skip_malformed: bool = True,
+               _sleep: Callable[[float], None] = time.sleep
+               ) -> Iterator[CLFRecord]:
+    """Yield parsed records from ``path`` as the file grows.
+
+    Args:
+        path: the log file (may not exist yet; the follower waits).
+        poll_interval: seconds between size checks when no data arrives.
+        idle_timeout: stop after this many seconds without new data
+            (``None`` follows forever — appropriate for daemons only).
+        skip_malformed: drop unparsable lines instead of raising.
+        _sleep: injection point for tests; leave default in production.
+
+    Yields:
+        One :class:`~repro.logs.clf.CLFRecord` per completed line, in file
+        order.  On truncation (rotation) the follower restarts from the
+        beginning of the new file.
+
+    Raises:
+        LogFormatError: on a malformed line when ``skip_malformed`` is
+            ``False``.
+    """
+    offset = 0
+    pending = ""
+    idle = 0.0
+    line_number = 0
+    while True:
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = 0
+        if size < offset:           # truncated / rotated: start over
+            offset = 0
+            pending = ""
+        if size > offset:
+            idle = 0.0
+            with open(path, encoding="utf-8") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+                offset = handle.tell()
+            pending += chunk
+            *complete, pending = pending.split("\n")
+            for line in complete:
+                line_number += 1
+                if not line.strip():
+                    continue
+                try:
+                    yield parse_log_line(line, line_number=line_number)
+                except LogFormatError:
+                    if not skip_malformed:
+                        raise
+        else:
+            if idle_timeout is not None and idle >= idle_timeout:
+                return
+            _sleep(poll_interval)
+            idle += poll_interval

@@ -1,0 +1,118 @@
+"""Apriori frequent page-set mining over sessions.
+
+Classic Agrawal-Srikant apriori specialized to web sessions: each session
+is a transaction whose items are its *distinct* pages ("a web page can be
+accepted as related to another web page if they are accessed in the same
+user session", §1).  Support is the fraction of sessions containing all
+pages of the itemset.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.exceptions import EvaluationError
+from repro.sessions.model import SessionSet
+
+__all__ = ["FrequentItemset", "apriori"]
+
+
+@dataclass(frozen=True, slots=True)
+class FrequentItemset:
+    """A page set with session support above the mining threshold.
+
+    Attributes:
+        pages: the itemset, as a sorted tuple for stable display.
+        support: fraction of sessions containing every page of the set.
+        count: absolute number of supporting sessions.
+    """
+
+    pages: tuple[str, ...]
+    support: float
+    count: int
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+
+def apriori(sessions: SessionSet, min_support: float = 0.01,
+            max_size: int = 4) -> list[FrequentItemset]:
+    """Mine frequent page sets from ``sessions``.
+
+    Args:
+        sessions: the transaction database (each session's distinct pages).
+        min_support: minimum fraction of sessions an itemset must appear in.
+        max_size: largest itemset size to mine (bounds the lattice walk).
+
+    Returns:
+        Frequent itemsets ordered by (size, -support, pages) — singletons
+        first, ties broken by support then lexicographically.
+
+    Raises:
+        EvaluationError: for an empty session set, a support outside
+            (0, 1], or a non-positive ``max_size``.
+    """
+    if len(sessions) == 0:
+        raise EvaluationError("cannot mine an empty session set")
+    if not 0 < min_support <= 1:
+        raise EvaluationError(
+            f"min_support must be in (0, 1], got {min_support}")
+    if max_size <= 0:
+        raise EvaluationError(f"max_size must be positive, got {max_size}")
+
+    transactions = [session.distinct_pages() for session in sessions]
+    n = len(transactions)
+    min_count = min_support * n
+
+    # L1: frequent single pages.
+    page_counts: dict[str, int] = {}
+    for transaction in transactions:
+        for page in transaction:
+            page_counts[page] = page_counts.get(page, 0) + 1
+    current: dict[frozenset[str], int] = {
+        frozenset([page]): count
+        for page, count in page_counts.items() if count >= min_count}
+
+    results: list[FrequentItemset] = _collect(current, n)
+    size = 1
+    while current and size < max_size:
+        size += 1
+        candidates = _generate_candidates(current, size)
+        counted: dict[frozenset[str], int] = {}
+        for transaction in transactions:
+            for candidate in candidates:
+                if candidate <= transaction:
+                    counted[candidate] = counted.get(candidate, 0) + 1
+        current = {itemset: count for itemset, count in counted.items()
+                   if count >= min_count}
+        results.extend(_collect(current, n))
+    return results
+
+
+def _generate_candidates(frequent: dict[frozenset[str], int],
+                         size: int) -> set[frozenset[str]]:
+    """Apriori-gen: join step plus prune step.
+
+    Joins (size-1)-itemsets sharing a (size-2)-prefix and prunes candidates
+    with an infrequent (size-1)-subset.
+    """
+    itemsets = sorted(frequent, key=sorted)
+    candidates: set[frozenset[str]] = set()
+    for first, second in combinations(itemsets, 2):
+        union = first | second
+        if len(union) != size:
+            continue
+        if all(union - {page} in frequent for page in union):
+            candidates.add(union)
+    return candidates
+
+
+def _collect(level: dict[frozenset[str], int],
+             n_transactions: int) -> list[FrequentItemset]:
+    found = [FrequentItemset(pages=tuple(sorted(itemset)),
+                             support=count / n_transactions, count=count)
+             for itemset, count in level.items()]
+    found.sort(key=lambda item: (len(item.pages), -item.support, item.pages))
+    return found

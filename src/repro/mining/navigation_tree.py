@@ -1,0 +1,186 @@
+"""Aggregate navigation tree (WUM-style prefix trie).
+
+The WUM tool (Spiliopoulou & Faulstich — the paper's reference [12])
+organizes sessions into an *aggregated log*: a prefix tree whose nodes
+carry support counts, so "how many sessions start home → list → item?"
+is a single root-to-node walk.  This module implements that structure:
+
+* :class:`NavigationTree` — build from a session set; query prefix
+  support, child distributions, and frequent root paths;
+* :meth:`NavigationTree.conversion_rate` — the funnel query analysts run
+  on such trees ("of sessions reaching this prefix, how many continue to
+  X?").
+
+The tree complements :mod:`repro.mining.sequential`: sequences count
+patterns *anywhere* in a session, the tree counts them *from the start* —
+which is the right lens for entry-funnel analysis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import EvaluationError
+from repro.sessions.model import SessionSet
+
+__all__ = ["NavigationTree", "TreeNode"]
+
+
+@dataclass(slots=True)
+class TreeNode:
+    """One node of the aggregate tree.
+
+    Attributes:
+        page: the page this node represents (``""`` for the root).
+        support: number of sessions whose prefix reaches this node.
+        children: child nodes keyed by page.
+    """
+
+    page: str
+    support: int = 0
+    children: dict[str, "TreeNode"] = field(default_factory=dict)
+
+    def child(self, page: str) -> "TreeNode | None":
+        """The child for ``page``, or ``None``."""
+        return self.children.get(page)
+
+
+class NavigationTree:
+    """Prefix trie over session page sequences with support counts."""
+
+    def __init__(self, sessions: SessionSet) -> None:
+        """Build the tree from ``sessions`` (empty sessions are ignored).
+
+        Raises:
+            EvaluationError: if no non-empty session is supplied.
+        """
+        self._root = TreeNode(page="")
+        built = 0
+        for session in sessions:
+            if not session:
+                continue
+            built += 1
+            node = self._root
+            node.support += 1
+            for page in session.pages:
+                nxt = node.children.get(page)
+                if nxt is None:
+                    nxt = TreeNode(page=page)
+                    node.children[page] = nxt
+                nxt.support += 1
+                node = nxt
+        if not built:
+            raise EvaluationError(
+                "cannot build a navigation tree from an empty session set")
+
+    @property
+    def session_count(self) -> int:
+        """Number of sessions aggregated into the tree."""
+        return self._root.support
+
+    def support(self, prefix: Sequence[str]) -> int:
+        """Sessions starting with exactly ``prefix`` (in order).
+
+        The empty prefix is supported by every session.
+        """
+        node = self._root
+        for page in prefix:
+            child = node.child(page)
+            if child is None:
+                return 0
+            node = child
+        return node.support
+
+    def continuations(self, prefix: Sequence[str]) -> dict[str, int]:
+        """``{next page: support}`` among sessions with ``prefix``."""
+        node = self._root
+        for page in prefix:
+            child = node.child(page)
+            if child is None:
+                return {}
+            node = child
+        return {page: child.support
+                for page, child in sorted(node.children.items())}
+
+    def conversion_rate(self, prefix: Sequence[str],
+                        target: str) -> float:
+        """Fraction of ``prefix`` sessions whose next page is ``target``.
+
+        Raises:
+            EvaluationError: if no session has the prefix (rate undefined).
+        """
+        base = self.support(prefix)
+        if base == 0:
+            raise EvaluationError(
+                f"no session starts with prefix {list(prefix)!r}")
+        return self.support(list(prefix) + [target]) / base
+
+    def frequent_paths(self, min_support: float = 0.01,
+                       max_depth: int = 6) -> list[tuple[tuple[str, ...],
+                                                         int]]:
+        """All root paths with support ≥ ``min_support`` (as a fraction).
+
+        Returns ``(path, absolute support)`` pairs, deepest-first ties
+        broken lexicographically, sorted by descending support then path.
+
+        Raises:
+            EvaluationError: for a support outside (0, 1] or non-positive
+                depth.
+        """
+        if not 0 < min_support <= 1:
+            raise EvaluationError(
+                f"min_support must be in (0, 1], got {min_support}")
+        if max_depth <= 0:
+            raise EvaluationError(
+                f"max_depth must be positive, got {max_depth}")
+        threshold = min_support * self.session_count
+        found: list[tuple[tuple[str, ...], int]] = []
+        stack: list[tuple[TreeNode, tuple[str, ...]]] = [(self._root, ())]
+        while stack:
+            node, path = stack.pop()
+            for page, child in node.children.items():
+                if child.support >= threshold and len(path) < max_depth:
+                    child_path = path + (page,)
+                    found.append((child_path, child.support))
+                    stack.append((child, child_path))
+        found.sort(key=lambda item: (-item[1], item[0]))
+        return found
+
+    def walk(self) -> Iterator[tuple[tuple[str, ...], int]]:
+        """Depth-first traversal yielding every (path, support) pair."""
+        stack: list[tuple[TreeNode, tuple[str, ...]]] = [(self._root, ())]
+        while stack:
+            node, path = stack.pop()
+            for page, child in sorted(node.children.items(), reverse=True):
+                child_path = path + (page,)
+                yield (child_path, child.support)
+                stack.append((child, child_path))
+
+    def node_count(self) -> int:
+        """Total nodes excluding the root (the tree's compression factor
+        versus storing raw sessions)."""
+        return sum(1 for __ in self.walk())
+
+    def render(self, min_support: int = 1, max_depth: int = 4) -> str:
+        """ASCII rendering of the tree down to ``max_depth``.
+
+        Args:
+            min_support: hide nodes below this absolute support.
+            max_depth: hide nodes deeper than this.
+        """
+        lines = [f"(root) {self.session_count} sessions"]
+
+        def visit(node: TreeNode, depth: int) -> None:
+            if depth > max_depth:
+                return
+            ranked = sorted(node.children.values(),
+                            key=lambda child: (-child.support, child.page))
+            for child in ranked:
+                if child.support < min_support:
+                    continue
+                lines.append("  " * depth + f"{child.page} ({child.support})")
+                visit(child, depth + 1)
+
+        visit(self._root, 1)
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,88 @@
+"""Page importance: structural PageRank vs usage-weighted rank.
+
+Site reorganization — one of the paper's §1 application areas — asks which
+pages *deserve* prominence.  Two answers, and their disagreement is the
+actionable signal:
+
+* **structural PageRank** over the hyperlink graph: where the site's link
+  structure *puts* importance (computed with networkx);
+* **usage rank**: where visitors actually go, estimated from reconstructed
+  sessions as the stationary visit distribution (visit counts, optionally
+  smoothed by a random-walk step over the observed transitions).
+
+:func:`rank_divergence` lists the pages whose structural rank most
+overstates or understates their observed usage — the "promote this page /
+demote that hub" worklist.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import networkx as nx
+
+from repro.exceptions import EvaluationError
+from repro.sessions.model import SessionSet
+from repro.topology.graph import WebGraph
+
+__all__ = ["structural_pagerank", "usage_rank", "rank_divergence"]
+
+
+def structural_pagerank(topology: WebGraph,
+                        damping: float = 0.85) -> dict[str, float]:
+    """PageRank over the hyperlink graph (sums to 1).
+
+    Raises:
+        EvaluationError: for a damping factor outside (0, 1).
+    """
+    if not 0 < damping < 1:
+        raise EvaluationError(
+            f"damping must be in (0, 1), got {damping}")
+    scores = nx.pagerank(topology.to_networkx(), alpha=damping)
+    return {str(page): float(score) for page, score in scores.items()}
+
+
+def usage_rank(sessions: SessionSet) -> dict[str, float]:
+    """Observed visit distribution over pages (sums to 1).
+
+    Every request in every session counts one visit; pages never visited
+    are absent (callers compare with ``dict.get(page, 0.0)``).
+
+    Raises:
+        EvaluationError: for an empty session set.
+    """
+    counts: Counter[str] = Counter(
+        page for session in sessions for page in session.pages)
+    total = sum(counts.values())
+    if total == 0:
+        raise EvaluationError("no visits to rank")
+    return {page: count / total for page, count in counts.items()}
+
+
+def rank_divergence(topology: WebGraph, sessions: SessionSet,
+                    top: int = 10) -> dict[str, list[tuple[str, float]]]:
+    """Pages whose structural prominence most disagrees with usage.
+
+    Returns:
+        ``{"overlinked": [...], "underlinked": [...]}`` — each a list of
+        ``(page, usage - structural)`` pairs.  *Overlinked* pages get far
+        more structural rank than visits (candidates for demotion);
+        *underlinked* pages are visited far more than the link structure
+        predicts (candidates for promotion, e.g. a home-page link).
+
+    Raises:
+        EvaluationError: for a non-positive ``top`` or an empty session
+            set.
+    """
+    if top <= 0:
+        raise EvaluationError(f"top must be positive, got {top}")
+    structural = structural_pagerank(topology)
+    usage = usage_rank(sessions)
+    deltas = [(page, usage.get(page, 0.0) - structural.get(page, 0.0))
+              for page in topology.pages]
+    deltas.sort(key=lambda item: item[1])
+    overlinked = [(page, delta) for page, delta in deltas[:top]
+                  if delta < 0]
+    underlinked = [(page, delta) for page, delta in reversed(deltas[-top:])
+                   if delta > 0]
+    return {"overlinked": overlinked, "underlinked": underlinked}

@@ -1,0 +1,214 @@
+"""Next-page prediction — the pre-fetching / link-prediction application.
+
+A first-order Markov model over session transitions: from the sessions it
+is trained on, it estimates ``P(next page | current page)`` and recommends
+the most likely continuations.  This is the canonical consumer of
+reconstructed sessions for the paper's "web pre-fetching" and "link
+prediction" application areas, and the downstream benchmark uses it to ask:
+*does a better session reconstruction yield a better predictor?*
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.exceptions import EvaluationError
+from repro.sessions.model import SessionSet
+
+__all__ = ["MarkovPredictor", "KthOrderMarkovPredictor"]
+
+
+class MarkovPredictor:
+    """First-order Markov next-page recommender.
+
+    Train with :meth:`fit`, then query :meth:`predict` /
+    :meth:`transition_probability`, or score generalization with
+    :meth:`hit_rate` on held-out sessions.
+    """
+
+    def __init__(self) -> None:
+        self._transitions: dict[str, Counter[str]] = {}
+        self._totals: dict[str, int] = {}
+        self._trained = False
+
+    def fit(self, sessions: SessionSet) -> "MarkovPredictor":
+        """Count transitions from consecutive page pairs of ``sessions``.
+
+        Returns ``self`` for chaining.
+
+        Raises:
+            EvaluationError: for an empty session set.
+        """
+        if len(sessions) == 0:
+            raise EvaluationError("cannot train on an empty session set")
+        transitions: dict[str, Counter[str]] = {}
+        for session in sessions:
+            pages = session.pages
+            for current, following in zip(pages, pages[1:]):
+                transitions.setdefault(current, Counter())[following] += 1
+        self._transitions = transitions
+        self._totals = {page: sum(counter.values())
+                        for page, counter in transitions.items()}
+        self._trained = True
+        return self
+
+    def _require_trained(self) -> None:
+        if not self._trained:
+            raise EvaluationError("predictor is not trained; call fit first")
+
+    def predict(self, current_page: str, top: int = 3) -> list[str]:
+        """The ``top`` most likely next pages after ``current_page``.
+
+        Pages never seen as a transition source yield an empty list.
+
+        Raises:
+            EvaluationError: if the model is untrained or ``top <= 0``.
+        """
+        self._require_trained()
+        if top <= 0:
+            raise EvaluationError(f"top must be positive, got {top}")
+        counter = self._transitions.get(current_page)
+        if not counter:
+            return []
+        ranked = sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+        return [page for page, __ in ranked[:top]]
+
+    def transition_probability(self, current_page: str,
+                               next_page: str) -> float:
+        """Estimated ``P(next_page | current_page)`` (0.0 if unseen).
+
+        Raises:
+            EvaluationError: if the model is untrained.
+        """
+        self._require_trained()
+        total = self._totals.get(current_page)
+        if not total:
+            return 0.0
+        return self._transitions[current_page][next_page] / total
+
+    def hit_rate(self, sessions: SessionSet, top: int = 3) -> float:
+        """Fraction of held-out transitions whose true next page is in the
+        model's top-``top`` prediction.
+
+        Raises:
+            EvaluationError: if untrained, ``top <= 0``, or ``sessions``
+                contains no transition (all sessions shorter than 2).
+        """
+        self._require_trained()
+        hits = 0
+        total = 0
+        for session in sessions:
+            pages = session.pages
+            for current, actual in zip(pages, pages[1:]):
+                total += 1
+                if actual in self.predict(current, top=top):
+                    hits += 1
+        if total == 0:
+            raise EvaluationError(
+                "no transitions to score (every session has length < 2)")
+        return hits / total
+
+    def vocabulary(self) -> frozenset[str]:
+        """All pages seen as a transition source."""
+        return frozenset(self._transitions)
+
+
+class KthOrderMarkovPredictor:
+    """Order-*k* Markov next-page model with back-off.
+
+    Conditions on the last *k* pages of the navigation context; when a
+    context was never observed at order *k*, the model backs off to
+    *k - 1*, down to the first-order model.  Higher orders capture path
+    dependence ("users coming to the cart *via the sale page* go to
+    checkout"), at the price of sparser statistics — the classic
+    pre-fetching trade-off this class lets applications explore.
+
+    Args:
+        order: maximum context length (``1`` reduces to
+            :class:`MarkovPredictor` semantics).
+
+    Raises:
+        EvaluationError: for a non-positive order.
+    """
+
+    def __init__(self, order: int = 2) -> None:
+        if order <= 0:
+            raise EvaluationError(f"order must be positive, got {order}")
+        self.order = order
+        # _tables[k-1] maps a length-k context tuple to next-page counts.
+        self._tables: list[dict[tuple[str, ...], Counter[str]]] = []
+        self._trained = False
+
+    def fit(self, sessions: SessionSet) -> "KthOrderMarkovPredictor":
+        """Count transitions for every context length 1..order.
+
+        Returns ``self`` for chaining.
+
+        Raises:
+            EvaluationError: for an empty session set.
+        """
+        if len(sessions) == 0:
+            raise EvaluationError("cannot train on an empty session set")
+        self._tables = [dict() for __ in range(self.order)]
+        for session in sessions:
+            pages = session.pages
+            for index in range(1, len(pages)):
+                following = pages[index]
+                for k in range(1, self.order + 1):
+                    if index - k < 0:
+                        break
+                    context = tuple(pages[index - k:index])
+                    table = self._tables[k - 1]
+                    table.setdefault(context, Counter())[following] += 1
+        self._trained = True
+        return self
+
+    def predict(self, context: tuple[str, ...] | list[str],
+                top: int = 3) -> list[str]:
+        """The ``top`` most likely next pages after ``context``.
+
+        The longest usable suffix of ``context`` (up to ``order``) that was
+        observed in training decides; unseen contexts back off until the
+        first-order table, then give up with an empty list.
+
+        Raises:
+            EvaluationError: if untrained, ``top <= 0``, or the context is
+                empty.
+        """
+        if not self._trained:
+            raise EvaluationError("predictor is not trained; call fit first")
+        if top <= 0:
+            raise EvaluationError(f"top must be positive, got {top}")
+        history = tuple(context)
+        if not history:
+            raise EvaluationError("context must contain at least one page")
+        for k in range(min(self.order, len(history)), 0, -1):
+            counter = self._tables[k - 1].get(history[-k:])
+            if counter:
+                ranked = sorted(counter.items(),
+                                key=lambda item: (-item[1], item[0]))
+                return [page for page, __ in ranked[:top]]
+        return []
+
+    def hit_rate(self, sessions: SessionSet, top: int = 3) -> float:
+        """Top-``top`` next-page hit rate over all transitions of
+        ``sessions``, conditioning on the full available history.
+
+        Raises:
+            EvaluationError: if untrained or ``sessions`` has no transition.
+        """
+        if not self._trained:
+            raise EvaluationError("predictor is not trained; call fit first")
+        hits = 0
+        total = 0
+        for session in sessions:
+            pages = session.pages
+            for index in range(1, len(pages)):
+                context = pages[max(0, index - self.order):index]
+                total += 1
+                if pages[index] in self.predict(context, top=top):
+                    hits += 1
+        if total == 0:
+            raise EvaluationError(
+                "no transitions to score (every session has length < 2)")
+        return hits / total

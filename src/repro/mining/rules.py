@@ -1,0 +1,103 @@
+"""Association rules over frequent page sets.
+
+Turns the output of :func:`repro.mining.apriori.apriori` into
+``antecedent ⇒ consequent`` rules with confidence and lift — the classic
+"users who visited {A, B} also visited C" insight driving site
+reorganization and personalization, two of the application areas the paper
+lists for web usage mining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.exceptions import EvaluationError
+from repro.mining.apriori import FrequentItemset
+
+__all__ = ["AssociationRule", "association_rules"]
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationRule:
+    """An ``antecedent ⇒ consequent`` rule.
+
+    Attributes:
+        antecedent / consequent: disjoint, non-empty page tuples (sorted).
+        support: support of the union itemset.
+        confidence: ``support(union) / support(antecedent)``.
+        lift: ``confidence / support(consequent)`` — > 1 means the
+            antecedent genuinely raises the consequent's likelihood.
+    """
+
+    antecedent: tuple[str, ...]
+    consequent: tuple[str, ...]
+    support: float
+    confidence: float
+    lift: float
+
+    def __str__(self) -> str:
+        left = ", ".join(self.antecedent)
+        right = ", ".join(self.consequent)
+        return (f"{{{left}}} => {{{right}}} "
+                f"(supp={self.support:.3f}, conf={self.confidence:.3f}, "
+                f"lift={self.lift:.2f})")
+
+
+def association_rules(itemsets: list[FrequentItemset],
+                      min_confidence: float = 0.5) -> list[AssociationRule]:
+    """Derive rules from mined frequent itemsets.
+
+    Every frequent itemset of size ≥ 2 is split into every non-trivial
+    (antecedent, consequent) partition; partitions meeting
+    ``min_confidence`` become rules.  Confidence and lift are computed from
+    the supports present in ``itemsets``, so the input must contain all
+    subsets of its members — which :func:`~repro.mining.apriori.apriori`
+    guarantees by construction (apriori's downward closure).
+
+    Args:
+        itemsets: apriori output.
+        min_confidence: minimum rule confidence in (0, 1].
+
+    Returns:
+        Rules sorted by descending confidence, then descending support.
+
+    Raises:
+        EvaluationError: for a confidence outside (0, 1], or when a needed
+            subset itemset is missing from ``itemsets``.
+    """
+    if not 0 < min_confidence <= 1:
+        raise EvaluationError(
+            f"min_confidence must be in (0, 1], got {min_confidence}")
+
+    support_by_set: dict[frozenset[str], float] = {
+        frozenset(itemset.pages): itemset.support for itemset in itemsets}
+
+    rules: list[AssociationRule] = []
+    for itemset in itemsets:
+        if len(itemset.pages) < 2:
+            continue
+        members = frozenset(itemset.pages)
+        for antecedent_size in range(1, len(itemset.pages)):
+            for antecedent in combinations(sorted(members), antecedent_size):
+                antecedent_set = frozenset(antecedent)
+                consequent_set = members - antecedent_set
+                antecedent_support = support_by_set.get(antecedent_set)
+                consequent_support = support_by_set.get(consequent_set)
+                if antecedent_support is None or consequent_support is None:
+                    raise EvaluationError(
+                        "itemset list is not downward closed: missing "
+                        f"subset of {sorted(members)}")
+                confidence = itemset.support / antecedent_support
+                if confidence < min_confidence:
+                    continue
+                rules.append(AssociationRule(
+                    antecedent=tuple(sorted(antecedent_set)),
+                    consequent=tuple(sorted(consequent_set)),
+                    support=itemset.support,
+                    confidence=confidence,
+                    lift=confidence / consequent_support,
+                ))
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support,
+                                 rule.antecedent, rule.consequent))
+    return rules

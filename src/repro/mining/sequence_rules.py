@@ -1,0 +1,99 @@
+"""Sequential rules: *path ⇒ next page* with confidence.
+
+Association rules (:mod:`repro.mining.rules`) ignore order; pre-fetching
+and guided navigation need ordered rules: "users who walked home → list
+continue to item with 62% confidence".  A sequential rule's antecedent is
+a contiguous path, its consequent a single following page:
+
+    confidence(path ⇒ p) = support(path + [p]) / support(path)
+
+mined level-wise from :func:`repro.mining.sequential.frequent_sequences`
+output (which is downward closed over contiguous prefixes, so every
+antecedent's support is available).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import EvaluationError
+from repro.mining.sequential import SequentialPattern, frequent_sequences
+from repro.sessions.model import SessionSet
+
+__all__ = ["SequentialRule", "sequential_rules", "mine_sequential_rules"]
+
+
+@dataclass(frozen=True, slots=True)
+class SequentialRule:
+    """An ordered ``path ⇒ next`` rule.
+
+    Attributes:
+        path: the antecedent walk (contiguous pages, in order).
+        next_page: the consequent.
+        support: fraction of sessions containing the full extended path.
+        confidence: ``support(path + next) / support(path)``.
+    """
+
+    path: tuple[str, ...]
+    next_page: str
+    support: float
+    confidence: float
+
+    def __str__(self) -> str:
+        walk = " -> ".join(self.path)
+        return (f"[{walk}] => {self.next_page} "
+                f"(supp={self.support:.3f}, conf={self.confidence:.3f})")
+
+
+def sequential_rules(patterns: list[SequentialPattern],
+                     min_confidence: float = 0.3) -> list[SequentialRule]:
+    """Derive ordered rules from mined sequential patterns.
+
+    Every pattern of length ≥ 2 yields one candidate rule (its length-1
+    shorter prefix ⇒ its last page); candidates meeting ``min_confidence``
+    survive.
+
+    Args:
+        patterns: :func:`~repro.mining.sequential.frequent_sequences`
+            output (must include each pattern's prefix — guaranteed by the
+            miner's level-wise construction).
+        min_confidence: minimum rule confidence in (0, 1].
+
+    Returns:
+        Rules sorted by descending confidence then support.
+
+    Raises:
+        EvaluationError: for a confidence outside (0, 1] or a pattern set
+            missing a needed prefix.
+    """
+    if not 0 < min_confidence <= 1:
+        raise EvaluationError(
+            f"min_confidence must be in (0, 1], got {min_confidence}")
+    support_of = {pattern.pages: pattern.support for pattern in patterns}
+    rules = []
+    for pattern in patterns:
+        if len(pattern.pages) < 2:
+            continue
+        prefix = pattern.pages[:-1]
+        prefix_support = support_of.get(prefix)
+        if prefix_support is None:
+            raise EvaluationError(
+                f"pattern set is missing the prefix {prefix!r}; pass the "
+                "full frequent_sequences output")
+        confidence = pattern.support / prefix_support
+        if confidence >= min_confidence:
+            rules.append(SequentialRule(
+                path=prefix, next_page=pattern.pages[-1],
+                support=pattern.support, confidence=confidence))
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support,
+                                 rule.path, rule.next_page))
+    return rules
+
+
+def mine_sequential_rules(sessions: SessionSet, min_support: float = 0.01,
+                          min_confidence: float = 0.3,
+                          max_length: int = 4) -> list[SequentialRule]:
+    """One-call convenience: mine patterns, then derive ordered rules."""
+    patterns = frequent_sequences(sessions, min_support=min_support,
+                                  max_length=max_length)
+    return sequential_rules(patterns, min_confidence=min_confidence)

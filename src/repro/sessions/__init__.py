@@ -1,0 +1,55 @@
+"""Session data model and reactive session-reconstruction heuristics.
+
+This package contains the shared value types (:class:`~repro.sessions.model.Request`,
+:class:`~repro.sessions.model.Session`, :class:`~repro.sessions.model.SessionSet`)
+and the three *baseline* heuristics the paper compares against:
+
+* ``heur1`` — time-oriented, total session duration bound
+  (:class:`~repro.sessions.time_oriented.DurationHeuristic`)
+* ``heur2`` — time-oriented, page-stay (inter-request gap) bound
+  (:class:`~repro.sessions.time_oriented.PageStayHeuristic`)
+* ``heur3`` — navigation-oriented with path completion
+  (:class:`~repro.sessions.navigation_oriented.NavigationHeuristic`)
+
+The paper's own contribution, Smart-SRA (``heur4``), lives in
+:mod:`repro.core`.
+"""
+
+from repro.sessions.base import (
+    HEURISTIC_REGISTRY,
+    SessionReconstructor,
+    get_heuristic,
+    register_heuristic,
+)
+from repro.sessions.model import Request, Session, SessionSet
+from repro.sessions.ops import (
+    concatenate,
+    rename_pages,
+    sample_users,
+    split_by_user,
+    within_window,
+)
+from repro.sessions.navigation_oriented import NavigationHeuristic
+from repro.sessions.adaptive import AdaptiveTimeoutHeuristic
+from repro.sessions.referrer import ReferrerHeuristic
+from repro.sessions.time_oriented import DurationHeuristic, PageStayHeuristic
+
+__all__ = [
+    "Request",
+    "Session",
+    "SessionSet",
+    "SessionReconstructor",
+    "DurationHeuristic",
+    "PageStayHeuristic",
+    "NavigationHeuristic",
+    "ReferrerHeuristic",
+    "AdaptiveTimeoutHeuristic",
+    "HEURISTIC_REGISTRY",
+    "register_heuristic",
+    "get_heuristic",
+    "concatenate",
+    "within_window",
+    "sample_users",
+    "rename_pages",
+    "split_by_user",
+]

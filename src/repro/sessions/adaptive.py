@@ -1,0 +1,93 @@
+"""Adaptive-timeout session reconstruction.
+
+The fixed 10-minute page-stay threshold treats every user identically,
+but browsing tempo varies wildly: a fast scanner's genuine session break
+can be shorter than a slow reader's ordinary page stay.  The adaptive
+variant — a standard refinement in the session-identification literature —
+fits the cutoff *per user*:
+
+    cutoff(u) = clamp(mean_gap(u) + k · std_gap(u), floor, ceiling)
+
+and splits whenever a gap exceeds the user's own cutoff.  Users with too
+few gaps to estimate from fall back to the fixed default.  This is a
+timing-only heuristic (no topology), so it slots between heur2 and the
+topology-aware methods and is registered as ``"adaptive"``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.sessions.base import SessionReconstructor, register_heuristic
+from repro.sessions.model import Request, Session
+from repro.sessions.time_oriented import DEFAULT_PAGE_STAY
+
+__all__ = ["AdaptiveTimeoutHeuristic"]
+
+
+@register_heuristic("adaptive")
+class AdaptiveTimeoutHeuristic(SessionReconstructor):
+    """Per-user adaptive page-stay threshold.
+
+    Args:
+        sigmas: the *k* in ``mean + k·std`` (default 2.0 — a gap two
+            standard deviations above the user's norm is a break).
+        floor: minimum cutoff, seconds — guards users whose observed gaps
+            are uniformly tiny (default 60 s).
+        ceiling: maximum cutoff, seconds (default: the classic 10 min).
+        min_gaps: minimum observed gaps before the per-user estimate is
+            trusted; below it the ceiling is used as a fixed cutoff.
+
+    Raises:
+        ConfigurationError: for non-positive bounds, a negative ``sigmas``,
+            a floor above the ceiling, or ``min_gaps < 2``.
+    """
+
+    name = "adaptive"
+    label = "adaptive timeout (per-user mean + k*std)"
+
+    def __init__(self, sigmas: float = 2.0, floor: float = 60.0,
+                 ceiling: float = DEFAULT_PAGE_STAY,
+                 min_gaps: int = 3) -> None:
+        if sigmas < 0:
+            raise ConfigurationError(f"sigmas must be >= 0, got {sigmas}")
+        if floor <= 0 or ceiling <= 0:
+            raise ConfigurationError(
+                f"floor and ceiling must be positive, got {floor}/{ceiling}")
+        if floor > ceiling:
+            raise ConfigurationError(
+                f"floor {floor} exceeds ceiling {ceiling}")
+        if min_gaps < 2:
+            raise ConfigurationError(
+                f"min_gaps must be >= 2, got {min_gaps}")
+        self.sigmas = sigmas
+        self.floor = floor
+        self.ceiling = ceiling
+        self.min_gaps = min_gaps
+
+    def user_cutoff(self, requests: Sequence[Request]) -> float:
+        """The cutoff this user's gap statistics imply."""
+        gaps = [later.timestamp - earlier.timestamp
+                for earlier, later in zip(requests, requests[1:])]
+        if len(gaps) < self.min_gaps:
+            return self.ceiling
+        mean = sum(gaps) / len(gaps)
+        variance = sum((gap - mean) ** 2 for gap in gaps) / len(gaps)
+        cutoff = mean + self.sigmas * math.sqrt(variance)
+        return min(self.ceiling, max(self.floor, cutoff))
+
+    def reconstruct_user(self, requests: Sequence[Request]) -> list[Session]:
+        cutoff = self.user_cutoff(requests)
+        sessions: list[Session] = []
+        current: list[Request] = []
+        for request in requests:
+            if current and (request.timestamp - current[-1].timestamp
+                            > cutoff):
+                sessions.append(Session(current))
+                current = []
+            current.append(request)
+        if current:
+            sessions.append(Session(current))
+        return sessions

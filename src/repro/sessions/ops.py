@@ -1,0 +1,95 @@
+"""Session-set utility operations.
+
+Small, composable transformations analysts apply between reconstruction
+and mining: time-window restriction, per-user sampling, page renaming
+(e.g. joining anonymized datasets), and set concatenation.  All functions
+return new :class:`~repro.sessions.model.SessionSet` objects; inputs are
+never mutated.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable
+
+from repro.exceptions import EvaluationError
+from repro.sessions.model import Request, Session, SessionSet
+
+__all__ = [
+    "concatenate",
+    "within_window",
+    "sample_users",
+    "rename_pages",
+    "split_by_user",
+]
+
+
+def concatenate(session_sets: Iterable[SessionSet]) -> SessionSet:
+    """Concatenate several session sets (order preserved)."""
+    return SessionSet(session for session_set in session_sets
+                      for session in session_set)
+
+
+def within_window(sessions: SessionSet, start: float,
+                  end: float) -> SessionSet:
+    """Sessions that lie *entirely* within ``[start, end]``.
+
+    Sessions straddling the boundary are dropped, not truncated —
+    truncating would fabricate sessions that never happened.
+
+    Raises:
+        EvaluationError: if ``end < start``.
+    """
+    if end < start:
+        raise EvaluationError(
+            f"window end {end} precedes start {start}")
+    return SessionSet(
+        session for session in sessions
+        if session and start <= session.start_time
+        and session.end_time <= end)
+
+
+def sample_users(sessions: SessionSet, fraction: float,
+                 seed: int = 0) -> SessionSet:
+    """Keep all sessions of a random ``fraction`` of users.
+
+    Sampling whole users (not individual sessions) preserves per-user
+    session structure, which is what evaluation and mining assume.
+
+    Raises:
+        EvaluationError: for a fraction outside (0, 1].
+    """
+    if not 0 < fraction <= 1:
+        raise EvaluationError(
+            f"fraction must be in (0, 1], got {fraction}")
+    users = sorted(sessions.users())
+    rng = random.Random(seed)
+    keep_count = max(1, round(fraction * len(users))) if users else 0
+    kept = set(rng.sample(users, keep_count)) if users else set()
+    return SessionSet(session for session in sessions
+                      if session and session.user_id in kept)
+
+
+def rename_pages(sessions: SessionSet,
+                 mapping: Callable[[str], str]) -> SessionSet:
+    """Apply ``mapping`` to every page id (timestamps/users untouched).
+
+    Useful for joining datasets whose page namespaces differ (or for
+    pseudonymizing page names the way :mod:`repro.logs.anonymize` handles
+    hosts).
+    """
+    renamed = []
+    for session in sessions:
+        renamed.append(Session(
+            Request(request.timestamp, request.user_id,
+                    mapping(request.page), request.synthetic,
+                    (mapping(request.referrer)
+                     if request.referrer is not None else None))
+            for request in session))
+    return SessionSet(renamed)
+
+
+def split_by_user(sessions: SessionSet) -> dict[str, SessionSet]:
+    """One :class:`SessionSet` per user, keyed by user id."""
+    return {user: SessionSet(sessions.for_user(user))
+            for user in sessions.users()}

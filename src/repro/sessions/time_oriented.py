@@ -1,0 +1,105 @@
+"""Time-oriented session reconstruction heuristics (paper §2.1).
+
+Two classic reactive heuristics that look only at timestamps:
+
+* :class:`DurationHeuristic` (the paper's **heur1**) bounds the *total
+  session duration*: a request joins the current session iff its timestamp
+  is within ``δ`` of the session's **first** request.  δ defaults to
+  30 minutes (Catledge & Pitkow, 1995).
+* :class:`PageStayHeuristic` (the paper's **heur2**) bounds the *page-stay
+  time*: a request joins iff its gap from the **previous** request is at
+  most ``ρ``.  ρ defaults to 10 minutes.
+
+Worked example (paper Table 1): for the stream ``P1@0, P20@6, P13@15,
+P49@29, P34@32, P23@47`` (minutes), heur1 yields ``[P1 P20 P13 P49]``,
+``[P34 P23]`` and heur2 yields ``[P1 P20 P13]``, ``[P49 P34]``, ``[P23]``.
+Both are verified verbatim in ``tests/unit/test_time_oriented.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.sessions.base import SessionReconstructor, register_heuristic
+from repro.sessions.model import Request, Session
+
+__all__ = [
+    "DurationHeuristic",
+    "PageStayHeuristic",
+    "DEFAULT_SESSION_DURATION",
+    "DEFAULT_PAGE_STAY",
+]
+
+#: δ — default total-session-duration bound, seconds (30 minutes).
+DEFAULT_SESSION_DURATION = 30.0 * 60.0
+#: ρ — default page-stay bound, seconds (10 minutes).
+DEFAULT_PAGE_STAY = 10.0 * 60.0
+
+
+@register_heuristic("heur1", "duration")
+class DurationHeuristic(SessionReconstructor):
+    """heur1 — total session duration ≤ δ.
+
+    Args:
+        max_duration: the δ bound in seconds.
+
+    Raises:
+        ConfigurationError: for a non-positive bound.
+    """
+
+    name = "heur1"
+    label = "time-oriented (total duration ≤ 30 min)"
+
+    def __init__(self, max_duration: float = DEFAULT_SESSION_DURATION) -> None:
+        if max_duration <= 0:
+            raise ConfigurationError(
+                f"max_duration must be positive, got {max_duration}")
+        self.max_duration = max_duration
+
+    def reconstruct_user(self, requests: Sequence[Request]) -> list[Session]:
+        sessions: list[Session] = []
+        current: list[Request] = []
+        for request in requests:
+            if current and (request.timestamp - current[0].timestamp
+                            > self.max_duration):
+                sessions.append(Session(current))
+                current = []
+            current.append(request)
+        if current:
+            sessions.append(Session(current))
+        return sessions
+
+
+@register_heuristic("heur2", "page-stay")
+class PageStayHeuristic(SessionReconstructor):
+    """heur2 — inter-request gap ≤ ρ.
+
+    Args:
+        max_gap: the ρ bound in seconds.
+
+    Raises:
+        ConfigurationError: for a non-positive bound.
+    """
+
+    name = "heur2"
+    label = "time-oriented (page stay ≤ 10 min)"
+
+    def __init__(self, max_gap: float = DEFAULT_PAGE_STAY) -> None:
+        if max_gap <= 0:
+            raise ConfigurationError(
+                f"max_gap must be positive, got {max_gap}")
+        self.max_gap = max_gap
+
+    def reconstruct_user(self, requests: Sequence[Request]) -> list[Session]:
+        sessions: list[Session] = []
+        current: list[Request] = []
+        for request in requests:
+            if current and (request.timestamp - current[-1].timestamp
+                            > self.max_gap):
+                sessions.append(Session(current))
+                current = []
+            current.append(request)
+        if current:
+            sessions.append(Session(current))
+        return sessions

@@ -1,0 +1,281 @@
+"""Single-agent navigation simulation (paper §4, Figure 7).
+
+One simulated agent is one web user identified by one client IP.  The agent
+starts at a random site start page and repeatedly chooses among the four
+primitive behaviors (probabilities evaluated in the paper's order —
+terminate, new-initial-page, backtrack-and-branch, follow-link):
+
+========== =========================================================
+behavior   effect
+========== =========================================================
+STP        terminate the agent; the open session is closed.
+NIP        jump to a site start page; the open session is closed and a
+           new one begins with the jump target.  An unvisited target is
+           a server request; a revisited one (allowed by default, see
+           ``SimulationConfig.nip_revisits``) is a cache hit, hiding the
+           session boundary from the log.
+LPP        go *back* (through the browser cache) to an earlier page of
+           the open session that still has unvisited out-links and
+           branch from there.  The open session is closed; the new
+           session begins with the backtrack target (a **cache hit**,
+           invisible to the server) followed by the chosen branch page.
+default    follow a hyperlink from the current page to an unvisited
+           page (behavior 2; a server request).
+========== =========================================================
+
+Decisions the paper leaves open, made explicit here (see DESIGN.md):
+
+* Navigation only targets *unvisited* pages (the paper's behaviors 1 and 3
+  say so explicitly; we apply it to behavior 2 as well so that the ideal
+  infinite browser cache and the ground truth stay consistent).
+* **Dead ends** (current page has no unvisited out-link) fall back to the
+  LPP backtrack mechanics when some earlier page of the session still has
+  an unvisited out-link, and otherwise terminate the agent.
+* When NIP fires but every start page has been visited, the agent
+  terminates.
+
+Every landed page — cache hit or not — advances the clock by one
+truncated-normal stay time, so inter-request gaps in both the ground truth
+and the log follow the paper's timing model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import SimulationError
+from repro.sessions.model import Request, Session
+from repro.simulator.cache import BrowserCache
+from repro.simulator.clock import StayTimeSampler
+from repro.simulator.config import SimulationConfig
+from repro.simulator.pages import select_content_pages
+from repro.topology.graph import WebGraph
+
+__all__ = ["AgentTrace", "simulate_agent"]
+
+
+@dataclass(frozen=True, slots=True)
+class AgentTrace:
+    """Everything one agent produced.
+
+    Attributes:
+        agent_id: the agent's user identity (also its log IP key).
+        real_sessions: the ground-truth sessions, in chronological order.
+            Cache-served landings appear here with ``synthetic=True``.
+        server_requests: the requests that reached the server — the agent's
+            contribution to the access log — in chronological order.
+        cache_hits: landings served by the browser cache.
+        proxy_hits: landings served by the shared proxy cache (0 without a
+            proxy).
+        cache_misses: landings forwarded to the server
+            (``== len(server_requests)``).
+    """
+
+    agent_id: str
+    real_sessions: tuple[Session, ...]
+    server_requests: tuple[Request, ...]
+    cache_hits: int
+    proxy_hits: int
+    cache_misses: int
+
+
+class _AgentState:
+    """Mutable bookkeeping for one agent's walk."""
+
+    __slots__ = ("agent_id", "cache", "clock", "current", "sessions",
+                 "server", "landings", "_sampler", "_content_sampler",
+                 "_content_pages", "_proxy")
+
+    def __init__(self, agent_id: str, start_time: float,
+                 sampler: StayTimeSampler,
+                 content_sampler: StayTimeSampler | None = None,
+                 content_pages: frozenset[str] = frozenset(),
+                 proxy_cache: BrowserCache | None = None) -> None:
+        self.agent_id = agent_id
+        self.cache = BrowserCache()
+        self.clock = start_time
+        self.current: list[Request] = []
+        self.sessions: list[Session] = []
+        self.server: list[Request] = []
+        self.landings = 0
+        self._sampler = sampler
+        self._content_sampler = content_sampler
+        self._content_pages = content_pages
+        self._proxy = proxy_cache
+
+    def advance(self) -> None:
+        """Move the clock forward by the stay on the page being left.
+
+        Content pages (when the bimodal model is enabled) use the slower
+        content distribution; everything else — including the pre-visit
+        think time before the very first landing — uses the auxiliary one.
+        """
+        leaving = self.current[-1].page if self.current else None
+        if (self._content_sampler is not None
+                and leaving in self._content_pages):
+            self.clock += self._content_sampler.sample()
+        else:
+            self.clock += self._sampler.sample()
+
+    def land(self, page: str, referrer: str | None) -> None:
+        """The user arrives on ``page`` at the current clock time.
+
+        ``referrer`` is the page whose hyperlink was followed (``None`` for
+        direct entries: the agent's first page and NIP jumps).  It is
+        recorded on the server request exactly like a browser's Referer
+        header, feeding the Combined Log Format writer.
+        """
+        browser_miss = self.cache.request(page)
+        # Two-level caching: a browser miss may still be absorbed by the
+        # shared proxy cache, in which case the server never sees it.
+        served_by_server = browser_miss and (
+            self._proxy is None or self._proxy.request(page))
+        request = Request(self.clock, self.agent_id, page,
+                          synthetic=not served_by_server, referrer=referrer)
+        self.current.append(request)
+        if served_by_server:
+            self.server.append(Request(self.clock, self.agent_id, page,
+                                       referrer=referrer))
+        self.landings += 1
+
+    def close_session(self) -> None:
+        """End the open session (no-op when it is empty)."""
+        if self.current:
+            self.sessions.append(Session(self.current))
+            self.current = []
+
+    def backtrack_target(self, rng: random.Random,
+                         topology: WebGraph) -> str | None:
+        """Pick an earlier page of the open session with unvisited out-links.
+
+        The most recently landed page is excluded (LPP is about *previous*
+        pages).  Returns ``None`` when no earlier page qualifies.
+        """
+        candidates = sorted({
+            request.page for request in self.current[:-1]
+            if self.cache.unvisited(topology.successors(request.page))})
+        if not candidates:
+            return None
+        return rng.choice(candidates)
+
+
+def simulate_agent(agent_id: str, topology: WebGraph,
+                   config: SimulationConfig, rng: random.Random,
+                   start_time: float = 0.0,
+                   proxy_cache: BrowserCache | None = None) -> AgentTrace:
+    """Simulate one agent's complete navigation.
+
+    Args:
+        agent_id: user identity stamped on every request.
+        topology: the site being browsed.
+        config: behavioral probabilities and timing.
+        rng: the agent's private random stream.
+        start_time: clock value of the agent's first request, seconds.
+        proxy_cache: optional shared caching proxy (see
+            ``SimulationConfig.proxy_group_size``); pages it holds are
+            served without a server request.
+
+    Returns:
+        The agent's :class:`AgentTrace`.
+
+    Raises:
+        SimulationError: if the topology has no start pages reachable (never
+            for graphs built by this library, which validate start pages).
+    """
+    sampler = StayTimeSampler(config.mean_stay, config.stay_deviation,
+                              config.max_stay, rng)
+    content_sampler = None
+    content_pages: frozenset[str] = frozenset()
+    if config.content_fraction > 0:
+        content_sampler = StayTimeSampler(
+            config.content_mean_stay, config.content_stay_deviation,
+            config.max_stay, rng)
+        content_pages = select_content_pages(topology,
+                                             config.content_fraction)
+    state = _AgentState(agent_id, start_time, sampler, content_sampler,
+                        content_pages, proxy_cache)
+    start_pool = sorted(topology.start_pages)
+    if not start_pool:  # defensive; WebGraph already guarantees this
+        raise SimulationError("topology has no start pages")
+
+    next_page: str | None = rng.choice(start_pool)
+    next_referrer: str | None = None
+    while next_page is not None:
+        state.land(next_page, next_referrer)
+        next_page = None
+        next_referrer = None
+        if state.landings >= config.max_requests_per_agent:
+            break
+        if rng.random() < config.stp:  # behavior 4: terminate
+            break
+
+        if rng.random() < config.nip:  # behavior 1: new initial page
+            if config.nip_revisits:
+                jump_pool = [page for page in start_pool
+                             if page != state.current[-1].page]
+            else:
+                jump_pool = state.cache.unvisited(start_pool)
+            if not jump_pool:
+                break
+            state.advance()  # stay on the page being left (before closing)
+            state.close_session()
+            next_page = rng.choice(jump_pool)  # typed URL: no referrer
+            continue
+
+        current_page = state.current[-1].page
+        if rng.random() < config.lpp:  # behavior 3: backtrack and branch
+            target = state.backtrack_target(rng, topology)
+            if target is not None:
+                next_page = _branch_from(state, target, topology, rng)
+                next_referrer = target
+                continue
+            # No branchable earlier page: fall through to behavior 2.
+
+        # behavior 2: follow a link to an unvisited page
+        onward = state.cache.unvisited(
+            sorted(topology.successors(current_page)))
+        if onward:
+            state.advance()
+            next_page = rng.choice(onward)
+            next_referrer = current_page
+            continue
+
+        # Dead end: no unvisited out-link.  Backtrack if the session still
+        # has a branchable page, otherwise the user gives up.
+        target = state.backtrack_target(rng, topology)
+        if target is not None:
+            next_page = _branch_from(state, target, topology, rng)
+            next_referrer = target
+
+    state.close_session()
+    served = len(state.server)
+    return AgentTrace(
+        agent_id=agent_id,
+        real_sessions=tuple(state.sessions),
+        server_requests=tuple(state.server),
+        cache_hits=state.cache.hits,
+        proxy_hits=state.cache.misses - served,
+        cache_misses=served,
+    )
+
+
+def _branch_from(state: _AgentState, target: str, topology: WebGraph,
+                 rng: random.Random) -> str:
+    """Behavior-3 mechanics: close the session, land on ``target`` via the
+    cache, and return the unvisited successor the user branches to.
+
+    ``target`` must have at least one unvisited successor (guaranteed by
+    :meth:`_AgentState.backtrack_target`).
+    """
+    state.advance()  # stay on the page being left (before closing)
+    state.close_session()
+    # Landing on the target is always a cache hit (it was visited earlier);
+    # the browser back/forward buttons send no referrer.
+    state.land(target, referrer=None)
+    onward = state.cache.unvisited(sorted(topology.successors(target)))
+    if not onward:  # defensive; backtrack_target vetted this
+        raise SimulationError(
+            f"backtrack target {target!r} lost its unvisited successors")
+    state.advance()
+    return rng.choice(onward)

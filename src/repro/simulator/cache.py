@@ -1,0 +1,65 @@
+"""Browser/proxy cache model.
+
+The reactive-processing problem exists because browsers and proxies serve
+repeated requests locally: those requests never reach the server and are
+therefore invisible in the access log.  :class:`BrowserCache` models the
+idealized infinite browser cache the paper assumes — the first request for
+a page is a **miss** (forwarded to the server, logged) and every later
+request for the same page is a **hit** (served locally, unlogged).
+
+The cache also doubles as the agent's per-lifetime *visited set*: the
+navigation behaviors choose among "new pages not accessed before", i.e.
+pages not yet in the cache.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["BrowserCache"]
+
+
+class BrowserCache:
+    """An infinite, per-agent page cache with hit/miss accounting."""
+
+    __slots__ = ("_pages", "hits", "misses")
+
+    def __init__(self, pages: Iterable[str] = ()) -> None:
+        self._pages: set[str] = set(pages)
+        #: requests served locally so far.
+        self.hits = 0
+        #: requests forwarded to the server so far.
+        self.misses = 0
+
+    def __contains__(self, page: str) -> bool:
+        return page in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._pages)
+
+    def request(self, page: str) -> bool:
+        """Record a request for ``page``.
+
+        Returns:
+            ``True`` if the request reached the server (cache miss; the
+            page is now cached), ``False`` for a cache hit.
+        """
+        if page in self._pages:
+            self.hits += 1
+            return False
+        self._pages.add(page)
+        self.misses += 1
+        return True
+
+    def unvisited(self, pages: Iterable[str]) -> list[str]:
+        """The subset of ``pages`` not yet cached, in input order."""
+        return [page for page in pages if page not in self._pages]
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served locally (0.0 before any request)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,65 @@
+"""Page-stay time sampling.
+
+The paper models the time a user spends on a page before the next request
+as normally distributed with mean 2.12-2.2 minutes and standard deviation
+0.5 minutes, and guarantees that behaviors 2 and 3 never exceed the
+10-minute page-stay threshold.  :class:`StayTimeSampler` realizes this as a
+normal distribution truncated to ``(0, max_stay]`` via rejection sampling.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import SimulationError
+
+__all__ = ["StayTimeSampler"]
+
+_MAX_REJECTIONS = 1000
+
+
+class StayTimeSampler:
+    """Truncated-normal sampler for inter-request gaps.
+
+    Args:
+        mean: mean stay in seconds.
+        deviation: standard deviation in seconds.  Zero degenerates to a
+            constant ``mean`` (still subject to the truncation check).
+        max_stay: upper truncation bound in seconds.
+        rng: the random stream to draw from.
+
+    Raises:
+        SimulationError: if the untruncated mean lies above ``max_stay``
+            (the rejection loop would almost never terminate), or at sample
+            time if rejection sampling fails to land in ``(0, max_stay]``
+            within a generous bound.
+    """
+
+    __slots__ = ("mean", "deviation", "max_stay", "_rng")
+
+    def __init__(self, mean: float, deviation: float, max_stay: float,
+                 rng: random.Random) -> None:
+        if mean > max_stay:
+            raise SimulationError(
+                f"mean stay {mean}s exceeds the truncation bound "
+                f"{max_stay}s; rejection sampling would not converge")
+        self.mean = mean
+        self.deviation = deviation
+        self.max_stay = max_stay
+        self._rng = rng
+
+    def sample(self) -> float:
+        """Draw one stay time in ``(0, max_stay]`` seconds."""
+        if self.deviation == 0:
+            if not 0 < self.mean <= self.max_stay:
+                raise SimulationError(
+                    f"constant stay {self.mean}s outside (0, {self.max_stay}]")
+            return self.mean
+        for _ in range(_MAX_REJECTIONS):
+            value = self._rng.gauss(self.mean, self.deviation)
+            if 0 < value <= self.max_stay:
+                return value
+        raise SimulationError(
+            f"could not sample a stay in (0, {self.max_stay}] after "
+            f"{_MAX_REJECTIONS} draws (mean={self.mean}, "
+            f"deviation={self.deviation})")

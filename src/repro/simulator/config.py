@@ -1,0 +1,154 @@
+"""Simulation configuration (paper Table 5 defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SimulationConfig", "PAPER_SIMULATION_DEFAULTS"]
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """Behavioral parameters of the agent simulator.
+
+    Attributes:
+        stp: Session Termination Probability — per-request probability that
+            the agent stops navigating (so the probability a session has
+            terminated by its *n*-th request is ``1 - (1 - STP)^n``).
+        lpp: Link-from-Previous-pages Probability — probability that the
+            next request branches from an earlier page of the session via
+            the browser cache (behavior 3).
+        nip: New Initial-page Probability — probability that the agent jumps
+            to a site start page, ending the current session (behavior 1).
+        nip_revisits: whether a NIP jump may target an *already visited*
+            start page.  ``True`` (default) follows the behavior-1 prose
+            ("any one of the possible entry pages"); a revisited entry page
+            is served from the browser cache, hiding the session boundary
+            from the log — which is what makes large NIP values hard for
+            every heuristic (Figure 10).  ``False`` follows the Figure 7
+            pseudocode comment ("new, un-accessed initial page"); the agent
+            then terminates once all start pages have been visited.  The
+            difference is measured by ``bench_ablation_nip_revisits``.
+        mean_stay: mean page-stay time in seconds (Table 5: 2.2 minutes).
+        stay_deviation: standard deviation of the page-stay time in seconds
+            (Table 5: 0.5 minutes).
+        max_stay: hard upper truncation of a single stay, seconds.  The
+            paper states behaviors 2 and 3 always stay under the 10-minute
+            page-stay threshold; the truncated-normal sampler enforces it.
+        content_fraction: fraction of pages treated as *content* pages with
+            their own (longer) stay-time distribution.  ``0.0`` (default)
+            reproduces the paper's single-distribution timing; a positive
+            value enables the bimodal auxiliary/content model that
+            transaction-identification methods (reference length, Cooley
+            et al. 1999) assume.  Content pages are chosen
+            deterministically from the topology via
+            :func:`repro.simulator.pages.select_content_pages`.
+        content_mean_stay / content_stay_deviation: the content pages'
+            stay-time distribution, seconds (defaults: 7 ± 2 minutes).
+        proxy_group_size: number of agents sharing one caching proxy.
+            ``1`` (default) means no proxy — the paper's base setting.
+            With ``k > 1``, agents are grouped ``k`` at a time behind a
+            shared cache: a page any group member already fetched is served
+            by the proxy and **never reaches the server log**, which is
+            exactly the proxy unreliability the paper's §1 describes
+            ("caching performed by ... proxy servers will make web log data
+            even less reliable").  Group members are simulated in
+            start-time order, so proxy warm-up is approximated at agent
+            granularity (overlapping sessions within a group are not
+            interleaved request-by-request).
+        n_agents: number of simulated agents (Table 5: 10,000).
+        max_requests_per_agent: safety bound on one agent's navigation
+            length.  With the paper's parameters an agent terminates after
+            ~1/STP requests in expectation; the bound only exists to keep
+            degenerate configurations (STP ≈ 0) from running away.
+        seed: base RNG seed; agent *i* uses an independent stream derived
+            from ``seed`` and *i*, so results are reproducible and
+            population prefixes are stable (agent 7 behaves identically in
+            a 100-agent and a 10,000-agent run).
+
+    Raises:
+        ConfigurationError: for probabilities outside their documented
+            ranges or non-positive times/counts.  STP must be strictly
+            positive — a zero termination probability would let agents
+            navigate forever.
+    """
+
+    stp: float = 0.05
+    lpp: float = 0.30
+    nip: float = 0.30
+    nip_revisits: bool = True
+    mean_stay: float = 2.2 * 60.0
+    stay_deviation: float = 0.5 * 60.0
+    max_stay: float = 10.0 * 60.0
+    content_fraction: float = 0.0
+    content_mean_stay: float = 7.0 * 60.0
+    content_stay_deviation: float = 2.0 * 60.0
+    proxy_group_size: int = 1
+    n_agents: int = 10_000
+    max_requests_per_agent: int = 500
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.stp <= 1:
+            raise ConfigurationError(
+                f"stp must be in (0, 1], got {self.stp}")
+        if not 0 <= self.lpp < 1:
+            raise ConfigurationError(
+                f"lpp must be in [0, 1), got {self.lpp}")
+        if not 0 <= self.nip < 1:
+            raise ConfigurationError(
+                f"nip must be in [0, 1), got {self.nip}")
+        if self.mean_stay <= 0:
+            raise ConfigurationError(
+                f"mean_stay must be positive, got {self.mean_stay}")
+        if self.stay_deviation < 0:
+            raise ConfigurationError(
+                f"stay_deviation must be >= 0, got {self.stay_deviation}")
+        if self.max_stay <= 0:
+            raise ConfigurationError(
+                f"max_stay must be positive, got {self.max_stay}")
+        if not 0 <= self.content_fraction <= 1:
+            raise ConfigurationError(
+                "content_fraction must be in [0, 1], got "
+                f"{self.content_fraction}")
+        if self.content_mean_stay <= 0:
+            raise ConfigurationError(
+                "content_mean_stay must be positive, got "
+                f"{self.content_mean_stay}")
+        if self.content_stay_deviation < 0:
+            raise ConfigurationError(
+                "content_stay_deviation must be >= 0, got "
+                f"{self.content_stay_deviation}")
+        if self.content_fraction > 0 and self.content_mean_stay > self.max_stay:
+            raise ConfigurationError(
+                f"content_mean_stay {self.content_mean_stay}s exceeds "
+                f"max_stay {self.max_stay}s")
+        if self.proxy_group_size <= 0:
+            raise ConfigurationError(
+                "proxy_group_size must be positive, got "
+                f"{self.proxy_group_size}")
+        if self.n_agents <= 0:
+            raise ConfigurationError(
+                f"n_agents must be positive, got {self.n_agents}")
+        if self.max_requests_per_agent <= 0:
+            raise ConfigurationError(
+                "max_requests_per_agent must be positive, got "
+                f"{self.max_requests_per_agent}")
+
+    def with_(self, **overrides: object) -> "SimulationConfig":
+        """Return a copy with the given fields replaced.
+
+        The experiment sweeps use this to vary one probability while
+        holding the rest at the paper's defaults::
+
+            >>> PAPER_SIMULATION_DEFAULTS.with_(stp=0.10).stp
+            0.1
+        """
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+#: Table 5 of the paper verbatim: STP 5%, LPP 30%, NIP 30%, stay
+#: 2.2 ± 0.5 minutes, 10,000 agents.
+PAPER_SIMULATION_DEFAULTS = SimulationConfig()

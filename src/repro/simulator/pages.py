@@ -1,0 +1,50 @@
+"""Auxiliary/content page classification for the simulator.
+
+Transaction-identification methods (Cooley et al., 1999) divide pages into
+*auxiliary* pages (navigation scaffolding users pass through quickly) and
+*content* pages (what they came for, where they linger).  The simulator
+realizes that model by designating a deterministic subset of the topology
+as content pages and drawing their stay times from a second, slower
+distribution (see :class:`~repro.simulator.config.SimulationConfig`).
+
+The selection heuristic mirrors real sites: pages with *few out-links*
+tend to be content (articles, product pages), hubs with many out-links are
+navigation.  Ties are broken by page id, and start pages are never content
+(a site's entry points are navigational by construction).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SimulationError
+from repro.topology.graph import WebGraph
+
+__all__ = ["select_content_pages"]
+
+
+def select_content_pages(topology: WebGraph,
+                         fraction: float) -> frozenset[str]:
+    """Choose the content-page subset of ``topology``.
+
+    Args:
+        topology: the site.
+        fraction: target fraction of pages (rounded; start pages are
+            excluded from candidacy, so the realized fraction can be lower
+            on tiny sites).
+
+    Returns:
+        The content pages: the non-start pages with the fewest out-links.
+
+    Raises:
+        SimulationError: for a fraction outside [0, 1].
+    """
+    if not 0 <= fraction <= 1:
+        raise SimulationError(
+            f"content fraction must be in [0, 1], got {fraction}")
+    if fraction == 0:
+        return frozenset()
+    candidates = sorted(
+        (page for page in topology.pages
+         if page not in topology.start_pages),
+        key=lambda page: (topology.out_degree(page), page))
+    count = min(len(candidates), round(fraction * topology.page_count))
+    return frozenset(candidates[:count])

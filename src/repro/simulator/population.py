@@ -1,0 +1,221 @@
+"""Multi-agent simulation.
+
+:func:`simulate_population` runs :func:`~repro.simulator.agent.simulate_agent`
+for ``config.n_agents`` independent agents over one topology and bundles
+
+* the ground-truth :class:`~repro.sessions.model.SessionSet`, and
+* the merged, time-sorted server request stream (the access log content)
+
+into a :class:`SimulationResult` — the input pairing every evaluation in
+the paper's §5 consumes.
+
+Each agent draws from an RNG seeded by ``(config.seed, agent index)``, so
+individual agents are reproducible and *prefix-stable*: agent 41 behaves
+identically whether the population has 100 or 10,000 members.  Agents start
+at independent uniformly random offsets within ``horizon`` (default: one
+day), like real visitors arriving over a day.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import SimulationError
+from repro.sessions.model import Request, SessionSet
+from repro.simulator.arrivals import sample_arrival
+from repro.simulator.agent import AgentTrace, simulate_agent
+from repro.simulator.config import SimulationConfig
+from repro.topology.graph import WebGraph
+
+__all__ = ["SimulationResult", "simulate_population"]
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Outcome of simulating a whole agent population.
+
+    Attributes:
+        topology: the site the agents browsed.
+        config: the behavioral configuration used.
+        ground_truth: every agent's real sessions (the denominator of the
+            paper's accuracy metric).
+        log_requests: all server-served requests, sorted by timestamp —
+            exactly what a web server's access log records, ready for
+            :mod:`repro.logs` serialization or direct reconstruction.
+        traces: the per-agent traces, for cache statistics and drill-down.
+    """
+
+    topology: WebGraph
+    config: SimulationConfig
+    ground_truth: SessionSet
+    log_requests: tuple[Request, ...]
+    traces: tuple[AgentTrace, ...]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Population-wide fraction of landings hidden by caches (browser
+        plus proxy) — landings the server log never saw."""
+        hidden = sum(trace.cache_hits + trace.proxy_hits
+                     for trace in self.traces)
+        served = sum(trace.cache_misses for trace in self.traces)
+        total = hidden + served
+        return hidden / total if total else 0.0
+
+    def sessions_per_agent(self) -> float:
+        """Mean number of ground-truth sessions per agent."""
+        if not self.traces:
+            return 0.0
+        return len(self.ground_truth) / len(self.traces)
+
+
+def agent_name(index: int) -> str:
+    """Canonical agent identity for agent ``index`` (doubles as its IP key)."""
+    return f"agent{index:06d}"
+
+
+def _agent_rng_and_start(config: SimulationConfig, index: int,
+                         horizon: float,
+                         arrival_profile: str = "uniform"
+                         ) -> tuple[random.Random, float]:
+    """The agent's private random stream and start time (drawn first, so
+    agent behavior is a pure function of (seed, index, horizon,
+    profile))."""
+    rng = random.Random(f"{config.seed}:{index}")
+    if horizon:
+        start_time = sample_arrival(rng.random(), horizon, arrival_profile)
+    else:
+        rng.random()  # keep the stream aligned across profiles
+        start_time = 0.0
+    return rng, start_time
+
+
+def _simulate_range(topology: WebGraph, config: SimulationConfig,
+                    horizon: float, indices: list[int],
+                    arrival_profile: str = "uniform") -> list[AgentTrace]:
+    """Simulate the given agent indices without proxy sharing."""
+    traces = []
+    for index in indices:
+        rng, start_time = _agent_rng_and_start(config, index, horizon,
+                                               arrival_profile)
+        traces.append(simulate_agent(agent_name(index), topology, config,
+                                     rng, start_time))
+    return traces
+
+
+def _simulate_chunk(payload: tuple[WebGraph, SimulationConfig, float,
+                                   list[int], str]) -> list[AgentTrace]:
+    """Process-pool entry point (module level so it pickles)."""
+    topology, config, horizon, indices, arrival_profile = payload
+    return _simulate_range(topology, config, horizon, indices,
+                           arrival_profile)
+
+
+def simulate_population(topology: WebGraph, config: SimulationConfig,
+                        horizon: float = 86_400.0,
+                        n_workers: int | None = None,
+                        arrival_profile: str = "uniform"
+                        ) -> SimulationResult:
+    """Simulate ``config.n_agents`` agents browsing ``topology``.
+
+    Args:
+        topology: the site to browse.
+        config: behavioral parameters (including ``n_agents``, ``seed`` and
+            ``proxy_group_size``).
+        horizon: agents' first requests are spread uniformly over
+            ``[0, horizon)`` seconds.
+        n_workers: parallelize across processes.  Results are identical to
+            the serial run (agents are seeded independently); only allowed
+            without proxy sharing, whose shared caches are inherently
+            sequential.
+        arrival_profile: how arrivals spread over the horizon —
+            ``"uniform"`` (paper-implicit default) or ``"diurnal"`` (see
+            :mod:`repro.simulator.arrivals`).
+
+    Raises:
+        SimulationError: if ``horizon`` is negative, ``n_workers`` is
+            non-positive, or workers are combined with a proxy.
+    """
+    if horizon < 0:
+        raise SimulationError(f"horizon must be >= 0, got {horizon}")
+    if n_workers is not None and n_workers <= 0:
+        raise SimulationError(f"n_workers must be positive, got {n_workers}")
+
+    if config.proxy_group_size > 1:
+        if n_workers is not None and n_workers > 1:
+            raise SimulationError(
+                "proxy sharing is sequential; do not combine "
+                "proxy_group_size > 1 with n_workers > 1")
+        traces = _simulate_with_proxies(topology, config, horizon,
+                                        arrival_profile)
+    elif n_workers is not None and n_workers > 1:
+        traces = _simulate_parallel(topology, config, horizon, n_workers,
+                                    arrival_profile)
+    else:
+        traces = _simulate_range(topology, config, horizon,
+                                 list(range(config.n_agents)),
+                                 arrival_profile)
+
+    ground_truth = SessionSet(
+        session for trace in traces for session in trace.real_sessions)
+    log_requests = sorted(
+        (request for trace in traces for request in trace.server_requests),
+        key=lambda request: (request.timestamp, request.user_id))
+    return SimulationResult(
+        topology=topology,
+        config=config,
+        ground_truth=ground_truth,
+        log_requests=tuple(log_requests),
+        traces=tuple(traces),
+    )
+
+
+def _simulate_with_proxies(topology: WebGraph, config: SimulationConfig,
+                           horizon: float,
+                           arrival_profile: str = "uniform"
+                           ) -> list[AgentTrace]:
+    """Simulate with agents grouped behind shared proxy caches.
+
+    Within each group, agents run in start-time order so the proxy warms
+    up roughly as it would in wall-clock time (agent-granular
+    approximation; see :class:`SimulationConfig`).
+    """
+    from repro.simulator.cache import BrowserCache
+
+    prepared = []
+    for index in range(config.n_agents):
+        rng, start_time = _agent_rng_and_start(config, index, horizon,
+                                               arrival_profile)
+        prepared.append((index, rng, start_time))
+
+    traces: list[AgentTrace | None] = [None] * config.n_agents
+    group_size = config.proxy_group_size
+    for group_start in range(0, config.n_agents, group_size):
+        group = prepared[group_start:group_start + group_size]
+        proxy = BrowserCache()
+        for index, rng, start_time in sorted(group,
+                                             key=lambda item: item[2]):
+            traces[index] = simulate_agent(
+                agent_name(index), topology, config, rng, start_time,
+                proxy_cache=proxy)
+    return [trace for trace in traces if trace is not None]
+
+
+def _simulate_parallel(topology: WebGraph, config: SimulationConfig,
+                       horizon: float, n_workers: int,
+                       arrival_profile: str = "uniform"
+                       ) -> list[AgentTrace]:
+    """Fan agent simulation out over a process pool (order-preserving)."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    indices = list(range(config.n_agents))
+    chunk_size = max(1, (config.n_agents + n_workers - 1) // n_workers)
+    chunks = [indices[offset:offset + chunk_size]
+              for offset in range(0, config.n_agents, chunk_size)]
+    payloads = [(topology, config, horizon, chunk, arrival_profile)
+                for chunk in chunks]
+    traces: list[AgentTrace] = []
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        for chunk_traces in pool.map(_simulate_chunk, payloads):
+            traces.extend(chunk_traces)
+    return traces

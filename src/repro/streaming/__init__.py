@@ -1,0 +1,32 @@
+"""Streaming (incremental) session reconstruction.
+
+The paper's "reactive" processing is batch: collect the log, process it
+offline.  Production log pipelines usually cannot wait — they *tail* the
+access log and want sessions emitted as soon as they are provably complete.
+This package provides an incremental driver for exactly that:
+
+* :class:`~repro.streaming.pipeline.StreamingReconstructor` — feeds
+  requests one at a time, buffers each user's open Phase-1 candidate, and
+  emits finished sessions the moment the time rules prove the candidate
+  closed (or a watermark passes);
+* :func:`~repro.streaming.pipeline.streaming_smart_sra` /
+  :func:`~repro.streaming.pipeline.streaming_phase1` — the two canonical
+  configurations.
+
+The streaming output is *identical* to the batch output (verified by
+property test): Smart-SRA's two-phase structure makes it naturally
+streamable, because Phase 2 only ever looks inside one time-closed
+candidate.
+"""
+
+from repro.streaming.pipeline import (
+    StreamingReconstructor,
+    streaming_phase1,
+    streaming_smart_sra,
+)
+
+__all__ = [
+    "StreamingReconstructor",
+    "streaming_smart_sra",
+    "streaming_phase1",
+]

@@ -1,0 +1,179 @@
+"""The incremental session-reconstruction driver.
+
+:class:`StreamingReconstructor` exploits the structure of Smart-SRA's
+Phase 1: a candidate session is *closed* — no future request can legally
+join it — as soon as either
+
+* a newer request from the same user arrives more than ρ after the
+  candidate's last request (page-stay rule), or
+* the event-time watermark passes ρ beyond the candidate's last request
+  (no same-user request can arrive earlier than the watermark).
+
+When a candidate closes, a pluggable ``finisher`` turns it into sessions:
+Smart-SRA's Phase 2 (:func:`streaming_smart_sra`) or the identity
+(:func:`streaming_phase1`).  Because Phase 2 never looks across candidate
+boundaries, the streamed output equals the batch output exactly.
+
+Example::
+
+    pipeline = streaming_smart_sra(topology)
+    for request in tail_the_log():
+        for session in pipeline.feed(request):
+            handle(session)          # emitted as soon as provably complete
+    for session in pipeline.flush():
+        handle(session)              # end of stream
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.config import SmartSRAConfig
+from repro.core.phase2 import maximal_sessions_fast
+from repro.exceptions import ReconstructionError
+from repro.sessions.model import Request, Session
+from repro.topology.graph import WebGraph
+
+__all__ = [
+    "StreamingReconstructor",
+    "streaming_smart_sra",
+    "streaming_phase1",
+    "StreamingStats",
+]
+
+#: turns one closed Phase-1 candidate into finished sessions.
+Finisher = Callable[[Sequence[Request]], list[Session]]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamingStats:
+    """Point-in-time pipeline statistics.
+
+    Attributes:
+        active_users: users with a buffered open candidate.
+        buffered_requests: total requests held in open candidates.
+        emitted_sessions: sessions emitted since construction.
+        fed_requests: requests accepted since construction.
+    """
+
+    active_users: int
+    buffered_requests: int
+    emitted_sessions: int
+    fed_requests: int
+
+
+class StreamingReconstructor:
+    """Incremental Phase-1 candidate builder with pluggable finishing.
+
+    Args:
+        finisher: maps a closed candidate (non-empty, chronological) to
+            finished sessions.
+        config: the δ/ρ thresholds (paper defaults when omitted).
+
+    Per-user event-time must be non-decreasing; feeding an older request
+    for a user whose buffer has advanced raises
+    :class:`~repro.exceptions.ReconstructionError` (callers that need
+    out-of-order tolerance should sort within a bounded reorder window
+    before feeding).
+    """
+
+    def __init__(self, finisher: Finisher,
+                 config: SmartSRAConfig | None = None) -> None:
+        self._finisher = finisher
+        self.config = config if config is not None else SmartSRAConfig()
+        self._buffers: dict[str, list[Request]] = {}
+        self._emitted = 0
+        self._fed = 0
+
+    # -- feeding -----------------------------------------------------------
+
+    def feed(self, request: Request) -> list[Session]:
+        """Accept one request; return any sessions it proved complete.
+
+        Raises:
+            ReconstructionError: for a negative timestamp or an
+                out-of-order request (older than the user's buffered tail).
+        """
+        if request.timestamp < 0:
+            raise ReconstructionError(
+                f"negative timestamp {request.timestamp}")
+        buffer = self._buffers.get(request.user_id)
+        emitted: list[Session] = []
+        if buffer is not None:
+            last = buffer[-1]
+            if request.timestamp < last.timestamp:
+                raise ReconstructionError(
+                    f"out-of-order request for user {request.user_id!r}: "
+                    f"{request.timestamp} after {last.timestamp}")
+            gap = request.timestamp - last.timestamp
+            span = request.timestamp - buffer[0].timestamp
+            if gap > self.config.max_gap or span > self.config.max_duration:
+                emitted = self._finish(request.user_id)
+        self._buffers.setdefault(request.user_id, []).append(request)
+        self._fed += 1
+        return emitted
+
+    def feed_many(self, requests: Iterable[Request]) -> list[Session]:
+        """Feed a batch of requests; returns all sessions they completed."""
+        emitted: list[Session] = []
+        for request in requests:
+            emitted.extend(self.feed(request))
+        return emitted
+
+    # -- closing -----------------------------------------------------------
+
+    def flush(self, watermark: float | None = None) -> list[Session]:
+        """Emit sessions that can no longer grow.
+
+        Args:
+            watermark: event-time lower bound for all *future* requests.
+                Candidates whose last request lies more than ρ before it
+                are provably closed and are emitted.  ``None`` closes
+                everything (end of stream).
+        """
+        emitted: list[Session] = []
+        for user_id in list(self._buffers):
+            buffer = self._buffers[user_id]
+            if (watermark is None
+                    or watermark - buffer[-1].timestamp > self.config.max_gap):
+                emitted.extend(self._finish(user_id))
+        return emitted
+
+    def _finish(self, user_id: str) -> list[Session]:
+        candidate = self._buffers.pop(user_id, None)
+        if not candidate:
+            return []
+        sessions = self._finisher(candidate)
+        self._emitted += len(sessions)
+        return sessions
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> StreamingStats:
+        """Current buffering/emission counters."""
+        return StreamingStats(
+            active_users=len(self._buffers),
+            buffered_requests=sum(len(buffer)
+                                  for buffer in self._buffers.values()),
+            emitted_sessions=self._emitted,
+            fed_requests=self._fed,
+        )
+
+
+def streaming_smart_sra(topology: WebGraph,
+                        config: SmartSRAConfig | None = None
+                        ) -> StreamingReconstructor:
+    """A streaming pipeline emitting full Smart-SRA (heur4) sessions."""
+    resolved = config if config is not None else SmartSRAConfig()
+    return StreamingReconstructor(
+        lambda candidate: maximal_sessions_fast(candidate, topology,
+                                                resolved),
+        resolved)
+
+
+def streaming_phase1(config: SmartSRAConfig | None = None
+                     ) -> StreamingReconstructor:
+    """A streaming pipeline emitting raw Phase-1 candidates as sessions."""
+    return StreamingReconstructor(
+        lambda candidate: [Session(candidate)], config)

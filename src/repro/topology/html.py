@@ -1,0 +1,122 @@
+"""Extract a web topology from a directory of static HTML files.
+
+The paper restricts itself to static sites, whose link structure is fully
+determined by the HTML on disk.  :func:`graph_from_html_dir` turns such a
+directory into a :class:`~repro.topology.graph.WebGraph`, so the library
+runs against *real* sites, not just generated ones:
+
+* every ``*.html``/``*.htm`` file becomes a page (its path relative to the
+  root, without the extension, is the page id);
+* every ``<a href="...">`` to another local HTML file becomes a hyperlink
+  (fragments and query strings stripped; external and non-HTML targets
+  ignored);
+* start pages are the conventional index files (``index.html`` at any
+  depth), falling back to all pages when none exists.
+
+Only the standard library's :mod:`html.parser` is used.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import posixpath
+from html.parser import HTMLParser
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import WebGraph
+
+__all__ = ["extract_links", "graph_from_html_dir"]
+
+_HTML_SUFFIXES = (".html", ".htm")
+
+
+class _LinkCollector(HTMLParser):
+    """Collects ``href`` targets of anchor tags."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.hrefs: list[str] = []
+
+    def handle_starttag(self, tag: str, attrs) -> None:  # noqa: ANN001
+        if tag.lower() != "a":
+            return
+        for name, value in attrs:
+            if name.lower() == "href" and value:
+                self.hrefs.append(value)
+
+
+def extract_links(html_text: str) -> list[str]:
+    """All anchor ``href`` values in ``html_text``, in document order."""
+    collector = _LinkCollector()
+    collector.feed(html_text)
+    return collector.hrefs
+
+
+def _is_local_html(href: str) -> bool:
+    if "://" in href or href.startswith(("mailto:", "javascript:", "#",
+                                         "//")):
+        return False
+    path = href.split("#", 1)[0].split("?", 1)[0]
+    return path.lower().endswith(_HTML_SUFFIXES)
+
+
+def _page_id(relative_path: str) -> str:
+    """``docs/a.html`` → ``docs/a``."""
+    stem, __, __ = relative_path.rpartition(".")
+    return stem
+
+
+def graph_from_html_dir(root: str) -> WebGraph:
+    """Build the site topology from the static HTML under ``root``.
+
+    Args:
+        root: directory containing the site (scanned recursively).
+
+    Returns:
+        The extracted :class:`WebGraph`.  Relative links are resolved
+        against each file's directory; links escaping ``root`` or pointing
+        at missing files are dropped (a real crawler would 404 on them).
+
+    Raises:
+        TopologyError: when ``root`` is not a directory or contains no
+            HTML files.
+    """
+    base = pathlib.Path(root)
+    if not base.is_dir():
+        raise TopologyError(f"{root!r} is not a directory")
+
+    html_files = sorted(
+        path for path in base.rglob("*")
+        if path.is_file() and path.suffix.lower() in _HTML_SUFFIXES)
+    if not html_files:
+        raise TopologyError(f"no HTML files under {root!r}")
+
+    pages: dict[str, pathlib.Path] = {}
+    for path in html_files:
+        relative = path.relative_to(base).as_posix()
+        pages[_page_id(relative)] = path
+
+    edges: list[tuple[str, str]] = []
+    for page_id, path in pages.items():
+        directory = posixpath.dirname(page_id and f"{page_id}.x") or ""
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for href in extract_links(text):
+            if not _is_local_html(href):
+                continue
+            clean = href.split("#", 1)[0].split("?", 1)[0]
+            if clean.startswith("/"):
+                resolved = posixpath.normpath(clean.lstrip("/"))
+            else:
+                resolved = posixpath.normpath(
+                    posixpath.join(directory, clean))
+            if resolved.startswith(".."):
+                continue  # escapes the site root
+            target = _page_id(resolved)
+            if target in pages and target != page_id:
+                edges.append((page_id, target))
+
+    starts = [page_id for page_id in pages
+              if posixpath.basename(page_id) == "index"]
+    if not starts:
+        starts = sorted(pages)
+    return WebGraph(edges, pages=pages.keys(), start_pages=starts)

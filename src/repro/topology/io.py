@@ -1,0 +1,125 @@
+"""Topology (de)serialization.
+
+Two interchange formats are supported:
+
+* **JSON** — a self-describing object with ``pages``, ``edges`` and
+  ``start_pages`` keys; the format used by :func:`save_graph` /
+  :func:`load_graph` and by the CLI.
+* **adjacency lines** — the classic ``src -> dst1 dst2 …`` text format many
+  crawlers emit; start pages are flagged with a leading ``*``.  Useful for
+  hand-authoring small example topologies (see ``examples/``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import WebGraph
+
+__all__ = [
+    "graph_to_jsonable",
+    "graph_from_jsonable",
+    "save_graph",
+    "load_graph",
+    "graph_to_adjacency_lines",
+    "graph_from_adjacency_lines",
+]
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_jsonable(graph: WebGraph) -> dict[str, object]:
+    """Encode ``graph`` as JSON-serializable data."""
+    return {
+        "version": _FORMAT_VERSION,
+        "pages": sorted(graph.pages),
+        "start_pages": sorted(graph.start_pages),
+        "edges": [[src, dst] for src, dst in graph.edges()],
+    }
+
+
+def graph_from_jsonable(data: dict[str, object]) -> WebGraph:
+    """Decode the structure produced by :func:`graph_to_jsonable`.
+
+    Raises:
+        TopologyError: for a missing key or an unsupported format version.
+    """
+    try:
+        version = data["version"]
+        pages = data["pages"]
+        start_pages = data["start_pages"]
+        edges = data["edges"]
+    except (KeyError, TypeError) as exc:
+        raise TopologyError(f"malformed topology document: {exc}") from exc
+    if version != _FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported topology format version {version!r} "
+            f"(expected {_FORMAT_VERSION})")
+    return WebGraph(
+        ((str(src), str(dst)) for src, dst in edges),  # type: ignore[union-attr]
+        pages=(str(p) for p in pages),  # type: ignore[union-attr]
+        start_pages=(str(p) for p in start_pages))  # type: ignore[union-attr]
+
+
+def save_graph(graph: WebGraph, path: str) -> None:
+    """Write ``graph`` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(graph_to_jsonable(graph), handle, indent=1)
+
+
+def load_graph(path: str) -> WebGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    with open(path, encoding="utf-8") as handle:
+        return graph_from_jsonable(json.load(handle))
+
+
+def graph_to_adjacency_lines(graph: WebGraph) -> list[str]:
+    """Render ``graph`` in the ``src -> dst1 dst2`` text format.
+
+    Start pages are prefixed with ``*``.  Pages without out-links still get
+    a line (with an empty target list) so the round trip is lossless.
+    """
+    lines = []
+    for page in sorted(graph.pages):
+        marker = "*" if page in graph.start_pages else ""
+        targets = " ".join(sorted(graph.successors(page)))
+        lines.append(f"{marker}{page} -> {targets}".rstrip())
+    return lines
+
+
+def graph_from_adjacency_lines(lines: Iterable[str]) -> WebGraph:
+    """Parse the format produced by :func:`graph_to_adjacency_lines`.
+
+    Blank lines and ``#`` comments are ignored.
+
+    Raises:
+        TopologyError: for a line without the ``->`` separator, or a
+            document declaring no start page.
+    """
+    edges: list[tuple[str, str]] = []
+    pages: set[str] = set()
+    start_pages: set[str] = set()
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "->" not in line:
+            raise TopologyError(f"missing '->' separator in line: {line!r}")
+        left, right = line.split("->", 1)
+        src = left.strip()
+        if src.startswith("*"):
+            src = src[1:].strip()
+            start_pages.add(src)
+        if not src:
+            raise TopologyError(f"empty source page in line: {line!r}")
+        pages.add(src)
+        for dst in right.split():
+            pages.add(dst)
+            edges.append((src, dst))
+    if not start_pages:
+        raise TopologyError(
+            "adjacency document declares no start page (prefix one or more "
+            "source pages with '*')")
+    return WebGraph(edges, pages=pages, start_pages=start_pages)

@@ -1,0 +1,37 @@
+"""Transaction identification — the step after session reconstruction.
+
+The data-preparation lineage the paper builds on (Cooley, Mobasher &
+Srivastava 1999 — its reference [6]; Chen, Park & Yu's maximal forward
+references) divides each reconstructed session into *transactions*:
+semantically meaningful sub-units suitable for association mining.  Two
+classic methods are implemented:
+
+* :mod:`repro.transactions.maximal_forward` — **Maximal Forward Reference**
+  (MFR): cut a session at every backward reference, keeping each maximal
+  forward path.  Purely structural; pairs naturally with heur3's
+  path-completed sessions (whose inserted back-moves are exactly the
+  backward references MFR cuts at).
+* :mod:`repro.transactions.reference_length` — **Reference Length** (RL):
+  classify each page visit as *auxiliary* (short stay — navigation) or
+  *content* (long stay) using a cutoff estimated from the observed stay
+  distribution, then emit one transaction per content page (the auxiliary
+  path leading to it plus the content page).
+
+The simulator's bimodal timing model
+(:class:`~repro.simulator.config.SimulationConfig` with
+``content_fraction > 0``) generates ground truth for evaluating RL: the
+``bench_transactions`` benchmark measures how accurately RL recovers the
+true content pages from timing alone.
+"""
+
+from repro.transactions.maximal_forward import maximal_forward_references
+from repro.transactions.reference_length import (
+    ReferenceLengthModel,
+    estimate_cutoff,
+)
+
+__all__ = [
+    "maximal_forward_references",
+    "ReferenceLengthModel",
+    "estimate_cutoff",
+]

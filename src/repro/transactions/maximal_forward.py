@@ -1,0 +1,67 @@
+"""Maximal Forward Reference transaction identification.
+
+Chen, Park & Yu's classic method: walk the session's page sequence while
+maintaining the current *forward path*.  A request for a page already on
+the path is a **backward reference** — the user pressed Back — so the path
+so far was a *maximal forward reference*: emit it as a transaction and
+truncate the path back to that page.  A request for a new page extends the
+path.  The final path is emitted too.
+
+Example: ``A B C B D`` →  transactions ``(A, B, C)`` and ``(A, B, D)``.
+
+Duplicate-free sessions (Smart-SRA output, whose sessions never repeat a
+page) pass through as single transactions; heur3's path-completed sessions
+split at exactly their inserted back-moves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.sessions.model import Session, SessionSet
+
+__all__ = ["maximal_forward_references"]
+
+
+def _split_path(pages: Sequence[str]) -> list[tuple[str, ...]]:
+    transactions: list[tuple[str, ...]] = []
+    path: list[str] = []
+    position: dict[str, int] = {}
+    moved_forward = False
+    for page in pages:
+        if page in position:
+            # backward reference: the path so far was maximal iff we moved
+            # forward since the last emission.
+            if moved_forward:
+                transactions.append(tuple(path))
+                moved_forward = False
+            del path[position[page] + 1:]
+            for stale in list(position):
+                if position[stale] > position[page]:
+                    del position[stale]
+        else:
+            position[page] = len(path)
+            path.append(page)
+            moved_forward = True
+    if moved_forward and path:
+        transactions.append(tuple(path))
+    return transactions
+
+
+def maximal_forward_references(sessions: SessionSet | Session
+                               ) -> list[tuple[str, ...]]:
+    """Split sessions into maximal-forward-reference transactions.
+
+    Args:
+        sessions: a single session or a whole set.
+
+    Returns:
+        All transactions, in session order then traversal order.  Empty
+        sessions contribute nothing.
+    """
+    if isinstance(sessions, Session):
+        return _split_path(sessions.pages)
+    transactions: list[tuple[str, ...]] = []
+    for session in sessions:
+        transactions.extend(_split_path(session.pages))
+    return transactions

@@ -1,0 +1,42 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+Only the quick, deterministic examples run here (the sweep-heavy ones are
+covered by the benchmark suite); each is executed in a subprocess exactly
+as a user would run it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent.parent / "examples"
+
+FAST_EXAMPLES = {
+    "worked_examples.py": "P1 P20 *P1 P13 P49 *P13 P34 P23",
+    "quickstart.py": "Smart-SRA (heur4) recovers the most sessions",
+    "streaming_tail.py": "identical: True",
+}
+
+
+@pytest.mark.parametrize("script", sorted(FAST_EXAMPLES))
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=240, check=False)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert FAST_EXAMPLES[script] in completed.stdout
+
+
+def test_every_example_has_a_module_docstring_and_main():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 10
+    for script in scripts:
+        text = script.read_text(encoding="utf-8")
+        assert text.startswith('"""'), f"{script.name} lacks a docstring"
+        assert 'if __name__ == "__main__":' in text, (
+            f"{script.name} is not runnable")
+        assert "Run:" in text, f"{script.name} lacks a Run: line"

@@ -1,0 +1,90 @@
+"""Golden-number regression: pinned results on the frozen small dataset.
+
+The ``small`` dataset tier (see :mod:`repro.datasets`) is fully seeded, so
+every quantity below is deterministic.  These exact pins protect the
+reproduction against silent algorithmic drift: any change to the
+simulator's behavior model, a heuristic's rules, or the metric will move
+one of these numbers and fail loudly here — at which point either the
+change was a bug, or it is intentional and the pins (and EXPERIMENTS.md)
+must be re-derived together.
+
+The pins were computed at repository version 1.0.0.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import build_dataset
+from repro.evaluation.harness import standard_heuristics
+from repro.evaluation.metrics import evaluate_reconstruction
+
+# exact pinned values for the frozen `small` tier (seeded end to end).
+GOLDEN = {
+    "real_sessions": 1350,
+    "log_records": 2283,
+    "matched_accuracy": {
+        "heur1": 0.1696,
+        "heur2": 0.1481,
+        "heur3": 0.3348,
+        "heur4": 0.4652,
+    },
+    "any_capture_accuracy": {
+        "heur1": 0.5296,
+        "heur2": 0.5356,
+        "heur3": 0.7593,
+        "heur4": 0.6585,
+    },
+    "reconstructed_counts": {
+        "heur1": 311,
+        "heur2": 205,
+        "heur3": 595,
+        "heur4": 1020,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def small_tier():
+    spec, topology, simulation = build_dataset("small")
+    reports = {}
+    for name, heuristic in standard_heuristics(topology).items():
+        sessions = heuristic.reconstruct(simulation.log_requests)
+        reports[name] = evaluate_reconstruction(
+            name, simulation.ground_truth, sessions)
+    return simulation, reports
+
+
+def test_dataset_shape_is_pinned(small_tier):
+    simulation, __ = small_tier
+    assert len(simulation.ground_truth) == GOLDEN["real_sessions"]
+    assert len(simulation.log_requests) == GOLDEN["log_records"]
+
+
+@pytest.mark.parametrize("name", ["heur1", "heur2", "heur3", "heur4"])
+def test_matched_accuracy_is_pinned(small_tier, name):
+    __, reports = small_tier
+    assert reports[name].matched_accuracy == pytest.approx(
+        GOLDEN["matched_accuracy"][name], abs=5e-5)
+
+
+@pytest.mark.parametrize("name", ["heur1", "heur2", "heur3", "heur4"])
+def test_any_capture_accuracy_is_pinned(small_tier, name):
+    __, reports = small_tier
+    assert reports[name].accuracy == pytest.approx(
+        GOLDEN["any_capture_accuracy"][name], abs=5e-5)
+
+
+@pytest.mark.parametrize("name", ["heur1", "heur2", "heur3", "heur4"])
+def test_session_counts_are_pinned(small_tier, name):
+    __, reports = small_tier
+    assert (reports[name].reconstructed_count
+            == GOLDEN["reconstructed_counts"][name])
+
+
+def test_golden_ordering_matches_the_paper(small_tier):
+    __, reports = small_tier
+    matched = {name: report.matched_accuracy
+               for name, report in reports.items()}
+    assert (matched["heur4"] > matched["heur3"]
+            > matched["heur1"] > matched["heur2"])

@@ -1,0 +1,86 @@
+"""Integration: the paper's headline claims at the Table 5 operating point.
+
+These assertions encode the *shape* of Figures 8-10, not absolute numbers:
+Smart-SRA must dominate the three baselines, and the qualitative trends
+(accuracy rises with STP, falls with LPP) must hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.harness import run_trial
+from repro.simulator.config import SimulationConfig
+from repro.topology.generators import random_site
+
+
+@pytest.fixture(scope="module")
+def paper_like_site():
+    # smaller than the paper's 300 pages for test speed, same density ratio.
+    return random_site(n_pages=120, avg_out_degree=8, seed=11)
+
+
+@pytest.fixture(scope="module")
+def default_trial(paper_like_site):
+    return run_trial(paper_like_site,
+                     SimulationConfig(n_agents=400, seed=23))
+
+
+class TestHeadlineOrdering:
+    def test_smart_sra_wins(self, default_trial):
+        accs = default_trial.accuracies()
+        assert accs["heur4"] > accs["heur1"]
+        assert accs["heur4"] > accs["heur2"]
+        assert accs["heur4"] > accs["heur3"]
+
+    def test_smart_sra_clearly_better_than_time_heuristics(self,
+                                                           default_trial):
+        accs = default_trial.accuracies()
+        best_time = max(accs["heur1"], accs["heur2"])
+        assert accs["heur4"] > 1.4 * best_time
+
+    def test_navigation_beats_time_at_defaults(self, default_trial):
+        accs = default_trial.accuracies()
+        assert accs["heur3"] > max(accs["heur1"], accs["heur2"])
+
+    def test_smart_sra_sessions_shorter_than_heur3(self, default_trial):
+        """§3: Smart-SRA avoids heur3's inserted backward movements, so its
+        sessions are shorter."""
+        reports = default_trial.reports
+        assert (reports["heur4"].mean_reconstructed_length
+                < reports["heur3"].mean_reconstructed_length)
+
+
+class TestTrends:
+    def test_accuracy_rises_with_stp(self, paper_like_site):
+        low = run_trial(paper_like_site,
+                        SimulationConfig(n_agents=300, seed=5, stp=0.02))
+        high = run_trial(paper_like_site,
+                         SimulationConfig(n_agents=300, seed=5, stp=0.20))
+        for name in ("heur1", "heur2", "heur3", "heur4"):
+            assert high.accuracies()[name] > low.accuracies()[name]
+
+    def test_accuracy_falls_with_lpp(self, paper_like_site):
+        low = run_trial(paper_like_site,
+                        SimulationConfig(n_agents=300, seed=5, lpp=0.0))
+        high = run_trial(paper_like_site,
+                         SimulationConfig(n_agents=300, seed=5, lpp=0.8))
+        for name in ("heur1", "heur2", "heur3", "heur4"):
+            assert high.accuracies()[name] < low.accuracies()[name]
+
+    def test_smart_sra_wins_across_lpp_range(self, paper_like_site):
+        for lpp in (0.0, 0.4, 0.8):
+            trial = run_trial(paper_like_site,
+                              SimulationConfig(n_agents=300, seed=5,
+                                               lpp=lpp))
+            accs = trial.accuracies()
+            assert accs["heur4"] >= max(accs["heur1"], accs["heur2"],
+                                        accs["heur3"])
+
+    def test_time_heuristics_fall_with_nip(self, paper_like_site):
+        low = run_trial(paper_like_site,
+                        SimulationConfig(n_agents=300, seed=5, nip=0.05))
+        high = run_trial(paper_like_site,
+                         SimulationConfig(n_agents=300, seed=5, nip=0.85))
+        for name in ("heur1", "heur2"):
+            assert high.accuracies()[name] < low.accuracies()[name]

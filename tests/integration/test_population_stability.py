@@ -1,0 +1,41 @@
+"""Integration: accuracy estimates converge well below the paper's 10,000
+agents — the justification for running the benches on smaller populations
+(see DESIGN.md's substitution table)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.harness import run_trial
+from repro.simulator.config import SimulationConfig
+from repro.topology.generators import random_site
+
+
+@pytest.fixture(scope="module")
+def site():
+    return random_site(n_pages=100, avg_out_degree=8, seed=17)
+
+
+def test_accuracy_stable_across_population_sizes(site):
+    medium = run_trial(site, SimulationConfig(n_agents=400, seed=1))
+    large = run_trial(site, SimulationConfig(n_agents=1200, seed=1))
+    for name in ("heur1", "heur2", "heur3", "heur4"):
+        assert medium.accuracies()[name] == pytest.approx(
+            large.accuracies()[name], abs=0.04)
+
+
+def test_accuracy_stable_across_seeds(site):
+    config = SimulationConfig(n_agents=500, seed=1)
+    first = run_trial(site, config)
+    second = run_trial(site, config.with_(seed=2))
+    for name in ("heur1", "heur2", "heur3", "heur4"):
+        assert first.accuracies()[name] == pytest.approx(
+            second.accuracies()[name], abs=0.05)
+
+
+def test_ordering_stable_across_topology_seeds():
+    for topo_seed in (3, 4):
+        site = random_site(n_pages=100, avg_out_degree=8, seed=topo_seed)
+        trial = run_trial(site, SimulationConfig(n_agents=300, seed=9))
+        accs = trial.accuracies()
+        assert accs["heur4"] > max(accs["heur1"], accs["heur2"])

@@ -1,0 +1,101 @@
+"""Integration: multi-module workflows a real user would run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.smart_sra import SmartSRA
+from repro.datasets import write_dataset
+from repro.evaluation.comparison import compare_heuristics
+from repro.evaluation.metrics import evaluate_reconstruction
+from repro.evaluation.similarity import similarity_report
+from repro.evaluation.spec import run_spec
+from repro.evaluation.taxonomy import ErrorCategory, error_breakdown
+from repro.logs.reader import read_clf_file, records_to_requests
+from repro.sessions.model import SessionSet
+from repro.sessions.referrer import ReferrerHeuristic
+from repro.topology.io import load_graph
+
+
+class TestDatasetWorkflow:
+    """A consumer works from a frozen dataset bundle alone."""
+
+    @pytest.fixture(scope="class")
+    def bundle(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("bundle")
+        write_dataset("small", str(directory))
+        topology = load_graph(str(directory / "topology.json"))
+        truth = SessionSet.load(str(directory / "ground_truth.json"))
+        clf_requests = records_to_requests(
+            read_clf_file(str(directory / "access.log")))
+        combined_requests = records_to_requests(
+            read_clf_file(str(directory / "access_combined.log")))
+        return topology, truth, clf_requests, combined_requests
+
+    def test_referrer_beats_smart_sra_significantly(self, bundle):
+        topology, truth, clf_requests, combined_requests = bundle
+        smart = SmartSRA(topology).reconstruct(clf_requests)
+        referrer = ReferrerHeuristic().reconstruct(combined_requests)
+        result = compare_heuristics(truth, referrer, smart,
+                                    "referrer", "heur4")
+        assert result.winner == "referrer"
+        assert result.significant(0.01)
+
+    def test_plain_and_combined_logs_agree_on_timing(self, bundle):
+        __, __, clf_requests, combined_requests = bundle
+        assert [(r.user_id, r.page, r.timestamp)
+                for r in clf_requests] == [
+            (r.user_id, r.page, r.timestamp) for r in combined_requests]
+        # ... but only the combined log carries referrers.
+        assert all(r.referrer is None for r in clf_requests)
+        assert any(r.referrer is not None for r in combined_requests)
+
+    def test_metrics_are_mutually_consistent(self, bundle):
+        topology, truth, clf_requests, __ = bundle
+        sessions = SmartSRA(topology).reconstruct(clf_requests)
+        binary = evaluate_reconstruction("heur4", truth, sessions)
+        graded = similarity_report("heur4", truth, sessions)
+        breakdown = error_breakdown(truth, sessions)
+        # graded recall upper-bounds binary any-capture:
+        assert graded.graded_recall >= binary.accuracy - 1e-12
+        # taxonomy EXACT+MERGED must equal the binary captured count:
+        captured_by_taxonomy = (breakdown[ErrorCategory.EXACT]
+                                + breakdown[ErrorCategory.MERGED])
+        assert captured_by_taxonomy == binary.captured
+        # exact counts agree between the report and the taxonomy:
+        assert breakdown[ErrorCategory.EXACT] == binary.exact
+
+
+class TestSpecDrivenFigure:
+    def test_shipped_spec_reproduces_ordering(self):
+        """A scaled-down copy of specs/fig9_lpp.json must show heur4 >
+        heur3 at both sweep ends."""
+        spec = {
+            "topology": {"family": "random", "pages": 120,
+                         "out_degree": 8, "seed": 0},
+            "simulation": {"n_agents": 150, "seed": 0},
+            "heuristics": ["heur3", "heur4"],
+            "sweep": {"parameter": "lpp", "values": [0.0, 0.8]},
+        }
+        result = run_spec(spec)
+        series = result.series()
+        assert series["heur4"][0] >= series["heur3"][0] - 0.02
+        assert series["heur4"][1] > series["heur3"][1]
+
+    def test_shipped_spec_files_parse_and_validate(self):
+        import json
+        import pathlib
+        spec_dir = pathlib.Path(__file__).parent.parent.parent / "specs"
+        from repro.evaluation.spec import (
+            _SIMULATION_FIELDS,
+            _SPEC_KEYS,
+            build_topology,
+        )
+        specs = sorted(spec_dir.glob("*.json"))
+        assert len(specs) >= 4
+        for path in specs:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+            assert set(document) <= _SPEC_KEYS
+            assert set(document.get("simulation", {})) <= _SIMULATION_FIELDS
+            build_topology(document.get("topology", {}))

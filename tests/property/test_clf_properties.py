@@ -1,0 +1,71 @@
+"""Property tests for CLF formatting/parsing and log cleaning."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logs.cleaning import LogCleaner, NoiseInjector
+from repro.logs.clf import (
+    CLFRecord,
+    format_clf_line,
+    page_to_url,
+    parse_clf_line,
+    url_to_page,
+)
+
+_HOSTS = st.one_of(
+    st.from_regex(r"[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}",
+                  fullmatch=True),
+    st.from_regex(r"agent[0-9]{6}", fullmatch=True),
+)
+
+_RECORDS = st.builds(
+    CLFRecord,
+    host=_HOSTS,
+    # stay within years 1970-2100 so strftime-ish rendering is exercised
+    timestamp=st.floats(0, 4_102_444_800, allow_nan=False),
+    method=st.sampled_from(["GET", "POST", "HEAD"]),
+    url=st.from_regex(r"/[A-Za-z0-9_/]{1,20}\.(html|png|css)",
+                      fullmatch=True),
+    protocol=st.sampled_from(["HTTP/1.0", "HTTP/1.1"]),
+    status=st.sampled_from([200, 204, 301, 304, 404, 500]),
+    size=st.one_of(st.none(), st.integers(0, 10_000_000)),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_RECORDS)
+def test_format_parse_roundtrip(record):
+    parsed = parse_clf_line(format_clf_line(record))
+    # CLF quantizes to whole seconds; everything else must survive exactly.
+    assert parsed.host == record.host
+    assert parsed.timestamp == float(int(record.timestamp))
+    assert parsed.method == record.method
+    assert parsed.url == record.url
+    assert parsed.protocol == record.protocol
+    assert parsed.status == record.status
+    assert parsed.size == record.size
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.from_regex(r"P[0-9]{1,6}", fullmatch=True))
+def test_page_url_roundtrip(page):
+    assert url_to_page(page_to_url(page)) == page
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.builds(
+    CLFRecord,
+    host=_HOSTS,
+    timestamp=st.floats(0, 1_000_000, allow_nan=False),
+    method=st.just("GET"),
+    url=st.from_regex(r"/P[0-9]{1,4}\.html", fullmatch=True),
+    protocol=st.just("HTTP/1.1"),
+    status=st.just(200),
+    size=st.integers(1, 1000),
+), max_size=15), st.integers(0, 100))
+def test_cleaning_inverts_injection(records, seed):
+    """For any clean page-view log, inject-then-clean is the identity."""
+    noisy = NoiseInjector(seed=seed).inject(records)
+    recovered, __ = LogCleaner().clean(noisy)
+    assert recovered == records

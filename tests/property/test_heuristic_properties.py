@@ -1,0 +1,80 @@
+"""Property tests shared by the baseline heuristics.
+
+All reconstructors must *partition* a user's request stream in order
+(time-oriented heuristics exactly; heur3 may additionally insert synthetic
+backward movements, so for it we check the non-synthetic projection).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sessions.model import Request
+from repro.sessions.navigation_oriented import NavigationHeuristic
+from repro.sessions.time_oriented import DurationHeuristic, PageStayHeuristic
+from repro.topology.generators import random_site
+
+
+@st.composite
+def request_stream(draw):
+    gaps = draw(st.lists(st.floats(0.0, 3600.0), max_size=25))
+    pages = draw(st.lists(st.sampled_from([f"P{i}" for i in range(8)]),
+                          min_size=len(gaps), max_size=len(gaps)))
+    clock = 0.0
+    requests = []
+    for gap, page in zip(gaps, pages):
+        clock += gap
+        requests.append(Request(clock, "u", page))
+    return requests
+
+
+@settings(max_examples=80, deadline=None)
+@given(request_stream())
+def test_duration_heuristic_partitions_stream(requests):
+    sessions = DurationHeuristic().reconstruct_user(requests)
+    flattened = [request for session in sessions for request in session]
+    assert flattened == requests
+    for session in sessions:
+        assert session.duration <= 30 * 60
+
+
+@settings(max_examples=80, deadline=None)
+@given(request_stream())
+def test_page_stay_heuristic_partitions_stream(requests):
+    sessions = PageStayHeuristic().reconstruct_user(requests)
+    flattened = [request for session in sessions for request in session]
+    assert flattened == requests
+    for session in sessions:
+        assert session.max_gap() <= 10 * 60
+
+
+@settings(max_examples=80, deadline=None)
+@given(request_stream())
+def test_both_time_heuristics_cover_every_request(requests):
+    for heuristic in (DurationHeuristic(), PageStayHeuristic()):
+        sessions = heuristic.reconstruct_user(requests)
+        assert sum(len(session) for session in sessions) == len(requests)
+
+
+@settings(max_examples=60, deadline=None)
+@given(request_stream(), st.integers(0, 1000))
+def test_navigation_heuristic_preserves_real_requests_in_order(requests,
+                                                               seed):
+    graph = random_site(8, 3.0, start_fraction=0.5, seed=seed)
+    sessions = NavigationHeuristic(graph).reconstruct_user(requests)
+    replayed = [request for session in sessions for request in session
+                if not request.synthetic]
+    assert replayed == requests
+
+
+@settings(max_examples=60, deadline=None)
+@given(request_stream(), st.integers(0, 1000))
+def test_navigation_heuristic_inserted_pages_come_from_session(requests,
+                                                               seed):
+    graph = random_site(8, 3.0, start_fraction=0.5, seed=seed)
+    for session in NavigationHeuristic(graph).reconstruct_user(requests):
+        seen: set[str] = set()
+        for request in session:
+            if request.synthetic:
+                assert request.page in seen
+            seen.add(request.page)

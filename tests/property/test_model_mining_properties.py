@@ -1,0 +1,93 @@
+"""Property tests for the session model and the mining invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mining.apriori import apriori
+from repro.mining.sequential import frequent_sequences
+from repro.sessions.model import Request, Session, SessionSet
+
+_PAGES = st.sampled_from([f"P{i}" for i in range(6)])
+
+
+@st.composite
+def session_sets(draw):
+    n_sessions = draw(st.integers(1, 12))
+    sessions = []
+    for index in range(n_sessions):
+        pages = draw(st.lists(_PAGES, min_size=1, max_size=8))
+        sessions.append(Session.from_pages(pages, user_id=f"u{index % 3}"))
+    return SessionSet(sessions)
+
+
+@settings(max_examples=80, deadline=None)
+@given(session_sets())
+def test_session_set_json_roundtrip(sessions):
+    assert SessionSet.from_jsonable(sessions.to_jsonable()) == sessions
+
+
+@settings(max_examples=80, deadline=None)
+@given(session_sets())
+def test_session_set_accounting(sessions):
+    assert sessions.total_requests() == sum(len(s) for s in sessions)
+    assert (sessions.mean_length() * len(sessions)
+            == pytest.approx(sessions.total_requests()))
+    vocabulary = sessions.page_vocabulary()
+    for session in sessions:
+        assert set(session.pages) <= vocabulary
+
+
+@settings(max_examples=40, deadline=None)
+@given(session_sets(), st.floats(0.1, 1.0))
+def test_apriori_supports_are_exact(sessions, min_support):
+    transactions = [session.distinct_pages() for session in sessions]
+    for itemset in apriori(sessions, min_support=min_support, max_size=3):
+        true_count = sum(1 for transaction in transactions
+                         if set(itemset.pages) <= transaction)
+        assert itemset.count == true_count
+        assert itemset.support == true_count / len(transactions)
+        assert itemset.support >= min_support - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(session_sets(), st.floats(0.1, 1.0))
+def test_apriori_downward_closure(sessions, min_support):
+    mined = {frozenset(item.pages)
+             for item in apriori(sessions, min_support=min_support,
+                                 max_size=4)}
+    for itemset in mined:
+        for page in itemset:
+            if len(itemset) > 1:
+                assert itemset - {page} in mined
+
+
+@settings(max_examples=40, deadline=None)
+@given(session_sets(), st.floats(0.1, 1.0))
+def test_sequences_support_monotone_in_length(sessions, min_support):
+    """A pattern's support never exceeds any of its contiguous
+    sub-patterns' supports (anti-monotonicity)."""
+    patterns = frequent_sequences(sessions, min_support=min_support,
+                                  max_length=4)
+    support = {pattern.pages: pattern.support for pattern in patterns}
+    for pages, value in support.items():
+        if len(pages) > 1:
+            prefix = pages[:-1]
+            suffix = pages[1:]
+            if prefix in support:
+                assert value <= support[prefix] + 1e-12
+            if suffix in support:
+                assert value <= support[suffix] + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(session_sets(), st.floats(0.1, 1.0))
+def test_sequences_are_actually_contiguous(sessions, min_support):
+    from repro.evaluation.subsequence import contains
+    patterns = frequent_sequences(sessions, min_support=min_support,
+                                  max_length=4)
+    for pattern in patterns:
+        true_count = sum(1 for session in sessions
+                         if contains(session.pages, pattern.pages))
+        assert pattern.count == true_count

@@ -1,0 +1,107 @@
+"""Property tests for session-set ops and log anonymization."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logs.anonymize import pseudonymize_hosts, truncate_ipv4_hosts
+from repro.logs.clf import CLFRecord
+from repro.sessions.model import Session, SessionSet
+from repro.sessions.ops import (
+    concatenate,
+    rename_pages,
+    sample_users,
+    split_by_user,
+    within_window,
+)
+
+_PAGES = st.sampled_from([f"P{i}" for i in range(5)])
+
+
+@st.composite
+def session_sets(draw):
+    n = draw(st.integers(1, 10))
+    sessions = []
+    for index in range(n):
+        pages = draw(st.lists(_PAGES, min_size=1, max_size=5))
+        start = draw(st.floats(0.0, 5000.0))
+        sessions.append(Session.from_pages(
+            pages, user_id=f"u{index % 4}", start=start, gap=30.0))
+    return SessionSet(sessions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(session_sets())
+def test_split_then_concatenate_is_identity_up_to_order(sessions):
+    rebuilt = concatenate(split_by_user(sessions).values())
+    assert sorted((s.user_id, s.pages, s.start_time) for s in rebuilt) \
+        == sorted((s.user_id, s.pages, s.start_time) for s in sessions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(session_sets(), st.floats(0.0, 5000.0), st.floats(0.0, 5000.0))
+def test_window_keeps_exactly_the_contained(sessions, a, b):
+    start, end = min(a, b), max(a, b)
+    kept = within_window(sessions, start, end)
+    expected = sorted(
+        (s.user_id, s.pages, s.start_time) for s in sessions
+        if start <= s.start_time and s.end_time <= end)
+    assert sorted((s.user_id, s.pages, s.start_time) for s in kept) \
+        == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(session_sets(), st.floats(0.1, 1.0), st.integers(0, 50))
+def test_sampling_never_splits_a_user(sessions, fraction, seed):
+    sampled = sample_users(sessions, fraction, seed=seed)
+    for user in sampled.users():
+        assert len(sampled.for_user(user)) == len(sessions.for_user(user))
+
+
+@settings(max_examples=60, deadline=None)
+@given(session_sets())
+def test_rename_roundtrip(sessions):
+    there = rename_pages(sessions, lambda page: f"x-{page}")
+    back = rename_pages(there, lambda page: page[2:])
+    assert [s.pages for s in back] == [s.pages for s in sessions]
+
+
+_HOSTS = st.one_of(
+    st.from_regex(r"[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}",
+                  fullmatch=True),
+    st.from_regex(r"host[a-z0-9]{1,8}", fullmatch=True),
+)
+
+
+@st.composite
+def record_lists(draw):
+    hosts = draw(st.lists(_HOSTS, min_size=1, max_size=6))
+    records = []
+    for index, host in enumerate(hosts * 2):
+        records.append(CLFRecord(host, float(index), "GET",
+                                 f"/P{index}.html", "HTTP/1.1", 200, 10))
+    return records
+
+
+@settings(max_examples=60, deadline=None)
+@given(record_lists(), st.text(min_size=1, max_size=10))
+def test_pseudonymization_preserves_host_partition(records, key):
+    anonymous = pseudonymize_hosts(records, key=key)
+    original_partition = [record.host for record in records]
+    masked_partition = [record.host for record in anonymous]
+    # same host ↔ same pseudonym (the partition is isomorphic)
+    mapping: dict[str, str] = {}
+    for original, masked in zip(original_partition, masked_partition):
+        assert mapping.setdefault(original, masked) == masked
+    assert len(set(mapping.values())) == len(set(original_partition))
+
+
+@settings(max_examples=60, deadline=None)
+@given(record_lists(), st.integers(1, 3))
+def test_truncation_is_idempotent_and_coarsening(records, keep):
+    once = truncate_ipv4_hosts(records, keep_octets=keep)
+    twice = truncate_ipv4_hosts(once, keep_octets=keep)
+    assert once == twice
+    # truncation can only merge hosts, never split them.
+    assert (len({record.host for record in once})
+            <= len({record.host for record in records}))

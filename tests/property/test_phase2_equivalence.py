@@ -1,0 +1,59 @@
+"""Property test: the fast Phase 2 equals the paper-reference Phase 2."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SmartSRAConfig
+from repro.core.phase2 import maximal_sessions, maximal_sessions_fast
+from repro.sessions.model import Request
+from repro.topology.generators import random_site
+
+
+@st.composite
+def candidate_and_topology(draw):
+    seed = draw(st.integers(0, 10_000))
+    n_pages = draw(st.integers(2, 20))
+    density = draw(st.floats(0.5, min(6.0, n_pages - 1)))
+    graph = random_site(n_pages, density, start_fraction=0.5, seed=seed)
+    pages = sorted(graph.pages)
+    rng = random.Random(seed + 1)
+    length = draw(st.integers(0, 30))
+    # gaps small enough that most requests stay in one ρ window, with
+    # occasional larger ones to exercise the window boundary.
+    gaps = draw(st.lists(st.floats(0.0, 700.0), min_size=length,
+                         max_size=length))
+    clock = 0.0
+    candidate = []
+    for gap in gaps:
+        clock += min(gap, 590.0)  # keep it a legal Phase-1 candidate
+        candidate.append(Request(clock, "u", rng.choice(pages)))
+    return graph, candidate
+
+
+def _session_multiset(sessions):
+    return sorted(tuple((r.page, r.timestamp) for r in session)
+                  for session in sessions)
+
+
+@settings(max_examples=120, deadline=None)
+@given(candidate_and_topology(), st.booleans())
+def test_fast_equals_reference(data, rescue):
+    graph, candidate = data
+    config = SmartSRAConfig(rescue_orphans=rescue)
+    reference = maximal_sessions(candidate, graph, config)
+    fast = maximal_sessions_fast(candidate, graph, config)
+    assert _session_multiset(fast) == _session_multiset(reference)
+
+
+@settings(max_examples=60, deadline=None)
+@given(candidate_and_topology())
+def test_fast_output_satisfies_both_rules(data):
+    graph, candidate = data
+    config = SmartSRAConfig()
+    for session in maximal_sessions_fast(candidate, graph, config):
+        for earlier, later in zip(session.requests, session.requests[1:]):
+            assert graph.has_link(earlier.page, later.page)
+            assert 0 <= later.timestamp - earlier.timestamp <= config.max_gap

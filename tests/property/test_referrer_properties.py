@@ -1,0 +1,73 @@
+"""Property tests for the referrer heuristic's invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sessions.model import Request
+from repro.sessions.referrer import ReferrerHeuristic
+
+
+@st.composite
+def referrer_stream(draw):
+    """A random stream where each request's referrer is either None, a
+    previously seen page, or an unknown (external) page."""
+    seed = draw(st.integers(0, 5000))
+    rng = random.Random(seed)
+    n = draw(st.integers(0, 25))
+    pages = [f"P{i}" for i in range(8)]
+    requests = []
+    clock = 0.0
+    seen: list[str] = []
+    for __ in range(n):
+        clock += rng.uniform(1.0, 900.0)
+        kind = rng.random()
+        if kind < 0.3 or not seen:
+            referrer = None
+        elif kind < 0.8:
+            referrer = rng.choice(seen)
+        else:
+            referrer = "external"
+        page = rng.choice(pages)
+        requests.append(Request(clock, "u", page, referrer=referrer))
+        seen.append(page)
+    return requests
+
+
+@settings(max_examples=80, deadline=None)
+@given(referrer_stream())
+def test_every_real_request_appears_exactly_once(requests):
+    sessions = ReferrerHeuristic().reconstruct_user(requests)
+    replayed = sorted((r.timestamp, r.page) for session in sessions
+                      for r in session if not r.synthetic)
+    assert replayed == sorted((r.timestamp, r.page) for r in requests)
+
+
+@settings(max_examples=80, deadline=None)
+@given(referrer_stream())
+def test_sessions_respect_page_stay_bound(requests):
+    heuristic = ReferrerHeuristic()
+    for session in heuristic.reconstruct_user(requests):
+        assert session.max_gap() <= heuristic.max_gap
+
+
+@settings(max_examples=80, deadline=None)
+@given(referrer_stream())
+def test_non_first_pages_follow_their_referrer(requests):
+    """Within a reconstructed session, every non-synthetic, non-first
+    request's referrer equals the preceding page of its session."""
+    for session in ReferrerHeuristic().reconstruct_user(requests):
+        for earlier, later in zip(session.requests, session.requests[1:]):
+            if later.referrer is not None:
+                assert later.referrer == earlier.page
+
+
+@settings(max_examples=80, deadline=None)
+@given(referrer_stream())
+def test_synthetic_landings_only_open_sessions(requests):
+    for session in ReferrerHeuristic().reconstruct_user(requests):
+        for index, request in enumerate(session.requests):
+            if request.synthetic:
+                assert index == 0

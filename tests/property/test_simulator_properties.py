@@ -1,0 +1,98 @@
+"""Property tests for the agent simulator's ground-truth guarantees.
+
+§4 of the paper: "agent simulator generated sessions will guarantee that
+Pi refers to Pi+1" — every ground-truth session is a forward hyperlink walk
+with the configured timing; the server log is exactly the cache-miss
+projection of the navigation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator.agent import simulate_agent
+from repro.simulator.config import SimulationConfig
+from repro.topology.generators import hierarchical_site, random_site
+
+
+_CONFIGS = st.builds(
+    SimulationConfig,
+    stp=st.floats(0.01, 0.5),
+    lpp=st.floats(0.0, 0.9),
+    nip=st.floats(0.0, 0.9),
+    nip_revisits=st.booleans(),
+    n_agents=st.just(1),
+    max_requests_per_agent=st.just(120),
+)
+
+
+@st.composite
+def site_config_seed(draw):
+    topo_seed = draw(st.integers(0, 500))
+    family = draw(st.sampled_from(["random", "hierarchical"]))
+    if family == "random":
+        site = random_site(draw(st.integers(5, 40)), 3.0,
+                           start_fraction=0.2, seed=topo_seed)
+    else:
+        site = hierarchical_site(draw(st.integers(5, 40)), seed=topo_seed)
+    config = draw(_CONFIGS)
+    agent_seed = draw(st.integers(0, 10_000))
+    return site, config, agent_seed
+
+
+@settings(max_examples=60, deadline=None)
+@given(site_config_seed())
+def test_ground_truth_sessions_are_link_walks(data):
+    site, config, seed = data
+    trace = simulate_agent("u", site, config, random.Random(seed))
+    for session in trace.real_sessions:
+        assert session.pages[0] in site.pages
+        for left, right in zip(session.pages, session.pages[1:]):
+            assert site.has_link(left, right)
+
+
+@settings(max_examples=60, deadline=None)
+@given(site_config_seed())
+def test_gaps_respect_max_stay(data):
+    site, config, seed = data
+    trace = simulate_agent("u", site, config, random.Random(seed))
+    for session in trace.real_sessions:
+        for earlier, later in zip(session.requests, session.requests[1:]):
+            assert 0 < later.timestamp - earlier.timestamp <= config.max_stay
+
+
+@settings(max_examples=60, deadline=None)
+@given(site_config_seed())
+def test_log_is_exactly_the_cache_miss_projection(data):
+    site, config, seed = data
+    trace = simulate_agent("u", site, config, random.Random(seed))
+    non_synthetic = [
+        (request.timestamp, request.page)
+        for session in trace.real_sessions for request in session
+        if not request.synthetic]
+    logged = [(request.timestamp, request.page)
+              for request in trace.server_requests]
+    assert logged == non_synthetic
+    assert trace.cache_misses == len(logged)
+
+
+@settings(max_examples=60, deadline=None)
+@given(site_config_seed())
+def test_server_log_never_repeats_a_page(data):
+    """With an infinite browser cache every page reaches the server at most
+    once per agent."""
+    site, config, seed = data
+    trace = simulate_agent("u", site, config, random.Random(seed))
+    pages = [request.page for request in trace.server_requests]
+    assert len(pages) == len(set(pages))
+
+
+@settings(max_examples=60, deadline=None)
+@given(site_config_seed())
+def test_sessions_do_not_overlap_in_time(data):
+    site, config, seed = data
+    trace = simulate_agent("u", site, config, random.Random(seed))
+    for left, right in zip(trace.real_sessions, trace.real_sessions[1:]):
+        assert left.end_time <= right.start_time

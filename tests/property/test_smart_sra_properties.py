@@ -1,0 +1,116 @@
+"""Property tests for Smart-SRA's output invariants.
+
+The paper states the algorithm's guarantees outright; we check them on
+randomly generated topologies and request streams:
+
+* every output session satisfies the **topology rule** (consecutive pages
+  hyperlinked) and the **timestamp ordering rule** (non-decreasing, gaps
+  within ρ);
+* output sessions are **maximal** — no output session is a strict prefix of
+  a sibling from the same candidate... and more generally no session's page
+  sequence is a contiguous prefix of another with identical requests;
+* Phase 1 candidates partition the input stream and respect both bounds;
+* no input request is lost by Phase 2 (see the no-orphan argument in
+  ``repro.core.config``), so rescue_orphans never changes the output.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SmartSRAConfig
+from repro.core.phase1 import split_candidates
+from repro.core.phase2 import maximal_sessions
+from repro.core.smart_sra import SmartSRA
+from repro.sessions.model import Request
+from repro.topology.generators import random_site
+
+
+@st.composite
+def topology_and_stream(draw):
+    """A small random site plus a random (sorted) request stream over it."""
+    seed = draw(st.integers(0, 10_000))
+    n_pages = draw(st.integers(2, 15))
+    graph = random_site(n_pages, min(3.0, n_pages - 1), start_fraction=0.5,
+                        seed=seed)
+    pages = sorted(graph.pages)
+    length = draw(st.integers(0, 20))
+    rng = random.Random(seed + 1)
+    gaps = draw(st.lists(st.floats(0.0, 900.0), min_size=length,
+                         max_size=length))
+    requests = []
+    clock = 0.0
+    for gap in gaps:
+        clock += gap
+        requests.append(Request(clock, "u", rng.choice(pages)))
+    return graph, requests
+
+
+@settings(max_examples=60, deadline=None)
+@given(topology_and_stream())
+def test_phase1_candidates_partition_and_respect_bounds(data):
+    graph, requests = data
+    config = SmartSRAConfig()
+    candidates = split_candidates(requests, config)
+    flattened = [request for candidate in candidates
+                 for request in candidate]
+    assert flattened == list(requests)
+    for candidate in candidates:
+        assert (candidate[-1].timestamp - candidate[0].timestamp
+                <= config.max_duration)
+        for earlier, later in zip(candidate, candidate[1:]):
+            assert later.timestamp - earlier.timestamp <= config.max_gap
+
+
+@settings(max_examples=60, deadline=None)
+@given(topology_and_stream())
+def test_output_sessions_satisfy_both_rules(data):
+    graph, requests = data
+    config = SmartSRAConfig()
+    sessions = SmartSRA(graph, config).reconstruct(requests)
+    for session in sessions:
+        for earlier, later in zip(session.requests, session.requests[1:]):
+            assert graph.has_link(earlier.page, later.page)
+            gap = later.timestamp - earlier.timestamp
+            assert 0 <= gap <= config.max_gap
+
+
+@settings(max_examples=60, deadline=None)
+@given(topology_and_stream())
+def test_no_request_is_dropped(data):
+    graph, requests = data
+    sessions = SmartSRA(graph).reconstruct(requests)
+    covered = {(r.page, r.timestamp) for s in sessions for r in s}
+    assert all((r.page, r.timestamp) in covered for r in requests)
+
+
+@settings(max_examples=60, deadline=None)
+@given(topology_and_stream())
+def test_rescue_orphans_is_a_noop_on_sorted_input(data):
+    graph, requests = data
+    plain = SmartSRA(graph).reconstruct(requests)
+    rescued = SmartSRA(
+        graph, SmartSRAConfig(rescue_orphans=True)).reconstruct(requests)
+    assert sorted(s.pages for s in plain) == sorted(
+        s.pages for s in rescued)
+
+
+@settings(max_examples=60, deadline=None)
+@given(topology_and_stream())
+def test_sessions_are_maximal_within_candidate(data):
+    """No output session extends another output session of the same
+    candidate by appendable pages — i.e. no session is a strict prefix of a
+    sibling (the paper: "all sessions generated will be maximal sequences
+    and do not subsume any other session")."""
+    graph, requests = data
+    config = SmartSRAConfig()
+    for candidate in split_candidates(requests, config):
+        sessions = maximal_sessions(candidate, graph, config)
+        keyed = [tuple((r.page, r.timestamp) for r in s) for s in sessions]
+        for a in keyed:
+            for b in keyed:
+                if a is not b:
+                    assert not (len(a) < len(b) and b[:len(a)] == a), (
+                        f"{a} is a strict prefix of {b}")

@@ -1,0 +1,97 @@
+"""Property tests: streaming output is always identical to batch output."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.smart_sra import Phase1Only, SmartSRA
+from repro.sessions.model import Request
+from repro.streaming.pipeline import streaming_phase1, streaming_smart_sra
+from repro.topology.generators import random_site
+
+
+@st.composite
+def multi_user_stream(draw):
+    """A random (globally time-sorted) multi-user request stream plus a
+    small topology covering its pages."""
+    seed = draw(st.integers(0, 5000))
+    graph = random_site(draw(st.integers(3, 12)), 2.5, start_fraction=0.5,
+                        seed=seed)
+    pages = sorted(graph.pages)
+    rng = random.Random(seed + 1)
+    n_requests = draw(st.integers(0, 30))
+    gaps = draw(st.lists(st.floats(0.0, 1200.0), min_size=n_requests,
+                         max_size=n_requests))
+    clock = 0.0
+    requests = []
+    for gap in gaps:
+        clock += gap
+        requests.append(Request(clock, f"u{rng.randint(0, 2)}",
+                                rng.choice(pages)))
+    return graph, requests
+
+
+def _keys(sessions):
+    return sorted((s.user_id, s.pages, s.start_time) for s in sessions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(multi_user_stream())
+def test_streaming_smart_sra_equals_batch(data):
+    graph, requests = data
+    batch = SmartSRA(graph).reconstruct(requests)
+    pipeline = streaming_smart_sra(graph)
+    streamed = pipeline.feed_many(requests)
+    streamed.extend(pipeline.flush())
+    assert _keys(streamed) == _keys(batch)
+
+
+@settings(max_examples=60, deadline=None)
+@given(multi_user_stream())
+def test_streaming_phase1_equals_batch(data):
+    __, requests = data
+    batch = Phase1Only().reconstruct(requests)
+    pipeline = streaming_phase1()
+    streamed = pipeline.feed_many(requests)
+    streamed.extend(pipeline.flush())
+    assert _keys(streamed) == _keys(batch)
+
+
+@settings(max_examples=60, deadline=None)
+@given(multi_user_stream(), st.lists(st.floats(0.0, 5000.0), max_size=4))
+def test_intermediate_watermarks_never_change_the_result(data, watermarks):
+    """Flushing with any watermark schedule mid-stream must not alter the
+    final session set (watermarks are capped at the stream's current event
+    time — a watermark by definition never runs ahead of the input)."""
+    graph, requests = data
+    batch = SmartSRA(graph).reconstruct(requests)
+    pipeline = streaming_smart_sra(graph)
+    streamed = []
+    cut = len(requests) // 2
+    for request in requests[:cut]:
+        streamed.extend(pipeline.feed(request))
+    if cut:
+        event_time = requests[cut - 1].timestamp
+        for mark in sorted(watermarks):
+            streamed.extend(pipeline.flush(watermark=min(mark, event_time)))
+    for request in requests[cut:]:
+        streamed.extend(pipeline.feed(request))
+    streamed.extend(pipeline.flush())
+    assert _keys(streamed) == _keys(batch)
+
+
+@settings(max_examples=60, deadline=None)
+@given(multi_user_stream())
+def test_no_request_lost_or_duplicated_across_candidates(data):
+    """Every fed request lands in exactly one closed candidate: the
+    multiset of (user, timestamp) pairs across emitted sessions, after
+    deduplicating Phase-2 branches, equals the input."""
+    graph, requests = data
+    pipeline = streaming_smart_sra(graph)
+    emitted = pipeline.feed_many(requests)
+    emitted.extend(pipeline.flush())
+    covered = {(r.user_id, r.timestamp, r.page)
+               for session in emitted for r in session}
+    assert covered == {(r.user_id, r.timestamp, r.page) for r in requests}

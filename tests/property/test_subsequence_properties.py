@@ -1,0 +1,51 @@
+"""Property tests for the ⊏ capture relation: KMP vs a naive oracle."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.evaluation.subsequence import contains, find
+
+_SYMBOLS = st.sampled_from(["A", "B", "C"])
+_SEQ = st.lists(_SYMBOLS, max_size=30)
+
+
+def _naive_find(haystack, needle):
+    if not needle:
+        return 0
+    for start in range(len(haystack) - len(needle) + 1):
+        if haystack[start:start + len(needle)] == needle:
+            return start
+    return -1
+
+
+@given(_SEQ, _SEQ)
+def test_find_matches_naive_oracle(haystack, needle):
+    assert find(haystack, needle) == _naive_find(haystack, needle)
+
+
+@given(_SEQ, st.integers(0, 29), st.integers(0, 29))
+def test_every_slice_is_contained(sequence, start, length):
+    needle = sequence[start:start + length]
+    assert contains(sequence, needle)
+
+
+@given(_SEQ, _SEQ)
+def test_found_index_actually_matches(haystack, needle):
+    index = find(haystack, needle)
+    if index != -1:
+        assert haystack[index:index + len(needle)] == needle
+
+
+@given(_SEQ, _SEQ, _SEQ)
+def test_containment_is_preserved_by_padding(prefix, needle, suffix):
+    assert contains(prefix + needle + suffix, needle)
+
+
+@given(_SEQ, _SEQ)
+def test_transitivity_with_slices(haystack, needle):
+    """If needle ⊏ haystack then needle ⊏ any superslice of the match."""
+    index = find(haystack, needle)
+    if index != -1 and needle:
+        wider = haystack[max(0, index - 1):index + len(needle) + 1]
+        assert contains(wider, needle)

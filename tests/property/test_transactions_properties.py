@@ -1,0 +1,110 @@
+"""Property tests for transaction identification."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sessions.model import Request, Session, SessionSet
+from repro.transactions.maximal_forward import maximal_forward_references
+from repro.transactions.reference_length import ReferenceLengthModel
+
+_PAGES = st.sampled_from([f"P{i}" for i in range(5)])
+
+
+@st.composite
+def page_walk(draw):
+    pages = draw(st.lists(_PAGES, max_size=20))
+    return Session.from_pages(pages) if pages else Session([])
+
+
+@settings(max_examples=100, deadline=None)
+@given(page_walk())
+def test_mfr_transactions_are_duplicate_free(session):
+    for transaction in maximal_forward_references(session):
+        assert len(transaction) == len(set(transaction))
+
+
+@settings(max_examples=100, deadline=None)
+@given(page_walk())
+def test_mfr_covers_every_distinct_page(session):
+    covered = {page for transaction in maximal_forward_references(session)
+               for page in transaction}
+    assert covered == set(session.pages)
+
+
+@settings(max_examples=100, deadline=None)
+@given(page_walk())
+def test_mfr_transactions_share_the_session_entry(session):
+    transactions = maximal_forward_references(session)
+    if transactions:
+        assert all(t[0] == session.pages[0] for t in transactions)
+
+
+def _is_subsequence(needle, haystack):
+    iterator = iter(haystack)
+    return all(symbol in iterator for symbol in needle)
+
+
+@settings(max_examples=100, deadline=None)
+@given(page_walk())
+def test_mfr_transactions_are_order_preserving_subsequences(session):
+    """Every transaction replays pages in the order the session visited
+    them (gaps allowed: backtracked detours are cut out)."""
+    for transaction in maximal_forward_references(session):
+        assert _is_subsequence(transaction, session.pages)
+
+
+@settings(max_examples=100, deadline=None)
+@given(page_walk())
+def test_mfr_transaction_count_bounded_by_backward_moves(session):
+    """One transaction per backward excursion plus the final path: the
+    count never exceeds the number of revisit events plus one."""
+    transactions = maximal_forward_references(session)
+    revisits = len(session.pages) - len(set(session.pages))
+    assert len(transactions) <= revisits + 1
+
+
+@st.composite
+def timed_session(draw):
+    n = draw(st.integers(1, 15))
+    pages = draw(st.lists(_PAGES, min_size=n, max_size=n))
+    gaps = draw(st.lists(st.floats(1.0, 500.0), min_size=n - 1,
+                         max_size=n - 1))
+    clock = 0.0
+    requests = [Request(0.0, "u", pages[0])]
+    for page, gap in zip(pages[1:], gaps):
+        clock += gap
+        requests.append(Request(clock, "u", page))
+    return Session(requests)
+
+
+@settings(max_examples=100, deadline=None)
+@given(timed_session(), st.floats(1.0, 400.0))
+def test_rl_transactions_partition_the_session(session, cutoff):
+    model = ReferenceLengthModel(cutoff=cutoff)
+    transactions = model.transactions(session)
+    flattened = [page for transaction in transactions
+                 for page in transaction]
+    assert flattened == list(session.pages)
+
+
+@settings(max_examples=100, deadline=None)
+@given(timed_session(), st.floats(1.0, 400.0))
+def test_rl_every_transaction_ends_in_content(session, cutoff):
+    model = ReferenceLengthModel(cutoff=cutoff)
+    flags = model.classify(session)
+    assert len(flags) == len(session)
+    position = 0
+    for transaction in model.transactions(session):
+        position += len(transaction)
+        assert flags[position - 1] is True
+
+
+@settings(max_examples=100, deadline=None)
+@given(timed_session())
+def test_rl_cutoff_monotone(session):
+    """A larger cutoff never classifies more visits as content."""
+    sessions = SessionSet([session])
+    small = ReferenceLengthModel(cutoff=10.0)
+    large = ReferenceLengthModel(cutoff=300.0)
+    assert sum(small.classify(session)) >= sum(large.classify(session))

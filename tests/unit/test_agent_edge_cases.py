@@ -1,0 +1,119 @@
+"""Unit tests for agent behaviors the main suite does not reach directly:
+LPP fall-through, content-page timing, and exception formatting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import LogFormatError, ReproError, SimulationError
+from repro.simulator.agent import simulate_agent
+from repro.simulator.clock import StayTimeSampler
+from repro.simulator.config import SimulationConfig
+from repro.simulator.pages import select_content_pages
+from repro.topology.graph import WebGraph
+
+
+def _config(**overrides):
+    defaults = dict(stp=0.05, lpp=0.0, nip=0.0, n_agents=1, seed=0)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestLPPFallThrough:
+    def test_lpp_on_first_page_falls_through_to_behavior2(self):
+        # On the session's first page there is no "previous page": the LPP
+        # draw must fall through to a normal link follow, not crash.
+        site = WebGraph([("A", "B"), ("B", "C")], start_pages=["A"])
+        trace = simulate_agent("u", site, _config(stp=0.0001, lpp=0.95),
+                               random.Random(2))
+        all_pages = [p for s in trace.real_sessions for p in s.pages]
+        assert all_pages[0] == "A"
+        assert len(all_pages) >= 2
+
+    def test_lpp_without_branchable_page_falls_through(self):
+        # Line topology: previous pages never have unvisited successors
+        # once the walk passed them, so LPP can never fire and the agent
+        # must keep walking forward.
+        site = WebGraph([("A", "B"), ("B", "C"), ("C", "D")],
+                        start_pages=["A"])
+        trace = simulate_agent("u", site, _config(stp=0.0001, lpp=0.95),
+                               random.Random(3))
+        assert trace.real_sessions[-1].pages == ("A", "B", "C", "D")
+        assert trace.cache_hits == 0
+
+
+class TestContentTiming:
+    @pytest.fixture()
+    def star_site(self):
+        # hub with three leaves; leaves link back to the hub.
+        return WebGraph([("hub", "a"), ("hub", "b"), ("hub", "c"),
+                         ("a", "hub"), ("b", "hub"), ("c", "hub")],
+                        start_pages=["hub"])
+
+    def test_content_pages_selected_by_low_out_degree(self, star_site):
+        content = select_content_pages(star_site, fraction=0.5)
+        assert content <= {"a", "b", "c"}
+        assert "hub" not in content  # start pages never content
+
+    def test_select_content_pages_validates_fraction(self, star_site):
+        with pytest.raises(SimulationError):
+            select_content_pages(star_site, fraction=1.5)
+        assert select_content_pages(star_site, fraction=0.0) == frozenset()
+
+    def test_content_stays_are_longer(self, star_site):
+        config = _config(stp=0.01, lpp=0.4, content_fraction=0.9,
+                         mean_stay=30.0, stay_deviation=5.0,
+                         content_mean_stay=400.0,
+                         content_stay_deviation=20.0,
+                         max_requests_per_agent=60)
+        trace = simulate_agent("u", star_site, config, random.Random(5))
+        content = select_content_pages(star_site, 0.9)
+        content_gaps = []
+        auxiliary_gaps = []
+        for session in trace.real_sessions:
+            for earlier, later in zip(session.requests,
+                                      session.requests[1:]):
+                gap = later.timestamp - earlier.timestamp
+                if earlier.page in content:
+                    content_gaps.append(gap)
+                else:
+                    auxiliary_gaps.append(gap)
+        if content_gaps and auxiliary_gaps:
+            assert (sum(content_gaps) / len(content_gaps)
+                    > sum(auxiliary_gaps) / len(auxiliary_gaps))
+
+    def test_content_config_validation(self):
+        from repro.exceptions import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(content_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(content_fraction=0.5,
+                             content_mean_stay=700.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(content_mean_stay=0.0)
+
+
+class TestExceptionFormatting:
+    def test_log_format_error_carries_position(self):
+        error = LogFormatError("bad line", line_number=3, line="x")
+        assert str(error) == "line 3: bad line"
+        assert error.line == "x"
+
+    def test_log_format_error_without_position(self):
+        assert str(LogFormatError("bad")) == "bad"
+
+    def test_hierarchy(self):
+        assert issubclass(LogFormatError, ReproError)
+        assert issubclass(SimulationError, ReproError)
+
+    def test_sampler_rejection_exhaustion(self):
+        # deviation huge relative to the window: rejection sampling can
+        # exhaust its budget and must fail loudly, not loop forever.
+        sampler = StayTimeSampler(mean=1.0, deviation=10_000.0,
+                                  max_stay=1.0001,
+                                  rng=random.Random(0))
+        with pytest.raises(SimulationError, match="could not sample"):
+            for __ in range(50):
+                sampler.sample()

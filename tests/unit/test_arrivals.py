@@ -1,0 +1,77 @@
+"""Unit tests for arrival-time profiles."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulator.arrivals import ARRIVAL_PROFILES, sample_arrival
+from repro.simulator.config import SimulationConfig
+from repro.simulator.population import simulate_population
+
+
+class TestSampleArrival:
+    def test_uniform_is_linear(self):
+        assert sample_arrival(0.25, 1000.0, "uniform") == 250.0
+        assert sample_arrival(0.0, 1000.0) == 0.0
+        assert sample_arrival(1.0, 1000.0) == 1000.0
+
+    def test_diurnal_is_monotone(self):
+        points = [sample_arrival(u / 20, 1000.0, "diurnal")
+                  for u in range(21)]
+        assert points == sorted(points)
+        assert 0.0 <= points[0] and points[-1] <= 1000.0
+
+    def test_diurnal_median_is_midday(self):
+        assert sample_arrival(0.5, 1000.0, "diurnal") == pytest.approx(
+            500.0, abs=1e-6)
+
+    def test_diurnal_concentrates_midday(self):
+        rng = random.Random(1)
+        draws = [sample_arrival(rng.random(), 1.0, "diurnal")
+                 for __ in range(4000)]
+        middle = sum(1 for value in draws if 0.25 <= value <= 0.75)
+        # raised cosine puts ~82% of mass in the middle half (vs 50%
+        # uniform): F(0.75) - F(0.25) = 0.5 + 1/pi.
+        assert middle / len(draws) == pytest.approx(0.5 + 1 / 3.14159,
+                                                    abs=0.03)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SimulationError, match="unknown arrival"):
+            sample_arrival(0.5, 100.0, "weekly")
+
+    def test_out_of_range_draw_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_arrival(1.5, 100.0)
+
+    def test_registry_contents(self):
+        assert set(ARRIVAL_PROFILES) == {"uniform", "diurnal"}
+
+
+class TestPopulationIntegration:
+    def test_diurnal_population_clusters_arrivals(self, small_site):
+        config = SimulationConfig(n_agents=200, seed=3)
+        uniform = simulate_population(small_site, config, horizon=86_400.0)
+        diurnal = simulate_population(small_site, config, horizon=86_400.0,
+                                      arrival_profile="diurnal")
+
+        def middle_fraction(sim):
+            starts = [trace.server_requests[0].timestamp
+                      for trace in sim.traces if trace.server_requests]
+            middle = sum(1 for start in starts
+                         if 21_600 <= start <= 64_800)
+            return middle / len(starts)
+
+        assert middle_fraction(diurnal) > middle_fraction(uniform) + 0.2
+
+    def test_profile_does_not_change_navigation(self, small_site):
+        """Arrivals shift in time; the walks themselves are identical."""
+        config = SimulationConfig(n_agents=50, seed=3)
+        uniform = simulate_population(small_site, config)
+        diurnal = simulate_population(small_site, config,
+                                      arrival_profile="diurnal")
+        for a, b in zip(uniform.traces, diurnal.traces):
+            assert [s.pages for s in a.real_sessions] == [
+                s.pages for s in b.real_sessions]

@@ -1,0 +1,51 @@
+"""Unit tests for the ASCII sweep chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.ascii_chart import render_chart
+from repro.evaluation.harness import sweep
+from repro.exceptions import EvaluationError
+from repro.simulator.config import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def small_sweep(small_site):
+    return sweep(small_site, SimulationConfig(n_agents=25, seed=3),
+                 "stp", [0.05, 0.2])
+
+
+def test_chart_structure(small_sweep):
+    chart = render_chart(small_sweep, title="My Chart", height=10)
+    lines = chart.splitlines()
+    assert lines[0] == "My Chart"
+    assert sum(1 for line in lines if "|" in line) == 10
+    assert any("legend:" in line for line in lines)
+    assert "(stp)" in chart
+
+
+def test_chart_contains_all_series_glyphs(small_sweep):
+    chart = render_chart(small_sweep)
+    legend = [line for line in chart.splitlines() if "legend" in line][0]
+    for glyph_name in ("1=heur1", "2=heur2", "3=heur3", "4=heur4"):
+        assert glyph_name in legend
+
+
+def test_chart_y_axis_spans_peak(small_sweep):
+    chart = render_chart(small_sweep, height=5)
+    series = small_sweep.series()
+    peak = max(max(values) for values in series.values())
+    top_label = float(chart.splitlines()[0].split("%")[0])
+    assert top_label == pytest.approx(peak * 100, abs=0.1)
+
+
+def test_rejects_bad_height(small_sweep):
+    with pytest.raises(EvaluationError):
+        render_chart(small_sweep, height=0)
+
+
+def test_metric_selection(small_sweep):
+    matched = render_chart(small_sweep, metric="matched")
+    captured = render_chart(small_sweep, metric="captured")
+    assert matched != captured

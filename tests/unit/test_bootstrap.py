@@ -1,0 +1,98 @@
+"""Unit tests for the bootstrap accuracy confidence intervals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.bootstrap import bootstrap_accuracy
+from repro.exceptions import EvaluationError
+from repro.sessions.model import Session, SessionSet
+
+
+def _s(pages, user):
+    return Session.from_pages(pages, user_id=user)
+
+
+@pytest.fixture()
+def half_right():
+    """20 users; each has two sessions, exactly one reconstructed."""
+    truth = []
+    recon = []
+    for index in range(20):
+        user = f"u{index}"
+        truth.append(_s(["A", "B"], user))
+        truth.append(_s(["C", "D"], user))
+        recon.append(_s(["A", "B"], user))
+        recon.append(_s(["X", "Y"], user))
+    return SessionSet(truth), SessionSet(recon)
+
+
+class TestBootstrapAccuracy:
+    def test_estimate_matches_full_sample(self, half_right):
+        truth, recon = half_right
+        interval = bootstrap_accuracy(truth, recon, replicates=100, seed=1)
+        assert interval.estimate == 0.5
+
+    def test_interval_contains_estimate(self, half_right):
+        truth, recon = half_right
+        interval = bootstrap_accuracy(truth, recon, replicates=200, seed=1)
+        assert interval.low <= interval.estimate <= interval.high
+
+    def test_degenerate_population_has_zero_width(self, half_right):
+        truth, recon = half_right
+        # every user contributes identical (1, 2) stats: resampling cannot
+        # move the ratio.
+        interval = bootstrap_accuracy(truth, recon, replicates=100, seed=2)
+        assert interval.width == 0.0
+
+    def test_heterogeneous_population_has_positive_width(self):
+        truth = []
+        recon = []
+        for index in range(20):
+            user = f"u{index}"
+            truth.append(_s(["A", "B"], user))
+            # half the users reconstructed perfectly, half not at all.
+            recon.append(_s(["A", "B"] if index % 2 == 0 else ["X"], user))
+        interval = bootstrap_accuracy(SessionSet(truth), SessionSet(recon),
+                                      replicates=300, seed=3)
+        assert interval.width > 0.0
+        assert interval.low <= 0.5 <= interval.high
+
+    def test_perfect_reconstruction(self, half_right):
+        truth, __ = half_right
+        interval = bootstrap_accuracy(truth, truth, replicates=50, seed=1)
+        assert interval.estimate == 1.0
+        assert interval.low == 1.0
+        assert interval.high == 1.0
+
+    def test_deterministic_given_seed(self, half_right):
+        truth, recon = half_right
+        first = bootstrap_accuracy(truth, recon, replicates=100, seed=7)
+        second = bootstrap_accuracy(truth, recon, replicates=100, seed=7)
+        assert first == second
+
+    def test_str_rendering(self, half_right):
+        truth, recon = half_right
+        text = str(bootstrap_accuracy(truth, recon, replicates=50, seed=1))
+        assert "[" in text and "@95%" in text
+
+    def test_validation(self, half_right):
+        truth, recon = half_right
+        with pytest.raises(EvaluationError):
+            bootstrap_accuracy(truth, recon, replicates=0)
+        with pytest.raises(EvaluationError):
+            bootstrap_accuracy(truth, recon, confidence=1.0)
+        with pytest.raises(EvaluationError):
+            bootstrap_accuracy(SessionSet([]), recon)
+
+    def test_simulation_interval_is_tight_at_scale(self, small_site,
+                                                   small_simulation):
+        """200 agents already give a CI a few points wide — the empirical
+        backing for running benches below the paper's 10k agents."""
+        from repro.core.smart_sra import SmartSRA
+        sessions = SmartSRA(small_site).reconstruct(
+            small_simulation.log_requests)
+        interval = bootstrap_accuracy(small_simulation.ground_truth,
+                                      sessions, replicates=200, seed=5)
+        assert interval.width < 0.12
+        assert interval.low <= interval.estimate <= interval.high

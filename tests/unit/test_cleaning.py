@@ -1,0 +1,105 @@
+"""Unit tests for log noise injection and the cleaning pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.logs.cleaning import (
+    CleaningStats,
+    LogCleaner,
+    NoiseInjector,
+    ROBOT_HOST_PREFIX,
+)
+from repro.logs.clf import CLFRecord
+
+
+def _view(host="1.2.3.4", t=0.0, url="/P1.html", method="GET", status=200):
+    return CLFRecord(host, t, method, url, "HTTP/1.1", status, 100)
+
+
+class TestLogCleaner:
+    def test_keeps_clean_page_views(self):
+        kept, stats = LogCleaner().clean([_view(), _view(url="/P2.html")])
+        assert len(kept) == 2
+        assert stats.dropped_total == 0
+
+    def test_drops_embedded_resources(self):
+        records = [_view(), _view(url="/img/logo.png"),
+                   _view(url="/style.CSS")]
+        kept, stats = LogCleaner().clean(records)
+        assert len(kept) == 1
+        assert stats.dropped_resources == 2
+
+    def test_drops_resource_with_query_string(self):
+        kept, stats = LogCleaner().clean([_view(url="/a.js?v=3")])
+        assert kept == []
+        assert stats.dropped_resources == 1
+
+    def test_drops_errors(self):
+        kept, stats = LogCleaner().clean([_view(status=404),
+                                          _view(status=301)])
+        assert kept == []
+        assert stats.dropped_errors == 2
+
+    def test_drops_non_get(self):
+        kept, stats = LogCleaner().clean([_view(method="POST")])
+        assert kept == []
+        assert stats.dropped_methods == 1
+
+    def test_drops_robots(self):
+        kept, stats = LogCleaner().clean(
+            [_view(host=f"{ROBOT_HOST_PREFIX}1")])
+        assert kept == []
+        assert stats.dropped_robots == 1
+
+    def test_rules_can_be_disabled(self):
+        cleaner = LogCleaner(drop_errors=False, drop_non_get=False,
+                             drop_robots=False)
+        records = [_view(status=404), _view(method="POST"),
+                   _view(host=f"{ROBOT_HOST_PREFIX}0")]
+        kept, __ = cleaner.clean(records)
+        assert len(kept) == 3
+
+    def test_stats_totals(self):
+        stats = CleaningStats(kept=5, dropped_resources=1, dropped_errors=2,
+                              dropped_methods=3, dropped_robots=4)
+        assert stats.dropped_total == 10
+
+
+class TestNoiseInjector:
+    def test_injection_grows_log(self):
+        clean = [_view(t=float(i)) for i in range(10)]
+        noisy = NoiseInjector(seed=1).inject(clean)
+        assert len(noisy) > len(clean)
+
+    def test_injection_is_deterministic(self):
+        clean = [_view(t=float(i)) for i in range(10)]
+        assert (NoiseInjector(seed=5).inject(clean)
+                == NoiseInjector(seed=5).inject(clean))
+
+    def test_cleaner_inverts_default_injection(self):
+        clean = [_view(t=float(i), url=f"/P{i}.html") for i in range(20)]
+        noisy = NoiseInjector(seed=2).inject(clean)
+        recovered, stats = LogCleaner().clean(noisy)
+        assert recovered == clean
+        assert stats.dropped_total == len(noisy) - len(clean)
+
+    def test_no_noise_configuration(self):
+        injector = NoiseInjector(resources_per_page=0, error_rate=0.0,
+                                 post_rate=0.0, robot_requests=0)
+        clean = [_view()]
+        assert injector.inject(clean) == clean
+
+    def test_empty_input(self):
+        assert NoiseInjector(robot_requests=2).inject([]) != []
+
+    @pytest.mark.parametrize("kwargs", [
+        {"resources_per_page": -1},
+        {"error_rate": 1.5},
+        {"post_rate": -0.1},
+        {"robot_requests": -2},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            NoiseInjector(**kwargs)

@@ -1,0 +1,108 @@
+"""Unit tests for the Common Log Format record model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LogFormatError
+from repro.logs.clf import (
+    CLFRecord,
+    format_clf_line,
+    page_to_url,
+    parse_clf_line,
+    url_to_page,
+)
+
+
+def _record(**overrides):
+    defaults = dict(host="10.0.0.1", timestamp=1_000_000.0, method="GET",
+                    url="/P13.html", protocol="HTTP/1.1", status=200,
+                    size=5120)
+    defaults.update(overrides)
+    return CLFRecord(**defaults)
+
+
+class TestFormatting:
+    def test_format_shape(self):
+        line = format_clf_line(_record())
+        assert line == ('10.0.0.1 - - [12/Jan/1970:13:46:40 +0000] '
+                        '"GET /P13.html HTTP/1.1" 200 5120')
+
+    def test_none_size_renders_dash(self):
+        assert format_clf_line(_record(size=None)).endswith(" 200 -")
+
+    def test_subsecond_timestamps_floor(self):
+        with_fraction = format_clf_line(_record(timestamp=1_000_000.9))
+        without = format_clf_line(_record(timestamp=1_000_000.0))
+        assert with_fraction == without
+
+
+class TestParsing:
+    def test_roundtrip(self):
+        record = _record()
+        parsed = parse_clf_line(format_clf_line(record))
+        assert parsed == record
+
+    def test_parses_hostname_hosts(self):
+        line = format_clf_line(_record(host="agent000042"))
+        assert parse_clf_line(line).host == "agent000042"
+
+    def test_parses_timezone_offset(self):
+        line = ('1.2.3.4 - - [01/Jan/2000:12:00:00 +0200] '
+                '"GET /a.html HTTP/1.0" 200 10')
+        utc_line = ('1.2.3.4 - - [01/Jan/2000:10:00:00 +0000] '
+                    '"GET /a.html HTTP/1.0" 200 10')
+        assert (parse_clf_line(line).timestamp
+                == parse_clf_line(utc_line).timestamp)
+
+    def test_parses_dash_size(self):
+        line = ('1.2.3.4 - - [01/Jan/2000:10:00:00 +0000] '
+                '"GET /a.html HTTP/1.0" 404 -')
+        record = parse_clf_line(line)
+        assert record.size is None
+        assert record.status == 404
+
+    def test_tolerates_trailing_newline(self):
+        line = format_clf_line(_record()) + "\n"
+        assert parse_clf_line(line) == _record()
+
+    @pytest.mark.parametrize("line", [
+        "not a log line",
+        '1.2.3.4 - - [99/Jan/2000:10:00:00 +0000] "GET /a HTTP/1.0" 200 1',
+        '1.2.3.4 - - [01/Jan/2000:10:00:00 +0000] "GET /a HTTP/1.0" 2OO 1',
+        "",
+    ])
+    def test_rejects_malformed(self, line):
+        with pytest.raises(LogFormatError):
+            parse_clf_line(line)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(LogFormatError) as excinfo:
+            parse_clf_line("garbage", line_number=17)
+        assert excinfo.value.line_number == 17
+        assert "line 17" in str(excinfo.value)
+
+
+class TestPageViewFilter:
+    def test_successful_get_is_page_view(self):
+        assert _record().is_page_view
+
+    def test_post_is_not(self):
+        assert not _record(method="POST").is_page_view
+
+    def test_error_status_is_not(self):
+        assert not _record(status=404).is_page_view
+
+
+class TestUrlMapping:
+    def test_page_to_url(self):
+        assert page_to_url("P13") == "/P13.html"
+
+    def test_url_to_page_inverts(self):
+        assert url_to_page(page_to_url("P13")) == "P13"
+
+    def test_query_string_stripped(self):
+        assert url_to_page("/P13.html?ref=mail") == "P13"
+
+    def test_foreign_url_passthrough(self):
+        assert url_to_page("/img/logo.png") == "/img/logo.png"

@@ -1,0 +1,176 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sessions.model import SessionSet
+from repro.topology.io import load_graph
+
+
+def test_parser_lists_all_commands():
+    parser = build_parser()
+    actions = {action.dest: action for action in parser._actions}
+    choices = actions["command"].choices
+    assert set(choices) == {"topology", "simulate", "clean", "reconstruct",
+                            "evaluate", "experiment", "mine", "stats",
+                            "run-spec", "dataset", "compare", "anonymize",
+                            "selftest", "leaderboard"}
+
+
+def test_topology_command(tmp_path, capsys):
+    out = str(tmp_path / "site.json")
+    code = main(["topology", "--pages", "40", "--out-degree", "4",
+                 "--seed", "3", "--output", out])
+    assert code == 0
+    graph = load_graph(out)
+    assert graph.page_count == 40
+    printed = capsys.readouterr().out
+    assert "pages: 40" in printed
+
+
+@pytest.mark.parametrize("family", ["hierarchical", "power-law"])
+def test_topology_families(tmp_path, family):
+    out = str(tmp_path / "site.json")
+    assert main(["topology", "--family", family, "--pages", "30",
+                 "--output", out]) == 0
+    assert load_graph(out).page_count == 30
+
+
+@pytest.fixture()
+def pipeline_files(tmp_path):
+    """Run topology+simulate once; return the file paths."""
+    site = str(tmp_path / "site.json")
+    log = str(tmp_path / "access.log")
+    truth = str(tmp_path / "truth.json")
+    assert main(["topology", "--pages", "40", "--out-degree", "4",
+                 "--seed", "3", "--output", site]) == 0
+    assert main(["simulate", "--topology", site, "--agents", "40",
+                 "--seed", "1", "--log", log, "--sessions", truth]) == 0
+    return {"site": site, "log": log, "truth": truth, "dir": tmp_path}
+
+
+def test_simulate_writes_log_and_truth(pipeline_files):
+    truth = SessionSet.load(pipeline_files["truth"])
+    assert len(truth) > 0
+    with open(pipeline_files["log"], encoding="utf-8") as handle:
+        assert len(handle.readlines()) > 0
+
+
+def test_reconstruct_and_evaluate(pipeline_files, capsys):
+    out = str(pipeline_files["dir"] / "reconstructed.json")
+    assert main(["reconstruct", "--log", pipeline_files["log"],
+                 "--heuristic", "heur4",
+                 "--topology", pipeline_files["site"],
+                 "--output", out]) == 0
+    assert main(["evaluate", "--truth", pipeline_files["truth"],
+                 "--reconstructed", out]) == 0
+    printed = capsys.readouterr().out
+    assert "real accuracy" in printed
+
+
+def test_reconstruct_time_heuristic_needs_no_topology(pipeline_files):
+    out = str(pipeline_files["dir"] / "heur2.json")
+    assert main(["reconstruct", "--log", pipeline_files["log"],
+                 "--heuristic", "heur2", "--output", out]) == 0
+    assert len(SessionSet.load(out)) > 0
+
+
+def test_reconstruct_heur3_without_topology_fails(pipeline_files, capsys):
+    out = str(pipeline_files["dir"] / "fail.json")
+    code = main(["reconstruct", "--log", pipeline_files["log"],
+                 "--heuristic", "heur3", "--output", out])
+    assert code == 2
+    assert "requires --topology" in capsys.readouterr().err
+
+
+def test_clean_command(pipeline_files, capsys):
+    out = str(pipeline_files["dir"] / "clean.log")
+    assert main(["clean", "--log", pipeline_files["log"],
+                 "--output", out]) == 0
+    assert "kept" in capsys.readouterr().out
+
+
+def test_mine_command(pipeline_files, capsys):
+    assert main(["mine", "--sessions", pipeline_files["truth"],
+                 "--min-support", "0.005"]) == 0
+    assert "frequent patterns" in capsys.readouterr().out
+
+
+def test_experiment_command_writes_csv(tmp_path, capsys, monkeypatch):
+    # shrink the sweep so the test stays fast: patch the value grids.
+    import repro.evaluation.experiments as experiments
+    monkeypatch.setattr(experiments, "FIG8_STP_VALUES", (0.05, 0.2))
+    csv_path = str(tmp_path / "fig8.csv")
+    assert main(["experiment", "fig8", "--agents", "30", "--seed", "2",
+                 "--csv", csv_path]) == 0
+    printed = capsys.readouterr().out
+    assert "Figure 8" in printed
+    with open(csv_path, encoding="utf-8") as handle:
+        header = handle.readline()
+    assert header.startswith("stp,")
+
+
+def test_repro_error_returns_one(tmp_path, capsys):
+    # evaluating against an empty ground truth is a ReproError -> exit 1.
+    empty = str(tmp_path / "empty.json")
+    SessionSet([]).save(empty)
+    code = main(["evaluate", "--truth", empty, "--reconstructed", empty])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_compare_command(pipeline_files, capsys):
+    heur4_out = str(pipeline_files["dir"] / "cmp_heur4.json")
+    heur2_out = str(pipeline_files["dir"] / "cmp_heur2.json")
+    assert main(["reconstruct", "--log", pipeline_files["log"],
+                 "--heuristic", "heur4",
+                 "--topology", pipeline_files["site"],
+                 "--output", heur4_out]) == 0
+    assert main(["reconstruct", "--log", pipeline_files["log"],
+                 "--heuristic", "heur2", "--output", heur2_out]) == 0
+    capsys.readouterr()
+    assert main(["compare", "--truth", pipeline_files["truth"],
+                 "--a", heur4_out, "--b", heur2_out,
+                 "--name-a", "heur4", "--name-b", "heur2"]) == 0
+    printed = capsys.readouterr().out
+    assert "p=" in printed
+    assert "significant at 5%" in printed
+
+
+def test_stats_command(pipeline_files, capsys):
+    assert main(["stats", "--sessions", pipeline_files["truth"]]) == 0
+    assert "length histogram" in capsys.readouterr().out
+
+
+def test_anonymize_command(pipeline_files, capsys):
+    out = str(pipeline_files["dir"] / "anon.log")
+    assert main(["anonymize", "--log", pipeline_files["log"],
+                 "--output", out, "--key", "secret"]) == 0
+    printed = capsys.readouterr().out
+    assert "keyed pseudonyms" in printed
+    from repro.logs.reader import read_clf_file
+    records = read_clf_file(out)
+    assert all(record.host.startswith("user-") for record in records)
+
+
+def test_anonymize_truncate_mode(pipeline_files, capsys):
+    out = str(pipeline_files["dir"] / "trunc.log")
+    assert main(["anonymize", "--log", pipeline_files["log"],
+                 "--output", out, "--truncate", "2"]) == 0
+    assert "truncation" in capsys.readouterr().out
+
+
+def test_selftest_command(capsys):
+    assert main(["selftest"]) == 0
+    printed = capsys.readouterr().out
+    assert "selftest passed" in printed
+    assert "Smart-SRA: ok" in printed
+
+
+def test_leaderboard_command(capsys):
+    assert main(["leaderboard", "--agents", "40", "--seed", "3"]) == 0
+    printed = capsys.readouterr().out
+    assert "matched [95% CI]" in printed
+    assert "referrer" in printed

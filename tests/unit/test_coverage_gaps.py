@@ -1,0 +1,114 @@
+"""Tests for paths the main suites exercise only indirectly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EvaluationError, ReconstructionError
+from repro.logs.clf import CLFRecord
+from repro.logs.users import flatten_streams, partition_by_user
+from repro.sessions.base import (
+    SessionReconstructor,
+    get_heuristic,
+    register_heuristic,
+)
+from repro.sessions.model import Request, Session, SessionSet
+
+
+class TestFlattenStreams:
+    def test_merges_time_sorted(self):
+        records = [
+            CLFRecord("ip1", 5.0, "GET", "/b.html", "HTTP/1.1", 200, 1),
+            CLFRecord("ip2", 1.0, "GET", "/x.html", "HTTP/1.1", 200, 1),
+            CLFRecord("ip1", 2.0, "GET", "/a.html", "HTTP/1.1", 200, 1),
+        ]
+        streams = partition_by_user(records)
+        merged = flatten_streams(streams)
+        assert [request.timestamp for request in merged] == [1.0, 2.0, 5.0]
+        assert [request.page for request in merged] == ["x", "a", "b"]
+
+    def test_ties_break_by_user(self):
+        records = [
+            CLFRecord("zeta", 1.0, "GET", "/a.html", "HTTP/1.1", 200, 1),
+            CLFRecord("alpha", 1.0, "GET", "/b.html", "HTTP/1.1", 200, 1),
+        ]
+        merged = flatten_streams(partition_by_user(records))
+        assert [request.user_id for request in merged] == ["alpha", "zeta"]
+
+
+class TestRegistry:
+    def test_conflicting_registration_rejected(self):
+        class Dummy(SessionReconstructor):
+            name = "dummy-test-conflict"
+
+            def reconstruct_user(self, requests):
+                return []
+
+        register_heuristic("dummy-test-conflict")(Dummy)
+        # same factory re-registration is idempotent:
+        register_heuristic("dummy-test-conflict")(Dummy)
+        with pytest.raises(ReconstructionError, match="already registered"):
+            register_heuristic("dummy-test-conflict")(lambda: Dummy())
+        assert isinstance(get_heuristic("dummy-test-conflict"), Dummy)
+
+
+class TestRestrictionInvariance:
+    def test_phase2_unchanged_by_candidate_restriction(self, fig1_topology,
+                                                       table3_stream):
+        """The paper's note — vertices outside the candidate 'must be
+        removed from the graph prior to execution' — must be a no-op for
+        our implementation, which never looks at absent pages."""
+        from repro.core.phase2 import maximal_sessions
+        pages = {request.page for request in table3_stream}
+        restricted = fig1_topology.restricted_to(pages)
+        full = {s.pages for s in maximal_sessions(table3_stream,
+                                                  fig1_topology)}
+        small = {s.pages for s in maximal_sessions(table3_stream,
+                                                   restricted)}
+        assert full == small
+
+
+class TestChartEdgeCases:
+    def test_single_point_sweep_renders(self, small_site):
+        from repro.evaluation.ascii_chart import render_chart
+        from repro.evaluation.harness import sweep
+        from repro.evaluation.svg_chart import render_svg
+        from repro.simulator.config import SimulationConfig
+        result = sweep(small_site, SimulationConfig(n_agents=10, seed=1),
+                       "stp", [0.1])
+        assert "legend" in render_chart(result)
+        assert "<svg" in render_svg(result)
+
+    def test_empty_sweep_rejected(self):
+        from repro.evaluation.ascii_chart import render_chart
+        from repro.evaluation.harness import SweepResult
+        from repro.evaluation.svg_chart import render_svg
+        empty = SweepResult(parameter="stp", values=(), trials=())
+        with pytest.raises(EvaluationError):
+            render_chart(empty)
+        with pytest.raises(EvaluationError):
+            render_svg(empty)
+
+
+class TestModelCornerCases:
+    def test_from_pages_defaults(self):
+        session = Session.from_pages(["A"])
+        assert session.user_id == "u0"
+        assert session.start_time == 0.0
+
+    def test_request_without_referrer_strips(self):
+        request = Request(1.0, "u", "A", referrer="B")
+        stripped = request.without_referrer()
+        assert stripped.referrer is None
+        assert stripped == request  # referrer excluded from equality
+
+    def test_session_set_repr(self):
+        sessions = SessionSet([Session.from_pages(["A"], user_id="x")])
+        assert "1 sessions" in repr(sessions)
+        assert "1 users" in repr(sessions)
+
+    def test_session_set_inequality_with_other_types(self):
+        assert SessionSet([]) != "not a session set"
+
+    def test_session_inequality_with_other_types(self):
+        assert Session([]) != 42

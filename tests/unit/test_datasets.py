@@ -1,0 +1,101 @@
+"""Unit tests for the frozen benchmark datasets."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import DATASET_TIERS, build_dataset, write_dataset
+from repro.exceptions import ConfigurationError
+from repro.logs.reader import read_clf_file
+from repro.sessions.model import SessionSet
+from repro.topology.io import load_graph
+
+
+class TestTierRegistry:
+    def test_three_tiers(self):
+        assert set(DATASET_TIERS) == {"small", "medium", "large"}
+
+    def test_large_is_paper_scale(self):
+        spec = DATASET_TIERS["large"]
+        assert spec.n_pages == 300
+        assert spec.avg_out_degree == 15.0
+        assert spec.n_agents == 10_000
+
+    def test_tier_seeds_are_distinct(self):
+        seeds = {(spec.topology_seed, spec.simulation_seed)
+                 for spec in DATASET_TIERS.values()}
+        assert len(seeds) == 3
+
+
+class TestBuildDataset:
+    def test_small_tier_builds(self):
+        spec, topology, simulation = build_dataset("small")
+        assert topology.page_count == spec.n_pages
+        assert len(simulation.traces) == spec.n_agents
+        assert len(simulation.ground_truth) > 0
+
+    def test_deterministic(self):
+        first = build_dataset("small")[2]
+        second = build_dataset("small")[2]
+        assert first.log_requests == second.log_requests
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown dataset"):
+            build_dataset("huge")
+
+
+class TestWriteDataset:
+    @pytest.fixture(scope="class")
+    def bundle(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("dataset")
+        manifest = write_dataset("small", str(directory))
+        return directory, manifest
+
+    def test_all_files_present(self, bundle):
+        directory, manifest = bundle
+        for name in manifest["files"]:
+            assert (directory / name).exists()
+        assert (directory / "MANIFEST.json").exists()
+
+    def test_manifest_statistics_consistent(self, bundle):
+        directory, manifest = bundle
+        statistics = manifest["statistics"]
+        truth = SessionSet.load(str(directory / "ground_truth.json"))
+        assert statistics["real_sessions"] == len(truth)
+        records = read_clf_file(str(directory / "access.log"))
+        assert statistics["log_records"] == len(records)
+        topology = load_graph(str(directory / "topology.json"))
+        assert statistics["pages"] == topology.page_count
+
+    def test_combined_log_has_headers(self, bundle):
+        directory, __ = bundle
+        records = read_clf_file(str(directory / "access_combined.log"))
+        assert any(record.user_agent for record in records)
+
+    def test_manifest_json_round_trips(self, bundle):
+        directory, manifest = bundle
+        with open(directory / "MANIFEST.json", encoding="utf-8") as handle:
+            assert json.load(handle) == manifest
+
+    def test_bundle_supports_full_evaluation(self, bundle):
+        """A dataset consumer can score a heuristic with no simulator."""
+        directory, __ = bundle
+        from repro.core.smart_sra import SmartSRA
+        from repro.evaluation.metrics import evaluate_reconstruction
+        from repro.logs.reader import records_to_requests
+        topology = load_graph(str(directory / "topology.json"))
+        truth = SessionSet.load(str(directory / "ground_truth.json"))
+        requests = records_to_requests(
+            read_clf_file(str(directory / "access.log")))
+        sessions = SmartSRA(topology).reconstruct(requests)
+        report = evaluate_reconstruction("heur4", truth, sessions)
+        assert report.matched_accuracy > 0.3
+
+    def test_cli_dataset_command(self, tmp_path, capsys):
+        out = str(tmp_path / "bundle")
+        assert main(["dataset", "small", "--output", out]) == 0
+        printed = capsys.readouterr().out
+        assert "real_sessions" in printed

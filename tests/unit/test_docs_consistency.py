@@ -1,0 +1,93 @@
+"""Documentation/code consistency checks.
+
+The repository's promise is that DESIGN.md indexes every system and every
+benchmark.  These tests make that promise mechanical: new benchmark
+modules, packages, examples, or spec files must show up in the docs (and
+vice versa) or the suite fails.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent.parent
+
+
+def _read(name: str) -> str:
+    return (ROOT / name).read_text(encoding="utf-8")
+
+
+class TestDesignDoc:
+    def test_every_bench_module_is_indexed(self):
+        design = _read("DESIGN.md")
+        for bench in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+            assert bench.name in design, (
+                f"{bench.name} is not indexed in DESIGN.md")
+
+    def test_every_package_is_mentioned(self):
+        design = _read("DESIGN.md")
+        packages = [path.name for path in (ROOT / "src" / "repro").iterdir()
+                    if path.is_dir() and (path / "__init__.py").exists()]
+        for package in packages:
+            assert f"repro.{package}" in design or f"{package}/" in design, (
+                f"package repro.{package} is not mentioned in DESIGN.md")
+
+    def test_experiment_ids_are_consistent(self):
+        """Every ablation id (A1-A15) referenced in EXPERIMENTS.md exists
+        in DESIGN.md's index."""
+        design = _read("DESIGN.md")
+        experiments = _read("EXPERIMENTS.md")
+        design_ids = set(re.findall(r"\| (A\d+) \|", design))
+        experiment_ids = set(re.findall(r"\| (A\d+) ", experiments))
+        assert experiment_ids <= design_ids, (
+            f"EXPERIMENTS.md references undeclared ablations: "
+            f"{sorted(experiment_ids - design_ids)}")
+
+
+class TestReadme:
+    def test_examples_listed_exist(self):
+        readme = _read("README.md")
+        for mentioned in re.findall(r"examples/(\w+\.py)", readme):
+            assert (ROOT / "examples" / mentioned).exists(), (
+                f"README mentions missing example {mentioned}")
+
+    def test_cli_commands_in_readme_exist(self):
+        from repro.cli import build_parser
+        parser = build_parser()
+        actions = {action.dest: action for action in parser._actions}
+        commands = set(actions["command"].choices)
+        readme = _read("README.md")
+        for match in re.findall(r"^repro (\S+)", readme, re.MULTILINE):
+            assert match in commands, (
+                f"README shows unknown command 'repro {match}'")
+
+
+class TestSpecs:
+    def test_specs_directory_parses(self):
+        import json
+        specs = sorted((ROOT / "specs").glob("*.json"))
+        assert len(specs) >= 4
+        for path in specs:
+            json.loads(path.read_text(encoding="utf-8"))
+
+
+class TestApiDoc:
+    def test_api_doc_imports_resolve(self):
+        """Every `from repro... import a, b` line in docs/API.md must be
+        executable."""
+        api = _read("docs/API.md")
+        import_lines = re.findall(
+            r"^from (repro[\w.]*) import \(?([\w,\s]+?)\)?$",
+            api, re.MULTILINE)
+        assert import_lines, "expected import statements in docs/API.md"
+        import importlib
+        for module_name, names in import_lines:
+            module = importlib.import_module(module_name)
+            for name in re.split(r"[,\s]+", names.strip()):
+                if name:
+                    assert hasattr(module, name), (
+                        f"docs/API.md imports {module_name}.{name}, "
+                        "which does not exist")

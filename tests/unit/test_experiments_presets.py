@@ -1,0 +1,83 @@
+"""Unit tests for the paper presets in repro.evaluation.experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.experiments import (
+    FIG8_STP_VALUES,
+    FIG9_LPP_VALUES,
+    FIG10_NIP_VALUES,
+    PAPER_DEFAULTS,
+    paper_example_topology,
+    paper_table1_stream,
+    paper_table3_stream,
+    paper_topology,
+)
+
+
+class TestPaperDefaults:
+    def test_table5_values(self):
+        assert PAPER_DEFAULTS.n_pages == 300
+        assert PAPER_DEFAULTS.avg_out_degree == 15.0
+        assert PAPER_DEFAULTS.mean_stay_minutes == 2.2
+        assert PAPER_DEFAULTS.stay_deviation_minutes == 0.5
+        assert PAPER_DEFAULTS.n_agents == 10_000
+        assert PAPER_DEFAULTS.stp == 0.05
+        assert PAPER_DEFAULTS.lpp == 0.30
+        assert PAPER_DEFAULTS.nip == 0.30
+
+    def test_simulation_config_materialization(self):
+        config = PAPER_DEFAULTS.simulation_config()
+        assert config.mean_stay == pytest.approx(2.2 * 60)
+        assert config.stay_deviation == pytest.approx(0.5 * 60)
+        assert config.n_agents == 10_000
+
+    def test_simulation_config_overrides(self):
+        config = PAPER_DEFAULTS.simulation_config(n_agents=50, stp=0.2)
+        assert config.n_agents == 50
+        assert config.stp == 0.2
+        assert config.lpp == 0.30  # untouched
+
+
+class TestSweepGrids:
+    def test_fig8_axis(self):
+        assert FIG8_STP_VALUES[0] == 0.01
+        assert FIG8_STP_VALUES[-1] == 0.20
+        assert len(FIG8_STP_VALUES) == 20
+
+    def test_fig9_axis(self):
+        assert FIG9_LPP_VALUES == (0.0, 0.1, 0.2, 0.3, 0.4,
+                                   0.5, 0.6, 0.7, 0.8, 0.9)
+
+    def test_fig10_axis(self):
+        assert FIG10_NIP_VALUES == FIG9_LPP_VALUES
+
+
+class TestLiterals:
+    def test_fig1_topology_edges(self):
+        graph = paper_example_topology()
+        expected = {("P1", "P20"), ("P1", "P13"), ("P13", "P49"),
+                    ("P13", "P34"), ("P20", "P23"), ("P34", "P23"),
+                    ("P49", "P23")}
+        assert set(graph.edges()) == expected
+        assert graph.start_pages == {"P1", "P49"}
+
+    def test_table1_timestamps_in_minutes(self):
+        stream = paper_table1_stream()
+        assert [r.timestamp / 60 for r in stream] == [0, 6, 15, 29, 32, 47]
+        assert [r.page for r in stream] == ["P1", "P20", "P13", "P49",
+                                            "P34", "P23"]
+
+    def test_table3_timestamps_in_minutes(self):
+        stream = paper_table3_stream()
+        assert [r.timestamp / 60 for r in stream] == [0, 6, 9, 12, 14, 15]
+
+    def test_streams_carry_custom_user(self):
+        assert paper_table1_stream("alice")[0].user_id == "alice"
+
+    def test_paper_topology_shape(self):
+        graph = paper_topology(seed=5)
+        assert graph.page_count == 300
+        from repro.topology.analysis import degree_statistics
+        assert 13 < degree_statistics(graph).mean_out < 17.5

@@ -1,0 +1,98 @@
+"""Unit tests for the static-HTML topology extractor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.html import extract_links, graph_from_html_dir
+
+
+def _page(*hrefs: str) -> str:
+    links = "".join(f'<a href="{href}">x</a>' for href in hrefs)
+    return f"<html><body><h1>t</h1>{links}</body></html>"
+
+
+@pytest.fixture()
+def site_dir(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "index.html").write_text(
+        _page("about.html", "docs/guide.html", "http://external.example/x",
+              "mailto:a@b", "#anchor"), encoding="utf-8")
+    (tmp_path / "about.html").write_text(
+        _page("/index.html", "missing.html"), encoding="utf-8")
+    (tmp_path / "docs" / "guide.html").write_text(
+        _page("../index.html", "api.html?v=2"), encoding="utf-8")
+    (tmp_path / "docs" / "api.html").write_text(_page(), encoding="utf-8")
+    (tmp_path / "style.css").write_text("body{}", encoding="utf-8")
+    return str(tmp_path)
+
+
+class TestExtractLinks:
+    def test_collects_hrefs_in_order(self):
+        assert extract_links(_page("a.html", "b.html")) == ["a.html",
+                                                            "b.html"]
+
+    def test_ignores_other_tags(self):
+        html = '<img src="x.png"><link href="s.css"><a href="a.html">x</a>'
+        assert extract_links(html) == ["a.html"]
+
+    def test_handles_malformed_html(self):
+        assert extract_links('<a href="a.html"><b>unclosed') == ["a.html"]
+
+
+class TestGraphFromHtmlDir:
+    def test_pages_are_relative_ids(self, site_dir):
+        graph = graph_from_html_dir(site_dir)
+        assert graph.pages == {"index", "about", "docs/guide", "docs/api"}
+
+    def test_index_is_start_page(self, site_dir):
+        graph = graph_from_html_dir(site_dir)
+        assert graph.start_pages == {"index"}
+
+    def test_relative_links_resolve(self, site_dir):
+        graph = graph_from_html_dir(site_dir)
+        assert graph.has_link("index", "docs/guide")
+        assert graph.has_link("docs/guide", "docs/api")   # sibling link
+        assert graph.has_link("docs/guide", "index")      # ../ link
+
+    def test_absolute_links_resolve(self, site_dir):
+        graph = graph_from_html_dir(site_dir)
+        assert graph.has_link("about", "index")
+
+    def test_external_and_missing_dropped(self, site_dir):
+        graph = graph_from_html_dir(site_dir)
+        assert graph.out_degree("about") == 1  # missing.html dropped
+        targets = graph.successors("index")
+        assert targets == {"about", "docs/guide"}
+
+    def test_query_strings_stripped(self, site_dir):
+        graph = graph_from_html_dir(site_dir)
+        assert graph.has_link("docs/guide", "docs/api")
+
+    def test_no_index_falls_back_to_all_pages(self, tmp_path):
+        (tmp_path / "a.html").write_text(_page("b.html"), encoding="utf-8")
+        (tmp_path / "b.html").write_text(_page(), encoding="utf-8")
+        graph = graph_from_html_dir(str(tmp_path))
+        assert graph.start_pages == {"a", "b"}
+
+    def test_rejects_non_directory(self, tmp_path):
+        with pytest.raises(TopologyError, match="not a directory"):
+            graph_from_html_dir(str(tmp_path / "nope"))
+
+    def test_rejects_empty_directory(self, tmp_path):
+        with pytest.raises(TopologyError, match="no HTML"):
+            graph_from_html_dir(str(tmp_path))
+
+    def test_usable_by_simulator(self, site_dir):
+        """End-to-end sanity: agents can browse the extracted site."""
+        import random
+
+        from repro.simulator.agent import simulate_agent
+        from repro.simulator.config import SimulationConfig
+        graph = graph_from_html_dir(site_dir)
+        trace = simulate_agent("u", graph,
+                               SimulationConfig(stp=0.01, n_agents=1),
+                               random.Random(1))
+        assert trace.real_sessions
+        assert trace.real_sessions[0].pages[0] == "index"

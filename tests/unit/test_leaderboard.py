@@ -1,0 +1,69 @@
+"""Unit tests for the heuristic leaderboard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.leaderboard import (
+    DEFAULT_LINEUP,
+    leaderboard,
+    leaderboard_from_requests,
+    render_leaderboard,
+)
+from repro.exceptions import EvaluationError
+from repro.simulator.config import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def board(small_site, small_simulation):
+    return leaderboard_from_requests(small_site, small_simulation,
+                                     replicates=60)
+
+
+class TestLeaderboard:
+    def test_full_lineup_present(self, board):
+        assert {row.name for row in board} == set(DEFAULT_LINEUP)
+
+    def test_ranks_are_sequential_and_sorted(self, board):
+        assert [row.rank for row in board] == list(
+            range(1, len(board) + 1))
+        estimates = [row.matched.estimate for row in board]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_referrer_tops_and_sees_combined(self, board):
+        assert board[0].name == "referrer"
+        assert board[0].log_view == "combined"
+
+    def test_everyone_else_sees_clf(self, board):
+        assert all(row.log_view == "clf" for row in board
+                   if row.name != "referrer")
+
+    def test_smart_sra_is_best_reactive(self, board):
+        reactive = [row for row in board if row.name != "referrer"]
+        assert reactive[0].name == "heur4"
+
+    def test_intervals_bracket_estimates(self, board):
+        for row in board:
+            assert row.matched.low <= row.matched.estimate \
+                <= row.matched.high
+
+    def test_render(self, board):
+        text = render_leaderboard(board)
+        assert "matched [95% CI]" in text
+        assert "heur4" in text
+        assert text.count("\n") == len(board) + 1
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            render_leaderboard([])
+
+    def test_custom_lineup(self, small_site):
+        rows = leaderboard(small_site,
+                           SimulationConfig(n_agents=30, seed=2),
+                           names=("heur2", "heur4"), replicates=30)
+        assert {row.name for row in rows} == {"heur2", "heur4"}
+
+    def test_unknown_name_rejected(self, small_site):
+        with pytest.raises(EvaluationError):
+            leaderboard(small_site, SimulationConfig(n_agents=5),
+                        names=("nonsense",))

@@ -1,0 +1,107 @@
+"""Unit tests for the log follower (tail -f semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LogFormatError
+from repro.logs.clf import CLFRecord, format_clf_line
+from repro.logs.stream import follow_log
+
+
+def _line(host, t):
+    return format_clf_line(
+        CLFRecord(host, float(t), "GET", "/P1.html", "HTTP/1.1", 200,
+                  10)) + "\n"
+
+
+class TestFollowLog:
+    def test_reads_existing_content_then_times_out(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(_line("a", 1) + _line("b", 2), encoding="utf-8")
+        records = list(follow_log(str(path), poll_interval=0.01,
+                                  idle_timeout=0.02))
+        assert [record.host for record in records] == ["a", "b"]
+
+    def test_sees_appended_lines(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(_line("a", 1), encoding="utf-8")
+        appended = {"done": False}
+
+        def sleeper(duration):
+            # instead of sleeping, append once — simulates the server
+            # writing while the follower waits.
+            if not appended["done"]:
+                with open(path, "a", encoding="utf-8") as handle:
+                    handle.write(_line("b", 2))
+                appended["done"] = True
+
+        records = list(follow_log(str(path), poll_interval=0.01,
+                                  idle_timeout=0.02, _sleep=sleeper))
+        assert [record.host for record in records] == ["a", "b"]
+
+    def test_partial_line_held_until_complete(self, tmp_path):
+        path = tmp_path / "access.log"
+        full = _line("a", 1)
+        path.write_text(full[:20], encoding="utf-8")  # torn write
+        state = {"step": 0}
+
+        def sleeper(duration):
+            if state["step"] == 0:
+                with open(path, "a", encoding="utf-8") as handle:
+                    handle.write(full[20:])
+            state["step"] += 1
+
+        records = list(follow_log(str(path), poll_interval=0.01,
+                                  idle_timeout=0.02, _sleep=sleeper))
+        assert [record.host for record in records] == ["a"]
+
+    def test_truncation_restarts(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(_line("a", 1) + _line("b", 2), encoding="utf-8")
+        state = {"step": 0}
+
+        def sleeper(duration):
+            if state["step"] == 0:  # rotate: truncate and write fresh
+                path.write_text(_line("c", 3), encoding="utf-8")
+            state["step"] += 1
+
+        records = list(follow_log(str(path), poll_interval=0.01,
+                                  idle_timeout=0.02, _sleep=sleeper))
+        assert [record.host for record in records] == ["a", "b", "c"]
+
+    def test_missing_file_waits_then_times_out(self, tmp_path):
+        path = tmp_path / "never.log"
+        records = list(follow_log(str(path), poll_interval=0.01,
+                                  idle_timeout=0.03))
+        assert records == []
+
+    def test_malformed_lines_skipped_or_raised(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text("garbage\n" + _line("a", 1), encoding="utf-8")
+        records = list(follow_log(str(path), poll_interval=0.01,
+                                  idle_timeout=0.02))
+        assert [record.host for record in records] == ["a"]
+        with pytest.raises(LogFormatError):
+            list(follow_log(str(path), poll_interval=0.01,
+                            idle_timeout=0.02, skip_malformed=False))
+
+    def test_feeds_streaming_pipeline(self, tmp_path, small_site):
+        """End to end: follow a file into the streaming reconstructor."""
+        from repro.logs.reader import records_to_requests
+        from repro.streaming import streaming_smart_sra
+        path = tmp_path / "access.log"
+        lines = [
+            format_clf_line(CLFRecord("u1", 0.0, "GET", "/P0.html",
+                                      "HTTP/1.1", 200, 1)),
+            format_clf_line(CLFRecord("u1", 60.0, "GET", "/P1.html",
+                                      "HTTP/1.1", 200, 1)),
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        pipeline = streaming_smart_sra(small_site)
+        for record in follow_log(str(path), poll_interval=0.01,
+                                 idle_timeout=0.02):
+            for request in records_to_requests([record]):
+                pipeline.feed(request)
+        emitted = pipeline.flush()
+        assert sum(len(session) for session in emitted) == 2

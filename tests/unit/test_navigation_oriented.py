@@ -1,0 +1,102 @@
+"""Unit tests for heur3 — including the paper's Table 2 trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ReconstructionError
+from repro.sessions.base import get_heuristic
+from repro.sessions.model import Request
+from repro.sessions.navigation_oriented import NavigationHeuristic
+from repro.topology.graph import WebGraph
+
+
+def test_paper_table2_trace(fig1_topology, table1_stream):
+    """The full §2.2 worked example: the final session must be
+    [P1 P20 P1 P13 P49 P13 P34 P23] with the backward movements inserted."""
+    sessions = NavigationHeuristic(fig1_topology).reconstruct_user(
+        table1_stream)
+    assert len(sessions) == 1
+    assert sessions[0].pages == (
+        "P1", "P20", "P1", "P13", "P49", "P13", "P34", "P23")
+
+
+def test_paper_table2_inserted_requests_are_synthetic(fig1_topology,
+                                                      table1_stream):
+    session, = NavigationHeuristic(fig1_topology).reconstruct_user(
+        table1_stream)
+    flags = [request.synthetic for request in session]
+    # positions 2 (P1) and 5 (P13) are the inserted backward movements.
+    assert flags == [False, False, True, False, False, True, False, False]
+
+
+def test_direct_link_appends(fig1_topology):
+    stream = [Request(0.0, "u", "P1"), Request(60.0, "u", "P13")]
+    sessions = NavigationHeuristic(fig1_topology).reconstruct_user(stream)
+    assert [s.pages for s in sessions] == [("P1", "P13")]
+
+
+def test_unreachable_page_starts_new_session():
+    graph = WebGraph([("A", "B")], pages=["A", "B", "Z"], start_pages=["A"])
+    stream = [Request(0.0, "u", "A"), Request(60.0, "u", "Z")]
+    sessions = NavigationHeuristic(graph).reconstruct_user(stream)
+    assert [s.pages for s in sessions] == [("A",), ("Z",)]
+
+
+def test_backward_walk_ends_at_latest_linker():
+    # A -> B -> C, and both A and B link to D.  After [A, B, C] the request
+    # for D must back up only to B (the *latest* linker), inserting just C's
+    # predecessor B — not all the way to A.
+    graph = WebGraph([("A", "B"), ("B", "C"), ("A", "D"), ("B", "D")],
+                     start_pages=["A"])
+    stream = [Request(0.0, "u", "A"), Request(60.0, "u", "B"),
+              Request(120.0, "u", "C"), Request(180.0, "u", "D")]
+    sessions = NavigationHeuristic(graph).reconstruct_user(stream)
+    assert [s.pages for s in sessions] == [("A", "B", "C", "B", "D")]
+
+
+def test_no_time_limit_by_default():
+    graph = WebGraph([("A", "B")], start_pages=["A"])
+    stream = [Request(0.0, "u", "A"), Request(7200.0, "u", "B")]
+    sessions = NavigationHeuristic(graph).reconstruct_user(stream)
+    assert len(sessions) == 1
+
+
+def test_optional_max_gap_splits():
+    graph = WebGraph([("A", "B")], start_pages=["A"])
+    stream = [Request(0.0, "u", "A"), Request(7200.0, "u", "B")]
+    sessions = NavigationHeuristic(graph, max_gap=600.0).reconstruct_user(
+        stream)
+    assert [s.pages for s in sessions] == [("A",), ("B",)]
+
+
+def test_rejects_nonpositive_max_gap():
+    graph = WebGraph([("A", "B")], start_pages=["A"])
+    with pytest.raises(ConfigurationError):
+        NavigationHeuristic(graph, max_gap=0.0)
+
+
+def test_pages_outside_topology_become_singletons():
+    graph = WebGraph([("A", "B")], start_pages=["A"])
+    stream = [Request(0.0, "u", "X"), Request(60.0, "u", "Y")]
+    sessions = NavigationHeuristic(graph).reconstruct_user(stream)
+    assert [s.pages for s in sessions] == [("X",), ("Y",)]
+
+
+def test_repeated_page_handled():
+    # The log may legitimately repeat a page (e.g. a forced reload).
+    graph = WebGraph([("A", "B"), ("B", "A")], start_pages=["A"])
+    stream = [Request(0.0, "u", "A"), Request(60.0, "u", "B"),
+              Request(120.0, "u", "A")]
+    sessions = NavigationHeuristic(graph).reconstruct_user(stream)
+    assert [s.pages for s in sessions] == [("A", "B", "A")]
+
+
+def test_registry_entry_raises_helpfully():
+    with pytest.raises(ConfigurationError, match="requires a site topology"):
+        get_heuristic("heur3")
+
+
+def test_unknown_heuristic_lists_names():
+    with pytest.raises(ReconstructionError, match="heur1"):
+        get_heuristic("definitely-not-registered")

@@ -1,0 +1,135 @@
+"""Unit tests for the aggregate navigation tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.mining.navigation_tree import NavigationTree
+from repro.sessions.model import Session, SessionSet
+
+
+def _s(pages, user="u0"):
+    return Session.from_pages(pages, user_id=user)
+
+
+@pytest.fixture()
+def shop_tree():
+    sessions = SessionSet([
+        _s(["home", "list", "item"]),
+        _s(["home", "list", "cart"]),
+        _s(["home", "about"]),
+        _s(["landing"]),
+    ])
+    return NavigationTree(sessions)
+
+
+class TestConstruction:
+    def test_session_count(self, shop_tree):
+        assert shop_tree.session_count == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(EvaluationError):
+            NavigationTree(SessionSet([]))
+        with pytest.raises(EvaluationError):
+            NavigationTree(SessionSet([Session([])]))
+
+    def test_node_count_shares_prefixes(self, shop_tree):
+        # home, list, item, cart, about, landing = 6 nodes, not 9 pages.
+        assert shop_tree.node_count() == 6
+
+
+class TestSupport:
+    def test_empty_prefix(self, shop_tree):
+        assert shop_tree.support([]) == 4
+
+    def test_shared_prefix(self, shop_tree):
+        assert shop_tree.support(["home"]) == 3
+        assert shop_tree.support(["home", "list"]) == 2
+
+    def test_full_path(self, shop_tree):
+        assert shop_tree.support(["home", "list", "cart"]) == 1
+
+    def test_absent_prefix(self, shop_tree):
+        assert shop_tree.support(["nope"]) == 0
+        assert shop_tree.support(["home", "nope"]) == 0
+
+    def test_prefix_only_counts_from_start(self, shop_tree):
+        # "list" occurs in sessions, but never as the FIRST page.
+        assert shop_tree.support(["list"]) == 0
+
+
+class TestContinuations:
+    def test_children_with_supports(self, shop_tree):
+        assert shop_tree.continuations(["home"]) == {"list": 2, "about": 1}
+
+    def test_leaf_has_none(self, shop_tree):
+        assert shop_tree.continuations(["landing"]) == {}
+
+    def test_absent_prefix(self, shop_tree):
+        assert shop_tree.continuations(["nope"]) == {}
+
+
+class TestConversionRate:
+    def test_funnel_step(self, shop_tree):
+        assert shop_tree.conversion_rate(["home"], "list") \
+            == pytest.approx(2 / 3)
+        assert shop_tree.conversion_rate(["home", "list"], "cart") == 0.5
+
+    def test_undefined_for_absent_prefix(self, shop_tree):
+        with pytest.raises(EvaluationError, match="no session"):
+            shop_tree.conversion_rate(["nope"], "x")
+
+
+class TestFrequentPaths:
+    def test_threshold(self, shop_tree):
+        paths = dict(shop_tree.frequent_paths(min_support=0.5))
+        assert paths == {("home",): 3, ("home", "list"): 2}
+
+    def test_max_depth(self, shop_tree):
+        paths = shop_tree.frequent_paths(min_support=0.1, max_depth=1)
+        assert all(len(path) == 1 for path, __ in paths)
+
+    def test_sorted_by_support(self, shop_tree):
+        paths = shop_tree.frequent_paths(min_support=0.1)
+        supports = [support for __, support in paths]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_rejects_invalid(self, shop_tree):
+        with pytest.raises(EvaluationError):
+            shop_tree.frequent_paths(min_support=0.0)
+        with pytest.raises(EvaluationError):
+            shop_tree.frequent_paths(max_depth=0)
+
+
+class TestWalkAndRender:
+    def test_walk_covers_all_nodes(self, shop_tree):
+        paths = dict(shop_tree.walk())
+        assert len(paths) == shop_tree.node_count()
+        assert paths[("home",)] == 3
+
+    def test_render_shows_supports(self, shop_tree):
+        text = shop_tree.render()
+        assert "(root) 4 sessions" in text
+        assert "home (3)" in text
+        assert "list (2)" in text
+
+    def test_render_min_support_hides(self, shop_tree):
+        text = shop_tree.render(min_support=2)
+        assert "about" not in text
+
+    def test_render_depth_limits(self, shop_tree):
+        text = shop_tree.render(max_depth=1)
+        assert "list" not in text
+
+
+class TestAgainstSequentialMiner:
+    def test_tree_supports_match_prefix_counts(self, small_simulation):
+        """Cross-check: tree support of a 1-path == number of sessions
+        starting with that page."""
+        truth = small_simulation.ground_truth
+        tree = NavigationTree(truth)
+        from collections import Counter
+        first_pages = Counter(s.pages[0] for s in truth if s)
+        for page, count in first_pages.most_common(5):
+            assert tree.support([page]) == count

@@ -1,0 +1,100 @@
+"""Unit tests for the indexed Phase 2 implementation."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.config import SmartSRAConfig
+from repro.core.phase2 import maximal_sessions, maximal_sessions_fast
+from repro.sessions.model import Request
+from repro.topology.graph import WebGraph
+
+MIN = 60.0
+
+
+def _multiset(sessions):
+    return sorted(tuple((r.page, r.timestamp) for r in s) for s in sessions)
+
+
+class TestFastPhase2:
+    def test_paper_table4(self, fig1_topology, table3_stream):
+        sessions = maximal_sessions_fast(table3_stream, fig1_topology)
+        assert {s.pages for s in sessions} == {
+            ("P1", "P13", "P34", "P23"),
+            ("P1", "P13", "P49", "P23"),
+            ("P1", "P20", "P23"),
+        }
+
+    def test_empty_candidate(self, fig1_topology):
+        assert maximal_sessions_fast([], fig1_topology) == []
+
+    def test_singleton(self, fig1_topology):
+        sessions = maximal_sessions_fast(
+            [Request(0.0, "u", "P1")], fig1_topology)
+        assert [s.pages for s in sessions] == [("P1",)]
+
+    def test_unknown_pages(self, fig1_topology):
+        candidate = [Request(0.0, "u", "X"), Request(MIN, "u", "Y")]
+        sessions = maximal_sessions_fast(candidate, fig1_topology)
+        assert {s.pages for s in sessions} == {("X",), ("Y",)}
+
+    def test_branching(self):
+        graph = WebGraph([("A", "B"), ("A", "C")], start_pages=["A"])
+        candidate = [Request(0.0, "u", "A"), Request(MIN, "u", "B"),
+                     Request(2 * MIN, "u", "C")]
+        sessions = maximal_sessions_fast(candidate, graph)
+        assert {s.pages for s in sessions} == {("A", "B"), ("A", "C")}
+
+    def test_timestamp_rule_enforced(self):
+        graph = WebGraph([("A", "B"), ("C", "B")], start_pages=["A"])
+        candidate = [Request(0.0, "u", "A"), Request(5 * MIN, "u", "B"),
+                     Request(10 * MIN, "u", "C")]
+        for session in maximal_sessions_fast(candidate, graph):
+            times = [r.timestamp for r in session]
+            assert times == sorted(times)
+
+    def test_rescue_orphans_path(self, fig1_topology, table3_stream):
+        plain = maximal_sessions_fast(table3_stream, fig1_topology)
+        rescued = maximal_sessions_fast(
+            table3_stream, fig1_topology,
+            SmartSRAConfig(rescue_orphans=True))
+        assert _multiset(plain) == _multiset(rescued)
+
+    def test_matches_reference_on_paper_examples(self, fig1_topology,
+                                                 table1_stream,
+                                                 table3_stream):
+        for stream in (table1_stream, table3_stream):
+            assert _multiset(maximal_sessions_fast(stream, fig1_topology)) \
+                == _multiset(maximal_sessions(stream, fig1_topology))
+
+    def test_output_stable_across_hash_seeds(self, tmp_path):
+        """Session ORDER must not depend on PYTHONHASHSEED (frozenset
+        iteration order does; the implementation sorts to compensate)."""
+        script = tmp_path / "emit.py"
+        script.write_text(
+            "from repro.topology.generators import random_site\n"
+            "from repro.core.phase2 import maximal_sessions_fast\n"
+            "from repro.sessions.model import Request\n"
+            "import random\n"
+            "site = random_site(40, 5, seed=3)\n"
+            "rng = random.Random(1)\n"
+            "pages = sorted(site.pages)\n"
+            "cand = [Request(i * 30.0, 'u', rng.choice(pages))"
+            " for i in range(40)]\n"
+            "for s in maximal_sessions_fast(cand, site):\n"
+            "    print('|'.join(p for p in s.pages))\n",
+            encoding="utf-8")
+        outputs = set()
+        for hash_seed in ("1", "7", "42"):
+            completed = subprocess.run(
+                [sys.executable, str(script)], capture_output=True,
+                text=True, env={"PYTHONHASHSEED": hash_seed,
+                                "PATH": "/usr/bin:/bin"},
+                check=False)
+            if completed.returncode != 0:
+                pytest.skip(f"subprocess failed: {completed.stderr[:200]}")
+            outputs.add(completed.stdout)
+        assert len(outputs) == 1

@@ -1,0 +1,91 @@
+"""Public-API surface checks.
+
+These tests freeze the import surface: every documented name must be
+importable from where the docs say it lives, every ``__all__`` entry must
+resolve, and every public callable must carry a docstring.  They catch the
+classic refactoring accident — a rename that silently breaks ``from repro
+import X`` for downstream users.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.sessions",
+    "repro.topology",
+    "repro.simulator",
+    "repro.logs",
+    "repro.evaluation",
+    "repro.mining",
+    "repro.transactions",
+    "repro.streaming",
+]
+
+TOP_LEVEL_NAMES = [
+    # value types
+    "Request", "Session", "SessionSet", "WebGraph",
+    # heuristics
+    "DurationHeuristic", "PageStayHeuristic", "NavigationHeuristic",
+    "ReferrerHeuristic", "AdaptiveTimeoutHeuristic", "SmartSRA",
+    "SmartSRAConfig", "Phase1Only",
+    # simulation
+    "SimulationConfig", "simulate_population", "simulate_agent",
+    # evaluation
+    "evaluate_reconstruction", "real_accuracy", "run_trial", "sweep",
+    "fig8_sweep", "fig9_sweep", "fig10_sweep",
+    # topology
+    "random_site", "hierarchical_site", "power_law_site",
+    # streaming / stats
+    "streaming_smart_sra", "streaming_phase1", "describe",
+    # errors
+    "ReproError", "TopologyError", "SimulationError", "LogFormatError",
+    "ReconstructionError", "EvaluationError", "ConfigurationError",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_entries_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} lacks __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.__all__ lists {name!r} " \
+                                      f"but it is not importable"
+
+
+@pytest.mark.parametrize("name", TOP_LEVEL_NAMES)
+def test_top_level_import(name):
+    import repro
+    assert hasattr(repro, name)
+    assert name in repro.__all__
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_callables_have_docstrings(package):
+    module = importlib.import_module(package)
+    missing = []
+    for name in module.__all__:
+        member = getattr(module, name)
+        if inspect.isfunction(member) or inspect.isclass(member):
+            if not (member.__doc__ or "").strip():
+                missing.append(f"{package}.{name}")
+    assert not missing, f"missing docstrings: {missing}"
+
+
+def test_version_is_pep440ish():
+    import repro
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
+
+
+def test_registry_names_are_complete():
+    from repro.sessions.base import available_heuristics
+    names = set(available_heuristics())
+    assert {"heur1", "heur2", "heur3", "heur4", "phase1",
+            "adaptive"} <= names

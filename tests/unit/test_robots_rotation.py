@@ -1,0 +1,126 @@
+"""Unit tests for behavioral robot detection and rotated-log reading."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.exceptions import ConfigurationError, LogFormatError
+from repro.logs.clf import CLFRecord, format_clf_line
+from repro.logs.robots import RobotDetector
+from repro.logs.rotation import (
+    iter_log_file,
+    read_rotated_logs,
+    rotation_order,
+)
+
+
+def _hits(host, times, url="/P1.html", urls=None):
+    urls = urls or [url] * len(times)
+    return [CLFRecord(host, float(t), "GET", u, "HTTP/1.1", 200, 100)
+            for t, u in zip(times, urls)]
+
+
+class TestRobotDetector:
+    def test_human_cadence_not_flagged(self):
+        records = _hits("human", [0, 120, 260, 400])
+        assert RobotDetector().detect(records) == set()
+
+    def test_robots_txt_fetch_flags(self):
+        records = _hits("crawler", [0], url="/robots.txt")
+        assert RobotDetector().detect(records) == {"crawler"}
+
+    def test_robots_txt_with_query_flags(self):
+        records = _hits("crawler", [0], url="/robots.txt?x=1")
+        assert RobotDetector().detect(records) == {"crawler"}
+
+    def test_machine_gun_cadence_flags(self):
+        records = _hits("fast", [i * 0.5 for i in range(20)],
+                        urls=[f"/P{i}.html" for i in range(20)])
+        assert "fast" in RobotDetector().detect(records)
+
+    def test_fast_but_few_requests_not_flagged(self):
+        # below min_requests the cadence rule must not fire (could be a
+        # burst of embedded resources from a human page view).
+        records = _hits("burst", [0, 0.5, 1.0])
+        assert RobotDetector().detect(records) == set()
+
+    def test_site_sweep_flags(self):
+        times = [i * 20 for i in range(150)]
+        urls = [f"/P{i}.html" for i in range(150)]
+        records = _hits("sweeper", times, urls=urls)
+        assert "sweeper" in RobotDetector().detect(records)
+
+    def test_slow_broad_browsing_not_flagged(self):
+        # breadth without speed: a devoted human reader over days.
+        times = [i * 300 for i in range(150)]
+        urls = [f"/P{i}.html" for i in range(150)]
+        records = _hits("reader", times, urls=urls)
+        assert RobotDetector().detect(records) == set()
+
+    def test_filter_preserves_order_and_reports(self):
+        human = _hits("human", [0, 200])
+        robot = _hits("crawler", [10], url="/robots.txt")
+        kept, flagged = RobotDetector().filter(human[:1] + robot + human[1:])
+        assert flagged == {"crawler"}
+        assert [record.host for record in kept] == ["human", "human"]
+
+    def test_profile_sorted_by_volume(self):
+        records = _hits("a", [0]) + _hits("b", [0, 10, 20])
+        profiles = RobotDetector().profile(records)
+        assert [p.host for p in profiles] == ["b", "a"]
+        assert profiles[0].mean_gap == 10.0
+        assert profiles[1].request_rate == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"min_human_gap": 0}, {"min_requests": 0},
+        {"breadth_threshold": 0}, {"breadth_gap": -1}])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RobotDetector(**kwargs)
+
+
+class TestRotation:
+    def _write(self, path, records, compress=False):
+        text = "".join(format_clf_line(r) + "\n" for r in records)
+        if compress:
+            with gzip.open(path, "wt", encoding="utf-8") as handle:
+                handle.write(text)
+        else:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+
+    def test_rotation_order_convention(self):
+        ordered = rotation_order(
+            ["access.log", "access.log.2.gz", "access.log.1"])
+        assert ordered == ["access.log.2.gz", "access.log.1", "access.log"]
+
+    def test_reads_gzip_members(self, tmp_path):
+        records = _hits("h", [100, 200])
+        path = str(tmp_path / "access.log.1.gz")
+        self._write(path, records, compress=True)
+        assert len(list(iter_log_file(path))) == 2
+
+    def test_stitches_set_in_time_order(self, tmp_path):
+        old = _hits("h", [0, 50])
+        new = _hits("h", [100, 150])
+        old_path = str(tmp_path / "access.log.1.gz")
+        new_path = str(tmp_path / "access.log")
+        self._write(old_path, old, compress=True)
+        self._write(new_path, new)
+        merged = read_rotated_logs([new_path, old_path])
+        assert [record.timestamp for record in merged] == [0, 50, 100, 150]
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(LogFormatError, match="no log files"):
+            read_rotated_logs([])
+
+    def test_skip_malformed_across_members(self, tmp_path):
+        path = str(tmp_path / "dirty.log")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+            handle.write(format_clf_line(_hits("h", [1])[0]) + "\n")
+        assert len(read_rotated_logs([path], skip_malformed=True)) == 1
+        with pytest.raises(LogFormatError):
+            read_rotated_logs([path])

@@ -1,0 +1,91 @@
+"""Unit tests for sequential (ordered) rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.mining.sequence_rules import (
+    mine_sequential_rules,
+    sequential_rules,
+)
+from repro.mining.sequential import SequentialPattern, frequent_sequences
+from repro.sessions.model import Session, SessionSet
+
+
+def _s(pages):
+    return Session.from_pages(pages)
+
+
+@pytest.fixture()
+def funnel_sessions():
+    return SessionSet([
+        _s(["home", "list", "item"]),
+        _s(["home", "list", "item"]),
+        _s(["home", "list", "cart"]),
+        _s(["home", "about"]),
+    ])
+
+
+class TestSequentialRules:
+    def test_confidence_computation(self, funnel_sessions):
+        rules = mine_sequential_rules(funnel_sessions, min_support=0.2,
+                                      min_confidence=0.1)
+        by_key = {(rule.path, rule.next_page): rule for rule in rules}
+        rule = by_key[(("home", "list"), "item")]
+        assert rule.confidence == pytest.approx(2 / 3)
+        assert rule.support == pytest.approx(0.5)
+        rule = by_key[(("home",), "list")]
+        assert rule.confidence == pytest.approx(0.75)
+
+    def test_min_confidence_filters(self, funnel_sessions):
+        strict = mine_sequential_rules(funnel_sessions, min_support=0.2,
+                                       min_confidence=0.7)
+        keys = {(rule.path, rule.next_page) for rule in strict}
+        assert (("home",), "list") in keys
+        assert (("home", "list"), "cart") not in keys  # conf 1/3
+
+    def test_sorted_by_confidence(self, funnel_sessions):
+        rules = mine_sequential_rules(funnel_sessions, min_support=0.2,
+                                      min_confidence=0.1)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_order_matters(self):
+        # "list -> home" never happens even though both pages co-occur.
+        sessions = SessionSet([_s(["home", "list"])] * 4)
+        rules = mine_sequential_rules(sessions, min_support=0.2,
+                                      min_confidence=0.1)
+        keys = {(rule.path, rule.next_page) for rule in rules}
+        assert (("home",), "list") in keys
+        assert (("list",), "home") not in keys
+
+    def test_missing_prefix_rejected(self):
+        orphan = [SequentialPattern(("a", "b"), 0.5, 1)]
+        with pytest.raises(EvaluationError, match="missing the prefix"):
+            sequential_rules(orphan, min_confidence=0.1)
+
+    def test_bad_confidence_rejected(self, funnel_sessions):
+        patterns = frequent_sequences(funnel_sessions, min_support=0.2)
+        with pytest.raises(EvaluationError):
+            sequential_rules(patterns, min_confidence=0.0)
+
+    def test_str_rendering(self, funnel_sessions):
+        rules = mine_sequential_rules(funnel_sessions, min_support=0.2,
+                                      min_confidence=0.1)
+        assert "=>" in str(rules[0])
+        assert "->" in str(
+            next(rule for rule in rules if len(rule.path) > 1))
+
+    def test_rules_agree_with_markov_top1(self, funnel_sessions):
+        """Length-1 rules are exactly the first-order Markov transition
+        probabilities."""
+        from repro.mining.prediction import MarkovPredictor
+        model = MarkovPredictor().fit(funnel_sessions)
+        rules = mine_sequential_rules(funnel_sessions, min_support=0.01,
+                                      min_confidence=0.01)
+        for rule in rules:
+            if len(rule.path) == 1:
+                assert rule.confidence == pytest.approx(
+                    model.transition_probability(rule.path[0],
+                                                 rule.next_page))

@@ -1,0 +1,99 @@
+"""Unit tests for topology fingerprints and the simulation disk cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.simcache import cached_simulation, simulation_cache_key
+from repro.simulator.config import SimulationConfig
+from repro.topology.generators import random_site
+from repro.topology.graph import WebGraph
+
+
+class TestFingerprint:
+    def test_equal_graphs_equal_fingerprints(self):
+        a = WebGraph([("A", "B"), ("B", "C")], start_pages=["A"])
+        b = WebGraph([("B", "C"), ("A", "B")], start_pages=["A"])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_edge_changes_fingerprint(self):
+        a = WebGraph([("A", "B")], start_pages=["A"])
+        b = WebGraph([("A", "B"), ("B", "A")], start_pages=["A"])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_start_page_changes_fingerprint(self):
+        a = WebGraph([("A", "B")], start_pages=["A"])
+        b = WebGraph([("A", "B")], start_pages=["A", "B"])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_isolated_page_changes_fingerprint(self):
+        a = WebGraph([("A", "B")], start_pages=["A"])
+        b = WebGraph([("A", "B")], pages=["A", "B", "C"],
+                     start_pages=["A"])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_generator_stability(self):
+        assert (random_site(30, 3, seed=1).fingerprint()
+                == random_site(30, 3, seed=1).fingerprint())
+
+
+class TestCacheKey:
+    def test_key_covers_config(self, small_site):
+        base = SimulationConfig(n_agents=10)
+        assert simulation_cache_key(
+            small_site, base, 0.0, "uniform") != simulation_cache_key(
+            small_site, base.with_(stp=0.2), 0.0, "uniform")
+
+    def test_key_covers_horizon_and_profile(self, small_site):
+        config = SimulationConfig(n_agents=10)
+        keys = {
+            simulation_cache_key(small_site, config, 100.0, "uniform"),
+            simulation_cache_key(small_site, config, 200.0, "uniform"),
+            simulation_cache_key(small_site, config, 100.0, "diurnal"),
+        }
+        assert len(keys) == 3
+
+
+class TestCachedSimulation:
+    def test_miss_then_hit_identical_payload(self, small_site, tmp_path):
+        config = SimulationConfig(n_agents=25, seed=4)
+        first = cached_simulation(small_site, config, str(tmp_path))
+        second = cached_simulation(small_site, config, str(tmp_path))
+        assert first.ground_truth == second.ground_truth
+        assert [(r.user_id, r.page, r.timestamp, r.referrer)
+                for r in first.log_requests] == [
+            (r.user_id, r.page, r.timestamp, r.referrer)
+            for r in second.log_requests]
+        # the hit does not carry traces (documented contract).
+        assert first.traces and not second.traces
+
+    def test_hit_skips_simulation(self, small_site, tmp_path, monkeypatch):
+        config = SimulationConfig(n_agents=10, seed=4)
+        cached_simulation(small_site, config, str(tmp_path))
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("simulate_population must not run on hit")
+
+        import repro.evaluation.simcache as simcache
+        monkeypatch.setattr(simcache, "simulate_population", boom)
+        result = cached_simulation(small_site, config, str(tmp_path))
+        assert len(result.ground_truth) > 0
+
+    def test_distinct_configs_do_not_collide(self, small_site, tmp_path):
+        a = cached_simulation(small_site, SimulationConfig(n_agents=10),
+                              str(tmp_path))
+        b = cached_simulation(small_site,
+                              SimulationConfig(n_agents=10, seed=9),
+                              str(tmp_path))
+        assert a.log_requests != b.log_requests
+
+    def test_cached_result_supports_evaluation(self, small_site, tmp_path):
+        from repro.core.smart_sra import SmartSRA
+        from repro.evaluation.metrics import evaluate_reconstruction
+        config = SimulationConfig(n_agents=40, seed=4)
+        cached_simulation(small_site, config, str(tmp_path))  # warm
+        hit = cached_simulation(small_site, config, str(tmp_path))
+        sessions = SmartSRA(small_site).reconstruct(hit.log_requests)
+        report = evaluate_reconstruction("heur4", hit.ground_truth,
+                                         sessions)
+        assert report.matched_accuracy > 0

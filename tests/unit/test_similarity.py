@@ -1,0 +1,123 @@
+"""Unit tests for the graded similarity measures (LCS-based)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.similarity import (
+    lcs_length,
+    session_overlap,
+    similarity_report,
+)
+from repro.exceptions import EvaluationError
+from repro.sessions.model import Session, SessionSet
+
+
+def _s(pages, user="u0"):
+    return Session.from_pages(pages, user_id=user)
+
+
+class TestLCS:
+    def test_identical(self):
+        assert lcs_length(["a", "b", "c"], ["a", "b", "c"]) == 3
+
+    def test_classic_example(self):
+        assert lcs_length(list("ABCBDAB"), list("BDCABA")) == 4
+
+    def test_disjoint(self):
+        assert lcs_length(["a"], ["b"]) == 0
+
+    def test_empty(self):
+        assert lcs_length([], ["a"]) == 0
+        assert lcs_length(["a"], []) == 0
+        assert lcs_length([], []) == 0
+
+    def test_subsequence_with_gaps(self):
+        assert lcs_length(["a", "x", "b", "y", "c"], ["a", "b", "c"]) == 3
+
+    def test_symmetric(self):
+        first = ["a", "b", "a", "c"]
+        second = ["b", "a", "c", "a"]
+        assert lcs_length(first, second) == lcs_length(second, first)
+
+    def test_order_matters(self):
+        assert lcs_length(["a", "b"], ["b", "a"]) == 1
+
+
+class TestSessionOverlap:
+    def test_full_overlap(self):
+        assert session_overlap(_s(["a", "b"]), _s(["x", "a", "b", "y"])) == 1.0
+
+    def test_interrupted_still_counts(self):
+        # the binary ⊏ metric rejects this; the graded one credits it.
+        assert session_overlap(_s(["a", "b", "c"]),
+                               _s(["a", "x", "b", "x", "c"])) == 1.0
+
+    def test_partial(self):
+        assert session_overlap(_s(["a", "b", "c"]), _s(["a", "c"])) \
+            == pytest.approx(2 / 3)
+
+    def test_empty_reconstruction(self):
+        assert session_overlap(_s(["a"]), Session([])) == 0.0
+
+    def test_empty_real_rejected(self):
+        with pytest.raises(EvaluationError):
+            session_overlap(Session([]), _s(["a"]))
+
+
+class TestSimilarityReport:
+    def test_perfect_reconstruction(self):
+        truth = SessionSet([_s(["a", "b"]), _s(["c"])])
+        report = similarity_report("h", truth, truth)
+        assert report.graded_recall == 1.0
+        assert report.graded_precision == 1.0
+        assert report.f1 == 1.0
+        assert report.fragmentation == 1.0
+
+    def test_giant_session_keeps_recall_loses_precision(self):
+        truth = SessionSet([_s(["a", "b"]), _s(["c", "d"])])
+        giant = SessionSet([_s(["a", "b", "c", "d"])])
+        report = similarity_report("h", truth, giant)
+        assert report.graded_recall == 1.0
+        assert report.graded_precision == 0.5
+        assert report.fragmentation == 0.5
+
+    def test_fragmented_keeps_precision_loses_recall(self):
+        truth = SessionSet([_s(["a", "b", "c", "d"])])
+        fragments = SessionSet([_s(["a", "b"]), _s(["c", "d"])])
+        report = similarity_report("h", truth, fragments)
+        assert report.graded_recall == 0.5
+        assert report.graded_precision == 1.0
+        assert report.fragmentation == 2.0
+
+    def test_user_boundary(self):
+        truth = SessionSet([_s(["a"], user="alice")])
+        other = SessionSet([_s(["a"], user="bob")])
+        report = similarity_report("h", truth, other)
+        assert report.graded_recall == 0.0
+        assert report.graded_precision == 0.0
+        assert report.f1 == 0.0
+
+    def test_empty_reconstruction(self):
+        truth = SessionSet([_s(["a"])])
+        report = similarity_report("h", truth, SessionSet([]))
+        assert report.graded_recall == 0.0
+        assert report.fragmentation == 0.0
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(EvaluationError):
+            similarity_report("h", SessionSet([]), SessionSet([_s(["a"])]))
+
+    def test_graded_at_least_binary_on_simulation(self, small_site,
+                                                  small_simulation):
+        """Graded recall upper-bounds the binary matched accuracy: every
+        captured session has overlap 1.0."""
+        from repro.core.smart_sra import SmartSRA
+        from repro.evaluation.metrics import evaluate_reconstruction
+        sessions = SmartSRA(small_site).reconstruct(
+            small_simulation.log_requests)
+        binary = evaluate_reconstruction(
+            "h", small_simulation.ground_truth, sessions)
+        graded = similarity_report(
+            "h", small_simulation.ground_truth, sessions)
+        assert graded.graded_recall >= binary.accuracy

@@ -1,0 +1,156 @@
+"""Unit tests for single-agent simulation (behaviors 1-4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulator.agent import simulate_agent
+from repro.simulator.config import SimulationConfig
+from repro.topology.graph import WebGraph
+
+
+@pytest.fixture()
+def line_site():
+    """A -> B -> C -> D, single start page A."""
+    return WebGraph([("A", "B"), ("B", "C"), ("C", "D")], start_pages=["A"])
+
+
+def _config(**overrides):
+    defaults = dict(stp=0.05, lpp=0.0, nip=0.0, n_agents=1, seed=0)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestBasicWalk:
+    def test_sessions_start_at_start_page(self, line_site):
+        trace = simulate_agent("u", line_site, _config(), random.Random(1))
+        assert trace.real_sessions[0].pages[0] == "A"
+
+    def test_follows_links_forward(self, line_site):
+        # With stp tiny, lpp=nip=0, the agent walks the whole line then
+        # dead-ends (no unvisited successor, nothing to branch from).
+        trace = simulate_agent("u", line_site, _config(stp=0.0001),
+                               random.Random(3))
+        assert trace.real_sessions[-1].pages == ("A", "B", "C", "D")
+
+    def test_ground_truth_satisfies_topology_rule(self, line_site):
+        trace = simulate_agent("u", line_site, _config(stp=0.001),
+                               random.Random(5))
+        for session in trace.real_sessions:
+            for left, right in zip(session.pages, session.pages[1:]):
+                assert line_site.has_link(left, right)
+
+    def test_server_requests_chronological(self, line_site):
+        trace = simulate_agent("u", line_site, _config(stp=0.001),
+                               random.Random(5))
+        times = [r.timestamp for r in trace.server_requests]
+        assert times == sorted(times)
+
+    def test_start_time_offsets_clock(self, line_site):
+        trace = simulate_agent("u", line_site, _config(), random.Random(1),
+                               start_time=1000.0)
+        assert trace.server_requests[0].timestamp == 1000.0
+
+    def test_request_bound_is_respected(self, line_site):
+        config = _config(stp=0.0001, max_requests_per_agent=3)
+        trace = simulate_agent("u", line_site, config, random.Random(2))
+        total_landings = sum(len(s) for s in trace.real_sessions)
+        assert total_landings <= 3
+
+
+class TestCacheInteraction:
+    def test_first_visits_reach_server(self, line_site):
+        trace = simulate_agent("u", line_site, _config(stp=0.0001),
+                               random.Random(3))
+        assert [r.page for r in trace.server_requests] == ["A", "B", "C", "D"]
+        assert trace.cache_misses == 4
+        assert trace.cache_hits == 0
+
+    def test_lpp_backtrack_hides_target_from_log(self):
+        # A -> {B, C}; B is a dead end, so after [A, B] the agent must
+        # branch back through A to reach C.  The second visit to A is a
+        # cache hit: absent from the log, present in the ground truth.
+        site = WebGraph([("A", "B"), ("A", "C")], start_pages=["A"])
+        config = _config(stp=0.0001, lpp=0.9)
+        trace = simulate_agent("u", site, config, random.Random(0))
+        logged = [r.page for r in trace.server_requests]
+        assert logged.count("A") == 1
+        all_landings = [p for s in trace.real_sessions for p in s.pages]
+        assert all_landings.count("A") >= 2
+        assert trace.cache_hits >= 1
+
+    def test_lpp_splits_real_session_at_branch(self):
+        site = WebGraph([("A", "B"), ("A", "C")], start_pages=["A"])
+        config = _config(stp=0.0001, lpp=0.9)
+        trace = simulate_agent("u", site, config, random.Random(0))
+        # paper behavior 3: the branched session starts at the backtrack
+        # target, e.g. [A, B] then [A, C].
+        assert len(trace.real_sessions) == 2
+        firsts = {s.pages[0] for s in trace.real_sessions}
+        assert firsts == {"A"}
+
+    def test_synthetic_flags_mark_cache_hits(self):
+        site = WebGraph([("A", "B"), ("A", "C")], start_pages=["A"])
+        config = _config(stp=0.0001, lpp=0.9)
+        trace = simulate_agent("u", site, config, random.Random(0))
+        synthetic = [r for s in trace.real_sessions for r in s if r.synthetic]
+        assert len(synthetic) == trace.cache_hits
+
+
+class TestNIPBehavior:
+    def test_nip_jump_starts_new_session(self):
+        site = WebGraph([("A", "B"), ("S", "B")], start_pages=["A", "S"])
+        config = _config(stp=0.0001, nip=0.95, max_requests_per_agent=6)
+        trace = simulate_agent("u", site, config, random.Random(4))
+        assert len(trace.real_sessions) >= 2
+
+    def test_unaccessed_only_mode_terminates_when_exhausted(self):
+        site = WebGraph([("A", "B")], pages=["A", "B", "S"],
+                        start_pages=["A", "S"])
+        config = _config(stp=0.0001, nip=0.99, nip_revisits=False,
+                         max_requests_per_agent=50)
+        trace = simulate_agent("u", site, config, random.Random(8))
+        # only two start pages exist; the agent cannot jump forever.
+        landings = sum(len(s) for s in trace.real_sessions)
+        assert landings <= 4
+
+    def test_revisit_mode_allows_repeated_entries(self):
+        site = WebGraph([("A", "B"), ("S", "B")], start_pages=["A", "S"])
+        config = _config(stp=0.0001, nip=0.95, nip_revisits=True,
+                         max_requests_per_agent=20)
+        trace = simulate_agent("u", site, config, random.Random(4))
+        entries = [s.pages[0] for s in trace.real_sessions]
+        assert len(entries) > 2  # keeps jumping long past 2 distinct starts
+
+
+class TestDeadEnds:
+    def test_dead_end_without_branch_terminates(self):
+        site = WebGraph([("A", "B")], start_pages=["A"])
+        trace = simulate_agent("u", site, _config(stp=0.0001),
+                               random.Random(1))
+        assert trace.real_sessions[-1].pages == ("A", "B")
+
+    def test_trace_is_deterministic(self, line_site):
+        a = simulate_agent("u", line_site, _config(), random.Random(42))
+        b = simulate_agent("u", line_site, _config(), random.Random(42))
+        assert a.real_sessions == b.real_sessions
+        assert a.server_requests == b.server_requests
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"stp": 0.0}, {"stp": 1.5}, {"lpp": 1.0}, {"nip": -0.1},
+        {"mean_stay": 0.0}, {"stay_deviation": -1.0}, {"max_stay": 0.0},
+        {"n_agents": 0}, {"max_requests_per_agent": 0},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(**kwargs)
+
+    def test_with_replaces_fields(self):
+        config = SimulationConfig()
+        assert config.with_(stp=0.2).stp == 0.2
+        assert config.stp == 0.05

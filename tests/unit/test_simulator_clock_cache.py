@@ -1,0 +1,74 @@
+"""Unit tests for the stay-time sampler and the browser cache."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulator.cache import BrowserCache
+from repro.simulator.clock import StayTimeSampler
+
+
+class TestStayTimeSampler:
+    def test_samples_within_truncation(self):
+        sampler = StayTimeSampler(mean=132.0, deviation=30.0, max_stay=600.0,
+                                  rng=random.Random(0))
+        draws = [sampler.sample() for __ in range(2000)]
+        assert all(0 < value <= 600.0 for value in draws)
+
+    def test_mean_roughly_matches(self):
+        sampler = StayTimeSampler(mean=132.0, deviation=30.0, max_stay=600.0,
+                                  rng=random.Random(1))
+        draws = [sampler.sample() for __ in range(5000)]
+        assert 125.0 < sum(draws) / len(draws) < 139.0
+
+    def test_zero_deviation_is_constant(self):
+        sampler = StayTimeSampler(mean=120.0, deviation=0.0, max_stay=600.0,
+                                  rng=random.Random(2))
+        assert sampler.sample() == 120.0
+
+    def test_rejects_mean_above_truncation(self):
+        with pytest.raises(SimulationError, match="exceeds"):
+            StayTimeSampler(mean=700.0, deviation=30.0, max_stay=600.0,
+                            rng=random.Random(0))
+
+    def test_zero_deviation_invalid_constant(self):
+        sampler = StayTimeSampler(mean=0.0, deviation=0.0, max_stay=600.0,
+                                  rng=random.Random(0))
+        with pytest.raises(SimulationError):
+            sampler.sample()
+
+    def test_deterministic_given_rng(self):
+        a = StayTimeSampler(132.0, 30.0, 600.0, random.Random(7))
+        b = StayTimeSampler(132.0, 30.0, 600.0, random.Random(7))
+        assert [a.sample() for __ in range(10)] == [
+            b.sample() for __ in range(10)]
+
+
+class TestBrowserCache:
+    def test_first_request_misses_then_hits(self):
+        cache = BrowserCache()
+        assert cache.request("A") is True
+        assert cache.request("A") is False
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_hit_rate_before_any_request(self):
+        assert BrowserCache().hit_rate == 0.0
+
+    def test_preseeded_pages_hit(self):
+        cache = BrowserCache(["A"])
+        assert cache.request("A") is False
+
+    def test_unvisited_preserves_order(self):
+        cache = BrowserCache(["B"])
+        assert cache.unvisited(["A", "B", "C"]) == ["A", "C"]
+
+    def test_container_protocol(self):
+        cache = BrowserCache(["A", "B"])
+        assert "A" in cache
+        assert len(cache) == 2
+        assert set(cache) == {"A", "B"}

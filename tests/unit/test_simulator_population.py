@@ -1,0 +1,95 @@
+"""Unit tests for multi-agent population simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulator.config import SimulationConfig
+from repro.simulator.population import (
+    agent_name,
+    simulate_population,
+)
+
+
+def test_agent_name_format():
+    assert agent_name(0) == "agent000000"
+    assert agent_name(123456) == "agent123456"
+
+
+def test_population_counts(small_site):
+    result = simulate_population(small_site,
+                                 SimulationConfig(n_agents=50, seed=1))
+    assert len(result.traces) == 50
+    users = {trace.agent_id for trace in result.traces}
+    assert len(users) == 50
+
+
+def test_log_is_time_sorted(small_simulation):
+    times = [r.timestamp for r in small_simulation.log_requests]
+    assert times == sorted(times)
+
+
+def test_log_equals_sum_of_trace_misses(small_simulation):
+    assert len(small_simulation.log_requests) == sum(
+        trace.cache_misses for trace in small_simulation.traces)
+
+
+def test_ground_truth_gathers_all_agents(small_simulation):
+    truth_users = set(small_simulation.ground_truth.users())
+    trace_users = {trace.agent_id for trace in small_simulation.traces
+                   if trace.real_sessions}
+    assert truth_users == trace_users
+
+
+def test_horizon_spreads_start_times(small_site):
+    result = simulate_population(small_site,
+                                 SimulationConfig(n_agents=30, seed=2),
+                                 horizon=86_400.0)
+    firsts = [trace.server_requests[0].timestamp
+              for trace in result.traces if trace.server_requests]
+    assert max(firsts) - min(firsts) > 3600.0
+
+
+def test_zero_horizon_starts_everyone_at_zero(small_site):
+    result = simulate_population(small_site,
+                                 SimulationConfig(n_agents=5, seed=2),
+                                 horizon=0.0)
+    for trace in result.traces:
+        if trace.server_requests:
+            assert trace.server_requests[0].timestamp == 0.0
+
+
+def test_negative_horizon_rejected(small_site):
+    with pytest.raises(SimulationError):
+        simulate_population(small_site, SimulationConfig(n_agents=1),
+                            horizon=-1.0)
+
+
+def test_prefix_stability(small_site):
+    """Agent i behaves identically regardless of the population size."""
+    small = simulate_population(small_site,
+                                SimulationConfig(n_agents=5, seed=9))
+    large = simulate_population(small_site,
+                                SimulationConfig(n_agents=20, seed=9))
+    for index in range(5):
+        assert (small.traces[index].server_requests
+                == large.traces[index].server_requests)
+
+
+def test_reproducible_across_runs(small_site):
+    config = SimulationConfig(n_agents=25, seed=4)
+    first = simulate_population(small_site, config)
+    second = simulate_population(small_site, config)
+    assert first.log_requests == second.log_requests
+    assert first.ground_truth == second.ground_truth
+
+
+def test_cache_hit_rate_bounds(small_simulation):
+    assert 0.0 <= small_simulation.cache_hit_rate < 1.0
+
+
+def test_sessions_per_agent(small_simulation):
+    expected = (len(small_simulation.ground_truth)
+                / len(small_simulation.traces))
+    assert small_simulation.sessions_per_agent() == pytest.approx(expected)

@@ -1,0 +1,64 @@
+"""Unit tests for the simulator's statistical self-validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulator.config import SimulationConfig
+from repro.simulator.population import simulate_population
+from repro.simulator.validation import validate_simulation
+
+
+@pytest.fixture(scope="module")
+def validated_sim(small_site):
+    config = SimulationConfig(n_agents=400, seed=13, nip_revisits=False)
+    return simulate_population(small_site, config)
+
+
+class TestValidateSimulation:
+    def test_default_simulation_passes(self, validated_sim):
+        report = validate_simulation(validated_sim)
+        assert report.checks, "expected at least one check to run"
+        assert report.passed, str(report)
+
+    def test_all_three_checks_run(self, validated_sim):
+        report = validate_simulation(validated_sim)
+        names = {check.name for check in report.checks}
+        assert "stay-time distribution" in names
+        assert "termination rate (lower bound)" in names
+        assert "NIP jump rate (upper bound)" in names
+
+    def test_report_renders(self, validated_sim):
+        text = str(validate_simulation(validated_sim))
+        assert "simulator validation" in text
+        assert "ok" in text
+
+    def test_too_small_simulation_rejected(self, small_site):
+        tiny = simulate_population(small_site,
+                                   SimulationConfig(n_agents=2, seed=1))
+        with pytest.raises(SimulationError, match="too few"):
+            validate_simulation(tiny)
+
+    def test_detects_broken_stay_distribution(self, small_site):
+        """If the configured distribution disagrees with the generated
+        gaps, the KS check must fail — proving the test has teeth."""
+        config = SimulationConfig(n_agents=400, seed=13,
+                                  nip_revisits=False)
+        simulation = simulate_population(small_site, config)
+        # lie about the configuration: claim a different mean stay.
+        from dataclasses import replace
+        lied = replace(simulation,
+                       config=config.with_(mean_stay=4.4 * 60))
+        report = validate_simulation(lied)
+        stay = next(check for check in report.checks
+                    if check.name == "stay-time distribution")
+        assert not stay.passed
+
+    def test_content_model_skips_stay_check(self, small_site):
+        config = SimulationConfig(n_agents=200, seed=13,
+                                  content_fraction=0.3)
+        simulation = simulate_population(small_site, config)
+        report = validate_simulation(simulation)
+        names = {check.name for check in report.checks}
+        assert "stay-time distribution" not in names

@@ -1,0 +1,169 @@
+"""Unit tests for the spec runner and the k-th order Markov predictor."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.evaluation.harness import SweepResult, TrialResult
+from repro.evaluation.spec import build_heuristics, build_topology, run_spec
+from repro.exceptions import EvaluationError
+from repro.mining.prediction import KthOrderMarkovPredictor
+from repro.sessions.model import Session, SessionSet
+
+
+def _base_spec(**overrides):
+    spec = {
+        "topology": {"family": "random", "pages": 40, "out_degree": 4,
+                     "seed": 3},
+        "simulation": {"n_agents": 30, "seed": 1},
+        "heuristics": ["heur2", "heur4"],
+    }
+    spec.update(overrides)
+    return spec
+
+
+class TestBuildTopology:
+    def test_random_family(self):
+        graph = build_topology({"family": "random", "pages": 25,
+                                "out_degree": 3, "seed": 1})
+        assert graph.page_count == 25
+
+    def test_default_family_is_random(self):
+        graph = build_topology({"pages": 10, "out_degree": 2, "seed": 0})
+        assert graph.page_count == 10
+
+    def test_hierarchical_family(self):
+        graph = build_topology({"family": "hierarchical", "pages": 20,
+                                "branching": 3, "seed": 2})
+        assert graph.page_count == 20
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(EvaluationError, match="unknown topology family"):
+            build_topology({"family": "mesh"})
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(EvaluationError, match="unknown topology param"):
+            build_topology({"family": "random", "n_nodes": 10})
+
+
+class TestBuildHeuristics:
+    def test_all_known_names(self, small_site):
+        names = ["heur1", "heur2", "heur3", "heur4", "phase1", "referrer"]
+        built = build_heuristics(names, small_site)
+        assert list(built) == names
+
+    def test_unknown_name_rejected(self, small_site):
+        with pytest.raises(EvaluationError, match="unknown heuristic"):
+            build_heuristics(["heur9"], small_site)
+
+    def test_empty_rejected(self, small_site):
+        with pytest.raises(EvaluationError, match="no heuristics"):
+            build_heuristics([], small_site)
+
+
+class TestRunSpec:
+    def test_single_trial(self):
+        result = run_spec(_base_spec())
+        assert isinstance(result, TrialResult)
+        assert set(result.reports) == {"heur2", "heur4"}
+
+    def test_sweep(self):
+        result = run_spec(_base_spec(
+            sweep={"parameter": "stp", "values": [0.05, 0.2]}))
+        assert isinstance(result, SweepResult)
+        assert result.values == (0.05, 0.2)
+        assert set(result.series()) == {"heur2", "heur4"}
+
+    def test_default_heuristics(self):
+        spec = _base_spec()
+        del spec["heuristics"]
+        result = run_spec(spec)
+        assert set(result.reports) == {"heur1", "heur2", "heur3", "heur4"}
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(EvaluationError, match="unknown spec keys"):
+            run_spec(_base_spec(outputs={}))
+
+    def test_unknown_simulation_field_rejected(self):
+        with pytest.raises(EvaluationError, match="unknown simulation"):
+            run_spec(_base_spec(simulation={"agents": 10}))
+
+    def test_bad_sweep_rejected(self):
+        with pytest.raises(EvaluationError, match="values"):
+            run_spec(_base_spec(sweep={"parameter": "stp", "values": []}))
+        with pytest.raises(EvaluationError, match="unknown sweep"):
+            run_spec(_base_spec(
+                sweep={"parameter": "stp", "values": [0.1], "step": 1}))
+
+    def test_cli_run_spec(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(_base_spec(
+            sweep={"parameter": "lpp", "values": [0.0, 0.5]})),
+            encoding="utf-8")
+        csv_path = tmp_path / "out.csv"
+        assert main(["run-spec", str(path), "--csv", str(csv_path)]) == 0
+        assert "spec sweep" in capsys.readouterr().out
+        assert csv_path.read_text(encoding="utf-8").startswith("lpp,")
+
+    def test_cli_run_spec_trial(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(_base_spec()), encoding="utf-8")
+        assert main(["run-spec", str(path)]) == 0
+        assert "matched" in capsys.readouterr().out
+
+
+def _sessions(*page_lists):
+    return SessionSet([Session.from_pages(pages) for pages in page_lists])
+
+
+class TestKthOrderMarkov:
+    def test_second_order_disambiguates(self):
+        # after B, the next page depends on how you reached B.
+        sessions = _sessions(*(["A", "B", "C"],) * 5, *(["X", "B", "D"],) * 5)
+        model = KthOrderMarkovPredictor(order=2).fit(sessions)
+        assert model.predict(("A", "B"), top=1) == ["C"]
+        assert model.predict(("X", "B"), top=1) == ["D"]
+
+    def test_first_order_cannot(self):
+        sessions = _sessions(*(["A", "B", "C"],) * 5, *(["X", "B", "D"],) * 6)
+        model = KthOrderMarkovPredictor(order=1).fit(sessions)
+        # order 1 sees only "B" and must answer the majority for both.
+        assert model.predict(("A", "B"), top=1) == model.predict(
+            ("X", "B"), top=1)
+
+    def test_backoff_to_lower_order(self):
+        sessions = _sessions(["A", "B", "C"])
+        model = KthOrderMarkovPredictor(order=2).fit(sessions)
+        # context (Z, B) unseen at order 2 -> back off to (B,).
+        assert model.predict(("Z", "B"), top=1) == ["C"]
+
+    def test_unseen_everywhere_gives_empty(self):
+        model = KthOrderMarkovPredictor(order=2).fit(
+            _sessions(["A", "B"]))
+        assert model.predict(("Q",)) == []
+
+    def test_hit_rate_improves_with_order_on_path_dependent_data(self):
+        sessions = _sessions(*(["A", "B", "C"],) * 10,
+                             *(["X", "B", "D"],) * 10)
+        first = KthOrderMarkovPredictor(order=1).fit(sessions)
+        second = KthOrderMarkovPredictor(order=2).fit(sessions)
+        assert second.hit_rate(sessions, top=1) > first.hit_rate(
+            sessions, top=1)
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            KthOrderMarkovPredictor(order=0)
+        with pytest.raises(EvaluationError):
+            KthOrderMarkovPredictor().fit(SessionSet([]))
+        model = KthOrderMarkovPredictor().fit(_sessions(["A", "B"]))
+        with pytest.raises(EvaluationError):
+            model.predict(())
+        with pytest.raises(EvaluationError):
+            model.predict(("A",), top=0)
+        with pytest.raises(EvaluationError, match="not trained"):
+            KthOrderMarkovPredictor().predict(("A",))
+        with pytest.raises(EvaluationError, match="no transitions"):
+            model.hit_rate(_sessions(["A"]))

@@ -1,0 +1,158 @@
+"""Unit tests for session statistics and session clustering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.statistics import describe, render_statistics
+from repro.exceptions import EvaluationError
+from repro.mining.clustering import cluster_sessions, jaccard
+from repro.sessions.model import Session, SessionSet
+
+
+def _s(pages, user="u0", start=0.0, gap=120.0):
+    return Session.from_pages(pages, user_id=user, start=start, gap=gap)
+
+
+@pytest.fixture()
+def profiled():
+    return SessionSet([
+        _s(["home", "a", "b"], user="u1"),
+        _s(["home", "a"], user="u1", gap=60.0),
+        _s(["home"], user="u2"),
+    ])
+
+
+class TestDescribe:
+    def test_basic_counts(self, profiled):
+        stats = describe(profiled)
+        assert stats.session_count == 3
+        assert stats.user_count == 2
+        assert stats.total_requests == 6
+        assert stats.mean_length == 2.0
+        assert stats.median_length == 2.0
+        assert stats.max_length == 3
+
+    def test_length_histogram(self, profiled):
+        stats = describe(profiled)
+        assert stats.length_histogram == {1: 1, 2: 1, 3: 1}
+
+    def test_durations_and_gaps(self, profiled):
+        stats = describe(profiled)
+        assert stats.max_duration == 240.0
+        # gaps: 120, 120 (first session), 60 (second) -> mean 100.
+        assert stats.mean_gap == pytest.approx(100.0)
+
+    def test_top_pages(self, profiled):
+        stats = describe(profiled, top=2)
+        assert stats.top_pages[0] == ("home", 3)
+        assert stats.top_entry_pages[0] == ("home", 3)
+
+    def test_entropy_zero_for_single_page(self):
+        stats = describe(SessionSet([_s(["only"])]))
+        assert stats.page_entropy == 0.0
+
+    def test_entropy_maximal_for_uniform(self):
+        stats = describe(SessionSet([_s(["a"]), _s(["b"]),
+                                     _s(["c"]), _s(["d"])]))
+        assert stats.page_entropy == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EvaluationError):
+            describe(SessionSet([]))
+        with pytest.raises(EvaluationError):
+            describe(SessionSet([Session([])]))
+
+    def test_rejects_bad_top(self, profiled):
+        with pytest.raises(EvaluationError):
+            describe(profiled, top=0)
+
+    def test_render_contains_key_lines(self, profiled):
+        text = render_statistics(describe(profiled))
+        assert "sessions:" in text
+        assert "length histogram:" in text
+        assert "home" in text
+
+    def test_ground_truth_stay_time_matches_table5(self, small_simulation):
+        """The simulator's empirical page-stay time must track the
+        configured Table 5 distribution (2.2 +/- 0.5 min)."""
+        stats = describe(small_simulation.ground_truth)
+        assert 2.0 * 60 < stats.mean_gap < 2.4 * 60
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard(frozenset("ab"), frozenset("ab")) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(frozenset("ab"), frozenset("cd")) == 0.0
+
+    def test_partial(self):
+        assert jaccard(frozenset("ab"), frozenset("bc")) == pytest.approx(
+            1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+
+
+class TestClustering:
+    @pytest.fixture()
+    def two_interest_groups(self):
+        sports = [_s(["sports", "scores", "teams"], user=f"s{i}")
+                  for i in range(5)]
+        cooking = [_s(["recipes", "kitchen", "tips"], user=f"c{i}")
+                   for i in range(4)]
+        return SessionSet(sports + cooking)
+
+    def test_separates_interest_groups(self, two_interest_groups):
+        clusters = cluster_sessions(two_interest_groups, similarity=0.5)
+        assert len(clusters) == 2
+        assert len(clusters[0]) == 5
+        assert len(clusters[1]) == 4
+
+    def test_profiles_reflect_member_pages(self, two_interest_groups):
+        clusters = cluster_sessions(two_interest_groups, similarity=0.5)
+        assert set(clusters[0].profile_pages) == {"sports", "scores",
+                                                  "teams"}
+
+    def test_low_similarity_merges_overlapping(self):
+        sessions = SessionSet([_s(["a", "b"]), _s(["b", "c"]),
+                               _s(["c", "a"])])
+        clusters = cluster_sessions(sessions, similarity=0.01)
+        assert len(clusters) == 1
+
+    def test_disjoint_never_merge(self):
+        sessions = SessionSet([_s(["a", "b"]), _s(["c", "d"])])
+        clusters = cluster_sessions(sessions, similarity=0.01)
+        assert len(clusters) == 2
+
+    def test_high_similarity_isolates(self):
+        sessions = SessionSet([_s(["a", "b"]), _s(["b", "c"])])
+        clusters = cluster_sessions(sessions, similarity=1.0)
+        assert len(clusters) == 2
+
+    def test_min_cluster_size_filters(self, two_interest_groups):
+        lonely = SessionSet(list(two_interest_groups)
+                            + [_s(["weird", "outlier"])])
+        clusters = cluster_sessions(lonely, similarity=0.5,
+                                    min_cluster_size=2)
+        assert all(len(cluster) >= 2 for cluster in clusters)
+
+    def test_deterministic(self, two_interest_groups):
+        first = cluster_sessions(two_interest_groups, similarity=0.5)
+        second = cluster_sessions(two_interest_groups, similarity=0.5)
+        assert [c.sessions for c in first] == [c.sessions for c in second]
+
+    def test_labels_follow_size_order(self, two_interest_groups):
+        clusters = cluster_sessions(two_interest_groups, similarity=0.5)
+        assert [cluster.label for cluster in clusters] == [0, 1]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"similarity": 0.0}, {"similarity": 1.5}, {"min_cluster_size": 0}])
+    def test_rejects_invalid(self, two_interest_groups, kwargs):
+        with pytest.raises(EvaluationError):
+            cluster_sessions(two_interest_groups, **kwargs)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EvaluationError):
+            cluster_sessions(SessionSet([]))

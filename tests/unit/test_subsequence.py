@@ -1,0 +1,69 @@
+"""Unit tests for the ⊏ capture relation (substring search)."""
+
+from __future__ import annotations
+
+from repro.evaluation.subsequence import contains, failure_function, find
+
+
+class TestPaperExamples:
+    def test_captured_example(self):
+        # §5.1: R = [P1,P3,P5] ⊏ H = [P9,P1,P3,P5,P8].
+        assert contains(["P9", "P1", "P3", "P5", "P8"], ["P1", "P3", "P5"])
+
+    def test_interrupted_example(self):
+        # §5.1: P9 interrupts R in H, so R ⋢ H.
+        assert not contains(["P1", "P9", "P3", "P5", "P8"],
+                            ["P1", "P3", "P5"])
+
+
+class TestFind:
+    def test_finds_first_occurrence(self):
+        assert find(["a", "b", "a", "b"], ["a", "b"]) == 0
+
+    def test_finds_at_end(self):
+        assert find(["x", "y", "a", "b"], ["a", "b"]) == 2
+
+    def test_absent(self):
+        assert find(["a", "b"], ["b", "a"]) == -1
+
+    def test_empty_needle_matches_at_zero(self):
+        assert find(["a"], []) == 0
+        assert find([], []) == 0
+
+    def test_needle_longer_than_haystack(self):
+        assert find(["a"], ["a", "b"]) == -1
+
+    def test_whole_match(self):
+        assert find(["a", "b"], ["a", "b"]) == 0
+
+    def test_repetitive_patterns(self):
+        # classic KMP stress: needle with strong self-overlap.
+        haystack = ["a"] * 5 + ["b"] + ["a"] * 6 + ["b"]
+        needle = ["a"] * 6 + ["b"]
+        assert find(haystack, needle) == 6
+
+    def test_single_symbol(self):
+        assert find(["x", "y", "z"], ["y"]) == 1
+        assert find(["x", "y", "z"], ["w"]) == -1
+
+
+class TestFailureFunction:
+    def test_no_overlap(self):
+        assert failure_function(["a", "b", "c"]) == [0, 0, 0]
+
+    def test_full_overlap(self):
+        assert failure_function(["a", "a", "a"]) == [0, 1, 2]
+
+    def test_partial_overlap(self):
+        assert failure_function(["a", "b", "a", "b", "c"]) == [0, 0, 1, 2, 0]
+
+    def test_empty(self):
+        assert failure_function([]) == []
+
+
+class TestContains:
+    def test_works_on_tuples(self):
+        assert contains(("A", "B", "C"), ("B", "C"))
+
+    def test_order_matters(self):
+        assert not contains(("A", "B", "C"), ("C", "B"))

@@ -1,0 +1,61 @@
+"""Unit tests for the SVG sweep chart writer."""
+
+from __future__ import annotations
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.evaluation.harness import sweep
+from repro.evaluation.svg_chart import render_svg, save_svg
+from repro.exceptions import EvaluationError
+from repro.simulator.config import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def small_sweep(small_site):
+    return sweep(small_site, SimulationConfig(n_agents=25, seed=3),
+                 "stp", [0.05, 0.2])
+
+
+def test_valid_xml(small_sweep):
+    document = render_svg(small_sweep, title="T")
+    xml.dom.minidom.parseString(document)  # raises on malformed XML
+
+
+def test_contains_title_axis_and_legend(small_sweep):
+    document = render_svg(small_sweep, title="My <Figure>")
+    assert "My &lt;Figure&gt;" in document  # escaped
+    assert "STP" in document
+    assert "heur4" in document
+
+
+def test_one_polyline_per_series(small_sweep):
+    document = render_svg(small_sweep)
+    assert document.count("<polyline") == 4
+
+
+def test_marker_per_point(small_sweep):
+    document = render_svg(small_sweep)
+    assert document.count("<circle") == 4 * 2  # 4 series x 2 values
+
+
+def test_save_writes_file(small_sweep, tmp_path):
+    path = str(tmp_path / "chart.svg")
+    save_svg(small_sweep, path, title="x")
+    with open(path, encoding="utf-8") as handle:
+        assert handle.read().startswith("<svg")
+
+
+def test_metric_changes_output(small_sweep):
+    assert render_svg(small_sweep, metric="matched") != render_svg(
+        small_sweep, metric="captured")
+
+
+def test_coordinates_inside_viewbox(small_sweep):
+    import re
+    document = render_svg(small_sweep)
+    for match in re.finditer(r'cx="([\d.]+)" cy="([\d.]+)"', document):
+        x, y = float(match.group(1)), float(match.group(2))
+        assert 0 <= x <= 640
+        assert 0 <= y <= 400

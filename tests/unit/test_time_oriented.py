@@ -1,0 +1,108 @@
+"""Unit tests for heur1/heur2 — including the paper's Table 1 examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sessions.model import Request
+from repro.sessions.time_oriented import (
+    DEFAULT_PAGE_STAY,
+    DEFAULT_SESSION_DURATION,
+    DurationHeuristic,
+    PageStayHeuristic,
+)
+
+
+class TestPaperTable1:
+    """§2.1's worked examples over Table 1 (P1@0 P20@6 P13@15 P49@29
+    P34@32 P23@47, minutes)."""
+
+    def test_heur1_duration_splits(self, table1_stream):
+        sessions = DurationHeuristic().reconstruct_user(table1_stream)
+        assert [s.pages for s in sessions] == [
+            ("P1", "P20", "P13", "P49"), ("P34", "P23")]
+
+    def test_heur2_page_stay_splits(self, table1_stream):
+        sessions = PageStayHeuristic().reconstruct_user(table1_stream)
+        assert [s.pages for s in sessions] == [
+            ("P1", "P20", "P13"), ("P49", "P34"), ("P23",)]
+
+
+class TestDurationHeuristic:
+    def test_defaults_to_thirty_minutes(self):
+        assert DurationHeuristic().max_duration == DEFAULT_SESSION_DURATION
+
+    def test_boundary_is_inclusive(self):
+        # exactly δ after the first request still belongs to the session.
+        stream = [Request(0.0, "u", "A"), Request(1800.0, "u", "B")]
+        sessions = DurationHeuristic().reconstruct_user(stream)
+        assert len(sessions) == 1
+
+    def test_split_just_past_boundary(self):
+        stream = [Request(0.0, "u", "A"), Request(1800.1, "u", "B")]
+        sessions = DurationHeuristic().reconstruct_user(stream)
+        assert [s.pages for s in sessions] == [("A",), ("B",)]
+
+    def test_duration_measured_from_session_first_page(self):
+        # B resets nothing: duration is measured from A.  C is within 30min
+        # of B but not of A, so it opens a new session...
+        stream = [Request(0.0, "u", "A"), Request(1000.0, "u", "B"),
+                  Request(2000.0, "u", "C")]
+        sessions = DurationHeuristic().reconstruct_user(stream)
+        assert [s.pages for s in sessions] == [("A", "B"), ("C",)]
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ConfigurationError):
+            DurationHeuristic(max_duration=0)
+
+    def test_single_request(self):
+        sessions = DurationHeuristic().reconstruct_user(
+            [Request(5.0, "u", "A")])
+        assert [s.pages for s in sessions] == [("A",)]
+
+
+class TestPageStayHeuristic:
+    def test_defaults_to_ten_minutes(self):
+        assert PageStayHeuristic().max_gap == DEFAULT_PAGE_STAY
+
+    def test_gap_boundary_inclusive(self):
+        stream = [Request(0.0, "u", "A"), Request(600.0, "u", "B")]
+        assert len(PageStayHeuristic().reconstruct_user(stream)) == 1
+
+    def test_gap_split(self):
+        stream = [Request(0.0, "u", "A"), Request(600.1, "u", "B")]
+        sessions = PageStayHeuristic().reconstruct_user(stream)
+        assert [s.pages for s in sessions] == [("A",), ("B",)]
+
+    def test_no_total_duration_limit(self):
+        # 10 requests 9 minutes apart: 81 minutes total, still one session.
+        stream = [Request(540.0 * i, "u", f"P{i}") for i in range(10)]
+        assert len(PageStayHeuristic().reconstruct_user(stream)) == 1
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ConfigurationError):
+            PageStayHeuristic(max_gap=-1)
+
+
+class TestReconstructMultiUser:
+    def test_partitions_by_user(self):
+        stream = [
+            Request(0.0, "alice", "A"),
+            Request(1.0, "bob", "X"),
+            Request(2.0, "alice", "B"),
+        ]
+        sessions = PageStayHeuristic().reconstruct(stream)
+        assert {s.user_id for s in sessions} == {"alice", "bob"}
+        alice, = sessions.for_user("alice")
+        assert alice.pages == ("A", "B")
+
+    def test_sorts_each_user_stream(self):
+        stream = [Request(10.0, "u", "B"), Request(0.0, "u", "A")]
+        sessions = PageStayHeuristic().reconstruct(stream)
+        assert sessions[0].pages == ("A", "B")
+
+    def test_rejects_negative_timestamps(self):
+        from repro.exceptions import ReconstructionError
+        with pytest.raises(ReconstructionError, match="negative"):
+            PageStayHeuristic().reconstruct([Request(-1.0, "u", "A")])

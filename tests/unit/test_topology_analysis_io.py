@@ -1,0 +1,136 @@
+"""Unit tests for topology analysis helpers and (de)serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.analysis import (
+    degree_statistics,
+    entry_candidates,
+    reachable_fraction,
+    summarize,
+)
+from repro.topology.graph import WebGraph
+from repro.topology.io import (
+    graph_from_adjacency_lines,
+    graph_from_jsonable,
+    graph_to_adjacency_lines,
+    graph_to_jsonable,
+    load_graph,
+    save_graph,
+)
+
+
+@pytest.fixture()
+def chain_with_island():
+    """A -> B -> C plus an isolated page X (unreachable)."""
+    return WebGraph([("A", "B"), ("B", "C")], pages=["A", "B", "C", "X"],
+                    start_pages=["A"])
+
+
+class TestAnalysis:
+    def test_degree_statistics(self, chain_with_island):
+        stats = degree_statistics(chain_with_island)
+        assert stats.mean_out == pytest.approx(0.5)
+        assert stats.max_out == 1
+        assert stats.max_in == 1
+        assert stats.dead_end_count == 2  # C and X
+
+    def test_reachable_fraction(self, chain_with_island):
+        assert reachable_fraction(chain_with_island) == pytest.approx(0.75)
+
+    def test_entry_candidates_prefer_declared_starts(self, chain_with_island):
+        ranked = entry_candidates(chain_with_island, top=2)
+        assert ranked[0] == "A"
+
+    def test_entry_candidates_validates_top(self, chain_with_island):
+        with pytest.raises(TopologyError):
+            entry_candidates(chain_with_island, top=0)
+
+    def test_summarize_keys(self, chain_with_island):
+        summary = summarize(chain_with_island)
+        assert summary["pages"] == 4
+        assert summary["links"] == 2
+        assert summary["start_pages"] == 1
+        assert summary["reachable_fraction"] == pytest.approx(0.75)
+
+
+class TestJsonIO:
+    def test_jsonable_roundtrip(self, chain_with_island):
+        data = graph_to_jsonable(chain_with_island)
+        assert graph_from_jsonable(data) == chain_with_island
+
+    def test_file_roundtrip(self, chain_with_island, tmp_path):
+        path = str(tmp_path / "site.json")
+        save_graph(chain_with_island, path)
+        assert load_graph(path) == chain_with_island
+
+    def test_rejects_bad_version(self, chain_with_island):
+        data = graph_to_jsonable(chain_with_island)
+        data["version"] = 99
+        with pytest.raises(TopologyError, match="version"):
+            graph_from_jsonable(data)
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(TopologyError, match="malformed"):
+            graph_from_jsonable({"pages": []})
+
+
+class TestAdjacencyLines:
+    def test_roundtrip(self, chain_with_island):
+        lines = graph_to_adjacency_lines(chain_with_island)
+        assert graph_from_adjacency_lines(lines) == chain_with_island
+
+    def test_start_page_marker(self, chain_with_island):
+        lines = graph_to_adjacency_lines(chain_with_island)
+        assert "*A -> B" in lines
+
+    def test_parses_comments_and_blanks(self):
+        lines = ["# a comment", "", "*A -> B C", "B -> C"]
+        graph = graph_from_adjacency_lines(lines)
+        assert graph.pages == {"A", "B", "C"}
+        assert graph.start_pages == {"A"}
+
+    def test_rejects_missing_separator(self):
+        with pytest.raises(TopologyError, match="separator"):
+            graph_from_adjacency_lines(["*A B C"])
+
+    def test_rejects_no_start_page(self):
+        with pytest.raises(TopologyError, match="start page"):
+            graph_from_adjacency_lines(["A -> B"])
+
+    def test_rejects_empty_source(self):
+        with pytest.raises(TopologyError, match="empty source"):
+            graph_from_adjacency_lines(["* -> B"])
+
+
+class TestPathStatistics:
+    def test_chain_depths(self, chain_with_island):
+        from repro.topology.analysis import path_statistics
+        stats = path_statistics(chain_with_island)
+        # A=0, B=1, C=2; island X unreachable and excluded.
+        assert stats.depth_histogram == {0: 1, 1: 1, 2: 1}
+        assert stats.mean_depth == pytest.approx(1.0)
+        assert stats.max_depth == 2
+
+    def test_multiple_start_pages_take_minimum(self):
+        from repro.topology.analysis import path_statistics
+        graph = WebGraph([("A", "B"), ("B", "C")],
+                         start_pages=["A", "C"])
+        stats = path_statistics(graph)
+        assert stats.depth_histogram == {0: 2, 1: 1}
+        assert stats.max_depth == 1
+
+    def test_summarize_includes_depths(self, chain_with_island):
+        from repro.topology.analysis import summarize
+        summary = summarize(chain_with_island)
+        assert summary["max_click_depth"] == 2
+        assert summary["mean_click_depth"] == pytest.approx(1.0)
+
+    def test_generated_sites_are_shallow(self):
+        from repro.topology.analysis import path_statistics
+        from repro.topology.generators import random_site
+        stats = path_statistics(random_site(300, 15, seed=0))
+        # dense random sites: nearly everything within a few clicks.
+        assert stats.max_depth <= 6

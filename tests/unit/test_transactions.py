@@ -1,0 +1,142 @@
+"""Unit tests for transaction identification (MFR and Reference Length)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.sessions.model import Request, Session, SessionSet
+from repro.transactions.maximal_forward import maximal_forward_references
+from repro.transactions.reference_length import (
+    ReferenceLengthModel,
+    estimate_cutoff,
+)
+
+
+def _timed(pairs, user="u"):
+    """Session from (page, timestamp-seconds) pairs."""
+    return Session([Request(float(t), user, p) for p, t in pairs])
+
+
+class TestMaximalForward:
+    def test_classic_example(self):
+        session = Session.from_pages(["A", "B", "C", "B", "D"])
+        assert maximal_forward_references(session) == [
+            ("A", "B", "C"), ("A", "B", "D")]
+
+    def test_pure_forward_path_is_one_transaction(self):
+        session = Session.from_pages(["A", "B", "C"])
+        assert maximal_forward_references(session) == [("A", "B", "C")]
+
+    def test_multi_level_backtracking(self):
+        session = Session.from_pages(
+            ["A", "B", "C", "B", "D", "A", "E"])
+        assert maximal_forward_references(session) == [
+            ("A", "B", "C"), ("A", "B", "D"), ("A", "E")]
+
+    def test_consecutive_backward_moves_emit_once(self):
+        # A B C B A D: the backward run B->A emits (A,B,C) only once.
+        session = Session.from_pages(["A", "B", "C", "B", "A", "D"])
+        assert maximal_forward_references(session) == [
+            ("A", "B", "C"), ("A", "D")]
+
+    def test_empty_session(self):
+        assert maximal_forward_references(Session([])) == []
+
+    def test_singleton(self):
+        assert maximal_forward_references(Session.from_pages(["A"])) == [
+            ("A",)]
+
+    def test_session_set_concatenates(self):
+        sessions = SessionSet([Session.from_pages(["A", "B"]),
+                               Session.from_pages(["C"])])
+        assert maximal_forward_references(sessions) == [("A", "B"), ("C",)]
+
+    def test_heur3_sessions_split_at_inserted_backmoves(self, fig1_topology,
+                                                        table1_stream):
+        from repro.sessions.navigation_oriented import NavigationHeuristic
+        session, = NavigationHeuristic(fig1_topology).reconstruct_user(
+            table1_stream)
+        # [P1 P20 P1 P13 P49 P13 P34 P23] splits at the two back-moves.
+        assert maximal_forward_references(session) == [
+            ("P1", "P20"),
+            ("P1", "P13", "P49"),
+            ("P1", "P13", "P34", "P23"),
+        ]
+
+
+class TestEstimateCutoff:
+    def test_quantile_formula(self):
+        # constant 60s gaps: mean 60; gamma=0.5 -> C = ln(2)*60.
+        sessions = SessionSet([_timed([("A", 0), ("B", 60), ("C", 120)])])
+        cutoff = estimate_cutoff(sessions, auxiliary_fraction=0.5)
+        assert cutoff == pytest.approx(41.588, abs=0.01)
+
+    def test_rejects_bad_fraction(self):
+        sessions = SessionSet([_timed([("A", 0), ("B", 60)])])
+        with pytest.raises(EvaluationError):
+            estimate_cutoff(sessions, auxiliary_fraction=1.0)
+
+    def test_rejects_gapless_input(self):
+        sessions = SessionSet([_timed([("A", 0)])])
+        with pytest.raises(EvaluationError, match="no positive"):
+            estimate_cutoff(sessions)
+
+
+class TestReferenceLengthModel:
+    @pytest.fixture()
+    def bimodal_session(self):
+        # quick hops (30s) through A, B then a long read (400s) on C,
+        # quick hop on D, end on E.
+        return _timed([("A", 0), ("B", 30), ("C", 60), ("D", 460),
+                       ("E", 490)])
+
+    def test_classify_flags_long_stays(self, bimodal_session):
+        model = ReferenceLengthModel(cutoff=100.0)
+        assert model.classify(bimodal_session) == [
+            False, False, True, False, True]
+
+    def test_last_visit_is_content_by_convention(self):
+        model = ReferenceLengthModel(cutoff=100.0)
+        assert model.classify(_timed([("A", 0)])) == [True]
+
+    def test_transactions_are_auxiliary_runs_plus_content(self,
+                                                          bimodal_session):
+        model = ReferenceLengthModel(cutoff=100.0)
+        assert model.transactions(bimodal_session) == [
+            ("A", "B", "C"), ("D", "E")]
+
+    def test_content_pages_majority_vote(self):
+        model = ReferenceLengthModel(cutoff=100.0)
+        sessions = SessionSet([
+            _timed([("A", 0), ("C", 30), ("B", 430)]),   # C content
+            _timed([("A", 0), ("C", 30), ("B", 60)]),    # C auxiliary
+            _timed([("A", 0), ("C", 30), ("B", 440)]),   # C content
+        ])
+        content = model.content_pages(sessions)
+        assert "C" in content
+        assert "A" not in content
+        assert "B" in content  # last-visit convention makes B content
+
+    def test_fit_classifies_simulated_content_pages(self, small_site):
+        """End-to-end: with the simulator's bimodal timing enabled, RL must
+        recover the designated content pages far better than chance."""
+        from repro.simulator.config import SimulationConfig
+        from repro.simulator.pages import select_content_pages
+        from repro.simulator.population import simulate_population
+        config = SimulationConfig(n_agents=150, seed=3,
+                                  content_fraction=0.3)
+        simulation = simulate_population(small_site, config)
+        truth = select_content_pages(small_site, 0.3)
+        model = ReferenceLengthModel.fit(simulation.ground_truth,
+                                         auxiliary_fraction=0.7)
+        detected = model.content_pages(simulation.ground_truth)
+        visited = {page for session in simulation.ground_truth
+                   for page in session.pages}
+        relevant = truth & visited
+        recovered = len(detected & relevant) / len(relevant)
+        assert recovered > 0.6
+
+    def test_rejects_nonpositive_cutoff(self):
+        with pytest.raises(EvaluationError):
+            ReferenceLengthModel(cutoff=0.0)
