@@ -43,12 +43,15 @@ from repro.evaluation import (
 from repro.exceptions import (
     ConfigurationError,
     EvaluationError,
+    IngestError,
+    LateEventError,
     LogFormatError,
     ReconstructionError,
     ReproError,
     SimulationError,
     TopologyError,
 )
+from repro.logs import ErrorPolicy, IngestReport, ingest_clf_file, ingest_lines
 from repro.evaluation import describe, render_statistics
 from repro.sessions import (
     AdaptiveTimeoutHeuristic,
@@ -101,8 +104,11 @@ __all__ = [
     "real_accuracy", "evaluate_reconstruction", "AccuracyReport",
     "standard_heuristics", "run_trial", "sweep",
     "fig8_sweep", "fig9_sweep", "fig10_sweep",
+    # ingestion
+    "ErrorPolicy", "IngestReport", "ingest_lines", "ingest_clf_file",
     # errors
     "ReproError", "TopologyError", "SimulationError", "LogFormatError",
     "ReconstructionError", "EvaluationError", "ConfigurationError",
+    "IngestError", "LateEventError",
     "__version__",
 ]

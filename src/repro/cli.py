@@ -17,7 +17,11 @@ Subcommands mirror the paper's pipeline:
 * ``anonymize``  — pseudonymize or truncate host identities in a log;
 * ``selftest``   — verify the installation against the paper's worked
   examples and the pinned golden numbers;
-* ``leaderboard``— rank every heuristic on one simulated workload.
+* ``leaderboard``— rank every heuristic on one simulated workload;
+* ``chaos``      — corrupt a log with seeded fault injection (degraded-
+  input testing; composable with ``ingest`` over a pipe);
+* ``ingest``     — parse a (possibly degraded) log under an explicit
+  error policy, with full accounting and a quarantine file.
 
 Every command prints a short human-readable summary to stdout; files are
 only written where an ``--output``-style flag points.
@@ -171,6 +175,34 @@ def build_parser() -> argparse.ArgumentParser:
     board.add_argument("--agents", type=int, default=500)
     board.add_argument("--seed", type=int, default=0)
 
+    chaos = sub.add_parser("chaos",
+                           help="corrupt a log with seeded fault injection")
+    chaos.add_argument("--log", required=True,
+                       help="input log path ('-' reads stdin)")
+    chaos.add_argument("--output", default="-",
+                       help="corrupted log path ('-' writes stdout)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed; same seed, same corruption, "
+                            "byte for byte")
+    chaos.add_argument("--fault", action="append", metavar="NAME[:RATE]",
+                       help="fault model to apply, repeatable "
+                            "(truncate, garble, encoding, duplicate, "
+                            "reorder, clock-skew, rotation-split, bot); "
+                            "all models at the default rate when omitted")
+
+    ing = sub.add_parser("ingest",
+                         help="parse a degraded log under an error policy")
+    ing.add_argument("--log", required=True,
+                     help="input log path ('-' reads stdin)")
+    ing.add_argument("--error-policy", default="strict",
+                     choices=["strict", "skip", "quarantine", "repair"])
+    ing.add_argument("--quarantine",
+                     help="quarantine file for offending lines (default: "
+                          "<log>.quarantine, or quarantine.log for stdin)")
+    ing.add_argument("--output",
+                     help="write the successfully parsed records back out "
+                          "as a normalized log")
+
     return parser
 
 
@@ -207,8 +239,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_log_surfacing_drops(path: str) -> list:
+    """Read a log skipping malformed lines, but say so when any dropped."""
+    from repro.logs.ingest import IngestReport
+    report = IngestReport()
+    records = read_clf_file(path, skip_malformed=True, report=report)
+    if report.dropped:
+        faults = ", ".join(f"{name}={count}" for name, count
+                           in sorted(report.fault_counts.items()))
+        print(f"note: skipped {report.dropped} malformed lines "
+              f"({faults}) — use 'repro ingest' to quarantine or "
+              f"repair them", file=sys.stderr)
+    return records
+
+
 def _cmd_clean(args: argparse.Namespace) -> int:
-    records = read_clf_file(args.log, skip_malformed=True)
+    records = _read_log_surfacing_drops(args.log)
     kept, stats = LogCleaner().clean(records)
     # preserve the input's richness: combined stays combined.
     has_headers = any(record.referrer is not None
@@ -226,7 +272,7 @@ def _cmd_clean(args: argparse.Namespace) -> int:
 
 
 def _cmd_reconstruct(args: argparse.Namespace) -> int:
-    records = read_clf_file(args.log, skip_malformed=True)
+    records = _read_log_surfacing_drops(args.log)
     requests = records_to_requests(records)
     if args.heuristic == "referrer":
         from repro.sessions.referrer import ReferrerHeuristic
@@ -394,7 +440,7 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
 
 def _cmd_anonymize(args: argparse.Namespace) -> int:
     from repro.logs.anonymize import pseudonymize_hosts, truncate_ipv4_hosts
-    records = read_clf_file(args.log, skip_malformed=True)
+    records = _read_log_surfacing_drops(args.log)
     if args.key is not None:
         anonymous = pseudonymize_hosts(records, key=args.key)
         scheme = "keyed pseudonyms"
@@ -438,6 +484,75 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import chaos_stream, parse_fault_spec
+    specs = None
+    if args.fault:
+        specs = [parse_fault_spec(spec) for spec in args.fault]
+    if args.log == "-":
+        lines = [line.rstrip("\n") for line in sys.stdin]
+    else:
+        with open(args.log, encoding="utf-8", errors="replace") as handle:
+            lines = [line.rstrip("\n") for line in handle]
+    corrupted = list(chaos_stream(lines, specs, seed=args.seed))
+    payload = "".join(line + "\n" for line in corrupted)
+    if args.output == "-":
+        sys.stdout.write(payload)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+    applied = (", ".join(f"{name}:{rate:g}" for name, rate in specs)
+               if specs is not None else "all models (default mix)")
+    # the summary goes to stderr so stdout stays a clean log pipe.
+    print(f"chaos: {len(lines)} lines in, {len(corrupted)} out "
+          f"(seed {args.seed}; {applied})", file=sys.stderr)
+    if args.output != "-":
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.logs.ingest import IngestReport, ingest_clf_file, ingest_lines
+    quarantine_path = args.quarantine
+    if quarantine_path is None and args.error_policy in ("quarantine",
+                                                         "repair"):
+        quarantine_path = ("quarantine.log" if args.log == "-"
+                          else f"{args.log}.quarantine")
+    if args.log == "-":
+        report = IngestReport()
+        if quarantine_path is not None:
+            with open(quarantine_path, "w", encoding="utf-8") as sink:
+                records = list(ingest_lines(sys.stdin,
+                                            policy=args.error_policy,
+                                            report=report, quarantine=sink))
+        else:
+            records = list(ingest_lines(sys.stdin,
+                                        policy=args.error_policy,
+                                        report=report))
+    else:
+        result = ingest_clf_file(args.log, policy=args.error_policy,
+                                 quarantine_path=quarantine_path)
+        records, report = result.records, result.report
+    print(report.summary())
+    if not report.reconciles():  # pragma: no cover - invariant guard
+        print("error: ingest accounting does not reconcile",
+              file=sys.stderr)
+        return 1
+    if args.output:
+        has_headers = any(record.referrer is not None
+                          or record.user_agent is not None
+                          for record in records)
+        if has_headers:
+            write_combined_file(args.output, records)
+        else:
+            write_clf_file(args.output, records)
+        print(f"wrote {args.output} ({len(records)} records)")
+    if quarantine_path is not None:
+        print(f"quarantine: {quarantine_path} "
+              f"({report.quarantined} lines)")
+    return 0
+
+
 _COMMANDS = {
     "topology": _cmd_topology,
     "simulate": _cmd_simulate,
@@ -453,6 +568,8 @@ _COMMANDS = {
     "anonymize": _cmd_anonymize,
     "selftest": _cmd_selftest,
     "leaderboard": _cmd_leaderboard,
+    "chaos": _cmd_chaos,
+    "ingest": _cmd_ingest,
 }
 
 
@@ -463,6 +580,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

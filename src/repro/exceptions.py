@@ -48,6 +48,16 @@ class LogFormatError(ReproError):
         return base
 
 
+class IngestError(ReproError):
+    """Log ingestion failed at the I/O layer, beyond a single bad line.
+
+    Raised when the follow-mode tailer exhausts its bounded retries against
+    a file that keeps failing to open or read.  Per-line format problems
+    raise :class:`LogFormatError` instead (or are routed by the active
+    error policy).
+    """
+
+
 class ReconstructionError(ReproError):
     """A session reconstruction heuristic received invalid input.
 
@@ -55,6 +65,18 @@ class ReconstructionError(ReproError):
     heuristic is configured with non-positive thresholds, or when the
     supplied topology does not cover the requested pages and the heuristic
     requires it to.
+    """
+
+
+class LateEventError(ReconstructionError):
+    """A streamed request arrived after the pipeline's watermark passed it.
+
+    Once :meth:`~repro.streaming.pipeline.StreamingReconstructor.flush` has
+    been promised that all future requests carry timestamps at or beyond a
+    watermark — or a user's buffer has advanced past a timestamp — an older
+    request can no longer be placed correctly.  Under the default
+    ``late_policy="raise"`` the pipeline raises this error; under
+    ``"drop"`` it counts and discards the request instead.
     """
 
 

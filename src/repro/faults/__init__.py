@@ -1,0 +1,59 @@
+"""Seeded fault injection for access-log streams (chaos testing).
+
+The paper's premise is that server logs are an incomplete, messy view of
+user behavior — yet most pipelines are only ever exercised on clean,
+simulated logs.  This package closes that gap: every fault model real
+access logs exhibit (torn writes, mojibake, double logging, bounded
+reordering, per-host clock skew, rotation tears, crawler pollution) is
+available as a deterministic, seedable wrapper over any iterable of
+lines, so benchmarks and tests can measure exactly how reconstruction
+accuracy and ingestion throughput degrade as input quality does.
+
+Usage::
+
+    from repro.faults import chaos_stream
+
+    dirty = chaos_stream(open("access.log"), [("truncate", 0.05),
+                                              ("duplicate", 0.02)], seed=7)
+    records = list(ingest_lines(dirty, policy="quarantine",
+                                report=report, quarantine=sink))
+
+The same seed yields a byte-identical corrupted stream on every run; see
+:mod:`repro.faults.injectors` for the determinism contract.
+"""
+
+from repro.faults.chaos import (
+    DEFAULT_CHAOS_RATE,
+    FAULT_MODELS,
+    build_injectors,
+    chaos_stream,
+    parse_fault_spec,
+)
+from repro.faults.injectors import (
+    BotTraffic,
+    ClockSkew,
+    DuplicateLines,
+    EncodingErrors,
+    FaultInjector,
+    GarbleLines,
+    ReorderLines,
+    RotationSplit,
+    TruncateLines,
+)
+
+__all__ = [
+    "FaultInjector",
+    "TruncateLines",
+    "GarbleLines",
+    "EncodingErrors",
+    "DuplicateLines",
+    "ReorderLines",
+    "ClockSkew",
+    "RotationSplit",
+    "BotTraffic",
+    "FAULT_MODELS",
+    "DEFAULT_CHAOS_RATE",
+    "build_injectors",
+    "chaos_stream",
+    "parse_fault_spec",
+]

@@ -1,0 +1,111 @@
+"""Composing fault models into a chaos pipeline.
+
+The unit of composition is the line stream: every injector maps an
+iterable of lines to an iterable of lines, so a chaos pipeline is just a
+left-to-right chain.  :func:`chaos_stream` builds the chain from
+``(name, rate)`` specs — the same specs the ``repro chaos`` CLI command
+parses from ``--fault name:rate`` flags — and keeps the whole thing lazy,
+so arbitrarily large logs flow through in constant memory.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.faults.injectors import (
+    BotTraffic,
+    ClockSkew,
+    DuplicateLines,
+    EncodingErrors,
+    FaultInjector,
+    GarbleLines,
+    ReorderLines,
+    RotationSplit,
+    TruncateLines,
+)
+
+__all__ = [
+    "FAULT_MODELS",
+    "DEFAULT_CHAOS_RATE",
+    "build_injectors",
+    "chaos_stream",
+    "parse_fault_spec",
+]
+
+#: registry of fault-model name → injector class, in application order.
+FAULT_MODELS: dict[str, type[FaultInjector]] = {
+    cls.name: cls
+    for cls in (TruncateLines, GarbleLines, EncodingErrors, DuplicateLines,
+                ReorderLines, ClockSkew, RotationSplit, BotTraffic)
+}
+
+#: per-model rate used when a spec (or the CLI) names no explicit rate.
+DEFAULT_CHAOS_RATE = 0.02
+
+
+def parse_fault_spec(text: str) -> tuple[str, float]:
+    """Parse one ``name`` or ``name:rate`` spec string.
+
+    Raises:
+        ConfigurationError: for an unknown model name or unparsable rate.
+    """
+    name, _, rate_text = text.partition(":")
+    name = name.strip()
+    if name not in FAULT_MODELS:
+        known = ", ".join(sorted(FAULT_MODELS))
+        raise ConfigurationError(
+            f"unknown fault model {name!r} (known: {known})")
+    if not rate_text:
+        return name, DEFAULT_CHAOS_RATE
+    try:
+        rate = float(rate_text)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"bad fault rate {rate_text!r} in spec {text!r}") from exc
+    return name, rate
+
+
+def build_injectors(specs: Sequence[tuple[str, float]],
+                    seed: int = 0) -> list[FaultInjector]:
+    """Instantiate injectors for ``(name, rate)`` specs.
+
+    Each injector derives its own RNG from ``seed`` and its model name, so
+    adding or removing one model never perturbs another's draws.
+
+    Raises:
+        ConfigurationError: for an unknown model name or a rate outside
+            ``[0, 1]``.
+    """
+    injectors: list[FaultInjector] = []
+    for name, rate in specs:
+        if name not in FAULT_MODELS:
+            known = ", ".join(sorted(FAULT_MODELS))
+            raise ConfigurationError(
+                f"unknown fault model {name!r} (known: {known})")
+        injectors.append(FAULT_MODELS[name](rate, seed=seed))
+    return injectors
+
+
+def chaos_stream(lines: Iterable[str],
+                 specs: Sequence[tuple[str, float]] | None = None,
+                 seed: int = 0) -> Iterator[str]:
+    """Run ``lines`` through a chain of fault models, lazily.
+
+    Args:
+        lines: the clean log lines (trailing newlines tolerated).
+        specs: ``(model name, rate)`` pairs, applied in the given order.
+            ``None`` applies *every* registered model at
+            :data:`DEFAULT_CHAOS_RATE` — the standard "mild chaos" mix.
+        seed: base seed shared by all injectors (each derives its own
+            independent stream from it).
+
+    Yields:
+        Corrupted lines, without trailing newlines.
+    """
+    if specs is None:
+        specs = [(name, DEFAULT_CHAOS_RATE) for name in FAULT_MODELS]
+    stream: Iterable[str] = lines
+    for injector in build_injectors(specs, seed=seed):
+        stream = injector.apply(stream)
+    yield from stream

@@ -1,0 +1,311 @@
+"""Deterministic, seedable fault models for access-log line streams.
+
+Each injector is a wrapper over any iterable of log lines that reproduces
+one class of real-world log degradation: torn writes, mojibake, double
+logging, delivery reordering, skewed server clocks, rotation artifacts and
+crawler pollution.  All randomness flows from ``random.Random`` instances
+seeded with strings (which hash via SHA-512, not the per-process salted
+``hash()``), so a fixed seed yields a byte-identical corrupted stream on
+every run, on every machine — degraded-input tests can assert exact
+outputs.
+
+Lines are handled *without* trailing newlines: injectors strip one
+``"\\n"`` from each incoming line and never emit one.  Rates are per-line
+probabilities in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import string
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import ConfigurationError, LogFormatError
+from repro.logs.clf import (
+    CLFRecord,
+    format_clf_line,
+    format_combined_line,
+    parse_log_line,
+)
+
+__all__ = [
+    "FaultInjector",
+    "TruncateLines",
+    "GarbleLines",
+    "EncodingErrors",
+    "DuplicateLines",
+    "ReorderLines",
+    "ClockSkew",
+    "RotationSplit",
+    "BotTraffic",
+]
+
+#: characters used to overwrite garbled spans (printable, so the damage
+#: survives encoding round trips byte-identically).
+_GARBAGE_ALPHABET = string.ascii_letters + string.digits + "!#%&*<>@~"
+
+
+class FaultInjector(ABC):
+    """One deterministic fault model over a stream of log lines.
+
+    Args:
+        rate: per-line probability of applying the fault, in ``[0, 1]``.
+        seed: base seed; combined with the injector's :attr:`name` so two
+            different models given the same seed draw independent streams.
+
+    Raises:
+        ConfigurationError: if ``rate`` is outside ``[0, 1]``.
+    """
+
+    #: registry key and display name of the fault model.
+    name: str = "abstract"
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"fault rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.seed = seed
+        self._rng = random.Random(f"{seed}:{self.name}")
+
+    @abstractmethod
+    def apply(self, lines: Iterable[str]) -> Iterator[str]:
+        """Yield the stream with this fault model applied."""
+
+    def __call__(self, lines: Iterable[str]) -> Iterator[str]:
+        """Alias for :meth:`apply`, so injectors compose like functions."""
+        return self.apply(lines)
+
+    def _strip(self, lines: Iterable[str]) -> Iterator[str]:
+        for line in lines:
+            yield line.rstrip("\n")
+
+
+class TruncateLines(FaultInjector):
+    """Cut a line short at a random interior position (torn write).
+
+    The classic artifact of a server crash or a full disk: the line simply
+    stops mid-field.  A truncated combined-format line may still parse as
+    plain CLF when the cut lands after the CLF body — exactly as real
+    parsers experience it.
+    """
+
+    name = "truncate"
+
+    def apply(self, lines: Iterable[str]) -> Iterator[str]:
+        for line in self._strip(lines):
+            if len(line) > 1 and self._rng.random() < self.rate:
+                yield line[:self._rng.randint(1, len(line) - 1)]
+            else:
+                yield line
+
+
+class GarbleLines(FaultInjector):
+    """Overwrite a random span of a line with printable garbage."""
+
+    name = "garble"
+
+    def apply(self, lines: Iterable[str]) -> Iterator[str]:
+        for line in self._strip(lines):
+            if len(line) > 2 and self._rng.random() < self.rate:
+                start = self._rng.randint(0, len(line) - 2)
+                length = self._rng.randint(1, min(12, len(line) - start))
+                junk = "".join(self._rng.choice(_GARBAGE_ALPHABET)
+                               for _ in range(length))
+                yield line[:start] + junk + line[start + length:]
+            else:
+                yield line
+
+
+class EncodingErrors(FaultInjector):
+    """Inject decoding artifacts: NUL bytes and U+FFFD replacements.
+
+    Simulates a log that was written in one encoding and read in another:
+    half the hits replace a character with ``'\\ufffd'`` (which often still
+    parses, just with a mangled field — the insidious case), half insert a
+    control byte (``'\\x00'``), which never parses.
+    """
+
+    name = "encoding"
+
+    def apply(self, lines: Iterable[str]) -> Iterator[str]:
+        for line in self._strip(lines):
+            if line and self._rng.random() < self.rate:
+                position = self._rng.randint(0, len(line) - 1)
+                if self._rng.random() < 0.5:
+                    yield line[:position] + "�" + line[position + 1:]
+                else:
+                    yield line[:position] + "\x00" + line[position:]
+            else:
+                yield line
+
+
+class DuplicateLines(FaultInjector):
+    """Emit a line twice in a row (double logging / replayed delivery)."""
+
+    name = "duplicate"
+
+    def apply(self, lines: Iterable[str]) -> Iterator[str]:
+        for line in self._strip(lines):
+            yield line
+            if self._rng.random() < self.rate:
+                yield line
+
+
+class ReorderLines(FaultInjector):
+    """Shuffle lines out of order by a *bounded* number of positions.
+
+    Models multi-worker log shippers that interleave slightly out of
+    order.  Each delayed line gets a jittered sort key ``index + jitter``
+    with ``jitter`` in ``[1, window]``; emitting in key order guarantees
+    no line ends up more than ``window`` positions from where it started —
+    so a reorder buffer of the same bound provably restores the exact
+    original order.
+
+    Args:
+        rate: probability a line is delayed (jittered).
+        seed: see :class:`FaultInjector`.
+        window: maximum displacement, in lines (≥ 1).
+    """
+
+    name = "reorder"
+
+    def __init__(self, rate: float, seed: int = 0, window: int = 8) -> None:
+        super().__init__(rate, seed)
+        if window < 1:
+            raise ConfigurationError(f"reorder window must be >= 1, "
+                                     f"got {window}")
+        self.window = window
+
+    def apply(self, lines: Iterable[str]) -> Iterator[str]:
+        heap: list[tuple[int, int, str]] = []   # (jittered key, index, line)
+        for index, line in enumerate(self._strip(lines)):
+            if self._rng.random() < self.rate:
+                key = index + self._rng.randint(1, self.window)
+            else:
+                key = index
+            heapq.heappush(heap, (key, index, line))
+            # every future line's key is at least index + 1, so anything
+            # keyed strictly below that can no longer be preceded.
+            while heap and heap[0][0] < index + 1:
+                yield heapq.heappop(heap)[2]
+        while heap:
+            yield heapq.heappop(heap)[2]
+
+
+class ClockSkew(FaultInjector):
+    """Shift every timestamp of some hosts by a per-host constant offset.
+
+    Models a fleet of frontends whose clocks drift: each affected host gets
+    a deterministic offset in ``[-max_skew, +max_skew]`` seconds (derived
+    from the seed and the host name alone, so the same host always skews
+    identically).  Unparsable lines pass through untouched.
+
+    Args:
+        rate: fraction of hosts affected.
+        seed: see :class:`FaultInjector`.
+        max_skew: largest absolute clock offset, in seconds.
+    """
+
+    name = "clock-skew"
+
+    def __init__(self, rate: float, seed: int = 0,
+                 max_skew: float = 300.0) -> None:
+        super().__init__(rate, seed)
+        if max_skew < 0:
+            raise ConfigurationError(
+                f"max_skew must be >= 0, got {max_skew}")
+        self.max_skew = max_skew
+        self._offsets: dict[str, float] = {}
+
+    def _offset_for(self, host: str) -> float:
+        if host not in self._offsets:
+            draw = random.Random(f"{self.seed}:{self.name}:{host}")
+            if draw.random() < self.rate:
+                offset = draw.uniform(-self.max_skew, self.max_skew)
+            else:
+                offset = 0.0
+            self._offsets[host] = offset
+        return self._offsets[host]
+
+    def apply(self, lines: Iterable[str]) -> Iterator[str]:
+        for line in self._strip(lines):
+            try:
+                record = parse_log_line(line)
+            except LogFormatError:
+                yield line
+                continue
+            offset = self._offset_for(record.host)
+            if offset == 0.0:
+                yield line
+                continue
+            skewed = CLFRecord(
+                host=record.host,
+                timestamp=max(0.0, record.timestamp + offset),
+                method=record.method, url=record.url,
+                protocol=record.protocol, status=record.status,
+                size=record.size, ident=record.ident,
+                authuser=record.authuser, referrer=record.referrer,
+                user_agent=record.user_agent)
+            if record.referrer is not None or record.user_agent is not None:
+                yield format_combined_line(skewed)
+            else:
+                yield format_clf_line(skewed)
+
+
+class RotationSplit(FaultInjector):
+    """Tear a line into two lines at a random point (rotation artifact).
+
+    Reproduces what a naive rotation-set reader sees when a copy-truncate
+    rotation lands mid-write: the record's head ends one "line", its tail
+    starts the next.  Both halves are (almost always) malformed.
+    """
+
+    name = "rotation-split"
+
+    def apply(self, lines: Iterable[str]) -> Iterator[str]:
+        for line in self._strip(lines):
+            if len(line) > 2 and self._rng.random() < self.rate:
+                cut = self._rng.randint(1, len(line) - 1)
+                yield line[:cut]
+                yield line[cut:]
+            else:
+                yield line
+
+
+class BotTraffic(FaultInjector):
+    """Interleave synthetic crawler requests into the stream.
+
+    After each input line, with probability ``rate``, a well-formed
+    combined-format hit from a bot host (``203.0.113.x``, the TEST-NET-3
+    block) is inserted at the event time of the last parsable line.  Bot
+    lines advertise a crawler User-Agent, so behavioral *and* signature
+    robot filters each get a shot at them.
+    """
+
+    name = "bot"
+
+    #: User-Agent advertised by the injected crawler.
+    USER_AGENT = "ChaosBot/1.0 (+http://chaos.example/bot)"
+
+    def apply(self, lines: Iterable[str]) -> Iterator[str]:
+        last_timestamp = 0.0
+        for line in self._strip(lines):
+            try:
+                last_timestamp = parse_log_line(line).timestamp
+            except LogFormatError:
+                pass
+            yield line
+            if self._rng.random() < self.rate:
+                bot = CLFRecord(
+                    host=f"203.0.113.{self._rng.randint(1, 254)}",
+                    timestamp=last_timestamp,
+                    method="GET",
+                    url=f"/P{self._rng.randint(0, 99)}.html",
+                    protocol="HTTP/1.1",
+                    status=200,
+                    size=self._rng.randint(200, 4000),
+                    user_agent=self.USER_AGENT)
+                yield format_combined_line(bot)

@@ -13,6 +13,9 @@ This package provides the full round trip:
 * :mod:`repro.logs.writer` — serialize simulated request streams to CLF
   files, with deterministic agent→IP assignment;
 * :mod:`repro.logs.reader` — parse CLF files back into records;
+* :mod:`repro.logs.ingest` — resilient ingestion: error policies
+  (strict / skip / quarantine / repair), per-fault accounting and
+  quarantine sinks for degraded real-world logs;
 * :mod:`repro.logs.cleaning` — noise injection (embedded resources, errors,
   robots) and the filtering pipeline that removes it;
 * :mod:`repro.logs.users` — partition cleaned records into per-user request
@@ -31,10 +34,17 @@ from repro.logs.clf import (
 )
 from repro.logs.anonymize import pseudonymize_hosts, truncate_ipv4_hosts
 from repro.logs.cleaning import CleaningStats, LogCleaner, NoiseInjector
-from repro.logs.reader import read_clf_file, records_to_requests
+from repro.logs.ingest import (
+    ErrorPolicy,
+    IngestReport,
+    IngestResult,
+    ingest_clf_file,
+    ingest_lines,
+)
+from repro.logs.reader import iter_clf_lines, read_clf_file, records_to_requests
 from repro.logs.robots import HostBehavior, RobotDetector
 from repro.logs.rotation import iter_log_file, read_rotated_logs, rotation_order
-from repro.logs.stream import follow_log
+from repro.logs.stream import FollowStats, follow_log
 from repro.logs.users import IdentityAddressMap, UserAddressMap, partition_by_user
 from repro.logs.writer import requests_to_records, write_clf_file, write_combined_file
 
@@ -51,7 +61,13 @@ __all__ = [
     "write_combined_file",
     "requests_to_records",
     "read_clf_file",
+    "iter_clf_lines",
     "records_to_requests",
+    "ErrorPolicy",
+    "IngestReport",
+    "IngestResult",
+    "ingest_lines",
+    "ingest_clf_file",
     "LogCleaner",
     "NoiseInjector",
     "CleaningStats",
@@ -66,4 +82,5 @@ __all__ = [
     "pseudonymize_hosts",
     "truncate_ipv4_hosts",
     "follow_log",
+    "FollowStats",
 ]

@@ -1,0 +1,349 @@
+"""Resilient log ingestion: error policies, accounting and quarantine.
+
+Real access logs carry truncated lines, mojibake, duplicated entries and
+rotation tears.  :func:`ingest_lines` is the hardened counterpart of
+:func:`repro.logs.reader.iter_clf_lines`: every input line is accounted
+for in an :class:`IngestReport` (``parsed + blank + quarantined + dropped
+== total_lines``, always), and what happens to a malformed line is decided
+by an explicit :class:`ErrorPolicy` rather than a silent boolean:
+
+* ``strict``     — raise the original :class:`LogFormatError` (byte-for-
+  byte the same exception, line numbers included, as the legacy reader);
+* ``skip``       — drop the line, but *count* it and keep a sample;
+* ``quarantine`` — write the raw line verbatim to a quarantine sink for
+  later inspection or replay, and keep going;
+* ``repair``     — try the repair strategies below first; lines they
+  cannot save fall back to quarantine (or a counted drop).
+
+Repair strategies, in order:
+
+1. ``strip-controls`` — remove embedded control bytes (NUL injection from
+   encoding faults) and re-parse;
+2. ``clf-prefix`` — a line whose Common Log Format body is intact but
+   whose combined-format tail is torn or garbled is parsed from the CLF
+   prefix alone.
+
+The quarantine format is two lines per entry: a ``#``-prefixed metadata
+line (input line number, fault class, parser message) followed by the
+offending raw line, verbatim.  Because every fault injector in
+:mod:`repro.faults` is seed-deterministic and this module draws no
+randomness at all, the same seed yields a byte-identical quarantine file
+on every run.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import IO
+
+from repro.exceptions import ConfigurationError, LogFormatError
+from repro.logs.clf import (
+    _CLF_BODY,
+    CLFRecord,
+    _record_from_fields,
+    parse_log_line,
+)
+
+__all__ = [
+    "ErrorPolicy",
+    "IngestReport",
+    "IngestResult",
+    "ingest_lines",
+    "ingest_clf_file",
+    "classify_fault",
+    "attempt_repair",
+]
+
+#: number of offending lines an :class:`IngestReport` keeps verbatim.
+MAX_SAMPLES = 5
+
+#: a quarantine sink: anything with ``write`` (file-like) or a plain list.
+QuarantineSink = IO[str] | list[str]
+
+_CLF_PREFIX = re.compile(_CLF_BODY)
+_DATE_OPEN = re.compile(r"^\S+ \S+ \S+ \[")
+
+
+class ErrorPolicy(str, enum.Enum):
+    """What :func:`ingest_lines` does with a line that fails to parse."""
+
+    STRICT = "strict"
+    SKIP = "skip"
+    QUARANTINE = "quarantine"
+    REPAIR = "repair"
+
+    @classmethod
+    def coerce(cls, value: "ErrorPolicy | str") -> "ErrorPolicy":
+        """Accept an enum member or its string value.
+
+        Raises:
+            ConfigurationError: for an unknown policy name.
+        """
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError as exc:
+            known = ", ".join(policy.value for policy in cls)
+            raise ConfigurationError(
+                f"unknown error policy {value!r} (known: {known})") from exc
+
+
+@dataclass
+class IngestReport:
+    """Complete accounting of one ingestion run.
+
+    The invariant every run maintains — and :meth:`reconciles` checks — is
+    that the four disjoint outcomes exactly cover the input::
+
+        parsed + blank + quarantined + dropped == total_lines
+
+    ``repaired`` counts the subset of ``parsed`` that only parsed after a
+    repair strategy rewrote the line.
+
+    Attributes:
+        policy: the error policy the run used.
+        total_lines: input lines seen (including blank ones).
+        parsed: lines that yielded a record (repaired ones included).
+        blank: whitespace-only lines (always tolerated).
+        quarantined: malformed lines written to the quarantine sink.
+        dropped: malformed lines counted but not preserved.
+        repaired: lines rescued by a repair strategy.
+        fault_counts: malformed-line count per fault class
+            (``truncated`` / ``encoding`` / ``bad-timestamp`` /
+            ``garbage``), plus ``repaired:<strategy>`` success counters.
+        samples: up to :data:`MAX_SAMPLES` ``(line_number, raw line)``
+            pairs of offending input, for error messages and debugging.
+    """
+
+    policy: str = ErrorPolicy.STRICT.value
+    total_lines: int = 0
+    parsed: int = 0
+    blank: int = 0
+    quarantined: int = 0
+    dropped: int = 0
+    repaired: int = 0
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    samples: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def malformed(self) -> int:
+        """Lines that failed to parse as-is (quarantined + dropped +
+        repaired)."""
+        return self.quarantined + self.dropped + self.repaired
+
+    def reconciles(self) -> bool:
+        """Whether every input line is accounted for exactly once."""
+        return (self.parsed + self.blank + self.quarantined + self.dropped
+                == self.total_lines)
+
+    def _count(self, fault_class: str) -> None:
+        self.fault_counts[fault_class] = (
+            self.fault_counts.get(fault_class, 0) + 1)
+
+    def _sample(self, line_number: int, line: str) -> None:
+        if len(self.samples) < MAX_SAMPLES:
+            self.samples.append((line_number, line))
+
+    def summary(self) -> str:
+        """Render the report as an indented human-readable block."""
+        lines = [
+            f"policy:      {self.policy}",
+            f"input lines: {self.total_lines}",
+            f"parsed:      {self.parsed}"
+            + (f" ({self.repaired} repaired)" if self.repaired else ""),
+            f"blank:       {self.blank}",
+            f"quarantined: {self.quarantined}",
+            f"dropped:     {self.dropped}",
+        ]
+        if self.fault_counts:
+            faults = ", ".join(f"{name}={count}" for name, count
+                               in sorted(self.fault_counts.items()))
+            lines.append(f"faults:      {faults}")
+        status = "ok" if self.reconciles() else "MISMATCH"
+        lines.append(f"reconciled:  {status}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Records plus the accounting of the run that produced them."""
+
+    records: list[CLFRecord]
+    report: IngestReport
+
+
+def classify_fault(line: str, error: LogFormatError) -> str:
+    """Bucket a malformed line into a coarse fault class.
+
+    Classes: ``encoding`` (embedded control bytes), ``bad-timestamp``
+    (matched the format but named an impossible date), ``truncated``
+    (a well-formed head that stops mid-record: unbalanced quotes, or an
+    opened-but-unclosed ``[date]``), ``garbage`` (everything else).
+    """
+    stripped = line.rstrip("\r\n")
+    if any(ord(ch) < 32 and ch not in "\t" for ch in stripped):
+        return "encoding"
+    message = str(error)
+    if "invalid date/time" in message or "unknown month" in message:
+        return "bad-timestamp"
+    if stripped.count('"') % 2 == 1:
+        return "truncated"
+    if _DATE_OPEN.match(stripped) and "]" not in stripped:
+        return "truncated"
+    return "garbage"
+
+
+def attempt_repair(line: str, line_number: int | None = None
+                   ) -> tuple[CLFRecord, str] | None:
+    """Try to recover a record from a malformed line.
+
+    Returns:
+        ``(record, strategy)`` on success — ``strategy`` names the repair
+        that worked — or ``None`` when no strategy applies.
+    """
+    cleaned = "".join(ch for ch in line.rstrip("\n")
+                      if ord(ch) >= 32 or ch == "\t")
+    if cleaned != line.rstrip("\n"):
+        try:
+            return (parse_log_line(cleaned, line_number=line_number),
+                    "strip-controls")
+        except LogFormatError:
+            pass
+    match = _CLF_PREFIX.match(cleaned)
+    if match is not None:
+        try:
+            return (_record_from_fields(match.groupdict(), line,
+                                        line_number),
+                    "clf-prefix")
+        except LogFormatError:
+            pass
+    return None
+
+
+def _write_quarantine(sink: QuarantineSink, line_number: int, line: str,
+                      fault_class: str, error: LogFormatError) -> None:
+    """Append one entry (metadata line + verbatim raw line) to the sink."""
+    message = str(error.args[0] if error.args else error).split("\n")[0]
+    entry = (f"# line {line_number} fault={fault_class}: {message}\n"
+             f"{line.rstrip(chr(10))}\n")
+    if isinstance(sink, list):
+        sink.append(entry)
+    else:
+        sink.write(entry)
+
+
+def ingest_lines(lines: Iterable[str], *,
+                 policy: ErrorPolicy | str = ErrorPolicy.STRICT,
+                 report: IngestReport | None = None,
+                 quarantine: QuarantineSink | None = None,
+                 on_malformed: Callable[[LogFormatError], None] | None = None,
+                 ) -> Iterator[CLFRecord]:
+    """Parse log lines lazily under an explicit error policy.
+
+    Args:
+        lines: raw log lines (either CLF or combined, per line).
+        policy: what to do with malformed lines; see :class:`ErrorPolicy`.
+        report: a mutable report filled in as the stream is consumed
+            (construct an empty :class:`IngestReport` and pass it in);
+            ``None`` keeps counts internally and discards them.
+        quarantine: sink for raw offending lines (file-like or list).
+            Required by the ``quarantine`` policy; optional under
+            ``repair``, where it receives unrepairable lines.
+        on_malformed: called with every :class:`LogFormatError` the policy
+            swallows (never under ``strict``, which raises instead), after
+            the line is counted.  Repaired lines do not trigger it.
+
+    Yields:
+        One :class:`~repro.logs.clf.CLFRecord` per successfully parsed
+        (or repaired) line, in input order.
+
+    Raises:
+        ConfigurationError: for an unknown policy, or ``quarantine``
+            policy without a sink.
+        LogFormatError: under ``strict``, for the first malformed line —
+            the identical exception (line number, raw line) the legacy
+            strict reader raises.
+    """
+    policy = ErrorPolicy.coerce(policy)
+    if policy is ErrorPolicy.QUARANTINE and quarantine is None:
+        raise ConfigurationError(
+            "quarantine policy requires a quarantine sink")
+    if report is None:
+        report = IngestReport()
+    report.policy = policy.value
+    return _ingest(lines, policy, report, quarantine, on_malformed)
+
+
+def _ingest(lines: Iterable[str], policy: ErrorPolicy,
+            report: IngestReport, quarantine: QuarantineSink | None,
+            on_malformed: Callable[[LogFormatError], None] | None,
+            ) -> Iterator[CLFRecord]:
+    for line_number, line in enumerate(lines, start=1):
+        report.total_lines += 1
+        if not line.strip():
+            report.blank += 1
+            continue
+        try:
+            yield parse_log_line(line, line_number=line_number)
+            report.parsed += 1
+            continue
+        except LogFormatError as error:
+            if policy is ErrorPolicy.STRICT:
+                raise
+            caught = error
+        if policy is ErrorPolicy.REPAIR:
+            rescue = attempt_repair(line, line_number)
+            if rescue is not None:
+                record, strategy = rescue
+                report.parsed += 1
+                report.repaired += 1
+                report._count(f"repaired:{strategy}")
+                yield record
+                continue
+        fault_class = classify_fault(line, caught)
+        report._count(fault_class)
+        report._sample(line_number, line.rstrip("\n"))
+        if quarantine is not None and policy in (ErrorPolicy.QUARANTINE,
+                                                 ErrorPolicy.REPAIR):
+            _write_quarantine(quarantine, line_number, line, fault_class,
+                              caught)
+            report.quarantined += 1
+        else:
+            report.dropped += 1
+        if on_malformed is not None:
+            on_malformed(caught)
+
+
+def ingest_clf_file(path: str, *,
+                    policy: ErrorPolicy | str = ErrorPolicy.STRICT,
+                    quarantine_path: str | None = None) -> IngestResult:
+    """Read a whole log file under an error policy, with full accounting.
+
+    Args:
+        path: log file path.
+        policy: see :class:`ErrorPolicy`.
+        quarantine_path: where raw offending lines are written (created
+            even when nothing is quarantined, so downstream tooling can
+            rely on its existence).  Required by the ``quarantine``
+            policy.
+
+    Raises:
+        ConfigurationError: ``quarantine`` policy without a path.
+        LogFormatError: under ``strict``, as :func:`ingest_lines`.
+    """
+    policy = ErrorPolicy.coerce(policy)
+    report = IngestReport()
+    if quarantine_path is not None:
+        with open(path, encoding="utf-8", errors="replace") as handle, \
+                open(quarantine_path, "w", encoding="utf-8") as sink:
+            records = list(ingest_lines(handle, policy=policy,
+                                        report=report, quarantine=sink))
+    else:
+        with open(path, encoding="utf-8", errors="replace") as handle:
+            records = list(ingest_lines(handle, policy=policy,
+                                        report=report))
+    return IngestResult(records=records, report=report)

@@ -4,62 +4,82 @@ The reader auto-detects the line format: Combined Log Format lines (with
 quoted Referer / User-Agent fields) are tried first, plain CLF second, so a
 single code path ingests both kinds of files — and mixed files, which real
 log rotations do produce.
+
+These are the *convenience* entry points.  They delegate to
+:mod:`repro.logs.ingest`, which adds full error policies (quarantine,
+repair) and per-fault accounting; use :func:`repro.logs.ingest.ingest_lines`
+directly when you need more than strict-or-skip.  Skipped lines are never
+silently lost: pass ``report`` and/or ``on_malformed`` to get an exact
+account of every dropped line.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 from repro.exceptions import LogFormatError
-from repro.logs.clf import CLFRecord, parse_log_line, url_to_page
+from repro.logs.clf import CLFRecord, url_to_page
+from repro.logs.ingest import ErrorPolicy, IngestReport, ingest_lines
 from repro.sessions.model import Request
 
 __all__ = ["read_clf_file", "iter_clf_lines", "records_to_requests"]
 
 
 def iter_clf_lines(lines: Iterable[str], *,
-                   skip_malformed: bool = False) -> Iterator[CLFRecord]:
+                   skip_malformed: bool = False,
+                   report: IngestReport | None = None,
+                   on_malformed: Callable[[LogFormatError], None] | None
+                   = None) -> Iterator[CLFRecord]:
     """Parse an iterable of log lines lazily (either format, per line).
 
     Blank lines are always skipped.
 
     Args:
         lines: raw log lines.
-        skip_malformed: when ``True``, silently drop lines that fail to
-            parse (real logs contain garbage); when ``False`` (default),
-            raise on the first bad line.
+        skip_malformed: when ``True``, drop lines that fail to parse (real
+            logs contain garbage) — every drop is counted in ``report``
+            and surfaced through ``on_malformed``, never discarded
+            invisibly; when ``False`` (default), raise on the first bad
+            line.
+        report: optional mutable :class:`~repro.logs.ingest.IngestReport`
+            filled in as the stream is consumed (drop counts, fault
+            classes, sample offending lines).
+        on_malformed: optional callback invoked with each swallowed
+            :class:`LogFormatError` when ``skip_malformed`` is ``True``.
 
     Raises:
         LogFormatError: for a malformed line when ``skip_malformed`` is
             ``False``; the error carries the 1-based line number.
     """
-    for line_number, line in enumerate(lines, start=1):
-        if not line.strip():
-            continue
-        try:
-            yield parse_log_line(line, line_number=line_number)
-        except LogFormatError:
-            if not skip_malformed:
-                raise
+    policy = ErrorPolicy.SKIP if skip_malformed else ErrorPolicy.STRICT
+    return ingest_lines(lines, policy=policy, report=report,
+                        on_malformed=on_malformed)
 
 
 def read_clf_file(path: str, *,
-                  skip_malformed: bool = False) -> list[CLFRecord]:
+                  skip_malformed: bool = False,
+                  report: IngestReport | None = None,
+                  on_malformed: Callable[[LogFormatError], None] | None
+                  = None) -> list[CLFRecord]:
     """Read and parse a whole access-log file (plain CLF or combined).
 
     Args:
         path: log file path.
         skip_malformed: see :func:`iter_clf_lines`.
+        report: see :func:`iter_clf_lines`.
+        on_malformed: see :func:`iter_clf_lines`.
 
     Raises:
         LogFormatError: as :func:`iter_clf_lines`.
     """
     with open(path, encoding="utf-8") as handle:
-        return list(iter_clf_lines(handle, skip_malformed=skip_malformed))
+        return list(iter_clf_lines(handle, skip_malformed=skip_malformed,
+                                   report=report, on_malformed=on_malformed))
 
 
 def records_to_requests(records: Iterable[CLFRecord],
-                        page_views_only: bool = True) -> list[Request]:
+                        page_views_only: bool = True, *,
+                        watermark: float | None = None) -> list[Request]:
     """Project log records onto the reconstruction-relevant fields.
 
     The inverse of :func:`repro.logs.writer.requests_to_records` up to user
@@ -69,11 +89,27 @@ def records_to_requests(records: Iterable[CLFRecord],
     Args:
         records: parsed records, any order (preserved).
         page_views_only: drop records failing the page-view filter.
+        watermark: optional event-time lower bound the records were
+            promised to respect (e.g. the streaming pipeline's flush
+            watermark).  A record strictly older than it raises
+            :class:`~repro.exceptions.LateEventError`; a record exactly
+            *at* the watermark is fine (ties are legal).
+
+    Raises:
+        LateEventError: when ``watermark`` is given and a record predates
+            it.
     """
-    return [
-        Request(record.timestamp, record.host, url_to_page(record.url),
-                referrer=(url_to_page(record.referrer)
-                          if record.referrer is not None else None))
-        for record in records
-        if not page_views_only or record.is_page_view
-    ]
+    from repro.exceptions import LateEventError
+    requests: list[Request] = []
+    for record in records:
+        if watermark is not None and record.timestamp < watermark:
+            raise LateEventError(
+                f"record from {record.host!r} at t={record.timestamp} "
+                f"predates the watermark {watermark}")
+        if not page_views_only or record.is_page_view:
+            requests.append(
+                Request(record.timestamp, record.host,
+                        url_to_page(record.url),
+                        referrer=(url_to_page(record.referrer)
+                                  if record.referrer is not None else None)))
+    return requests

@@ -3,8 +3,9 @@
 Connects the on-disk world to the streaming reconstructor: a server
 appends to ``access.log``; :func:`follow_log` yields each new line's
 parsed record as it lands, handling partially written lines (a record is
-only emitted once its newline arrives) and log truncation (rotation
-resets the read offset).
+only emitted once its newline arrives), log rotation (both truncation in
+place *and* rename-and-recreate, detected via the file's inode) and
+transient read failures (bounded retry with exponential backoff).
 
 Example — live session emission from a growing file::
 
@@ -21,17 +22,78 @@ from __future__ import annotations
 import os
 import time
 from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
 
-from repro.exceptions import LogFormatError
+from repro.exceptions import IngestError, LogFormatError
 from repro.logs.clf import CLFRecord, parse_log_line
+from repro.logs.ingest import classify_fault
 
-__all__ = ["follow_log"]
+__all__ = ["follow_log", "FollowStats"]
+
+
+@dataclass
+class FollowStats:
+    """Mutable accounting of one :func:`follow_log` run.
+
+    Pass an instance in and inspect it at any time (the follower updates
+    it in place as it yields).
+
+    Attributes:
+        lines: completed lines seen (blank ones included).
+        parsed: records successfully parsed and yielded.
+        blank: whitespace-only lines.
+        malformed: lines that failed to parse (skipped or raised).
+        rotations: truncations / inode changes handled by restarting.
+        retries: transient read failures that were retried.
+        torn_tail_discards: partial trailing lines thrown away because
+            the file rotated underneath them.
+        fault_counts: malformed-line count per fault class, as
+            :func:`repro.logs.ingest.classify_fault` buckets them.
+    """
+
+    lines: int = 0
+    parsed: int = 0
+    blank: int = 0
+    malformed: int = 0
+    rotations: int = 0
+    retries: int = 0
+    torn_tail_discards: int = 0
+    fault_counts: dict[str, int] = field(default_factory=dict)
+
+
+def _read_chunk(path: str, offset: int, *, max_retries: int,
+                backoff_base: float, _sleep: Callable[[float], None],
+                stats: FollowStats) -> tuple[str, int]:
+    """Read from ``offset`` to EOF, retrying transient failures.
+
+    Raises:
+        IngestError: when ``max_retries`` consecutive attempts fail.
+    """
+    last_error: OSError | None = None
+    for attempt in range(max_retries + 1):
+        try:
+            with open(path, encoding="utf-8", errors="replace") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+                return chunk, handle.tell()
+        except OSError as error:
+            last_error = error
+            if attempt < max_retries:
+                stats.retries += 1
+                _sleep(backoff_base * (2 ** attempt))
+    raise IngestError(
+        f"giving up on {path!r} after {max_retries} retries: {last_error}")
 
 
 def follow_log(path: str, poll_interval: float = 0.5,
                idle_timeout: float | None = None,
                skip_malformed: bool = True,
-               _sleep: Callable[[float], None] = time.sleep
+               _sleep: Callable[[float], None] = time.sleep,
+               *,
+               on_malformed: Callable[[LogFormatError], None] | None = None,
+               max_retries: int = 5,
+               backoff_base: float = 0.05,
+               stats: FollowStats | None = None,
                ) -> Iterator[CLFRecord]:
     """Yield parsed records from ``path`` as the file grows.
 
@@ -40,47 +102,78 @@ def follow_log(path: str, poll_interval: float = 0.5,
         poll_interval: seconds between size checks when no data arrives.
         idle_timeout: stop after this many seconds without new data
             (``None`` follows forever — appropriate for daemons only).
-        skip_malformed: drop unparsable lines instead of raising.
+        skip_malformed: drop unparsable lines instead of raising; drops
+            are always counted in ``stats`` and surfaced via
+            ``on_malformed``.
         _sleep: injection point for tests; leave default in production.
+        on_malformed: called with each swallowed :class:`LogFormatError`
+            when ``skip_malformed`` is ``True``.
+        max_retries: transient read failures tolerated per read before
+            giving up (exponential backoff between attempts).
+        backoff_base: first retry delay in seconds; doubles per attempt.
+        stats: optional mutable :class:`FollowStats`, updated in place.
 
     Yields:
         One :class:`~repro.logs.clf.CLFRecord` per completed line, in file
-        order.  On truncation (rotation) the follower restarts from the
-        beginning of the new file.
+        order.  On truncation or rotation (the path now names a different
+        inode) the follower restarts from the beginning of the new file;
+        a partial line torn by the rotation is discarded and counted.
 
     Raises:
         LogFormatError: on a malformed line when ``skip_malformed`` is
             ``False``.
+        IngestError: when a read keeps failing after ``max_retries``
+            backoff retries.
     """
+    if stats is None:
+        stats = FollowStats()
     offset = 0
     pending = ""
     idle = 0.0
     line_number = 0
+    inode: int | None = None
     while True:
         try:
-            size = os.path.getsize(path)
+            status = os.stat(path)
+            size, current_inode = status.st_size, status.st_ino
         except OSError:
-            size = 0
-        if size < offset:           # truncated / rotated: start over
+            size, current_inode = 0, None
+        rotated = (inode is not None and current_inode is not None
+                   and current_inode != inode)
+        if size < offset or rotated:    # truncated or replaced: start over
             offset = 0
+            line_number = 0
+            if pending:
+                stats.torn_tail_discards += 1
             pending = ""
+            stats.rotations += 1
+        if current_inode is not None:
+            inode = current_inode
         if size > offset:
             idle = 0.0
-            with open(path, encoding="utf-8") as handle:
-                handle.seek(offset)
-                chunk = handle.read()
-                offset = handle.tell()
+            chunk, offset = _read_chunk(
+                path, offset, max_retries=max_retries,
+                backoff_base=backoff_base, _sleep=_sleep, stats=stats)
             pending += chunk
             *complete, pending = pending.split("\n")
             for line in complete:
                 line_number += 1
+                stats.lines += 1
                 if not line.strip():
+                    stats.blank += 1
                     continue
                 try:
                     yield parse_log_line(line, line_number=line_number)
-                except LogFormatError:
+                    stats.parsed += 1
+                except LogFormatError as error:
+                    stats.malformed += 1
+                    fault = classify_fault(line, error)
+                    stats.fault_counts[fault] = (
+                        stats.fault_counts.get(fault, 0) + 1)
                     if not skip_malformed:
                         raise
+                    if on_malformed is not None:
+                        on_malformed(error)
         else:
             if idle_timeout is not None and idle >= idle_timeout:
                 return

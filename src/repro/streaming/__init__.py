@@ -17,16 +17,23 @@ The streaming output is *identical* to the batch output (verified by
 property test): Smart-SRA's two-phase structure makes it naturally
 streamable, because Phase 2 only ever looks inside one time-closed
 candidate.
+
+For degraded real-world streams, the reconstructor also offers a bounded
+reorder buffer, a late-event policy (typed
+:class:`~repro.exceptions.LateEventError` or counted drops) and adjacent
+deduplication — see :mod:`repro.streaming.pipeline`.
 """
 
 from repro.streaming.pipeline import (
     StreamingReconstructor,
+    StreamingStats,
     streaming_phase1,
     streaming_smart_sra,
 )
 
 __all__ = [
     "StreamingReconstructor",
+    "StreamingStats",
     "streaming_smart_sra",
     "streaming_phase1",
 ]

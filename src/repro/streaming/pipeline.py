@@ -14,9 +14,23 @@ Smart-SRA's Phase 2 (:func:`streaming_smart_sra`) or the identity
 (:func:`streaming_phase1`).  Because Phase 2 never looks across candidate
 boundaries, the streamed output equals the batch output exactly.
 
+Degraded input is handled explicitly rather than assumed away:
+
+* a **bounded reorder buffer** (``reorder_window``) absorbs out-of-order
+  arrival up to a fixed event-time bound, releasing requests in a
+  deterministic total order — so the streamed output is byte-identical
+  however the input interleaves within the bound;
+* a **late policy** decides what happens to requests that predate the
+  watermark anyway: ``"raise"`` (a typed
+  :class:`~repro.exceptions.LateEventError`) or ``"drop"`` (counted in
+  :attr:`StreamingStats.late_dropped`, never silently lost);
+* optional **deduplication** discards the adjacent duplicates that double
+  logging produces, counted in :attr:`StreamingStats.duplicates_dropped`.
+
 Example::
 
-    pipeline = streaming_smart_sra(topology)
+    pipeline = streaming_smart_sra(topology, late_policy="drop",
+                                   reorder_window=30.0, dedup=True)
     for request in tail_the_log():
         for session in pipeline.feed(request):
             handle(session)          # emitted as soon as provably complete
@@ -26,12 +40,17 @@ Example::
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.core.config import SmartSRAConfig
 from repro.core.phase2 import maximal_sessions_fast
-from repro.exceptions import ReconstructionError
+from repro.exceptions import (
+    ConfigurationError,
+    LateEventError,
+    ReconstructionError,
+)
 from repro.sessions.model import Request, Session
 from repro.topology.graph import WebGraph
 
@@ -55,12 +74,18 @@ class StreamingStats:
         buffered_requests: total requests held in open candidates.
         emitted_sessions: sessions emitted since construction.
         fed_requests: requests accepted since construction.
+        late_dropped: requests discarded by ``late_policy="drop"``.
+        duplicates_dropped: adjacent duplicates discarded by ``dedup``.
+        reorder_buffered: requests currently held in the reorder buffer.
     """
 
     active_users: int
     buffered_requests: int
     emitted_sessions: int
     fed_requests: int
+    late_dropped: int = 0
+    duplicates_dropped: int = 0
+    reorder_buffered: int = 0
 
 
 class StreamingReconstructor:
@@ -70,21 +95,57 @@ class StreamingReconstructor:
         finisher: maps a closed candidate (non-empty, chronological) to
             finished sessions.
         config: the δ/ρ thresholds (paper defaults when omitted).
+        late_policy: ``"raise"`` (default) raises
+            :class:`~repro.exceptions.LateEventError` for a request that
+            predates the watermark or its user's buffered tail;
+            ``"drop"`` counts and discards it, keeping output
+            deterministic.
+        reorder_window: event-time bound (seconds) for out-of-order
+            tolerance.  Requests are held in a bounded buffer and released
+            in ``(timestamp, user_id, page)`` order once the maximum
+            timestamp seen has advanced past them by the window; ``0``
+            (default) disables buffering and preserves the strict
+            contract.
+        dedup: drop a request identical to its user's buffered tail
+            (same timestamp and page) — the adjacent-duplicate artifact of
+            double logging.
 
-    Per-user event-time must be non-decreasing; feeding an older request
-    for a user whose buffer has advanced raises
-    :class:`~repro.exceptions.ReconstructionError` (callers that need
-    out-of-order tolerance should sort within a bounded reorder window
-    before feeding).
+    Per-user event-time must be non-decreasing *after* reorder buffering;
+    an equal timestamp is legal (ties keep arrival order, or release
+    order under a reorder window).  A request older than the user's
+    buffered tail, or older than a watermark already flushed, is *late*
+    and handled by ``late_policy``.
+
+    Raises:
+        ConfigurationError: for an unknown ``late_policy`` or a negative
+            ``reorder_window``.
     """
 
     def __init__(self, finisher: Finisher,
-                 config: SmartSRAConfig | None = None) -> None:
+                 config: SmartSRAConfig | None = None, *,
+                 late_policy: str = "raise",
+                 reorder_window: float = 0.0,
+                 dedup: bool = False) -> None:
+        if late_policy not in ("raise", "drop"):
+            raise ConfigurationError(
+                f"late_policy must be 'raise' or 'drop', "
+                f"got {late_policy!r}")
+        if reorder_window < 0:
+            raise ConfigurationError(
+                f"reorder_window must be >= 0, got {reorder_window}")
         self._finisher = finisher
         self.config = config if config is not None else SmartSRAConfig()
+        self.late_policy = late_policy
+        self.reorder_window = reorder_window
+        self.dedup = dedup
         self._buffers: dict[str, list[Request]] = {}
+        self._reorder: list[Request] = []   # heap, ordered by Request order
+        self._max_seen = float("-inf")
+        self._flush_watermark = float("-inf")
         self._emitted = 0
         self._fed = 0
+        self._late_dropped = 0
+        self._duplicates_dropped = 0
 
     # -- feeding -----------------------------------------------------------
 
@@ -92,33 +153,77 @@ class StreamingReconstructor:
         """Accept one request; return any sessions it proved complete.
 
         Raises:
-            ReconstructionError: for a negative timestamp or an
-                out-of-order request (older than the user's buffered tail).
+            ReconstructionError: for a negative timestamp.
+            LateEventError: under ``late_policy="raise"``, for a request
+                that predates the flush watermark, the reorder buffer's
+                release floor, or its user's buffered tail.
         """
         if request.timestamp < 0:
             raise ReconstructionError(
                 f"negative timestamp {request.timestamp}")
-        buffer = self._buffers.get(request.user_id)
-        emitted: list[Session] = []
-        if buffer is not None:
-            last = buffer[-1]
-            if request.timestamp < last.timestamp:
-                raise ReconstructionError(
-                    f"out-of-order request for user {request.user_id!r}: "
-                    f"{request.timestamp} after {last.timestamp}")
-            gap = request.timestamp - last.timestamp
-            span = request.timestamp - buffer[0].timestamp
-            if gap > self.config.max_gap or span > self.config.max_duration:
-                emitted = self._finish(request.user_id)
-        self._buffers.setdefault(request.user_id, []).append(request)
-        self._fed += 1
-        return emitted
+        if request.timestamp < self._flush_watermark:
+            return self._late(
+                request,
+                f"request at t={request.timestamp} predates the flushed "
+                f"watermark {self._flush_watermark}")
+        if self.reorder_window > 0:
+            release_floor = self._max_seen - self.reorder_window
+            if request.timestamp < release_floor:
+                return self._late(
+                    request,
+                    f"request at t={request.timestamp} is more than "
+                    f"{self.reorder_window}s behind the stream "
+                    f"(release floor {release_floor})")
+            heapq.heappush(self._reorder, request)
+            self._max_seen = max(self._max_seen, request.timestamp)
+            return self._release(self._max_seen - self.reorder_window)
+        self._max_seen = max(self._max_seen, request.timestamp)
+        return self._accept(request)
 
     def feed_many(self, requests: Iterable[Request]) -> list[Session]:
         """Feed a batch of requests; returns all sessions they completed."""
         emitted: list[Session] = []
         for request in requests:
             emitted.extend(self.feed(request))
+        return emitted
+
+    def _release(self, up_to: float) -> list[Session]:
+        """Pop reorder-buffered requests with timestamp ≤ ``up_to``."""
+        emitted: list[Session] = []
+        while self._reorder and self._reorder[0].timestamp <= up_to:
+            emitted.extend(self._accept(heapq.heappop(self._reorder)))
+        return emitted
+
+    def _late(self, request: Request, reason: str) -> list[Session]:
+        if self.late_policy == "raise":
+            raise LateEventError(
+                f"late request for user {request.user_id!r}: {reason}")
+        self._late_dropped += 1
+        return []
+
+    def _accept(self, request: Request) -> list[Session]:
+        buffer = self._buffers.get(request.user_id)
+        emitted: list[Session] = []
+        if buffer is not None:
+            last = buffer[-1]
+            if request.timestamp < last.timestamp:
+                if self.late_policy == "raise":
+                    raise LateEventError(
+                        f"out-of-order request for user "
+                        f"{request.user_id!r}: {request.timestamp} after "
+                        f"{last.timestamp}")
+                self._late_dropped += 1
+                return []
+            if (self.dedup and request.timestamp == last.timestamp
+                    and request.page == last.page):
+                self._duplicates_dropped += 1
+                return []
+            gap = request.timestamp - last.timestamp
+            span = request.timestamp - buffer[0].timestamp
+            if gap > self.config.max_gap or span > self.config.max_duration:
+                emitted = self._finish(request.user_id)
+        self._buffers.setdefault(request.user_id, []).append(request)
+        self._fed += 1
         return emitted
 
     # -- closing -----------------------------------------------------------
@@ -128,11 +233,21 @@ class StreamingReconstructor:
 
         Args:
             watermark: event-time lower bound for all *future* requests.
-                Candidates whose last request lies more than ρ before it
-                are provably closed and are emitted.  ``None`` closes
+                The reorder buffer first releases everything at or before
+                it (safe: nothing earlier can still arrive); candidates
+                whose last request lies more than ρ before it are then
+                provably closed and are emitted.  ``None`` closes
                 everything (end of stream).
+
+        After ``flush(watermark)``, feeding a request strictly older than
+        ``watermark`` is a *late* event (see ``late_policy``).
         """
         emitted: list[Session] = []
+        if watermark is None:
+            emitted.extend(self._release(float("inf")))
+        else:
+            emitted.extend(self._release(watermark))
+            self._flush_watermark = max(self._flush_watermark, watermark)
         for user_id in list(self._buffers):
             buffer = self._buffers[user_id]
             if (watermark is None
@@ -158,22 +273,34 @@ class StreamingReconstructor:
                                   for buffer in self._buffers.values()),
             emitted_sessions=self._emitted,
             fed_requests=self._fed,
+            late_dropped=self._late_dropped,
+            duplicates_dropped=self._duplicates_dropped,
+            reorder_buffered=len(self._reorder),
         )
 
 
 def streaming_smart_sra(topology: WebGraph,
-                        config: SmartSRAConfig | None = None
-                        ) -> StreamingReconstructor:
-    """A streaming pipeline emitting full Smart-SRA (heur4) sessions."""
+                        config: SmartSRAConfig | None = None,
+                        **options: object) -> StreamingReconstructor:
+    """A streaming pipeline emitting full Smart-SRA (heur4) sessions.
+
+    Keyword options (``late_policy``, ``reorder_window``, ``dedup``) pass
+    through to :class:`StreamingReconstructor`.
+    """
     resolved = config if config is not None else SmartSRAConfig()
     return StreamingReconstructor(
         lambda candidate: maximal_sessions_fast(candidate, topology,
                                                 resolved),
-        resolved)
+        resolved, **options)  # type: ignore[arg-type]
 
 
-def streaming_phase1(config: SmartSRAConfig | None = None
-                     ) -> StreamingReconstructor:
-    """A streaming pipeline emitting raw Phase-1 candidates as sessions."""
+def streaming_phase1(config: SmartSRAConfig | None = None,
+                     **options: object) -> StreamingReconstructor:
+    """A streaming pipeline emitting raw Phase-1 candidates as sessions.
+
+    Keyword options (``late_policy``, ``reorder_window``, ``dedup``) pass
+    through to :class:`StreamingReconstructor`.
+    """
     return StreamingReconstructor(
-        lambda candidate: [Session(candidate)], config)
+        lambda candidate: [Session(candidate)], config,
+        **options)  # type: ignore[arg-type]

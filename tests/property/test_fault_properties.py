@@ -1,0 +1,142 @@
+"""Property tests for fault injection and resilient ingestion.
+
+Three contracts are pinned down here:
+
+1. **Determinism** — every fault model is a pure function of
+   ``(seed, rate, input)``: same seed, same corrupted stream, always.
+2. **Reconciliation** — for *any* input stream and *any* error policy,
+   the :class:`~repro.logs.ingest.IngestReport` accounts for every single
+   input line: ``parsed + blank + quarantined + dropped == total_lines``.
+3. **Strict equivalence** — the hardened strict reader raises exactly the
+   exception a naive line-by-line parse would, at the same line number.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import LogFormatError
+from repro.faults import FAULT_MODELS, chaos_stream
+from repro.logs.clf import CLFRecord, format_clf_line, parse_log_line
+from repro.logs.ingest import IngestReport, ingest_lines
+
+_CLEAN_LINES = st.lists(
+    st.builds(
+        lambda i, host, url: format_clf_line(
+            CLFRecord(host, 1000.0 + 5.0 * i, "GET", url, "HTTP/1.1",
+                      200, 256)),
+        st.integers(0, 10_000),
+        st.from_regex(r"10\.0\.[0-9]{1,2}\.[0-9]{1,3}", fullmatch=True),
+        st.from_regex(r"/P[0-9]{1,3}\.html", fullmatch=True),
+    ),
+    min_size=1, max_size=40,
+)
+
+# arbitrary text lines: clean records, garbage, blanks — anything the
+# ingest layer might be fed after corruption.
+_ANY_LINES = st.lists(
+    st.one_of(
+        _CLEAN_LINES.map(lambda ls: ls[0]),
+        st.text(st.characters(codec="utf-8",
+                              exclude_characters="\n"), max_size=60),
+    ),
+    max_size=30,
+)
+
+_MODEL_NAMES = st.sampled_from(sorted(FAULT_MODELS))
+
+
+class TestInjectorDeterminism:
+    @settings(max_examples=60, deadline=None)
+    @given(_CLEAN_LINES, _MODEL_NAMES, st.integers(0, 2**32),
+           st.floats(0.0, 1.0, allow_nan=False))
+    def test_fixed_seed_fixed_output(self, lines, name, seed, rate):
+        model = FAULT_MODELS[name]
+        first = list(model(rate, seed=seed).apply(lines))
+        second = list(model(rate, seed=seed).apply(lines))
+        assert first == second
+
+    @settings(max_examples=30, deadline=None)
+    @given(_CLEAN_LINES, st.integers(0, 2**32))
+    def test_full_chaos_chain_is_deterministic(self, lines, seed):
+        assert (list(chaos_stream(lines, seed=seed))
+                == list(chaos_stream(lines, seed=seed)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(_CLEAN_LINES, _MODEL_NAMES, st.integers(0, 2**32))
+    def test_zero_rate_never_corrupts(self, lines, name, seed):
+        assert list(FAULT_MODELS[name](0.0, seed=seed).apply(lines)) == lines
+
+    @settings(max_examples=30, deadline=None)
+    @given(_CLEAN_LINES, st.integers(0, 2**32),
+           st.floats(0.0, 1.0, allow_nan=False),
+           st.integers(1, 12))
+    def test_reorder_displacement_is_bounded(self, lines, seed, rate,
+                                             window):
+        from repro.faults import ReorderLines
+        tagged = [f"{i}|{line}" for i, line in enumerate(lines)]
+        out = list(ReorderLines(rate, seed=seed, window=window).apply(tagged))
+        assert sorted(out) == sorted(tagged)
+        for position, line in enumerate(out):
+            original = int(line.split("|", 1)[0])
+            assert abs(position - original) <= window
+
+
+class TestReconciliation:
+    @settings(max_examples=80, deadline=None)
+    @given(_ANY_LINES, st.sampled_from(["skip", "quarantine", "repair"]))
+    def test_every_line_is_accounted_for(self, lines, policy):
+        report, sink = IngestReport(), []
+        records = list(ingest_lines(lines, policy=policy, report=report,
+                                    quarantine=sink))
+        assert report.total_lines == len(lines)
+        assert report.parsed == len(records)
+        assert report.reconciles(), report.summary()
+        assert len(sink) == report.quarantined
+
+    @settings(max_examples=40, deadline=None)
+    @given(_CLEAN_LINES, st.integers(0, 2**32),
+           st.floats(0.0, 0.3, allow_nan=False))
+    def test_chaos_streams_ingest_without_raising(self, lines, seed, rate):
+        specs = [(name, rate) for name in sorted(FAULT_MODELS)]
+        dirty = list(chaos_stream(lines, specs=specs, seed=seed))
+        report, sink = IngestReport(), []
+        list(ingest_lines(dirty, policy="quarantine", report=report,
+                          quarantine=sink))
+        assert report.total_lines == len(dirty)
+        assert report.reconciles(), report.summary()
+
+    @settings(max_examples=40, deadline=None)
+    @given(_ANY_LINES)
+    def test_skip_parses_the_same_records_as_quarantine(self, lines):
+        skipped = list(ingest_lines(lines, policy="skip"))
+        quarantined = list(ingest_lines(lines, policy="quarantine",
+                                        quarantine=[]))
+        assert skipped == quarantined
+
+
+class TestStrictEquivalence:
+    @settings(max_examples=50, deadline=None)
+    @given(_ANY_LINES)
+    def test_strict_matches_naive_scan(self, lines):
+        from repro.logs.reader import iter_clf_lines
+
+        naive_error = None
+        for line_number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                parse_log_line(line.rstrip("\r\n"),
+                               line_number=line_number)
+            except LogFormatError as error:
+                naive_error = error
+                break
+
+        if naive_error is None:
+            list(iter_clf_lines(lines))        # must not raise either
+            return
+        with pytest.raises(LogFormatError) as caught:
+            list(iter_clf_lines(lines))
+        assert caught.value.line_number == naive_error.line_number
+        assert str(caught.value) == str(naive_error)

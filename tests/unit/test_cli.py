@@ -16,7 +16,7 @@ def test_parser_lists_all_commands():
     assert set(choices) == {"topology", "simulate", "clean", "reconstruct",
                             "evaluate", "experiment", "mine", "stats",
                             "run-spec", "dataset", "compare", "anonymize",
-                            "selftest", "leaderboard"}
+                            "selftest", "leaderboard", "chaos", "ingest"}
 
 
 def test_topology_command(tmp_path, capsys):
@@ -174,3 +174,39 @@ def test_leaderboard_command(capsys):
     printed = capsys.readouterr().out
     assert "matched [95% CI]" in printed
     assert "referrer" in printed
+
+
+def test_chaos_then_ingest_roundtrip(pipeline_files, capsys):
+    dirty = str(pipeline_files["dir"] / "dirty.log")
+    quarantine = str(pipeline_files["dir"] / "bad.log")
+    assert main(["chaos", "--log", pipeline_files["log"],
+                 "--output", dirty, "--seed", "7",
+                 "--fault", "truncate:0.1", "--fault", "garble:0.05"]) == 0
+    assert main(["ingest", "--log", dirty,
+                 "--error-policy", "quarantine",
+                 "--quarantine", quarantine]) == 0
+    printed = capsys.readouterr().out
+    assert "reconciled:  ok" in printed
+    with open(quarantine, encoding="utf-8") as handle:
+        assert any(line.startswith("# line ") for line in handle)
+
+
+def test_chaos_same_seed_is_byte_identical(pipeline_files):
+    outs = []
+    for name in ("a.log", "b.log"):
+        out = str(pipeline_files["dir"] / name)
+        assert main(["chaos", "--log", pipeline_files["log"],
+                     "--output", out, "--seed", "11"]) == 0
+        with open(out, "rb") as handle:
+            outs.append(handle.read())
+    assert outs[0] == outs[1]
+
+
+def test_ingest_strict_fails_on_dirty_log(pipeline_files, capsys):
+    dirty = str(pipeline_files["dir"] / "dirty2.log")
+    assert main(["chaos", "--log", pipeline_files["log"],
+                 "--output", dirty, "--seed", "7",
+                 "--fault", "truncate:0.2"]) == 0
+    assert main(["ingest", "--log", dirty,
+                 "--error-policy", "strict"]) == 1
+    assert "error:" in capsys.readouterr().err

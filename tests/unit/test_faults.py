@@ -1,0 +1,175 @@
+"""Unit tests for the fault-injection models (repro.faults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, LogFormatError
+from repro.faults import (
+    FAULT_MODELS,
+    BotTraffic,
+    ClockSkew,
+    DuplicateLines,
+    EncodingErrors,
+    GarbleLines,
+    ReorderLines,
+    RotationSplit,
+    TruncateLines,
+    build_injectors,
+    chaos_stream,
+    parse_fault_spec,
+)
+from repro.logs.clf import CLFRecord, format_clf_line, parse_log_line
+
+
+def _lines(count=50, hosts=4):
+    return [format_clf_line(
+        CLFRecord(f"10.0.0.{i % hosts}", 1000.0 + 7 * i, "GET",
+                  f"/P{i % 9}.html", "HTTP/1.1", 200, 128))
+            for i in range(count)]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(FAULT_MODELS))
+    def test_same_seed_same_output(self, name):
+        lines = _lines()
+        first = list(FAULT_MODELS[name](0.3, seed=11).apply(lines))
+        second = list(FAULT_MODELS[name](0.3, seed=11).apply(lines))
+        assert first == second
+
+    @pytest.mark.parametrize("name", sorted(FAULT_MODELS))
+    def test_different_seed_diverges(self, name):
+        # at a 50% rate over 50 lines, two seeds virtually never agree.
+        lines = _lines()
+        first = list(FAULT_MODELS[name](0.5, seed=1).apply(lines))
+        second = list(FAULT_MODELS[name](0.5, seed=2).apply(lines))
+        assert first != second
+
+    def test_zero_rate_is_identity(self):
+        lines = _lines()
+        for name, cls in FAULT_MODELS.items():
+            assert list(cls(0.0, seed=3).apply(lines)) == lines, name
+
+    def test_chain_determinism(self):
+        lines = _lines()
+        first = list(chaos_stream(lines, seed=9))
+        second = list(chaos_stream(lines, seed=9))
+        assert first == second
+
+
+class TestIndividualModels:
+    def test_truncate_shortens_lines(self):
+        lines = _lines()
+        out = list(TruncateLines(1.0, seed=0).apply(lines))
+        assert len(out) == len(lines)
+        assert all(len(dirty) < len(clean)
+                   for dirty, clean in zip(out, lines))
+
+    def test_duplicate_repeats_adjacent(self):
+        lines = _lines(10)
+        out = list(DuplicateLines(1.0, seed=0).apply(lines))
+        assert out == [line for line in lines for _ in range(2)]
+
+    def test_rotation_split_tears_into_two(self):
+        lines = _lines(5)
+        out = list(RotationSplit(1.0, seed=0).apply(lines))
+        assert len(out) == 2 * len(lines)
+        for i, line in enumerate(lines):
+            assert out[2 * i] + out[2 * i + 1] == line
+
+    def test_reorder_preserves_multiset_and_bound(self):
+        lines = _lines(60)
+        window = 5
+        out = list(ReorderLines(0.4, seed=2, window=window).apply(lines))
+        assert sorted(out) == sorted(lines)
+        for position, line in enumerate(out):
+            assert abs(position - lines.index(line)) <= window
+
+    def test_clock_skew_is_per_host_constant(self):
+        lines = _lines(40, hosts=2)
+        out = list(ClockSkew(1.0, seed=5, max_skew=100.0).apply(lines))
+        offsets = {}
+        for clean, dirty in zip(lines, out):
+            before = parse_log_line(clean)
+            after = parse_log_line(dirty)
+            assert after.host == before.host
+            offsets.setdefault(before.host,
+                               set()).add(after.timestamp - before.timestamp)
+        for host, deltas in offsets.items():
+            assert len(deltas) == 1, f"host {host} skew not constant"
+
+    def test_clock_skew_passes_garbage_through(self):
+        out = list(ClockSkew(1.0, seed=5).apply(["not a log line"]))
+        assert out == ["not a log line"]
+
+    def test_bot_lines_parse_and_identify_themselves(self):
+        lines = _lines(20)
+        out = list(BotTraffic(1.0, seed=4).apply(lines))
+        inserted = [line for line in out if line not in lines]
+        assert len(inserted) == 20
+        for line in inserted:
+            record = parse_log_line(line)
+            assert record.host.startswith("203.0.113.")
+            assert record.user_agent == BotTraffic.USER_AGENT
+
+    def test_encoding_errors_inject_artifacts(self):
+        lines = _lines(30)
+        out = list(EncodingErrors(1.0, seed=6).apply(lines))
+        assert all("\x00" in line or "�" in line for line in out)
+
+    def test_garble_keeps_line_count(self):
+        lines = _lines(30)
+        out = list(GarbleLines(1.0, seed=8).apply(lines))
+        assert len(out) == len(lines)
+        assert out != lines
+
+
+class TestConfiguration:
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            TruncateLines(1.5)
+        with pytest.raises(ConfigurationError, match="rate"):
+            TruncateLines(-0.1)
+
+    def test_reorder_window_validated(self):
+        with pytest.raises(ConfigurationError, match="window"):
+            ReorderLines(0.5, window=0)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault model"):
+            build_injectors([("wat", 0.1)])
+
+    def test_parse_fault_spec(self):
+        assert parse_fault_spec("truncate:0.25") == ("truncate", 0.25)
+        name, rate = parse_fault_spec("duplicate")
+        assert name == "duplicate" and 0 < rate < 1
+        with pytest.raises(ConfigurationError, match="bad fault rate"):
+            parse_fault_spec("truncate:lots")
+        with pytest.raises(ConfigurationError, match="unknown fault model"):
+            parse_fault_spec("gremlins:0.5")
+
+
+class TestStrictPolicyCompatibility:
+    def test_strict_reproduces_exact_legacy_exceptions(self):
+        """Corrupt a stream, then check the hardened strict reader raises
+        the same LogFormatError, at the same line number, as a plain
+        line-by-line parse — byte-for-byte compatibility."""
+        from repro.logs.reader import iter_clf_lines
+        lines = list(TruncateLines(0.3, seed=13).apply(_lines()))
+
+        legacy_error = None
+        for line_number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                parse_log_line(line, line_number=line_number)
+            except LogFormatError as error:
+                legacy_error = error
+                break
+        assert legacy_error is not None, "fault injection produced no fault"
+
+        with pytest.raises(LogFormatError) as caught:
+            list(iter_clf_lines(lines))
+        assert caught.value.line_number == legacy_error.line_number
+        assert str(caught.value) == str(legacy_error)
+        assert caught.value.line == legacy_error.line

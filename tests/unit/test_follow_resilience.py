@@ -1,0 +1,141 @@
+"""Resilience tests for the log follower: retries, rotation, accounting."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exceptions import IngestError
+from repro.logs.clf import CLFRecord, format_clf_line
+from repro.logs.stream import FollowStats, _read_chunk, follow_log
+
+
+def _line(host, t):
+    return format_clf_line(
+        CLFRecord(host, float(t), "GET", "/P1.html", "HTTP/1.1", 200,
+                  10)) + "\n"
+
+
+class TestRetryBackoff:
+    def test_gives_up_after_bounded_retries(self, tmp_path):
+        missing = str(tmp_path / "nope" / "access.log")
+        sleeps = []
+        stats = FollowStats()
+        with pytest.raises(IngestError, match="after 3 retries"):
+            _read_chunk(missing, 0, max_retries=3, backoff_base=0.01,
+                        _sleep=sleeps.append, stats=stats)
+        assert stats.retries == 3
+        # exponential: 0.01, 0.02, 0.04 — and nothing after the last try.
+        assert sleeps == [0.01, 0.02, 0.04]
+
+    def test_recovers_when_file_reappears(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(_line("a", 1), encoding="utf-8")
+        calls = {"n": 0}
+        real_exists = path.exists()
+        assert real_exists
+
+        # no failure injected: a healthy file reads with zero retries.
+        stats = FollowStats()
+        chunk, offset = _read_chunk(str(path), 0, max_retries=3,
+                                    backoff_base=0.01,
+                                    _sleep=lambda _: calls.__setitem__(
+                                        "n", calls["n"] + 1),
+                                    stats=stats)
+        assert chunk == _line("a", 1)
+        assert stats.retries == 0 and calls["n"] == 0
+
+
+class TestRotationDetection:
+    def test_rename_and_recreate_larger_file_detected(self, tmp_path):
+        """The classic miss: the new file is already *larger* than the old
+        read offset, so size alone never shrinks — only the inode gives
+        the rotation away."""
+        path = tmp_path / "access.log"
+        path.write_text(_line("old", 1), encoding="utf-8")
+        state = {"step": 0}
+
+        def sleeper(duration):
+            if state["step"] == 0:
+                os.rename(path, tmp_path / "access.log.1")
+                path.write_text(
+                    _line("new1", 2) + _line("new2", 3) + _line("new3", 4),
+                    encoding="utf-8")
+            state["step"] += 1
+
+        stats = FollowStats()
+        records = list(follow_log(str(path), poll_interval=0.01,
+                                  idle_timeout=0.02, _sleep=sleeper,
+                                  stats=stats))
+        assert [r.host for r in records] == ["old", "new1", "new2", "new3"]
+        assert stats.rotations == 1
+
+    def test_truncation_still_restarts(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(_line("a", 1) + _line("b", 2), encoding="utf-8")
+        state = {"step": 0}
+
+        def sleeper(duration):
+            if state["step"] == 0:
+                path.write_text(_line("c", 3), encoding="utf-8")
+            state["step"] += 1
+
+        stats = FollowStats()
+        records = list(follow_log(str(path), poll_interval=0.01,
+                                  idle_timeout=0.02, _sleep=sleeper,
+                                  stats=stats))
+        assert [r.host for r in records] == ["a", "b", "c"]
+        assert stats.rotations == 1
+
+    def test_line_numbers_reset_after_rotation(self, tmp_path):
+        """Errors after a rotation must report positions in the *new*
+        file, not a running total across incarnations."""
+        path = tmp_path / "access.log"
+        path.write_text(_line("a", 1) + _line("b", 2) + _line("c", 3),
+                        encoding="utf-8")
+        state = {"step": 0}
+
+        def sleeper(duration):
+            if state["step"] == 0:
+                path.write_text(_line("d", 4) + "garbage\n",
+                                encoding="utf-8")
+            state["step"] += 1
+
+        errors = []
+        records = list(follow_log(str(path), poll_interval=0.01,
+                                  idle_timeout=0.02, _sleep=sleeper,
+                                  on_malformed=errors.append))
+        assert [r.host for r in records] == ["a", "b", "c", "d"]
+        assert len(errors) == 1
+        assert errors[0].line_number == 2   # line 2 of the new file
+
+
+class TestAccounting:
+    def test_stats_track_every_outcome(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(_line("a", 1) + "\n" + "garbage\n" + _line("b", 2),
+                        encoding="utf-8")
+        stats = FollowStats()
+        errors = []
+        records = list(follow_log(str(path), poll_interval=0.01,
+                                  idle_timeout=0.02, stats=stats,
+                                  on_malformed=errors.append))
+        assert [r.host for r in records] == ["a", "b"]
+        assert stats.lines == 4
+        assert stats.parsed == 2
+        assert stats.blank == 1
+        assert stats.malformed == 1
+        assert stats.fault_counts == {"garbage": 1}
+        assert len(errors) == 1
+
+    def test_strict_mode_still_raises(self, tmp_path):
+        from repro.exceptions import LogFormatError
+        path = tmp_path / "access.log"
+        path.write_text("garbage\n", encoding="utf-8")
+        stats = FollowStats()
+        with pytest.raises(LogFormatError):
+            list(follow_log(str(path), poll_interval=0.01,
+                            idle_timeout=0.02, skip_malformed=False,
+                            stats=stats))
+        assert stats.malformed == 1

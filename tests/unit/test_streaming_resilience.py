@@ -1,0 +1,197 @@
+"""Late-event, duplicate and reorder handling in the streaming pipeline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError, LateEventError
+from repro.sessions.model import Request
+from repro.streaming.pipeline import streaming_phase1, streaming_smart_sra
+
+MIN = 60.0
+
+
+def _sessions_signature(sessions):
+    return sorted((s.user_id, s.pages, s.start_time) for s in sessions)
+
+
+class TestLatePolicy:
+    def test_request_before_flushed_watermark_raises_typed_error(self):
+        pipeline = streaming_phase1()
+        pipeline.feed(Request(100.0, "u", "A"))
+        pipeline.flush(watermark=50.0)
+        with pytest.raises(LateEventError, match="predates the flushed "
+                                                 "watermark"):
+            pipeline.feed(Request(49.0, "v", "B"))
+
+    def test_request_at_watermark_is_legal(self):
+        pipeline = streaming_phase1()
+        pipeline.feed(Request(100.0, "u", "A"))
+        pipeline.flush(watermark=50.0)
+        pipeline.feed(Request(50.0, "v", "B"))   # ties are fine
+        assert pipeline.stats().fed_requests == 2
+
+    def test_out_of_order_is_a_late_event_error(self):
+        pipeline = streaming_phase1()
+        pipeline.feed(Request(100.0, "u", "A"))
+        with pytest.raises(LateEventError, match="out-of-order"):
+            pipeline.feed(Request(50.0, "u", "B"))
+
+    def test_drop_policy_counts_instead_of_raising(self):
+        pipeline = streaming_phase1(late_policy="drop")
+        pipeline.feed(Request(100.0, "u", "A"))
+        assert pipeline.feed(Request(50.0, "u", "B")) == []
+        pipeline.flush(watermark=90.0)
+        assert pipeline.feed(Request(10.0, "v", "C")) == []
+        stats = pipeline.stats()
+        assert stats.late_dropped == 2
+        assert stats.fed_requests == 1
+
+    def test_equal_timestamp_tie_break_accepted(self):
+        pipeline = streaming_phase1()
+        pipeline.feed(Request(100.0, "u", "A"))
+        pipeline.feed(Request(100.0, "u", "B"))   # equal: legal
+        sessions = pipeline.flush()
+        assert [s.pages for s in sessions] == [("A", "B")]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="late_policy"):
+            streaming_phase1(late_policy="ignore")
+
+    def test_negative_reorder_window_rejected(self):
+        with pytest.raises(ConfigurationError, match="reorder_window"):
+            streaming_phase1(reorder_window=-1.0)
+
+
+class TestDeduplication:
+    def test_adjacent_duplicate_dropped_and_counted(self):
+        pipeline = streaming_phase1(dedup=True)
+        pipeline.feed(Request(0.0, "u", "A"))
+        pipeline.feed(Request(0.0, "u", "A"))     # double-logged
+        pipeline.feed(Request(MIN, "u", "B"))
+        sessions = pipeline.flush()
+        assert [s.pages for s in sessions] == [("A", "B")]
+        assert pipeline.stats().duplicates_dropped == 1
+
+    def test_same_time_different_page_kept(self):
+        pipeline = streaming_phase1(dedup=True)
+        pipeline.feed(Request(0.0, "u", "A"))
+        pipeline.feed(Request(0.0, "u", "B"))
+        sessions = pipeline.flush()
+        assert [s.pages for s in sessions] == [("A", "B")]
+        assert pipeline.stats().duplicates_dropped == 0
+
+    def test_dedup_off_by_default(self):
+        pipeline = streaming_phase1()
+        pipeline.feed(Request(0.0, "u", "A"))
+        pipeline.feed(Request(0.0, "u", "A"))
+        sessions = pipeline.flush()
+        assert [s.pages for s in sessions] == [("A", "A")]
+
+
+class TestReorderBuffer:
+    def _stream(self, users=6, per_user=8):
+        requests = []
+        for u in range(users):
+            for i in range(per_user):
+                requests.append(
+                    Request(i * MIN + u, f"u{u}", f"P{i % 4}"))
+        requests.sort()
+        return requests
+
+    def test_bounded_shuffle_restores_batch_output(self):
+        requests = self._stream()
+        reference = streaming_phase1()
+        expected = reference.feed_many(list(requests))
+        expected.extend(reference.flush())
+
+        shuffled = list(requests)
+        rng = random.Random(3)
+        # bounded disorder: swap neighbours within a 4-position window.
+        for index in range(len(shuffled) - 1, 0, -1):
+            other = max(0, index - rng.randint(0, 3))
+            if abs(shuffled.index(shuffled[index]) - index) <= 4:
+                shuffled[index], shuffled[other] = (shuffled[other],
+                                                    shuffled[index])
+        max_lateness = max(
+            (sorted_req.timestamp - shuffled[i].timestamp
+             for i, sorted_req in enumerate(requests)), default=0.0)
+
+        pipeline = streaming_phase1(reorder_window=max(MIN * 4,
+                                                       max_lateness + 1))
+        streamed = pipeline.feed_many(shuffled)
+        streamed.extend(pipeline.flush())
+        assert _sessions_signature(streamed) == _sessions_signature(expected)
+
+    def test_reorder_output_is_arrival_order_independent(self):
+        requests = self._stream(users=4, per_user=6)
+        signatures = set()
+        for seed in range(5):
+            shuffled = list(requests)
+            rng = random.Random(seed)
+            for index in range(len(shuffled) - 1):
+                if rng.random() < 0.5:
+                    shuffled[index], shuffled[index + 1] = (
+                        shuffled[index + 1], shuffled[index])
+            pipeline = streaming_phase1(reorder_window=5 * MIN)
+            streamed = pipeline.feed_many(shuffled)
+            streamed.extend(pipeline.flush())
+            signatures.add(tuple(_sessions_signature(streamed)))
+        assert len(signatures) == 1
+
+    def test_request_behind_release_floor_is_late(self):
+        pipeline = streaming_phase1(reorder_window=10.0)
+        pipeline.feed(Request(0.0, "u", "A"))
+        pipeline.feed(Request(100.0, "u", "B"))   # floor is now 90
+        with pytest.raises(LateEventError, match="release floor"):
+            pipeline.feed(Request(50.0, "u", "C"))
+
+    def test_reorder_buffer_visible_in_stats(self):
+        pipeline = streaming_phase1(reorder_window=100.0)
+        pipeline.feed(Request(0.0, "u", "A"))
+        pipeline.feed(Request(10.0, "u", "B"))
+        stats = pipeline.stats()
+        assert stats.reorder_buffered == 2
+        assert stats.fed_requests == 0            # nothing released yet
+        pipeline.flush()
+        assert pipeline.stats().reorder_buffered == 0
+
+    def test_flush_watermark_releases_safe_prefix_only(self):
+        pipeline = streaming_phase1(reorder_window=100.0)
+        pipeline.feed(Request(0.0, "u", "A"))
+        pipeline.feed(Request(50.0, "u", "B"))
+        pipeline.feed(Request(90.0, "u", "C"))
+        pipeline.flush(watermark=60.0)
+        stats = pipeline.stats()
+        assert stats.fed_requests == 2            # A and B released
+        assert stats.reorder_buffered == 1        # C still protected
+
+
+class TestSmartSRAWithResilience:
+    def test_smart_sra_stream_survives_duplicates_and_disorder(
+            self, small_site, small_simulation):
+        from repro.core.smart_sra import SmartSRA
+        log = sorted(small_simulation.log_requests)
+        batch = SmartSRA(small_site).reconstruct(log)
+
+        # corrupt the arrival order within a bounded event-time jitter
+        # (every request arrives at most 60s "late") and double-log a few
+        # requests — the resilient pipeline must still match batch.
+        rng = random.Random(5)
+        jittered = []
+        for request in log:
+            delay = rng.uniform(0.0, 60.0) if rng.random() < 0.3 else 0.0
+            jittered.append((request.timestamp + delay, request))
+            if rng.random() < 0.05:
+                jittered.append((request.timestamp + rng.uniform(0.0, 60.0),
+                                 request))        # duplicate delivery
+        jittered.sort(key=lambda pair: pair[0])
+        arrivals = [request for _, request in jittered]
+
+        pipeline = streaming_smart_sra(small_site, late_policy="drop",
+                                       reorder_window=120.0, dedup=True)
+        streamed = pipeline.feed_many(arrivals)
+        streamed.extend(pipeline.flush())
+        assert _sessions_signature(streamed) == _sessions_signature(batch)
