@@ -9,6 +9,7 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -26,3 +27,17 @@ def emit(results_dir: pathlib.Path, name: str, text: str,
     (results_dir / f"{name}.txt").write_text(text, encoding="utf-8")
     if csv is not None:
         (results_dir / f"{name}.csv").write_text(csv, encoding="utf-8")
+
+
+def write_metrics_sidecar(results_dir: pathlib.Path, name: str,
+                          registry) -> pathlib.Path:
+    """Persist a registry snapshot as ``<name>.metrics.json``.
+
+    The sidecar rides next to the usual text/CSV results so a benchmark
+    run's internal counters (requests fed, sessions emitted, per-phase
+    wall time) survive alongside its headline numbers.
+    """
+    path = results_dir / f"{name}.metrics.json"
+    path.write_text(json.dumps(registry.snapshot(), indent=1,
+                               sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -23,7 +23,7 @@ _AGENTS = 400
 
 
 @pytest.fixture(scope="module")
-def fixed_log():
+def fixed_log(bench_metrics):
     topology = paper_topology(seed=BENCH_SEED)
     config = PAPER_DEFAULTS.simulation_config(n_agents=_AGENTS,
                                               seed=BENCH_SEED)
@@ -55,7 +55,7 @@ def test_throughput_heur4(benchmark, fixed_log):
     assert len(result) > 0
 
 
-def test_throughput_simulator(benchmark):
+def test_throughput_simulator(benchmark, bench_metrics):
     """Agents simulated per second (the evaluation's own substrate cost)."""
     topology = paper_topology(seed=BENCH_SEED)
     config = PAPER_DEFAULTS.simulation_config(n_agents=100, seed=BENCH_SEED)

@@ -4,6 +4,12 @@ Every figure/table benchmark writes the rows it regenerates to
 ``benchmarks/results/`` (text + CSV) in addition to printing them, so the
 series survive pytest's output capture.  See ``_bench_utils`` for the
 environment knobs.
+
+``--emit-metrics`` additionally installs an enabled metrics registry per
+benchmark module and writes its snapshot to
+``results/<module>.metrics.json`` (see ``docs/observability.md``).  The
+default is off — the quoted throughput numbers are measured against the
+free disabled registry.
 """
 
 from __future__ import annotations
@@ -15,7 +21,36 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--emit-metrics", action="store_true", default=False,
+        help="collect pipeline metrics during benchmarks and write a "
+             "<module>.metrics.json sidecar per benchmark module")
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="module")
+def bench_metrics(request: pytest.FixtureRequest,
+                  results_dir: pathlib.Path):
+    """The module's metrics registry (disabled unless ``--emit-metrics``).
+
+    Installed as the ambient registry for the module's tests; with
+    ``--emit-metrics`` its snapshot lands in a ``.metrics.json`` sidecar
+    named after the benchmark module.
+    """
+    from _bench_utils import write_metrics_sidecar
+    from repro.obs import Registry, set_registry
+
+    enabled = request.config.getoption("--emit-metrics")
+    registry = Registry(enabled=enabled)
+    previous = set_registry(registry)
+    yield registry
+    set_registry(previous)
+    if enabled:
+        name = pathlib.Path(str(request.module.__file__)).stem
+        write_metrics_sidecar(results_dir, name, registry)

@@ -52,6 +52,7 @@ from repro.exceptions import (
     TopologyError,
 )
 from repro.logs import ErrorPolicy, IngestReport, ingest_clf_file, ingest_lines
+from repro.obs import Registry, Tracer, get_registry, set_registry, use_registry
 from repro.evaluation import describe, render_statistics
 from repro.sessions import (
     AdaptiveTimeoutHeuristic,
@@ -106,6 +107,8 @@ __all__ = [
     "fig8_sweep", "fig9_sweep", "fig10_sweep",
     # ingestion
     "ErrorPolicy", "IngestReport", "ingest_lines", "ingest_clf_file",
+    # observability
+    "Registry", "Tracer", "get_registry", "set_registry", "use_registry",
     # errors
     "ReproError", "TopologyError", "SimulationError", "LogFormatError",
     "ReconstructionError", "EvaluationError", "ConfigurationError",

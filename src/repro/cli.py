@@ -25,11 +25,24 @@ Subcommands mirror the paper's pipeline:
 
 Every command prints a short human-readable summary to stdout; files are
 only written where an ``--output``-style flag points.
+
+Every command also accepts ``--metrics FILE`` and ``--trace FILE``: the
+former enables the :mod:`repro.obs` registry for the run and exports its
+snapshot (JSON by default, Prometheus text for a ``.prom``/``.txt``
+path), the latter streams span/event JSON lines as the command executes.
+``--metrics -`` reserves stdout for the snapshot — the command's normal
+output moves to stderr so the emitted JSON stays machine-parseable.
+``repro stats --snapshot FILE`` renders a saved snapshot as a table,
+JSON, or Prometheus text.  The metric catalog is documented in
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
+import os
 import sys
 from collections.abc import Sequence
 
@@ -48,6 +61,13 @@ from repro.logs.writer import (
     write_combined_file,
 )
 from repro.mining.sequential import frequent_sequences
+from repro.obs import (
+    Registry,
+    Tracer,
+    snapshot_to_prometheus,
+    snapshot_to_table,
+    use_registry,
+)
 from repro.sessions.base import get_heuristic
 from repro.sessions.model import SessionSet
 from repro.sessions.navigation_oriented import NavigationHeuristic
@@ -70,7 +90,28 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reactive web usage data processing (Smart-SRA "
                     "reproduction)")
-    sub = parser.add_subparsers(dest="command", required=True)
+    subcommands = parser.add_subparsers(dest="command", required=True)
+
+    # observability flags shared by every subcommand (see repro.obs).
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--metrics", metavar="FILE",
+        help="collect pipeline metrics and export the snapshot here "
+             "(JSON; '.prom'/'.txt' paths get Prometheus text; '-' "
+             "writes JSON to stdout and moves command output to stderr)")
+    obs_flags.add_argument(
+        "--trace", metavar="FILE",
+        help="stream span/event JSON lines here as the command runs "
+             "('-' writes to stderr)")
+
+    class _Sub:
+        """``add_parser`` shim threading the shared flags through."""
+
+        def add_parser(self, name: str, **kwargs: object):
+            return subcommands.add_parser(name, parents=[obs_flags],
+                                          **kwargs)
+
+    sub = _Sub()
 
     topo = sub.add_parser("topology", help="generate a site topology")
     topo.add_argument("--family", choices=["random", "hierarchical",
@@ -129,9 +170,17 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--max-length", type=int, default=4)
     mine.add_argument("--top", type=int, default=20)
 
-    stats = sub.add_parser("stats", help="profile a session JSON file")
-    stats.add_argument("--sessions", required=True)
+    stats = sub.add_parser("stats",
+                           help="profile a session JSON file, or render "
+                                "a metrics snapshot")
+    stats.add_argument("--sessions", help="session JSON file to profile")
     stats.add_argument("--top", type=int, default=5)
+    stats.add_argument("--snapshot", metavar="FILE",
+                       help="metrics snapshot JSON (written by --metrics) "
+                            "to render instead ('-' reads stdin)")
+    stats.add_argument("--format", dest="render_format",
+                       choices=["table", "json", "prom"], default="table",
+                       help="snapshot rendering (with --snapshot)")
 
     spec = sub.add_parser("run-spec",
                           help="execute a JSON experiment specification")
@@ -343,7 +392,37 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_snapshot(path: str) -> dict:
+    """Read and structurally validate a ``--metrics`` snapshot document."""
+    from repro.exceptions import ConfigurationError
+    if path == "-":
+        document = json.load(sys.stdin)
+    else:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    if (not isinstance(document, dict)
+            or not any(key in document
+                       for key in ("counters", "gauges", "histograms"))):
+        raise ConfigurationError(
+            f"{path!r} is not a metrics snapshot (expected the JSON "
+            f"document written by --metrics)")
+    return document
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if (args.sessions is None) == (args.snapshot is None):
+        print("error: stats needs exactly one of --sessions or --snapshot",
+              file=sys.stderr)
+        return 2
+    if args.snapshot is not None:
+        snapshot = _load_snapshot(args.snapshot)
+        if args.render_format == "json":
+            print(json.dumps(snapshot, indent=1, sort_keys=True))
+        elif args.render_format == "prom":
+            print(snapshot_to_prometheus(snapshot), end="")
+        else:
+            print(snapshot_to_table(snapshot), end="")
+        return 0
     sessions = SessionSet.load(args.sessions)
     print(render_statistics(describe(sessions, top=args.top)), end="")
     return 0
@@ -573,17 +652,78 @@ _COMMANDS = {
 }
 
 
+def _export_metrics(registry: Registry, path: str) -> None:
+    """Write the registry snapshot where ``--metrics`` pointed."""
+    if path.endswith((".prom", ".txt")):
+        payload = registry.render_prometheus()
+    else:
+        payload = json.dumps(registry.snapshot(), indent=1,
+                             sort_keys=True) + "\n"
+    if path == "-":
+        sys.stdout.write(payload)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {path}", file=sys.stderr)
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    """Execute one subcommand under its requested observability setup."""
+    command = _COMMANDS[args.command]
+    metrics_path = getattr(args, "metrics", None)
+    trace_path = getattr(args, "trace", None)
+    if metrics_path is None and trace_path is None:
+        return command(args)
+
+    trace_handle = None
+    tracer = None
+    if trace_path is not None:
+        trace_handle = (sys.stderr if trace_path == "-"
+                        else open(trace_path, "w", encoding="utf-8"))
+        tracer = Tracer(trace_handle)
+    registry = Registry(tracer=tracer)
+    try:
+        with use_registry(registry), registry.span(f"cli.{args.command}"):
+            if metrics_path == "-":
+                # stdout is reserved for the snapshot: the command's
+                # human-readable output moves to stderr.
+                with contextlib.redirect_stdout(sys.stderr):
+                    code = command(args)
+            else:
+                code = command(args)
+    finally:
+        if trace_handle is not None and trace_handle is not sys.stderr:
+            trace_handle.close()
+    if metrics_path is not None:
+        _export_metrics(registry, metrics_path)
+    return code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Every failure mode a subcommand can hit on bad input — a missing or
+    unreadable file (``OSError``), malformed JSON (``ValueError``), a
+    structurally wrong document (``KeyError``) or any library-raised
+    :class:`ReproError` — exits non-zero with a clean one-line
+    ``error:`` message instead of a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
-    except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
+        return _run_command(args)
+    except BrokenPipeError:
+        # the downstream consumer (`head`, a closed pager) went away:
+        # exit quietly like any unix filter, keeping the interpreter's
+        # shutdown flush from raising a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except (ReproError, OSError, ValueError, KeyError) as error:
+        text = str(error).strip()
+        message = (text.splitlines()[0] if text
+                   else type(error).__name__)
+        print(f"error: {message}", file=sys.stderr)
         return 1
 
 

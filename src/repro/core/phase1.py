@@ -19,6 +19,7 @@ from collections.abc import Sequence
 
 from repro.core.config import SmartSRAConfig
 from repro.exceptions import ReconstructionError
+from repro.obs import SIZE_BUCKETS, get_registry
 from repro.sessions.model import Request
 
 __all__ = ["split_candidates"]
@@ -60,4 +61,12 @@ def split_candidates(requests: Sequence[Request],
         current.append(request)
     if current:
         candidates.append(current)
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("sessions.phase1.candidates").inc(len(candidates))
+        registry.counter("sessions.phase1.requests").inc(len(requests))
+        size = registry.histogram("sessions.phase1.candidate_size",
+                                  SIZE_BUCKETS)
+        for candidate in candidates:
+            size.observe(len(candidate))
     return candidates

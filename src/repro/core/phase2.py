@@ -33,10 +33,27 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.core.config import SmartSRAConfig
+from repro.obs import get_registry
 from repro.sessions.model import Request, Session
 from repro.topology.graph import WebGraph
 
 __all__ = ["maximal_sessions", "maximal_sessions_fast"]
+
+
+def _publish_phase2(extensions: int, orphans: int, sessions: int) -> None:
+    """Flush one candidate's Phase-2 tallies to the ambient registry.
+
+    ``extensions`` are topology-rule hits (a released page legally
+    extended an open session); ``orphans`` are misses (a released page
+    matched no open session's tail).  Tallied locally and flushed once per
+    candidate so the hot loop stays metric-free.
+    """
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("sessions.phase2.candidates").inc()
+        registry.counter("sessions.phase2.extensions").inc(extensions)
+        registry.counter("sessions.phase2.orphans").inc(orphans)
+        registry.counter("sessions.phase2.sessions").inc(sessions)
 
 
 def maximal_sessions(candidate: Sequence[Request], topology: WebGraph,
@@ -60,6 +77,7 @@ def maximal_sessions(candidate: Sequence[Request], topology: WebGraph,
         config = SmartSRAConfig()
     remaining: list[Request] = list(candidate)
     open_sessions: list[Session] = []
+    hits = misses = 0
 
     while remaining:
         released = _referrer_free(remaining, topology, config.max_gap)
@@ -92,13 +110,18 @@ def maximal_sessions(candidate: Sequence[Request], topology: WebGraph,
                     next_sessions.append(session.extended(request))
                     extended.add(index)
                     placed = True
-            if not placed and config.rescue_orphans:
-                next_sessions.append(Session([request]))
+            if placed:
+                hits += 1
+            else:
+                misses += 1
+                if config.rescue_orphans:
+                    next_sessions.append(Session([request]))
         for index, session in enumerate(open_sessions):
             if index not in extended:
                 next_sessions.append(session)
         open_sessions = next_sessions
 
+    _publish_phase2(hits, misses, len(open_sessions))
     return open_sessions
 
 
@@ -151,6 +174,7 @@ def maximal_sessions_fast(candidate: Sequence[Request], topology: WebGraph,
     open_sessions: list[Session] = []
     by_last: dict[str, list[int]] = {}
     first_wave = True
+    hits = misses = 0
     while wave:
         if first_wave:
             open_sessions = [Session([requests[i]]) for i in wave]
@@ -181,8 +205,12 @@ def maximal_sessions_fast(candidate: Sequence[Request], topology: WebGraph,
                             add(session.extended(request))
                             extended.add(session_index)
                             placed = True
-                if not placed and config.rescue_orphans:
-                    add(Session([request]))
+                if placed:
+                    hits += 1
+                else:
+                    misses += 1
+                    if config.rescue_orphans:
+                        add(Session([request]))
             for session_index, session in enumerate(open_sessions):
                 if session_index not in extended:
                     add(session)
@@ -198,6 +226,7 @@ def maximal_sessions_fast(candidate: Sequence[Request], topology: WebGraph,
         next_wave.sort()
         wave = next_wave
 
+    _publish_phase2(hits, misses, len(open_sessions))
     return open_sessions
 
 

@@ -16,6 +16,7 @@ from repro.core.config import SmartSRAConfig
 from repro.core.phase1 import split_candidates
 from repro.core.phase2 import maximal_sessions_fast
 from repro.exceptions import ConfigurationError
+from repro.obs import get_registry
 from repro.sessions.base import HEURISTIC_REGISTRY, SessionReconstructor
 from repro.sessions.model import Request, Session
 from repro.topology.graph import WebGraph
@@ -49,11 +50,15 @@ class SmartSRA(SessionReconstructor):
         self.config = config if config is not None else SmartSRAConfig()
 
     def reconstruct_user(self, requests: Sequence[Request]) -> list[Session]:
+        registry = get_registry()
         sessions: list[Session] = []
-        for candidate in split_candidates(requests, self.config):
-            sessions.extend(
-                maximal_sessions_fast(candidate, self.topology,
-                                      self.config))
+        with registry.timer("sessions.phase1.seconds"):
+            candidates = split_candidates(requests, self.config)
+        with registry.timer("sessions.phase2.seconds"):
+            for candidate in candidates:
+                sessions.extend(
+                    maximal_sessions_fast(candidate, self.topology,
+                                          self.config))
         return sessions
 
 

@@ -23,6 +23,7 @@ from repro.core.config import SmartSRAConfig
 from repro.core.smart_sra import SmartSRA
 from repro.evaluation.metrics import AccuracyReport, evaluate_reconstruction
 from repro.exceptions import EvaluationError
+from repro.obs import get_registry
 from repro.sessions.base import SessionReconstructor
 from repro.sessions.navigation_oriented import NavigationHeuristic
 from repro.sessions.time_oriented import DurationHeuristic, PageStayHeuristic
@@ -99,18 +100,35 @@ def run_trial(topology: WebGraph, config: SimulationConfig,
             (:func:`repro.evaluation.simcache.cached_simulation`); repeated
             trials with identical inputs skip the simulation entirely.
     """
+    registry = get_registry()
     if heuristics is None:
         heuristics = standard_heuristics(topology)
-    if cache_dir is not None:
-        from repro.evaluation.simcache import cached_simulation
-        simulation = cached_simulation(topology, config, cache_dir)
-    else:
-        simulation = simulate_population(topology, config)
+    with registry.span("trial.simulate", agents=config.n_agents,
+                       seed=config.seed), \
+            registry.timer("eval.simulate.seconds"):
+        if cache_dir is not None:
+            from repro.evaluation.simcache import cached_simulation
+            simulation = cached_simulation(topology, config, cache_dir)
+        else:
+            simulation = simulate_population(topology, config)
     reports = {}
     for name, heuristic in heuristics.items():
-        reconstructed = heuristic.reconstruct(simulation.log_requests)
-        reports[name] = evaluate_reconstruction(
-            name, simulation.ground_truth, reconstructed)
+        with registry.span("trial.reconstruct", heuristic=name), \
+                registry.timer("eval.reconstruct.seconds", heuristic=name):
+            reconstructed = heuristic.reconstruct(simulation.log_requests)
+        with registry.span("trial.evaluate", heuristic=name), \
+                registry.timer("eval.evaluate.seconds", heuristic=name):
+            reports[name] = evaluate_reconstruction(
+                name, simulation.ground_truth, reconstructed)
+    if registry.enabled:
+        registry.counter("eval.trials").inc()
+        registry.counter("eval.sessions.real").inc(
+            len(simulation.ground_truth))
+        for name, report in reports.items():
+            registry.counter("eval.sessions.reconstructed",
+                             heuristic=name).inc(report.reconstructed_count)
+            registry.gauge("eval.accuracy",
+                           heuristic=name).set(report.matched_accuracy)
     return TrialResult(simulation=simulation, reports=reports)
 
 
@@ -175,12 +193,23 @@ def sweep(topology: WebGraph, base_config: SimulationConfig, parameter: str,
         raise EvaluationError(
             f"unknown simulation parameter {parameter!r}")
 
+    registry = get_registry()
     trials = []
     for value in values:
         config = base_config.with_(**{parameter: value})
         heuristics = (heuristic_factory() if heuristic_factory is not None
                       else None)
-        trials.append(run_trial(topology, config, heuristics,
-                                cache_dir=cache_dir))
+        with registry.span("sweep.point", parameter=parameter,
+                           value=value), \
+                registry.timer("eval.sweep.point.seconds"):
+            trial = run_trial(topology, config, heuristics,
+                              cache_dir=cache_dir)
+        trials.append(trial)
+        if registry.enabled:
+            registry.counter("eval.sweep.points").inc()
+            for name, accuracy in trial.accuracies().items():
+                registry.gauge(
+                    "eval.sweep.accuracy", heuristic=name,
+                    **{parameter: f"{value:g}"}).set(accuracy)
     return SweepResult(parameter=parameter, values=tuple(values),
                        trials=tuple(trials))

@@ -40,6 +40,7 @@ from repro.logs.ingest import (
     IngestResult,
     ingest_clf_file,
     ingest_lines,
+    report_from_registry,
 )
 from repro.logs.reader import iter_clf_lines, read_clf_file, records_to_requests
 from repro.logs.robots import HostBehavior, RobotDetector
@@ -68,6 +69,7 @@ __all__ = [
     "IngestResult",
     "ingest_lines",
     "ingest_clf_file",
+    "report_from_registry",
     "LogCleaner",
     "NoiseInjector",
     "CleaningStats",

@@ -46,6 +46,7 @@ from repro.logs.clf import (
     _record_from_fields,
     parse_log_line,
 )
+from repro.obs import Registry, get_registry, split_series
 
 __all__ = [
     "ErrorPolicy",
@@ -55,6 +56,7 @@ __all__ = [
     "ingest_clf_file",
     "classify_fault",
     "attempt_repair",
+    "report_from_registry",
 ]
 
 #: number of offending lines an :class:`IngestReport` keeps verbatim.
@@ -241,6 +243,7 @@ def ingest_lines(lines: Iterable[str], *,
                  report: IngestReport | None = None,
                  quarantine: QuarantineSink | None = None,
                  on_malformed: Callable[[LogFormatError], None] | None = None,
+                 registry: Registry | None = None,
                  ) -> Iterator[CLFRecord]:
     """Parse log lines lazily under an explicit error policy.
 
@@ -256,6 +259,12 @@ def ingest_lines(lines: Iterable[str], *,
         on_malformed: called with every :class:`LogFormatError` the policy
             swallows (never under ``strict``, which raises instead), after
             the line is counted.  Repaired lines do not trigger it.
+        registry: metrics registry updated line by line under the
+            ``ingest.*`` catalog (see ``docs/observability.md``); defaults
+            to the ambient :func:`repro.obs.get_registry`, a no-op unless
+            collection was enabled.  The registry's counters and the
+            ``report`` reconcile exactly
+            (:func:`report_from_registry`).
 
     Yields:
         One :class:`~repro.logs.clf.CLFRecord` per successfully parsed
@@ -275,21 +284,43 @@ def ingest_lines(lines: Iterable[str], *,
     if report is None:
         report = IngestReport()
     report.policy = policy.value
-    return _ingest(lines, policy, report, quarantine, on_malformed)
+    if registry is None:
+        registry = get_registry()
+    return _ingest(lines, policy, report, quarantine, on_malformed,
+                   registry)
 
 
 def _ingest(lines: Iterable[str], policy: ErrorPolicy,
             report: IngestReport, quarantine: QuarantineSink | None,
             on_malformed: Callable[[LogFormatError], None] | None,
+            registry: Registry,
             ) -> Iterator[CLFRecord]:
+    # Instrument handles are resolved once per run, and the per-line
+    # updates sit behind one local bool so a disabled registry costs a
+    # single truth test per line on the hot path.
+    enabled = registry.enabled
+    m_total = registry.counter("ingest.lines.total")
+    m_bytes = registry.counter("ingest.bytes.total")
+    m_parsed = registry.counter("ingest.lines.parsed")
+    m_blank = registry.counter("ingest.lines.blank")
+    m_quarantined = registry.counter("ingest.lines.quarantined")
+    m_dropped = registry.counter("ingest.lines.dropped")
+    m_repaired = registry.counter("ingest.lines.repaired")
+    registry.counter("ingest.runs", policy=policy.value).inc()
     for line_number, line in enumerate(lines, start=1):
         report.total_lines += 1
+        if enabled:
+            m_total.inc()
+            m_bytes.inc(len(line))
         if not line.strip():
             report.blank += 1
+            m_blank.inc()
             continue
         try:
             yield parse_log_line(line, line_number=line_number)
             report.parsed += 1
+            if enabled:
+                m_parsed.inc()
             continue
         except LogFormatError as error:
             if policy is ErrorPolicy.STRICT:
@@ -302,25 +333,69 @@ def _ingest(lines: Iterable[str], policy: ErrorPolicy,
                 report.parsed += 1
                 report.repaired += 1
                 report._count(f"repaired:{strategy}")
+                m_parsed.inc()
+                m_repaired.inc()
+                registry.counter("ingest.faults",
+                                 **{"class": f"repaired:{strategy}"}).inc()
                 yield record
                 continue
         fault_class = classify_fault(line, caught)
         report._count(fault_class)
         report._sample(line_number, line.rstrip("\n"))
+        registry.counter("ingest.faults", **{"class": fault_class}).inc()
         if quarantine is not None and policy in (ErrorPolicy.QUARANTINE,
                                                  ErrorPolicy.REPAIR):
             _write_quarantine(quarantine, line_number, line, fault_class,
                               caught)
             report.quarantined += 1
+            m_quarantined.inc()
         else:
             report.dropped += 1
+            m_dropped.inc()
         if on_malformed is not None:
             on_malformed(caught)
 
 
+def report_from_registry(registry: Registry | None = None) -> IngestReport:
+    """Rebuild an :class:`IngestReport` from a registry's ``ingest.*``
+    counters.
+
+    The ingestion path maintains both accounting systems in lockstep, so
+    for any sequence of ingestion runs collected into one registry this
+    report's counts equal the field-by-field sum of the per-run reports
+    (``samples`` excepted — the registry keeps no raw lines — and
+    ``policy``, which is only filled in when every run used the same one).
+    In particular :meth:`IngestReport.reconciles` holds whenever it held
+    for each individual run.
+
+    Args:
+        registry: the registry to read; defaults to the ambient one.
+    """
+    if registry is None:
+        registry = get_registry()
+    report = IngestReport(
+        total_lines=int(registry.value("ingest.lines.total")),
+        parsed=int(registry.value("ingest.lines.parsed")),
+        blank=int(registry.value("ingest.lines.blank")),
+        quarantined=int(registry.value("ingest.lines.quarantined")),
+        dropped=int(registry.value("ingest.lines.dropped")),
+        repaired=int(registry.value("ingest.lines.repaired")),
+    )
+    for series, value in sorted(registry.series("ingest.faults").items()):
+        fault_class = split_series(series)[1].get("class", "unknown")
+        report.fault_counts[fault_class] = int(value)
+    policies = sorted(
+        split_series(series)[1].get("policy", "")
+        for series in registry.series("ingest.runs"))
+    report.policy = (policies[0] if len(set(policies)) == 1 and policies
+                     else "mixed")
+    return report
+
+
 def ingest_clf_file(path: str, *,
                     policy: ErrorPolicy | str = ErrorPolicy.STRICT,
-                    quarantine_path: str | None = None) -> IngestResult:
+                    quarantine_path: str | None = None,
+                    registry: Registry | None = None) -> IngestResult:
     """Read a whole log file under an error policy, with full accounting.
 
     Args:
@@ -330,6 +405,7 @@ def ingest_clf_file(path: str, *,
             even when nothing is quarantined, so downstream tooling can
             rely on its existence).  Required by the ``quarantine``
             policy.
+        registry: metrics registry, as :func:`ingest_lines`.
 
     Raises:
         ConfigurationError: ``quarantine`` policy without a path.
@@ -341,9 +417,10 @@ def ingest_clf_file(path: str, *,
         with open(path, encoding="utf-8", errors="replace") as handle, \
                 open(quarantine_path, "w", encoding="utf-8") as sink:
             records = list(ingest_lines(handle, policy=policy,
-                                        report=report, quarantine=sink))
+                                        report=report, quarantine=sink,
+                                        registry=registry))
     else:
         with open(path, encoding="utf-8", errors="replace") as handle:
             records = list(ingest_lines(handle, policy=policy,
-                                        report=report))
+                                        report=report, registry=registry))
     return IngestResult(records=records, report=report)

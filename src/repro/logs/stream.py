@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from repro.exceptions import IngestError, LogFormatError
 from repro.logs.clf import CLFRecord, parse_log_line
 from repro.logs.ingest import classify_fault
+from repro.obs import Registry, get_registry, split_series
 
 __all__ = ["follow_log", "FollowStats"]
 
@@ -36,7 +37,10 @@ class FollowStats:
     """Mutable accounting of one :func:`follow_log` run.
 
     Pass an instance in and inspect it at any time (the follower updates
-    it in place as it yields).
+    it in place as it yields).  The same counts are always published to
+    the follower's metrics registry under the ``follow.*`` catalog, so a
+    run's accounting is also visible to anyone holding the registry —
+    :meth:`from_registry` rebuilds the aggregate view.
 
     Attributes:
         lines: completed lines seen (blank ones included).
@@ -60,15 +64,45 @@ class FollowStats:
     torn_tail_discards: int = 0
     fault_counts: dict[str, int] = field(default_factory=dict)
 
+    @classmethod
+    def from_registry(cls, registry: Registry | None = None
+                      ) -> "FollowStats":
+        """Rebuild the aggregate stats from a registry's ``follow.*``
+        counters (the sum over every follower that reported to it).
+
+        Args:
+            registry: the registry to read; defaults to the ambient one.
+        """
+        if registry is None:
+            registry = get_registry()
+        stats = cls(
+            lines=int(registry.value("follow.lines.total")),
+            parsed=int(registry.value("follow.lines.parsed")),
+            blank=int(registry.value("follow.lines.blank")),
+            malformed=int(registry.value("follow.lines.malformed")),
+            rotations=int(registry.value("follow.rotations")),
+            retries=int(registry.value("follow.retries")),
+            torn_tail_discards=int(
+                registry.value("follow.torn_tail_discards")),
+        )
+        for series, value in sorted(
+                registry.series("follow.faults").items()):
+            fault = split_series(series)[1].get("class", "unknown")
+            stats.fault_counts[fault] = int(value)
+        return stats
+
 
 def _read_chunk(path: str, offset: int, *, max_retries: int,
                 backoff_base: float, _sleep: Callable[[float], None],
-                stats: FollowStats) -> tuple[str, int]:
+                stats: FollowStats,
+                registry: Registry | None = None) -> tuple[str, int]:
     """Read from ``offset`` to EOF, retrying transient failures.
 
     Raises:
         IngestError: when ``max_retries`` consecutive attempts fail.
     """
+    if registry is None:
+        registry = get_registry()
     last_error: OSError | None = None
     for attempt in range(max_retries + 1):
         try:
@@ -80,6 +114,8 @@ def _read_chunk(path: str, offset: int, *, max_retries: int,
             last_error = error
             if attempt < max_retries:
                 stats.retries += 1
+                registry.counter("follow.retries").inc()
+                registry.event("follow.retry", path=path, attempt=attempt)
                 _sleep(backoff_base * (2 ** attempt))
     raise IngestError(
         f"giving up on {path!r} after {max_retries} retries: {last_error}")
@@ -94,6 +130,7 @@ def follow_log(path: str, poll_interval: float = 0.5,
                max_retries: int = 5,
                backoff_base: float = 0.05,
                stats: FollowStats | None = None,
+               registry: Registry | None = None,
                ) -> Iterator[CLFRecord]:
     """Yield parsed records from ``path`` as the file grows.
 
@@ -112,6 +149,9 @@ def follow_log(path: str, poll_interval: float = 0.5,
             giving up (exponential backoff between attempts).
         backoff_base: first retry delay in seconds; doubles per attempt.
         stats: optional mutable :class:`FollowStats`, updated in place.
+        registry: metrics registry receiving the same accounting as
+            ``stats`` under the ``follow.*`` catalog; defaults to the
+            ambient :func:`repro.obs.get_registry` (free when disabled).
 
     Yields:
         One :class:`~repro.logs.clf.CLFRecord` per completed line, in file
@@ -127,6 +167,13 @@ def follow_log(path: str, poll_interval: float = 0.5,
     """
     if stats is None:
         stats = FollowStats()
+    if registry is None:
+        registry = get_registry()
+    m_lines = registry.counter("follow.lines.total")
+    m_parsed = registry.counter("follow.lines.parsed")
+    m_blank = registry.counter("follow.lines.blank")
+    m_malformed = registry.counter("follow.lines.malformed")
+    m_bytes = registry.counter("follow.bytes.total")
     offset = 0
     pending = ""
     idle = 0.0
@@ -145,31 +192,43 @@ def follow_log(path: str, poll_interval: float = 0.5,
             line_number = 0
             if pending:
                 stats.torn_tail_discards += 1
+                registry.counter("follow.torn_tail_discards").inc()
             pending = ""
             stats.rotations += 1
+            registry.counter("follow.rotations").inc()
+            registry.event("follow.rotation", path=path,
+                           kind="rename" if rotated else "truncate")
         if current_inode is not None:
             inode = current_inode
         if size > offset:
             idle = 0.0
             chunk, offset = _read_chunk(
                 path, offset, max_retries=max_retries,
-                backoff_base=backoff_base, _sleep=_sleep, stats=stats)
+                backoff_base=backoff_base, _sleep=_sleep, stats=stats,
+                registry=registry)
+            m_bytes.inc(len(chunk))
             pending += chunk
             *complete, pending = pending.split("\n")
             for line in complete:
                 line_number += 1
                 stats.lines += 1
+                m_lines.inc()
                 if not line.strip():
                     stats.blank += 1
+                    m_blank.inc()
                     continue
                 try:
                     yield parse_log_line(line, line_number=line_number)
                     stats.parsed += 1
+                    m_parsed.inc()
                 except LogFormatError as error:
                     stats.malformed += 1
+                    m_malformed.inc()
                     fault = classify_fault(line, error)
                     stats.fault_counts[fault] = (
                         stats.fault_counts.get(fault, 0) + 1)
+                    registry.counter("follow.faults",
+                                     **{"class": fault}).inc()
                     if not skip_malformed:
                         raise
                     if on_malformed is not None:

@@ -1,0 +1,545 @@
+"""The metrics registry: counters, gauges, histograms and timers.
+
+Everything here is zero-dependency and deterministic by construction:
+instruments are pure accumulators, a :class:`Registry` is a named bag of
+them, and :meth:`Registry.snapshot` renders the whole bag as sorted plain
+data — two registries driven through the same updates produce equal
+snapshots, byte for byte once JSON-encoded.
+
+Instrumented library code never constructs a registry; it asks for the
+ambient one (:func:`get_registry`) or accepts one as a keyword argument.
+The ambient default is **disabled**: every instrument it hands out is a
+shared no-op singleton, so instrumentation costs one attribute call on the
+hot path and allocates nothing.  Enable collection for a block of work
+with::
+
+    from repro.obs import Registry, use_registry
+
+    registry = Registry()
+    with use_registry(registry):
+        run_the_pipeline()
+    print(registry.render_table())
+
+Series naming follows the Prometheus data model loosely: a *series* is a
+dotted metric name plus an optional sorted label set, canonically written
+``name{key=value,key2=value2}``.  :meth:`Registry.render_prometheus`
+mangles dotted names into a legal ``repro_``-prefixed exposition.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "Registry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "series_name",
+    "split_series",
+    "snapshot_to_prometheus",
+    "snapshot_to_table",
+]
+
+#: default histogram buckets for second-valued timers (perf_counter spans
+#: from microseconds to minutes).
+TIME_BUCKETS = (0.0001, 0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
+
+#: default histogram buckets for small cardinalities (session lengths,
+#: candidate sizes); Fibonacci-ish so short sessions resolve finely.
+SIZE_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0)
+
+
+def series_name(name: str, labels: dict[str, str] | None = None) -> str:
+    """Canonical series key: ``name`` or ``name{k=v,...}``, labels sorted."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_series(series: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`series_name`.
+
+    Raises:
+        ConfigurationError: for a string that is not a canonical series
+            key.
+    """
+    if "{" not in series:
+        return series, {}
+    if not series.endswith("}"):
+        raise ConfigurationError(f"malformed series key {series!r}")
+    name, __, inner = series[:-1].partition("{")
+    labels: dict[str, str] = {}
+    if inner:
+        for pair in inner.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep or not key:
+                raise ConfigurationError(
+                    f"malformed label {pair!r} in series {series!r}")
+            labels[key] = value
+    return name, labels
+
+
+class Counter:
+    """A monotonically increasing count (events, lines, bytes)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only go up; cannot add {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (buffer depth, watermark lag)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket distribution (Prometheus ``le`` convention).
+
+    ``buckets`` are ascending upper bounds; an observation lands in the
+    first bucket whose bound is **>= value** (bounds are inclusive, so
+    observing exactly a bucket edge counts toward that edge's bucket).
+    Values above the last bound land in the implicit ``+Inf`` overflow.
+    """
+
+    __slots__ = ("buckets", "counts", "overflow", "total", "count")
+
+    def __init__(self, buckets: tuple[float, ...] = TIME_BUCKETS) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise ConfigurationError("histogram needs at least one bucket")
+        if list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                f"histogram buckets must be strictly ascending: {bounds}")
+        self.buckets = bounds
+        self.counts = [0] * len(bounds)
+        self.overflow = 0
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect.bisect_left(self.buckets, value)
+        if index < len(self.buckets):
+            self.counts[index] += 1
+        else:
+            self.overflow += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative count)`` pairs, +Inf last."""
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            running += bucket_count
+            pairs.append((bound, running))
+        pairs.append((float("inf"), running + self.overflow))
+        return pairs
+
+
+class Timer:
+    """Re-entrant context manager recording wall time into a histogram.
+
+    Uses :func:`time.perf_counter`.  The same timer object may be entered
+    while already active (directly or via recursion); each enter/exit pair
+    records its own span, so nested timings sum to more than the outer
+    span — exactly what a call-tree accounting wants.
+    """
+
+    __slots__ = ("histogram", "_starts")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self.histogram = histogram
+        self._starts: list[float] = []
+
+    def __enter__(self) -> "Timer":
+        self._starts.append(time.perf_counter())
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.histogram.observe(time.perf_counter() - self._starts.pop())
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__((1.0,))
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def __enter__(self) -> "Timer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+_NULL_TIMER = _NullTimer(_NULL_HISTOGRAM)
+
+
+class Registry:
+    """A named collection of instruments, plus the optional tracer.
+
+    Args:
+        enabled: when ``False`` every accessor returns a shared no-op
+            instrument and nothing is ever recorded — this is what makes
+            library-wide instrumentation free by default.
+        tracer: optional :class:`repro.obs.tracing.Tracer`; when present,
+            :meth:`span` and :meth:`event` delegate to it.
+
+    Instruments are created on first access and identified by
+    ``(name, labels)``; repeated access returns the same object, so hot
+    code can hold the instrument and skip the lookup.
+    """
+
+    def __init__(self, enabled: bool = True, tracer: Any = None) -> None:
+        self.enabled = enabled
+        self.tracer = tracer
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, tuple[Histogram, tuple[float, ...]]] = {}
+        self._timers: dict[str, Timer] = {}
+
+    # -- instrument accessors ---------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter series ``name{labels}`` (created on first use)."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        key = series_name(name, labels)
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge series ``name{labels}``."""
+        if not self.enabled:
+            return _NULL_GAUGE
+        key = series_name(name, labels)
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] = TIME_BUCKETS,
+                  **labels: str) -> Histogram:
+        """The histogram series ``name{labels}``.
+
+        Raises:
+            ConfigurationError: when an existing series is re-requested
+                with different buckets.
+        """
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        key = series_name(name, labels)
+        with self._lock:
+            entry = self._histograms.get(key)
+            if entry is None:
+                instrument = Histogram(buckets)
+                self._histograms[key] = (instrument, instrument.buckets)
+                return instrument
+            instrument, existing = entry
+            if tuple(float(bound) for bound in buckets) != existing:
+                raise ConfigurationError(
+                    f"histogram {key!r} already exists with buckets "
+                    f"{existing}; cannot re-declare with {buckets}")
+            return instrument
+
+    def timer(self, name: str,
+              buckets: tuple[float, ...] = TIME_BUCKETS,
+              **labels: str) -> Timer:
+        """A timer recording into the histogram series ``name{labels}``."""
+        if not self.enabled:
+            return _NULL_TIMER
+        key = series_name(name, labels)
+        with self._lock:
+            instrument = self._timers.get(key)
+        if instrument is None:
+            histogram = self.histogram(name, buckets, **labels)
+            with self._lock:
+                instrument = self._timers.setdefault(key, Timer(histogram))
+        return instrument
+
+    # -- tracing ----------------------------------------------------------
+
+    def span(self, name: str, **attrs: object):
+        """A tracing span context manager (no-op without a tracer)."""
+        if self.tracer is None:
+            return _NULL_TIMER          # a shared no-op context manager
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit a point-in-time trace event (no-op without a tracer)."""
+        if self.tracer is not None:
+            self.tracer.event(name, **attrs)
+
+    # -- export ------------------------------------------------------------
+
+    def value(self, name: str, **labels: str) -> float:
+        """Current value of a counter or gauge series (0 when absent)."""
+        key = series_name(name, labels)
+        if key in self._counters:
+            return self._counters[key].value
+        if key in self._gauges:
+            return self._gauges[key].value
+        return 0
+
+    def series(self, name: str) -> dict[str, float]:
+        """All counter/gauge series sharing ``name``: ``{key: value}``.
+
+        Keys are full canonical series names (labels included).
+        """
+        found: dict[str, float] = {}
+        for key, counter in self._counters.items():
+            if split_series(key)[0] == name:
+                found[key] = counter.value
+        for key, gauge in self._gauges.items():
+            if split_series(key)[0] == name:
+                found[key] = gauge.value
+        return found
+
+    def snapshot(self) -> dict[str, Any]:
+        """The whole registry as sorted, JSON-serializable plain data.
+
+        The layout is stable and versioned::
+
+            {"version": 1,
+             "counters":   {series: value, ...},
+             "gauges":     {series: value, ...},
+             "histograms": {series: {"buckets": [[le, count], ...],
+                                     "overflow": n, "sum": s,
+                                     "count": c}, ...}}
+
+        Two registries that saw the same updates snapshot identically
+        (histogram ``sum`` excepted only if the observations differed —
+        timers observe real durations, so compare timer series
+        structurally, not by value).
+        """
+        with self._lock:
+            counters = {key: self._counters[key].value
+                        for key in sorted(self._counters)}
+            gauges = {key: self._gauges[key].value
+                      for key in sorted(self._gauges)}
+            histograms = {}
+            for key in sorted(self._histograms):
+                histogram, __ = self._histograms[key]
+                histograms[key] = {
+                    "buckets": [[bound, count] for bound, count
+                                in zip(histogram.buckets, histogram.counts)],
+                    "overflow": histogram.overflow,
+                    "sum": histogram.total,
+                    "count": histogram.count,
+                }
+        return {"version": 1, "counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the current state."""
+        return snapshot_to_prometheus(self.snapshot())
+
+    def render_table(self) -> str:
+        """Human-readable table of the current state."""
+        return snapshot_to_table(self.snapshot())
+
+
+def _prom_name(name: str) -> str:
+    """Mangle a dotted series name into a legal Prometheus metric name."""
+    mangled = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                      for ch in name)
+    return f"repro_{mangled}"
+
+
+def _prom_series(series: str) -> str:
+    """Render one canonical series key as a Prometheus sample name."""
+    name, labels = split_series(series)
+    base = _prom_name(name)
+    if not labels:
+        return base
+    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{base}{{{inner}}}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def snapshot_to_prometheus(snapshot: dict[str, Any]) -> str:
+    """Render a :meth:`Registry.snapshot` document as Prometheus text.
+
+    Works on any snapshot — live or loaded back from a JSON file — so the
+    ``repro stats`` CLI can convert between formats offline.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(series: str, kind: str) -> None:
+        base = _prom_name(split_series(series)[0])
+        if base not in typed:
+            typed.add(base)
+            lines.append(f"# TYPE {base} {kind}")
+
+    for series, value in snapshot.get("counters", {}).items():
+        declare(series, "counter")
+        lines.append(f"{_prom_series(series)} {_format_value(value)}")
+    for series, value in snapshot.get("gauges", {}).items():
+        declare(series, "gauge")
+        lines.append(f"{_prom_series(series)} {_format_value(value)}")
+    for series, data in snapshot.get("histograms", {}).items():
+        declare(series, "histogram")
+        name, labels = split_series(series)
+        base = _prom_name(name)
+        running = 0
+        for bound, count in data["buckets"]:
+            running += count
+            bucket_labels = dict(labels, le=repr(float(bound)))
+            inner = ",".join(f'{key}="{bucket_labels[key]}"'
+                             for key in sorted(bucket_labels))
+            lines.append(f"{base}_bucket{{{inner}}} {running}")
+        running += data.get("overflow", 0)
+        inf_labels = dict(labels, le="+Inf")
+        inner = ",".join(f'{key}="{inf_labels[key]}"'
+                         for key in sorted(inf_labels))
+        lines.append(f"{base}_bucket{{{inner}}} {running}")
+        suffix = ""
+        if labels:
+            inner = ",".join(f'{key}="{labels[key]}"'
+                             for key in sorted(labels))
+            suffix = f"{{{inner}}}"
+        lines.append(f"{base}_sum{suffix} {_format_value(data['sum'])}")
+        lines.append(f"{base}_count{suffix} {data['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_to_table(snapshot: dict[str, Any]) -> str:
+    """Render a snapshot as an aligned two-column text table.
+
+    Counters and gauges print their value; histograms print
+    ``count=N sum=S mean=M`` so durations read at a glance.
+    """
+    rows: list[tuple[str, str]] = []
+    for series, value in snapshot.get("counters", {}).items():
+        rows.append((series, _format_value(value)))
+    for series, value in snapshot.get("gauges", {}).items():
+        rows.append((series, _format_value(value)))
+    for series, data in snapshot.get("histograms", {}).items():
+        count = data["count"]
+        mean = data["sum"] / count if count else 0.0
+        rows.append((series,
+                     f"count={count} sum={data['sum']:.6g} "
+                     f"mean={mean:.6g}"))
+    if not rows:
+        return "(no metrics recorded)\n"
+    rows.sort()
+    width = max(len(series) for series, __ in rows)
+    return "".join(f"{series:<{width}}  {value}\n"
+                   for series, value in rows)
+
+
+#: The registry instrumented code sees when none is injected.  Disabled —
+#: all instruments are shared no-ops — until :func:`set_registry` or
+#: :func:`use_registry` replaces it.
+NULL_REGISTRY = Registry(enabled=False)
+
+_ACTIVE = NULL_REGISTRY
+
+
+def get_registry() -> Registry:
+    """The ambient registry (the disabled default unless one was set)."""
+    return _ACTIVE
+
+
+def set_registry(registry: Registry | None) -> Registry:
+    """Install ``registry`` as the ambient one; returns the previous.
+
+    ``None`` restores the disabled default.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry: Registry) -> Iterator[Registry]:
+    """Scoped :func:`set_registry`: installs on enter, restores on exit."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

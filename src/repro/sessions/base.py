@@ -17,6 +17,7 @@ from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterable, Sequence
 
 from repro.exceptions import ReconstructionError
+from repro.obs import SIZE_BUCKETS, get_registry
 from repro.sessions.model import Request, Session, SessionSet
 
 __all__ = [
@@ -64,7 +65,9 @@ class SessionReconstructor(ABC):
         Raises:
             ReconstructionError: if any request has a negative timestamp.
         """
+        registry = get_registry()
         per_user: dict[str, list[Request]] = {}
+        n_requests = 0
         for request in requests:
             if request.timestamp < 0:
                 raise ReconstructionError(
@@ -72,11 +75,23 @@ class SessionReconstructor(ABC):
                     f"{request.user_id!r}"
                 )
             per_user.setdefault(request.user_id, []).append(request)
+            n_requests += 1
 
         sessions: list[Session] = []
-        for user_requests in per_user.values():
-            user_requests.sort(key=lambda r: r.timestamp)
-            sessions.extend(self.reconstruct_user(user_requests))
+        with registry.timer("sessions.reconstruct.seconds",
+                            heuristic=self.name):
+            for user_requests in per_user.values():
+                user_requests.sort(key=lambda r: r.timestamp)
+                sessions.extend(self.reconstruct_user(user_requests))
+        if registry.enabled:
+            registry.counter("sessions.requests",
+                             heuristic=self.name).inc(n_requests)
+            registry.counter("sessions.reconstructed",
+                             heuristic=self.name).inc(len(sessions))
+            lengths = registry.histogram("sessions.length", SIZE_BUCKETS,
+                                         heuristic=self.name)
+            for session in sessions:
+                lengths.observe(len(session))
         return SessionSet(sessions)
 
     def __repr__(self) -> str:

@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass
 
 from repro.exceptions import SimulationError
+from repro.obs import get_registry
 from repro.sessions.model import Request, SessionSet
 from repro.simulator.arrivals import sample_arrival
 from repro.simulator.agent import AgentTrace, simulate_agent
@@ -161,6 +162,13 @@ def simulate_population(topology: WebGraph, config: SimulationConfig,
     log_requests = sorted(
         (request for trace in traces for request in trace.server_requests),
         key=lambda request: (request.timestamp, request.user_id))
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("sim.agents").inc(len(traces))
+        registry.counter("sim.sessions.generated").inc(len(ground_truth))
+        registry.counter("sim.requests.logged").inc(len(log_requests))
+        registry.counter("sim.requests.cache_suppressed").inc(
+            sum(trace.cache_hits + trace.proxy_hits for trace in traces))
     return SimulationResult(
         topology=topology,
         config=config,

@@ -51,6 +51,7 @@ from repro.exceptions import (
     LateEventError,
     ReconstructionError,
 )
+from repro.obs import Registry, get_registry
 from repro.sessions.model import Request, Session
 from repro.topology.graph import WebGraph
 
@@ -109,6 +110,11 @@ class StreamingReconstructor:
         dedup: drop a request identical to its user's buffered tail
             (same timestamp and page) — the adjacent-duplicate artifact of
             double logging.
+        registry: metrics registry updated as the stream flows (the
+            ``stream.*`` catalog: fed/emitted/late/duplicate counters plus
+            reorder-depth, buffered-requests and watermark-lag gauges);
+            defaults to the ambient :func:`repro.obs.get_registry`, a
+            no-op unless collection was enabled.
 
     Per-user event-time must be non-decreasing *after* reorder buffering;
     an equal timestamp is legal (ties keep arrival order, or release
@@ -125,7 +131,8 @@ class StreamingReconstructor:
                  config: SmartSRAConfig | None = None, *,
                  late_policy: str = "raise",
                  reorder_window: float = 0.0,
-                 dedup: bool = False) -> None:
+                 dedup: bool = False,
+                 registry: Registry | None = None) -> None:
         if late_policy not in ("raise", "drop"):
             raise ConfigurationError(
                 f"late_policy must be 'raise' or 'drop', "
@@ -146,6 +153,16 @@ class StreamingReconstructor:
         self._fed = 0
         self._late_dropped = 0
         self._duplicates_dropped = 0
+        reg = registry if registry is not None else get_registry()
+        self._registry = reg
+        self._m_fed = reg.counter("stream.requests.fed")
+        self._m_emitted = reg.counter("stream.sessions.emitted")
+        self._m_late = reg.counter("stream.late_dropped")
+        self._m_duplicates = reg.counter("stream.duplicates_dropped")
+        self._g_reorder = reg.gauge("stream.reorder.depth")
+        self._g_buffered = reg.gauge("stream.buffered_requests")
+        self._g_users = reg.gauge("stream.active_users")
+        self._g_lag = reg.gauge("stream.watermark.lag_seconds")
 
     # -- feeding -----------------------------------------------------------
 
@@ -176,8 +193,12 @@ class StreamingReconstructor:
                     f"(release floor {release_floor})")
             heapq.heappush(self._reorder, request)
             self._max_seen = max(self._max_seen, request.timestamp)
-            return self._release(self._max_seen - self.reorder_window)
+            emitted = self._release(self._max_seen - self.reorder_window)
+            self._g_reorder.set(len(self._reorder))
+            self._update_lag()
+            return emitted
         self._max_seen = max(self._max_seen, request.timestamp)
+        self._update_lag()
         return self._accept(request)
 
     def feed_many(self, requests: Iterable[Request]) -> list[Session]:
@@ -194,11 +215,18 @@ class StreamingReconstructor:
             emitted.extend(self._accept(heapq.heappop(self._reorder)))
         return emitted
 
+    def _update_lag(self) -> None:
+        """Publish how far the flushed watermark trails the stream head."""
+        if (self._max_seen > float("-inf")
+                and self._flush_watermark > float("-inf")):
+            self._g_lag.set(self._max_seen - self._flush_watermark)
+
     def _late(self, request: Request, reason: str) -> list[Session]:
         if self.late_policy == "raise":
             raise LateEventError(
                 f"late request for user {request.user_id!r}: {reason}")
         self._late_dropped += 1
+        self._m_late.inc()
         return []
 
     def _accept(self, request: Request) -> list[Session]:
@@ -213,10 +241,12 @@ class StreamingReconstructor:
                         f"{request.user_id!r}: {request.timestamp} after "
                         f"{last.timestamp}")
                 self._late_dropped += 1
+                self._m_late.inc()
                 return []
             if (self.dedup and request.timestamp == last.timestamp
                     and request.page == last.page):
                 self._duplicates_dropped += 1
+                self._m_duplicates.inc()
                 return []
             gap = request.timestamp - last.timestamp
             span = request.timestamp - buffer[0].timestamp
@@ -224,6 +254,9 @@ class StreamingReconstructor:
                 emitted = self._finish(request.user_id)
         self._buffers.setdefault(request.user_id, []).append(request)
         self._fed += 1
+        self._m_fed.inc()
+        self._g_buffered.inc()
+        self._g_users.set(len(self._buffers))
         return emitted
 
     # -- closing -----------------------------------------------------------
@@ -253,6 +286,8 @@ class StreamingReconstructor:
             if (watermark is None
                     or watermark - buffer[-1].timestamp > self.config.max_gap):
                 emitted.extend(self._finish(user_id))
+        self._g_reorder.set(len(self._reorder))
+        self._update_lag()
         return emitted
 
     def _finish(self, user_id: str) -> list[Session]:
@@ -261,6 +296,9 @@ class StreamingReconstructor:
             return []
         sessions = self._finisher(candidate)
         self._emitted += len(sessions)
+        self._m_emitted.inc(len(sessions))
+        self._g_buffered.dec(len(candidate))
+        self._g_users.set(len(self._buffers))
         return sessions
 
     # -- introspection -------------------------------------------------------

@@ -1,0 +1,121 @@
+"""Property tests: metrics reconcile with ``IngestReport``, always.
+
+The ingestion path maintains two accounting systems — the per-run
+:class:`~repro.logs.ingest.IngestReport` and the ``ingest.*`` counters of
+whatever :class:`~repro.obs.Registry` is active.  These properties pin
+down that for *any* fault-injected input and *any* non-strict error
+policy the two agree field by field, and that both satisfy the coverage
+invariant ``parsed + blank + quarantined + dropped == total_lines``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FAULT_MODELS, chaos_stream
+from repro.logs.clf import CLFRecord, format_clf_line
+from repro.logs.ingest import (
+    IngestReport,
+    ingest_lines,
+    report_from_registry,
+)
+from repro.obs import Registry, use_registry
+
+_CLEAN_LINE = st.builds(
+    lambda i, host, url: format_clf_line(
+        CLFRecord(host, 1000.0 + 5.0 * i, "GET", url, "HTTP/1.1",
+                  200, 256)),
+    st.integers(0, 10_000),
+    st.from_regex(r"10\.0\.[0-9]{1,2}\.[0-9]{1,3}", fullmatch=True),
+    st.from_regex(r"/P[0-9]{1,3}\.html", fullmatch=True),
+)
+
+_FAULT_SPECS = st.lists(
+    st.tuples(st.sampled_from(sorted(FAULT_MODELS)),
+              st.floats(0.0, 1.0)),
+    max_size=3,
+)
+
+_POLICIES = st.sampled_from(["skip", "quarantine", "repair"])
+
+
+def _dirty_lines(lines: list[str], specs, seed: int) -> list[str]:
+    return list(chaos_stream(lines, specs=specs or None, seed=seed))
+
+
+class TestRegistryReportReconciliation:
+    @settings(max_examples=60, deadline=None)
+    @given(lines=st.lists(_CLEAN_LINE, max_size=25),
+           specs=_FAULT_SPECS, seed=st.integers(0, 2**16),
+           policy=_POLICIES)
+    def test_registry_equals_report(self, lines, specs, seed, policy):
+        """One run: the registry rebuild equals the run's own report."""
+        dirty = _dirty_lines(lines, specs, seed)
+        registry = Registry()
+        report = IngestReport()
+        quarantine: list[str] = []
+        list(ingest_lines(dirty, policy=policy, report=report,
+                          quarantine=quarantine, registry=registry))
+        rebuilt = report_from_registry(registry)
+        assert rebuilt.policy == policy
+        assert rebuilt.total_lines == report.total_lines == len(dirty)
+        assert rebuilt.parsed == report.parsed
+        assert rebuilt.blank == report.blank
+        assert rebuilt.quarantined == report.quarantined
+        assert rebuilt.dropped == report.dropped
+        assert rebuilt.repaired == report.repaired
+        assert rebuilt.fault_counts == report.fault_counts
+        assert report.reconciles() and rebuilt.reconciles()
+
+    @settings(max_examples=30, deadline=None)
+    @given(lines=st.lists(_CLEAN_LINE, max_size=15),
+           specs=_FAULT_SPECS, seed=st.integers(0, 2**16),
+           policies=st.lists(_POLICIES, min_size=2, max_size=3))
+    def test_accumulation_across_runs(self, lines, specs, seed, policies):
+        """Several runs into one registry: the rebuild equals the
+        field-by-field sum of the individual reports."""
+        dirty = _dirty_lines(lines, specs, seed)
+        registry = Registry()
+        reports = []
+        with use_registry(registry):
+            for policy in policies:
+                report = IngestReport()
+                list(ingest_lines(dirty, policy=policy, report=report,
+                                  quarantine=[]))
+                reports.append(report)
+        rebuilt = report_from_registry(registry)
+        for field in ("total_lines", "parsed", "blank", "quarantined",
+                      "dropped", "repaired"):
+            assert (getattr(rebuilt, field)
+                    == sum(getattr(report, field) for report in reports))
+        merged: dict[str, int] = {}
+        for report in reports:
+            for fault, count in report.fault_counts.items():
+                merged[fault] = merged.get(fault, 0) + count
+        assert rebuilt.fault_counts == merged
+        expected = (policies[0] if len(set(policies)) == 1 else "mixed")
+        assert rebuilt.policy == expected
+        assert rebuilt.reconciles()
+
+    @settings(max_examples=30, deadline=None)
+    @given(lines=st.lists(_CLEAN_LINE, max_size=20),
+           specs=_FAULT_SPECS, seed=st.integers(0, 2**16),
+           policy=_POLICIES)
+    def test_disabled_registry_changes_nothing(self, lines, specs, seed,
+                                               policy):
+        """The report is identical whether metrics are collected or not —
+        instrumentation must never alter pipeline behaviour."""
+        dirty = _dirty_lines(lines, specs, seed)
+
+        def run(registry):
+            report = IngestReport()
+            records = list(ingest_lines(dirty, policy=policy,
+                                        report=report, quarantine=[],
+                                        registry=registry))
+            return report, [(record.host, record.timestamp, record.url)
+                            for record in records]
+
+        with_metrics = run(Registry())
+        without = run(Registry(enabled=False))
+        assert with_metrics[0] == without[0]
+        assert with_metrics[1] == without[1]

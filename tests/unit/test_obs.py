@@ -1,0 +1,377 @@
+"""Unit tests for the observability layer (``repro.obs``).
+
+Pins down the contracts the rest of the suite leans on:
+
+* histogram bucket edges are **inclusive** (Prometheus ``le`` semantics);
+* timers are re-entrant and each enter/exit pair records one span;
+* snapshots are deterministic — same updates, byte-identical JSON;
+* the disabled default registry is a true no-op (shared singletons,
+  nothing recorded);
+* tracing spans nest and serialize as stable JSON lines.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    ListSink,
+    NULL_REGISTRY,
+    Registry,
+    Tracer,
+    get_registry,
+    series_name,
+    set_registry,
+    snapshot_to_prometheus,
+    snapshot_to_table,
+    split_series,
+    use_registry,
+)
+from repro.obs.registry import (
+    _NULL_COUNTER,
+    _NULL_GAUGE,
+    _NULL_HISTOGRAM,
+    _NULL_TIMER,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Timer,
+)
+
+
+class TestSeriesNames:
+    def test_no_labels_is_identity(self):
+        assert series_name("ingest.lines.total") == "ingest.lines.total"
+
+    def test_labels_are_sorted(self):
+        assert (series_name("x", {"b": "2", "a": "1"})
+                == "x{a=1,b=2}")
+
+    @pytest.mark.parametrize("name,labels", [
+        ("plain", {}),
+        ("ingest.faults", {"class": "garbage"}),
+        ("eval.accuracy", {"heuristic": "heur4", "stp": "0.5"}),
+    ])
+    def test_round_trip(self, name, labels):
+        assert split_series(series_name(name, labels)) == (name, labels)
+
+    @pytest.mark.parametrize("bad", ["x{a=1", "x{nolabel}", "x{=v}"])
+    def test_malformed_keys_raise(self, bad):
+        with pytest.raises(ConfigurationError):
+            split_series(bad)
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12.0
+
+
+class TestHistogramBucketEdges:
+    """The ``le`` convention: an observation of exactly a bucket's upper
+    bound counts toward **that** bucket, not the next one."""
+
+    def test_exact_edge_is_inclusive(self):
+        histogram = Histogram((1.0, 2.0, 4.0))
+        histogram.observe(2.0)
+        assert histogram.counts == [0, 1, 0]
+
+    def test_below_first_edge(self):
+        histogram = Histogram((1.0, 2.0, 4.0))
+        histogram.observe(0.0)
+        histogram.observe(1.0)
+        assert histogram.counts == [2, 0, 0]
+
+    def test_between_edges_rounds_up(self):
+        histogram = Histogram((1.0, 2.0, 4.0))
+        histogram.observe(1.5)
+        assert histogram.counts == [0, 1, 0]
+
+    def test_above_last_edge_overflows(self):
+        histogram = Histogram((1.0, 2.0, 4.0))
+        histogram.observe(4.0)
+        histogram.observe(4.0001)
+        assert histogram.counts == [0, 0, 1]
+        assert histogram.overflow == 1
+
+    def test_cumulative_is_monotone_and_ends_at_inf(self):
+        histogram = Histogram((1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 3.0, 99.0):
+            histogram.observe(value)
+        pairs = histogram.cumulative()
+        assert pairs == [(1.0, 2), (2.0, 2), (4.0, 3), (math.inf, 4)]
+
+    def test_mean(self):
+        histogram = Histogram((10.0,))
+        assert histogram.mean == 0.0
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        assert histogram.mean == 3.0
+
+    @pytest.mark.parametrize("bad", [(), (2.0, 1.0), (1.0, 1.0)])
+    def test_bad_buckets_raise(self, bad):
+        with pytest.raises(ConfigurationError):
+            Histogram(bad)
+
+
+class TestTimerNesting:
+    def test_each_pair_records_one_observation(self):
+        histogram = Histogram((120.0,))
+        timer = Timer(histogram)
+        with timer:
+            pass
+        with timer:
+            pass
+        assert histogram.count == 2
+
+    def test_reentrant_nesting(self):
+        """The same timer entered while active records both spans, and
+        the outer span is at least as long as the inner one."""
+        histogram = Histogram((120.0,))
+        timer = Timer(histogram)
+        with timer:
+            with timer:
+                pass
+        assert histogram.count == 2
+        assert not timer._starts          # stack fully unwound
+
+    def test_nesting_via_registry(self):
+        registry = Registry()
+
+        def recurse(depth: int) -> None:
+            with registry.timer("t.seconds"):
+                if depth:
+                    recurse(depth - 1)
+
+        recurse(3)
+        snapshot = registry.snapshot()
+        assert snapshot["histograms"]["t.seconds"]["count"] == 4
+
+
+class TestRegistry:
+    def test_same_series_returns_same_instrument(self):
+        registry = Registry()
+        a = registry.counter("c", x="1")
+        b = registry.counter("c", x="1")
+        assert a is b
+        assert registry.counter("c", x="2") is not a
+
+    def test_label_order_is_irrelevant(self):
+        registry = Registry()
+        assert (registry.counter("c", a="1", b="2")
+                is registry.counter("c", b="2", a="1"))
+
+    def test_value_and_series(self):
+        registry = Registry()
+        registry.counter("f", k="x").inc(3)
+        registry.counter("f", k="y").inc(4)
+        registry.gauge("g").set(1.5)
+        assert registry.value("f", k="x") == 3
+        assert registry.value("g") == 1.5
+        assert registry.value("absent") == 0
+        assert registry.series("f") == {"f{k=x}": 3, "f{k=y}": 4}
+
+    def test_histogram_redeclare_with_other_buckets_raises(self):
+        registry = Registry()
+        registry.histogram("h", (1.0, 2.0))
+        registry.histogram("h", (1.0, 2.0))        # same buckets: fine
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h", SIZE_BUCKETS)
+
+    def test_snapshot_determinism(self):
+        """Two registries driven through the same updates (in different
+        orders) produce byte-identical JSON snapshots."""
+        def drive(registry: Registry, order: list[str]) -> None:
+            for key in order:
+                registry.counter("lines", kind=key).inc(ord(key[0]))
+            registry.gauge("depth").set(7)
+            registry.histogram("sizes", (1.0, 5.0)).observe(3)
+
+        first, second = Registry(), Registry()
+        drive(first, ["b", "a", "c"])
+        drive(second, ["c", "b", "a"])
+        dump = lambda registry: json.dumps(registry.snapshot(),
+                                           sort_keys=True)
+        assert dump(first) == dump(second)
+        assert first.snapshot()["version"] == 1
+
+    def test_snapshot_histogram_layout(self):
+        registry = Registry()
+        registry.histogram("h", (1.0, 2.0)).observe(1.5)
+        registry.histogram("h", (1.0, 2.0)).observe(9.0)
+        data = registry.snapshot()["histograms"]["h"]
+        assert data == {"buckets": [[1.0, 0], [2.0, 1]], "overflow": 1,
+                        "sum": 10.5, "count": 2}
+
+
+class TestNullRegistry:
+    def test_disabled_hands_out_shared_noops(self):
+        registry = Registry(enabled=False)
+        assert registry.counter("c") is _NULL_COUNTER
+        assert registry.gauge("g") is _NULL_GAUGE
+        assert registry.histogram("h") is _NULL_HISTOGRAM
+        assert registry.timer("t") is _NULL_TIMER
+
+    def test_noops_record_nothing(self):
+        registry = Registry(enabled=False)
+        registry.counter("c").inc(100)
+        registry.gauge("g").set(5)
+        registry.histogram("h").observe(1)
+        with registry.timer("t"):
+            pass
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+
+    def test_span_without_tracer_is_a_context_manager(self):
+        with Registry().span("anything", k="v"):
+            pass
+        Registry().event("anything")     # no tracer: silently dropped
+
+    def test_ambient_default_is_disabled(self):
+        assert get_registry() is NULL_REGISTRY
+        assert not NULL_REGISTRY.enabled
+
+
+class TestAmbientRegistry:
+    def test_use_registry_scopes_and_restores(self):
+        registry = Registry()
+        assert get_registry() is NULL_REGISTRY
+        with use_registry(registry) as installed:
+            assert installed is registry
+            assert get_registry() is registry
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_registry(Registry()):
+                raise RuntimeError("boom")
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_returns_previous_and_none_resets(self):
+        registry = Registry()
+        previous = set_registry(registry)
+        try:
+            assert previous is NULL_REGISTRY
+            assert get_registry() is registry
+        finally:
+            assert set_registry(None) is registry
+        assert get_registry() is NULL_REGISTRY
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self):
+        registry = Registry()
+        registry.counter("ingest.lines.total").inc(7)
+        registry.counter("ingest.faults", **{"class": "garbage"}).inc(2)
+        registry.gauge("stream.buffered_requests").set(3)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_ingest_lines_total counter" in text
+        assert "repro_ingest_lines_total 7" in text
+        assert 'repro_ingest_faults{class="garbage"} 2' in text
+        assert "# TYPE repro_stream_buffered_requests gauge" in text
+        assert "repro_stream_buffered_requests 3" in text
+
+    def test_histogram_exposition_is_cumulative(self):
+        registry = Registry()
+        histogram = registry.histogram("h", (1.0, 2.0))
+        for value in (0.5, 1.5, 9.0):
+            histogram.observe(value)
+        text = registry.render_prometheus()
+        assert '# TYPE repro_h histogram' in text
+        assert 'repro_h_bucket{le="1.0"} 1' in text
+        assert 'repro_h_bucket{le="2.0"} 2' in text
+        assert 'repro_h_bucket{le="+Inf"} 3' in text
+        assert "repro_h_sum 11" in text
+        assert "repro_h_count 3" in text
+
+    def test_round_trips_through_json(self):
+        registry = Registry()
+        registry.counter("c").inc(5)
+        registry.histogram("h", (1.0,)).observe(0.5)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert (snapshot_to_prometheus(snapshot)
+                == registry.render_prometheus())
+
+    def test_table_rendering(self):
+        registry = Registry()
+        assert registry.render_table() == "(no metrics recorded)\n"
+        registry.counter("c").inc(3)
+        registry.histogram("h", (1.0,)).observe(0.5)
+        table = registry.render_table()
+        assert "c" in table and "3" in table
+        assert "count=1" in table
+        assert snapshot_to_table(registry.snapshot()) == table
+
+
+class TestTracing:
+    def test_span_nesting_records_parent_chain(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            with tracer.span("inner", detail="x"):
+                pass
+        # spans are written on close: leaf first.
+        inner, outer = sink.records
+        assert [record["type"] for record in sink.records] == ["span"] * 2
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+        assert inner["attrs"] == {"detail": "x"}
+        assert inner["dur_s"] >= 0
+
+    def test_event_is_attributed_to_enclosing_span(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("work"):
+            tracer.event("tick", n=1)
+        event, span = sink.records
+        assert event["type"] == "event"
+        assert event["span"] == span["id"]
+        assert event["attrs"] == {"n": 1}
+
+    def test_error_is_recorded_on_the_span(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("no")
+        assert sink.records[0]["error"] == "ValueError"
+
+    def test_registry_delegates_to_tracer(self):
+        sink = ListSink()
+        registry = Registry(tracer=Tracer(sink))
+        with registry.span("s"):
+            registry.event("e")
+        assert [record["name"] for record in sink.records] == ["e", "s"]
+
+    def test_records_are_valid_sorted_json_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            tracer = Tracer(handle)
+            with tracer.span("a"):
+                tracer.event("b")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert list(record) == sorted(record)
