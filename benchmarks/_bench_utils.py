@@ -5,6 +5,8 @@ Environment knobs:
 * ``REPRO_BENCH_AGENTS`` — agents per sweep point (default 800; the paper
   uses 10,000 — set it for a full-scale run).
 * ``REPRO_BENCH_SEED`` — base seed (default 0).
+* ``REPRO_BENCH_QUICK`` — any non-empty value shrinks the perf benches to
+  a correctness smoke (small workloads, no timing assertions) for CI.
 """
 
 from __future__ import annotations
@@ -17,6 +19,8 @@ import pathlib
 BENCH_AGENTS = int(os.environ.get("REPRO_BENCH_AGENTS", "800"))
 #: base seed for topology + simulation.
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+#: CI quick mode: correctness assertions only, timing claims skipped.
+BENCH_QUICK = bool(os.environ.get("REPRO_BENCH_QUICK", ""))
 
 
 def emit(results_dir: pathlib.Path, name: str, text: str,

@@ -1,0 +1,107 @@
+"""Extension A17 — the parallel reconstruction engine (repro.parallel).
+
+Session reconstruction is embarrassingly parallel across users, so the
+engine shards the request stream by ``user_id``, fans the shards out over
+a process pool, and reassembles results in shard order.  The contract
+this bench enforces on every run, regardless of hardware:
+
+* **identity** — for every worker count, the reconstructed ``SessionSet``
+  is exactly the serial one (the ISSUE's byte-identical guarantee);
+* **exact observability** — per-worker metric registries merged into the
+  parent reconcile with a serial run: every counter and every non-time
+  histogram bucket matches (time-valued sums legitimately differ — wall
+  durations depend on scheduling).
+
+The *speedup* claim is asserted only where it is physically measurable:
+hosts exposing >= 4 CPUs to this process, and not in quick mode.  On a
+single-visible-CPU container a process pool cannot beat the serial loop
+— the results file records the visible CPU count so committed numbers
+are never read as more than the host could deliver.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from _bench_utils import BENCH_QUICK, BENCH_SEED, emit
+from repro.core.smart_sra import SmartSRA
+from repro.evaluation.experiments import PAPER_DEFAULTS, paper_topology
+from repro.obs import Registry, use_registry
+from repro.parallel import available_cpus
+from repro.simulator.population import simulate_population
+
+_AGENTS = 120 if BENCH_QUICK else 800
+_WORKER_COUNTS = (1, 2, 4)
+_ROUNDS = 2 if BENCH_QUICK else 5
+#: asserted at 4 workers when >= 4 CPUs are visible (ISSUE acceptance).
+_MIN_SPEEDUP = 2.5
+
+
+def _best_of(rounds: int, fn):
+    best = float("inf")
+    for __ in range(rounds):
+        gc.collect()
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _comparable(snapshot: dict) -> tuple:
+    """The merge-exact view of a snapshot: everything but wall durations."""
+    return (snapshot["counters"], snapshot["gauges"],
+            {series: (data["buckets"], data["count"])
+             for series, data in snapshot["histograms"].items()
+             if not series.split("{")[0].endswith(".seconds")})
+
+
+def test_parallel_reconstruction(benchmark, results_dir):
+    topology = paper_topology(seed=BENCH_SEED)
+    smart = SmartSRA(topology)
+    config = PAPER_DEFAULTS.simulation_config(n_agents=_AGENTS,
+                                              seed=BENCH_SEED)
+    log = simulate_population(topology, config).log_requests
+    timings = {}
+
+    def run_all():
+        serial_s, serial_sessions = _best_of(
+            _ROUNDS, lambda: smart.reconstruct(log))
+        timings["serial"] = serial_s
+        for workers in _WORKER_COUNTS:
+            seconds, sessions = _best_of(
+                _ROUNDS, lambda: smart.reconstruct(log, workers=workers))
+            assert list(sessions) == list(serial_sessions), workers
+            timings[workers] = seconds
+        return serial_sessions
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # exact observability: merged per-worker registries == serial run.
+    serial_registry, parallel_registry = Registry(), Registry()
+    with use_registry(serial_registry):
+        smart.reconstruct(log)
+    with use_registry(parallel_registry):
+        smart.reconstruct(log, workers=4)
+    assert (_comparable(serial_registry.snapshot())
+            == _comparable(parallel_registry.snapshot()))
+
+    cpus = available_cpus()
+    speedup_measurable = cpus >= 4 and not BENCH_QUICK
+    if speedup_measurable:
+        assert timings["serial"] / timings[4] >= _MIN_SPEEDUP, timings
+
+    lines = [f"Extension A17 — parallel reconstruction engine "
+             f"(seed {BENCH_SEED}, {_AGENTS} agents, {len(log)} records, "
+             f"best of {_ROUNDS})",
+             f"  host: {cpus} CPU(s) visible to this process; the "
+             f">= {_MIN_SPEEDUP}x @ 4 workers assertion "
+             f"{'ran' if speedup_measurable else 'needs >= 4 CPUs - not asserted here'}",
+             "  identity + exact-obs assertions ran (they always do)",
+             "  workers  seconds  vs serial"]
+    lines.append(f"   serial  {timings['serial']:7.3f}       1.00x")
+    for workers in _WORKER_COUNTS:
+        ratio = timings["serial"] / timings[workers]
+        lines.append(f"  {workers:>7}  {timings[workers]:7.3f}  "
+                     f"{ratio:9.2f}x")
+    emit(results_dir, "parallel", "\n".join(lines) + "\n")

@@ -5,53 +5,109 @@ the growth is near-linear: per-user work is bounded by Phase-1 candidate
 sizes (δ caps them), so doubling the users should roughly double the time,
 not square it.  This is the scalability property that makes reactive
 processing viable on real logs.
+
+Root cause of the historical krec/s droop on growing logs (fixed by the
+parallel-engine PR; kept here as the measurement's rationale):
+
+* the earlier bench held *every* size's log live while timing, and
+  reconstruction left GC running, so CPython's generational passes
+  scanned an ever-larger heap mid-measurement — a measurement artifact,
+  not algorithmic cost.  A ``gc.collect()`` fence now precedes every
+  timing and the batch itself runs with GC paused (next bullet), so
+  resident logs can no longer be scanned inside a timed region;
+* mid-run collections scanned the growing *output* (reconstruction only
+  allocates objects that stay live until the batch returns), which made
+  per-record cost creep up with log size.  ``SessionReconstructor.
+  reconstruct`` now pauses GC for the batch (``repro.parallel.paused_gc``);
+* Phase 2 re-validated whole sessions per extension (O(L²) per session)
+  and re-sorted predecessor sets per release — both now O(1) via
+  boundary-only validation and the interned ``WebGraph.adjacency_index``.
+
+Each row reports the best of several rounds (min is the standard
+low-noise estimator for wall timings), with the rounds *interleaved*
+across sizes so background-load drift on a shared host hits every size
+equally instead of whichever size happened to run last.  A parallel
+column (``workers=0``, the auto-detected CPU count) is asserted
+output-identical to the serial run.
 """
 
 from __future__ import annotations
 
+import gc
 import time
 
-from _bench_utils import BENCH_SEED, emit
+from _bench_utils import BENCH_QUICK, BENCH_SEED, emit
 from repro.core.smart_sra import SmartSRA
 from repro.evaluation.experiments import PAPER_DEFAULTS, paper_topology
+from repro.parallel import available_cpus
 from repro.simulator.population import simulate_population
 
-_SIZES = (200, 400, 800)
+_SIZES = (200, 400) if BENCH_QUICK else (200, 400, 800, 1600)
+_ROUNDS = 2 if BENCH_QUICK else 9
+
+
+def _timed(fn):
+    gc.collect()
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
 
 
 def test_scaling_with_log_size(benchmark, results_dir):
     topology = paper_topology(seed=BENCH_SEED)
     smart = SmartSRA(topology)
-
     logs = {}
     for size in _SIZES:
         config = PAPER_DEFAULTS.simulation_config(n_agents=size,
                                                   seed=BENCH_SEED)
         logs[size] = simulate_population(topology, config).log_requests
+    rows = {}
 
     def run_all():
-        timings = {}
-        for size, log in logs.items():
-            start = time.perf_counter()
-            sessions = smart.reconstruct(log)
-            timings[size] = (time.perf_counter() - start, len(log),
-                             len(sessions))
-        return timings
+        # holding every log live is safe now that reconstruct() pauses GC
+        # for the batch (no mid-run pass can scan them); interleaving the
+        # rounds decorrelates the per-size minima from machine-load drift.
+        serial = {size: float("inf") for size in _SIZES}
+        parallel = {size: float("inf") for size in _SIZES}
+        counts = {}
+        for round_ in range(_ROUNDS):
+            for size in _SIZES:
+                seconds, sessions = _timed(
+                    lambda: smart.reconstruct(logs[size]))
+                serial[size] = min(serial[size], seconds)
+                seconds, parallel_sessions = _timed(
+                    lambda: smart.reconstruct(logs[size], workers=0))
+                parallel[size] = min(parallel[size], seconds)
+                assert list(sessions) == list(parallel_sessions)
+                counts[size] = len(sessions)
+        for size in _SIZES:
+            rows[size] = (len(logs[size]), counts[size], serial[size],
+                          parallel[size])
+        return rows
 
-    timings = benchmark.pedantic(run_all, rounds=3, iterations=1)
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
 
-    small_time, small_records, __ = timings[_SIZES[0]]
-    large_time, large_records, __ = timings[_SIZES[-1]]
+    small_records, __, small_time, __ = rows[_SIZES[0]]
+    large_records, __, large_time, __ = rows[_SIZES[-1]]
     records_ratio = large_records / small_records
     time_ratio = large_time / small_time
     # near-linear: time grows at most ~2x faster than the record count
-    # (generous bound to absorb timer noise on a 3-round median).
+    # (generous bound to absorb timer noise).
     assert time_ratio < records_ratio * 2.0
+    if not BENCH_QUICK:
+        # the droop fix itself: per-record serial throughput must hold
+        # steady between the 400- and 800-agent rows (10% noise floor).
+        krec = {size: rows[size][0] / rows[size][2] / 1000
+                for size in _SIZES}
+        assert krec[800] >= krec[400] * 0.90, krec
 
-    lines = [f"Extension A11 — Smart-SRA scaling (seed {BENCH_SEED})",
-             "  agents  records  sessions  seconds  krec/s"]
+    lines = [f"Extension A11 — Smart-SRA scaling (seed {BENCH_SEED}, "
+             f"best of {_ROUNDS}, {available_cpus()} CPU(s) visible)",
+             "  interleaved rounds + batch GC pause; see module docstring",
+             "  agents  records  sessions  serial_s  krec/s  par_s(auto)"]
     for size in _SIZES:
-        seconds, records, sessions = timings[size]
+        records, sessions, serial_s, parallel_s = rows[size]
         lines.append(f"  {size:>6}  {records:>7}  {sessions:>8}  "
-                     f"{seconds:7.3f}  {records / seconds / 1000:6.1f}")
+                     f"{serial_s:8.3f}  {records / serial_s / 1000:6.1f}  "
+                     f"{parallel_s:11.3f}")
     emit(results_dir, "scalability", "\n".join(lines) + "\n")

@@ -6,9 +6,13 @@ Subcommands mirror the paper's pipeline:
 * ``simulate``   — run the agent simulator over a topology, writing the
   CLF access log and the ground-truth session file;
 * ``clean``      — run the cleaning pipeline over a (noisy) CLF log;
-* ``reconstruct``— apply one heuristic to a CLF log;
+* ``reconstruct``— apply one heuristic to a CLF log (alias:
+  ``sessionize``); ``--workers N`` fans reconstruction out over the
+  :mod:`repro.parallel` engine with identical output;
 * ``evaluate``   — score a reconstructed session file against ground truth;
 * ``experiment`` — regenerate Figure 8, 9 or 10 and print the table;
+* ``sweep``      — sweep one simulation parameter (stp/lpp/nip), scoring
+  all heuristics per value, optionally in parallel;
 * ``mine``       — mine frequent navigation patterns from a session file;
 * ``stats``      — profile a session file (lengths, durations, top pages);
 * ``run-spec``   — execute a declarative JSON experiment specification;
@@ -113,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub = _Sub()
 
+    def add_workers_flag(command_parser: argparse.ArgumentParser) -> None:
+        command_parser.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="parallel workers (repro.parallel engine): 1 = serial "
+                 "(default), 0 = all usable CPUs, N = exactly N; output "
+                 "is identical for every value")
+
     topo = sub.add_parser("topology", help="generate a site topology")
     topo.add_argument("--family", choices=["random", "hierarchical",
                                            "power-law"], default="random")
@@ -136,12 +147,14 @@ def build_parser() -> argparse.ArgumentParser:
                      default="clf",
                      help="log format: plain CLF (the paper's reactive "
                           "setting) or Combined (adds Referer/User-Agent)")
+    add_workers_flag(sim)
 
     clean = sub.add_parser("clean", help="filter a CLF log to page views")
     clean.add_argument("--log", required=True)
     clean.add_argument("--output", required=True)
 
-    rec = sub.add_parser("reconstruct", help="apply a heuristic to a log")
+    rec = sub.add_parser("reconstruct", aliases=["sessionize"],
+                         help="apply a heuristic to a log")
     rec.add_argument("--log", required=True)
     rec.add_argument("--heuristic", default="heur4",
                      help="heur1 | heur2 | heur3 | heur4 | phase1 | "
@@ -150,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="topology JSON (required by heur3/heur4)")
     rec.add_argument("--output", required=True,
                      help="session JSON output path")
+    add_workers_flag(rec)
 
     ev = sub.add_parser("evaluate", help="score reconstruction vs truth")
     ev.add_argument("--truth", required=True)
@@ -164,6 +178,23 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument("--csv", help="also write the series as CSV here")
 
+    swp = sub.add_parser("sweep",
+                         help="sweep one simulation parameter, scoring "
+                              "all heuristics per value")
+    swp.add_argument("--topology",
+                     help="topology JSON (random Table 5 site when "
+                          "omitted)")
+    swp.add_argument("--parameter", choices=["stp", "lpp", "nip"],
+                     required=True,
+                     help="the SimulationConfig field to vary")
+    swp.add_argument("--values", required=True,
+                     help="comma-separated parameter values, run in order")
+    swp.add_argument("--agents", type=int, default=500,
+                     help="agents per sweep point")
+    swp.add_argument("--seed", type=int, default=0)
+    swp.add_argument("--csv", help="also write the series as CSV here")
+    add_workers_flag(swp)
+
     mine = sub.add_parser("mine", help="mine frequent navigation patterns")
     mine.add_argument("--sessions", required=True)
     mine.add_argument("--min-support", type=float, default=0.01)
@@ -175,9 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "a metrics snapshot")
     stats.add_argument("--sessions", help="session JSON file to profile")
     stats.add_argument("--top", type=int, default=5)
-    stats.add_argument("--snapshot", metavar="FILE",
+    stats.add_argument("--snapshot", metavar="FILE", action="append",
                        help="metrics snapshot JSON (written by --metrics) "
-                            "to render instead ('-' reads stdin)")
+                            "to render instead ('-' reads stdin); "
+                            "repeatable — multiple snapshots (e.g. one "
+                            "per worker) are merged before rendering")
     stats.add_argument("--format", dest="render_format",
                        choices=["table", "json", "prom"], default="table",
                        help="snapshot rendering (with --snapshot)")
@@ -269,11 +302,34 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validated_workers(args: argparse.Namespace) -> int | None:
+    """Map the ``--workers`` flag to the library knob.
+
+    Returns ``None`` for serial (the flag's default of 1), the count
+    otherwise; a negative count is a usage error reported by the caller
+    (sentinel ``-1`` is never returned — callers test with
+    :func:`_workers_invalid` first).
+    """
+    return None if args.workers == 1 else args.workers
+
+
+def _workers_invalid(args: argparse.Namespace) -> bool:
+    """Validate ``--workers``, printing the one-line usage error."""
+    if args.workers < 0:
+        print("error: --workers must be >= 0 (0 = auto-detect), got "
+              f"{args.workers}", file=sys.stderr)
+        return True
+    return False
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if _workers_invalid(args):
+        return 2
     graph = load_graph(args.topology)
     config = SimulationConfig(stp=args.stp, lpp=args.lpp, nip=args.nip,
                               n_agents=args.agents, seed=args.seed)
-    result = simulate_population(graph, config)
+    result = simulate_population(graph, config,
+                                 n_workers=_validated_workers(args))
     records = requests_to_records(result.log_requests, IdentityAddressMap())
     if args.format == "combined":
         written = write_combined_file(args.log, records)
@@ -321,6 +377,8 @@ def _cmd_clean(args: argparse.Namespace) -> int:
 
 
 def _cmd_reconstruct(args: argparse.Namespace) -> int:
+    if _workers_invalid(args):
+        return 2
     records = _read_log_surfacing_drops(args.log)
     requests = records_to_requests(records)
     if args.heuristic == "referrer":
@@ -338,7 +396,8 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
             heuristic = SmartSRA(graph)
     else:
         heuristic = get_heuristic(args.heuristic)
-    sessions = heuristic.reconstruct(requests)
+    sessions = heuristic.reconstruct(requests,
+                                     workers=_validated_workers(args))
     sessions.save(args.output)
     print(f"{heuristic.label}: {len(sessions)} sessions from "
           f"{len(requests)} requests "
@@ -371,6 +430,36 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "fig10": "Figure 10 — real accuracy (%) vs NIP",
     }
     print(render_sweep_table(result, titles[args.figure]))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(render_csv(result))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if _workers_invalid(args):
+        return 2
+    try:
+        values = [float(token) for token in args.values.split(",") if token]
+    except ValueError:
+        print(f"error: --values must be comma-separated numbers, got "
+              f"{args.values!r}", file=sys.stderr)
+        return 2
+    if not values:
+        print("error: --values needs at least one value", file=sys.stderr)
+        return 2
+    from repro.evaluation.harness import sweep as run_sweep
+    if args.topology:
+        graph = load_graph(args.topology)
+    else:
+        graph = random_site(300, 15.0, seed=args.seed)
+    base = SimulationConfig(n_agents=args.agents, seed=args.seed)
+    result = run_sweep(graph, base, args.parameter, values,
+                       workers=_validated_workers(args))
+    print(render_sweep_table(
+        result, f"sweep: real accuracy (%) vs {args.parameter.upper()} "
+                f"({args.agents} agents)"))
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(render_csv(result))
@@ -415,7 +504,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     if args.snapshot is not None:
-        snapshot = _load_snapshot(args.snapshot)
+        snapshots = [_load_snapshot(path) for path in args.snapshot]
+        if len(snapshots) == 1:
+            snapshot = snapshots[0]
+        else:
+            from repro.obs import merge_snapshots
+            snapshot = merge_snapshots(*snapshots)
         if args.render_format == "json":
             print(json.dumps(snapshot, indent=1, sort_keys=True))
         elif args.render_format == "prom":
@@ -637,8 +731,10 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "clean": _cmd_clean,
     "reconstruct": _cmd_reconstruct,
+    "sessionize": _cmd_reconstruct,
     "evaluate": _cmd_evaluate,
     "experiment": _cmd_experiment,
+    "sweep": _cmd_sweep,
     "mine": _cmd_mine,
     "stats": _cmd_stats,
     "run-spec": _cmd_run_spec,

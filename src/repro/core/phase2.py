@@ -145,6 +145,13 @@ def maximal_sessions_fast(candidate: Sequence[Request], topology: WebGraph,
     setting with short candidates, both implementations are Step-III-bound
     and perform the same — see ``bench_phase2_implementations``.
 
+    The inner loops run on the topology's interned integer adjacency view
+    (:meth:`~repro.topology.graph.WebGraph.adjacency_index`): page ids are
+    dense sorted-name ranks, so numeric id order reproduces the reference's
+    sorted-page-name extension order without re-sorting per release, and
+    the blocker scan walks backwards in time and stops at the ρ window
+    instead of re-testing every earlier request.
+
     Output may differ from the reference in *ordering* only; the session
     multiset is identical (property-tested).  :class:`~repro.core.smart_sra.
     SmartSRA` uses this version; the reference stays as the
@@ -157,52 +164,77 @@ def maximal_sessions_fast(candidate: Sequence[Request], topology: WebGraph,
         return []
 
     requests = list(candidate)
+    max_gap = config.max_gap
+    index = topology.adjacency_index()
+    page_id = index.page_id
+    pred_id_sets = index.pred_id_sets
+    pred_sorted_ids = index.pred_sorted_ids
+    # Interned per-request views: pages absent from the topology get id -1
+    # (no in-links, no out-links, so they never block and never extend).
+    ids = [page_id.get(request.page, -1) for request in requests]
+    times = [request.timestamp for request in requests]
+    _EMPTY: tuple[int, ...] = ()
+
     # Blocker graph: j blocks i (j < i) when page_j links to page_i within
-    # the referrer window ρ.  Computed once, O(n²) total.
+    # the referrer window ρ.  Requests are chronological, so the scan walks
+    # j backwards from i and stops at the first request outside the window
+    # — O(n·w) where w is the ρ-window population, instead of O(n²).
     blocker_count = [0] * n
     dependents: list[list[int]] = [[] for __ in range(n)]
     for i in range(n):
-        predecessors = topology.predecessors(requests[i].page)
-        for j in range(i):
-            if (requests[j].page in predecessors
-                    and requests[i].timestamp - requests[j].timestamp
-                    <= config.max_gap):
+        pid = ids[i]
+        if pid < 0:
+            continue
+        predecessors = pred_id_sets[pid]
+        if not predecessors:
+            continue
+        timestamp = times[i]
+        for j in range(i - 1, -1, -1):
+            # same expression as the reference's window test: subtraction
+            # is monotone in j (times are sorted), so the first request
+            # past ρ ends the scan without float-rounding disagreements.
+            if timestamp - times[j] > max_gap:
+                break
+            if ids[j] in predecessors:
                 blocker_count[i] += 1
                 dependents[j].append(i)
 
     wave = [i for i in range(n) if blocker_count[i] == 0]
     open_sessions: list[Session] = []
-    by_last: dict[str, list[int]] = {}
+    by_last: dict[int, list[int]] = {}
     first_wave = True
     hits = misses = 0
     while wave:
         if first_wave:
             open_sessions = [Session([requests[i]]) for i in wave]
-            for index, i in enumerate(wave):
-                by_last.setdefault(requests[i].page, []).append(index)
+            for index_, i in enumerate(wave):
+                by_last.setdefault(ids[i], []).append(index_)
             first_wave = False
         else:
             next_sessions: list[Session] = []
-            next_by_last: dict[str, list[int]] = {}
+            next_by_last: dict[int, list[int]] = {}
             extended: set[int] = set()
 
-            def add(session: Session) -> None:
-                next_by_last.setdefault(session[-1].page, []).append(
+            def add(session: Session, last_id: int) -> None:
+                next_by_last.setdefault(last_id, []).append(
                     len(next_sessions))
                 next_sessions.append(session)
 
             for i in wave:
                 request = requests[i]
+                pid = ids[i]
+                timestamp = times[i]
                 placed = False
-                # sorted() pins the extension order: frozenset iteration
-                # varies with hash randomization across processes.
-                for predecessor in sorted(
-                        topology.predecessors(request.page)):
+                # numeric id order == sorted page-name order (ids are
+                # sorted ranks), pinning the extension order across
+                # processes without a per-release sort.
+                for predecessor in (pred_sorted_ids[pid] if pid >= 0
+                                    else _EMPTY):
                     for session_index in by_last.get(predecessor, ()):
                         session = open_sessions[session_index]
-                        if (0 <= request.timestamp
-                                - session[-1].timestamp <= config.max_gap):
-                            add(session.extended(request))
+                        if (0 <= timestamp
+                                - session[-1].timestamp <= max_gap):
+                            add(session.extended(request), pid)
                             extended.add(session_index)
                             placed = True
                 if placed:
@@ -210,10 +242,10 @@ def maximal_sessions_fast(candidate: Sequence[Request], topology: WebGraph,
                 else:
                     misses += 1
                     if config.rescue_orphans:
-                        add(Session([request]))
+                        add(Session([request]), pid)
             for session_index, session in enumerate(open_sessions):
                 if session_index not in extended:
-                    add(session)
+                    add(session, page_id.get(session[-1].page, -1))
             open_sessions = next_sessions
             by_last = next_by_last
 

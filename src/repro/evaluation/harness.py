@@ -16,6 +16,7 @@ shape of the paper's Figures 8-10.
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
@@ -86,9 +87,29 @@ class TrialResult:
             f"unknown metric {metric!r}; use 'matched' or 'captured'")
 
 
+def _score_heuristic(task: tuple[str, SessionReconstructor],
+                     simulation: SimulationResult) -> AccuracyReport:
+    """Reconstruct and score one heuristic (parallel work unit).
+
+    Module-level so it pickles into worker processes; the ambient registry
+    it publishes to is the worker's private one, merged back by the
+    engine.
+    """
+    name, heuristic = task
+    registry = get_registry()
+    with registry.span("trial.reconstruct", heuristic=name), \
+            registry.timer("eval.reconstruct.seconds", heuristic=name):
+        reconstructed = heuristic.reconstruct(simulation.log_requests)
+    with registry.span("trial.evaluate", heuristic=name), \
+            registry.timer("eval.evaluate.seconds", heuristic=name):
+        return evaluate_reconstruction(
+            name, simulation.ground_truth, reconstructed)
+
+
 def run_trial(topology: WebGraph, config: SimulationConfig,
               heuristics: Mapping[str, SessionReconstructor] | None = None,
-              cache_dir: str | None = None) -> TrialResult:
+              cache_dir: str | None = None, *,
+              workers: int | None = None, mode: str = "auto") -> TrialResult:
     """Simulate one population and evaluate every heuristic on its log.
 
     Args:
@@ -99,6 +120,13 @@ def run_trial(topology: WebGraph, config: SimulationConfig,
         cache_dir: optional simulation disk cache
             (:func:`repro.evaluation.simcache.cached_simulation`); repeated
             trials with identical inputs skip the simulation entirely.
+        workers: ``None`` (default) scores the heuristics sequentially;
+            ``0`` fans out over all usable CPUs; a positive count uses
+            exactly that many workers (:func:`repro.parallel.parallel_map`
+            — reports are identical either way, metric counters
+            reconcile).
+        mode: parallel execution mode; ignored when ``workers`` is
+            ``None``.
     """
     registry = get_registry()
     if heuristics is None:
@@ -111,15 +139,17 @@ def run_trial(topology: WebGraph, config: SimulationConfig,
             simulation = cached_simulation(topology, config, cache_dir)
         else:
             simulation = simulate_population(topology, config)
-    reports = {}
-    for name, heuristic in heuristics.items():
-        with registry.span("trial.reconstruct", heuristic=name), \
-                registry.timer("eval.reconstruct.seconds", heuristic=name):
-            reconstructed = heuristic.reconstruct(simulation.log_requests)
-        with registry.span("trial.evaluate", heuristic=name), \
-                registry.timer("eval.evaluate.seconds", heuristic=name):
-            reports[name] = evaluate_reconstruction(
-                name, simulation.ground_truth, reconstructed)
+    tasks = list(heuristics.items())
+    if workers is None:
+        reports = {name: _score_heuristic((name, heuristic), simulation)
+                   for name, heuristic in tasks}
+    else:
+        from repro.parallel import parallel_map
+
+        scored = parallel_map(
+            functools.partial(_score_heuristic, simulation=simulation),
+            tasks, workers=workers, mode=mode)
+        reports = {task[0]: report for task, report in zip(tasks, scored)}
     if registry.enabled:
         registry.counter("eval.trials").inc()
         registry.counter("eval.sessions.real").inc(
@@ -168,10 +198,30 @@ class SweepResult:
         return table
 
 
+def _run_sweep_point(value: float, topology: WebGraph,
+                     base_config: SimulationConfig, parameter: str,
+                     heuristic_factory, cache_dir: str | None) -> TrialResult:
+    """Run one sweep point (parallel work unit; module-level to pickle)."""
+    registry = get_registry()
+    config = base_config.with_(**{parameter: value})
+    heuristics = (heuristic_factory() if heuristic_factory is not None
+                  else None)
+    with registry.span("sweep.point", parameter=parameter, value=value), \
+            registry.timer("eval.sweep.point.seconds"):
+        trial = run_trial(topology, config, heuristics, cache_dir=cache_dir)
+    if registry.enabled:
+        registry.counter("eval.sweep.points").inc()
+        for name, accuracy in trial.accuracies().items():
+            registry.gauge(
+                "eval.sweep.accuracy", heuristic=name,
+                **{parameter: f"{value:g}"}).set(accuracy)
+    return trial
+
+
 def sweep(topology: WebGraph, base_config: SimulationConfig, parameter: str,
           values: Sequence[float],
-          heuristic_factory=None, cache_dir: str | None = None
-          ) -> SweepResult:
+          heuristic_factory=None, cache_dir: str | None = None, *,
+          workers: int | None = None, mode: str = "auto") -> SweepResult:
     """Vary one simulation parameter, evaluating all heuristics per value.
 
     Args:
@@ -183,6 +233,13 @@ def sweep(topology: WebGraph, base_config: SimulationConfig, parameter: str,
         heuristic_factory: optional ``() -> Mapping[str, reconstructor]``
             called per value; defaults to the paper's four heuristics.
         cache_dir: optional simulation disk cache shared by all points.
+        workers: ``None`` (default) runs the points sequentially; ``0``
+            fans the points out over all usable CPUs; a positive count
+            uses exactly that many workers.  Results and metric counters
+            are identical either way (sweep points are independent trials
+            with value-labelled gauges).
+        mode: parallel execution mode; ignored when ``workers`` is
+            ``None``.
 
     Raises:
         EvaluationError: for an empty value list or an unknown parameter.
@@ -193,23 +250,16 @@ def sweep(topology: WebGraph, base_config: SimulationConfig, parameter: str,
         raise EvaluationError(
             f"unknown simulation parameter {parameter!r}")
 
-    registry = get_registry()
-    trials = []
-    for value in values:
-        config = base_config.with_(**{parameter: value})
-        heuristics = (heuristic_factory() if heuristic_factory is not None
-                      else None)
-        with registry.span("sweep.point", parameter=parameter,
-                           value=value), \
-                registry.timer("eval.sweep.point.seconds"):
-            trial = run_trial(topology, config, heuristics,
-                              cache_dir=cache_dir)
-        trials.append(trial)
-        if registry.enabled:
-            registry.counter("eval.sweep.points").inc()
-            for name, accuracy in trial.accuracies().items():
-                registry.gauge(
-                    "eval.sweep.accuracy", heuristic=name,
-                    **{parameter: f"{value:g}"}).set(accuracy)
+    point = functools.partial(
+        _run_sweep_point, topology=topology, base_config=base_config,
+        parameter=parameter, heuristic_factory=heuristic_factory,
+        cache_dir=cache_dir)
+    if workers is None:
+        trials = [point(value) for value in values]
+    else:
+        from repro.parallel import parallel_map
+
+        trials = parallel_map(point, list(values), workers=workers,
+                              mode=mode)
     return SweepResult(parameter=parameter, values=tuple(values),
                        trials=tuple(trials))

@@ -28,7 +28,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
-from repro.evaluation.subsequence import contains
+from repro.evaluation.subsequence import SubsequenceIndex, contains
 from repro.exceptions import EvaluationError
 from repro.sessions.model import Session, SessionSet
 
@@ -174,34 +174,40 @@ def evaluate_reconstruction(heuristic: str, ground_truth: SessionSet,
     capture_edges: list[list[int]] = []
     real_groups: dict[str, list[int]] = {}
 
-    # Pre-index the reconstructed sessions by user once; the capture test
-    # below is the hot path of every sweep point.
-    pool_by_user: dict[str, list[tuple[int, Session]]] = {}
+    # One SubsequenceIndex per candidate pool (per user, plus one global
+    # pool for cross-user matching and user-less real sessions).  The
+    # capture test is the hot path of every sweep point: the index answers
+    # each real session's query by probing only its rarest page's corpus
+    # occurrences instead of KMP-scanning every reconstructed session.
+    pages_by_user: dict[str, list[tuple[int, ...]]] = {}
+    globals_by_user: dict[str, list[int]] = {}
     for index, session in enumerate(reconstructed):
         if session:
-            pool_by_user.setdefault(session.user_id, []).append(
-                (index, session))
-    all_pool = list(enumerate(reconstructed))
+            pages_by_user.setdefault(session.user_id, []).append(
+                session.pages)
+            globals_by_user.setdefault(session.user_id, []).append(index)
+    user_indexes = {user: SubsequenceIndex(corpus)
+                    for user, corpus in pages_by_user.items()}
+    empty_index = SubsequenceIndex(())
+    global_index: SubsequenceIndex | None = None
 
     for real_index, real in enumerate(ground_truth):
         if match_within_user and real:
-            pool = pool_by_user.get(real.user_id, [])
+            pool_index = user_indexes.get(real.user_id, empty_index)
+            to_global = globals_by_user.get(real.user_id, ())
             group_key = real.user_id
         else:
-            pool = all_pool
+            if global_index is None:
+                global_index = SubsequenceIndex(
+                    session.pages for session in reconstructed)
+            pool_index = global_index
+            to_global = range(len(reconstructed))
             group_key = ""
-        hit = False
-        exact_hit = False
-        edges: list[int] = []
-        for index, candidate in pool:
-            if contains(candidate.pages, real.pages):
-                productive_indices.add(index)
-                edges.append(index)
-                hit = True
-                if candidate.pages == real.pages:
-                    exact_hit = True
-        captured += hit
-        exact += exact_hit
+        edges = [to_global[local] for local in pool_index.find_all(real.pages)]
+        captured += bool(edges)
+        exact += any(reconstructed[index].pages == real.pages
+                     for index in edges)
+        productive_indices.update(edges)
         capture_edges.append(edges)
         real_groups.setdefault(group_key, []).append(real_index)
 

@@ -37,11 +37,13 @@ from repro.obs.registry import (
     Registry,
     Timer,
     get_registry,
+    merge_snapshots,
     series_name,
     set_registry,
     snapshot_to_prometheus,
     snapshot_to_table,
     split_series,
+    use_local_registry,
     use_registry,
 )
 from repro.obs.tracing import ListSink, Tracer
@@ -58,6 +60,8 @@ __all__ = [
     "get_registry",
     "set_registry",
     "use_registry",
+    "use_local_registry",
+    "merge_snapshots",
     "series_name",
     "split_series",
     "snapshot_to_prometheus",

@@ -47,6 +47,8 @@ __all__ = [
     "get_registry",
     "set_registry",
     "use_registry",
+    "use_local_registry",
+    "merge_snapshots",
     "series_name",
     "split_series",
     "snapshot_to_prometheus",
@@ -407,6 +409,49 @@ class Registry:
         return {"version": 1, "counters": counters, "gauges": gauges,
                 "histograms": histograms}
 
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` document into this registry.
+
+        This is the reconciliation step of parallel execution
+        (:mod:`repro.parallel`): each worker collects into a private
+        registry, and the parent merges the worker snapshots back so the
+        combined registry equals the one a serial run would have produced.
+
+        Merge semantics per instrument:
+
+        * **counters** — added (counting is commutative across workers);
+        * **histograms** — bucket counts, overflow, sum and count are
+          added; the series must use the same bucket bounds;
+        * **gauges** — last merged snapshot wins.  A gauge records "the
+          value as of now", and snapshots are merged in deterministic
+          chunk order, so the final value matches a serial run's
+          last-write.
+
+        No-op on a disabled registry.
+
+        Raises:
+            ConfigurationError: when a histogram series exists with
+                different bucket bounds.
+        """
+        if not self.enabled:
+            return
+        for series, value in snapshot.get("counters", {}).items():
+            name, labels = split_series(series)
+            self.counter(name, **labels).inc(value)
+        for series, value in snapshot.get("gauges", {}).items():
+            name, labels = split_series(series)
+            self.gauge(name, **labels).set(value)
+        for series, data in snapshot.get("histograms", {}).items():
+            name, labels = split_series(series)
+            bounds = tuple(float(bound) for bound, __ in data["buckets"])
+            histogram = self.histogram(name, bounds, **labels)
+            with self._lock:
+                for index, (__, count) in enumerate(data["buckets"]):
+                    histogram.counts[index] += count
+                histogram.overflow += data.get("overflow", 0)
+                histogram.total += data.get("sum", 0.0)
+                histogram.count += data.get("count", 0)
+
     def render_prometheus(self) -> str:
         """Prometheus text exposition of the current state."""
         return snapshot_to_prometheus(self.snapshot())
@@ -518,14 +563,25 @@ NULL_REGISTRY = Registry(enabled=False)
 
 _ACTIVE = NULL_REGISTRY
 
+#: per-thread ambient override; lets parallel worker threads collect into
+#: private registries without racing on the process-global one.
+_LOCAL = threading.local()
+
 
 def get_registry() -> Registry:
-    """The ambient registry (the disabled default unless one was set)."""
-    return _ACTIVE
+    """The ambient registry.
+
+    Resolution order: the calling thread's local override (installed by
+    :func:`use_local_registry`), then the process-global registry
+    (:func:`set_registry`), then the disabled default.
+    """
+    local = getattr(_LOCAL, "registry", None)
+    return local if local is not None else _ACTIVE
 
 
 def set_registry(registry: Registry | None) -> Registry:
-    """Install ``registry`` as the ambient one; returns the previous.
+    """Install ``registry`` as the process-global ambient one; returns the
+    previous.
 
     ``None`` restores the disabled default.
     """
@@ -543,3 +599,37 @@ def use_registry(registry: Registry) -> Iterator[Registry]:
         yield registry
     finally:
         set_registry(previous)
+
+
+@contextmanager
+def use_local_registry(registry: Registry) -> Iterator[Registry]:
+    """Scoped *thread-local* ambient registry.
+
+    Only the calling thread sees ``registry``; every other thread keeps
+    resolving the process-global one.  This is how
+    :mod:`repro.parallel` gives each worker an isolated registry whose
+    snapshot is merged back into the parent
+    (:meth:`Registry.merge_snapshot`) — it works identically for worker
+    threads and for the main thread of a worker process.
+    """
+    previous = getattr(_LOCAL, "registry", None)
+    _LOCAL.registry = registry
+    try:
+        yield registry
+    finally:
+        _LOCAL.registry = previous
+
+
+def merge_snapshots(*snapshots: dict[str, Any]) -> dict[str, Any]:
+    """Merge several :meth:`Registry.snapshot` documents into one.
+
+    Documents are merged in argument order with
+    :meth:`Registry.merge_snapshot` semantics (counters and histograms
+    add, gauges last-write).  Useful for combining the per-worker
+    snapshots of a sharded run offline — ``repro stats --snapshot`` does
+    exactly this when given several files.
+    """
+    merged = Registry()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged.snapshot()

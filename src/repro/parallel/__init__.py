@@ -1,0 +1,45 @@
+"""repro.parallel — the deterministic fan-out execution engine.
+
+One engine for every parallel path in the library: user-sharded session
+reconstruction, concurrent heuristic scoring and trial sweeps in the
+evaluation harness, and agent-sharded simulation.  The contract is
+*byte-identical output regardless of worker count* — see
+:mod:`repro.parallel.engine` for how chunked order-preserving execution
+and per-worker metrics-registry merging deliver that.
+
+Quickstart::
+
+    from repro import SmartSRA, random_site
+    from repro.parallel import parallel_map
+
+    site = random_site(300, 15, seed=1)
+    smart = SmartSRA(site)
+    sessions = smart.reconstruct(log_requests, workers=0)  # 0 = all CPUs
+
+    # or drive the engine directly:
+    squares = parallel_map(pow2, range(1000), workers=4)
+"""
+
+from repro.parallel.engine import (
+    CHUNKS_PER_WORKER,
+    ParallelPlan,
+    available_cpus,
+    parallel_map,
+    paused_gc,
+    plan_execution,
+    resolve_workers,
+    shard_by_key,
+    shard_by_user,
+)
+
+__all__ = [
+    "CHUNKS_PER_WORKER",
+    "ParallelPlan",
+    "available_cpus",
+    "parallel_map",
+    "paused_gc",
+    "plan_execution",
+    "resolve_workers",
+    "shard_by_key",
+    "shard_by_user",
+]

@@ -131,8 +131,31 @@ class Session:
 
         The receiver is unchanged; Smart-SRA Phase 2 relies on this to
         branch one open session into several extensions.
+
+        Only the new boundary is validated — the existing requests were
+        checked when this session was built, so re-walking them would make
+        growing a session O(length²) in Phase 2's hot loop.
+
+        Raises:
+            ReconstructionError: if ``request`` predates the current last
+                request or belongs to a different user.
         """
-        return Session(self._requests + (request,))
+        if self._requests:
+            last = self._requests[-1]
+            if request.timestamp < last.timestamp:
+                raise ReconstructionError(
+                    "session requests must be in non-decreasing timestamp "
+                    f"order; got {last.timestamp} then {request.timestamp}"
+                )
+            if request.user_id != last.user_id:
+                raise ReconstructionError(
+                    "a session may not mix users: "
+                    f"{last.user_id!r} vs {request.user_id!r}"
+                )
+        session = Session.__new__(Session)
+        session._requests = self._requests + (request,)
+        session._pages = self._pages + (request.page,)
+        return session
 
     # -- sequence protocol -------------------------------------------------
 

@@ -18,6 +18,7 @@ day), like real visitors arriving over a day.
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass
 
@@ -104,12 +105,13 @@ def _simulate_range(topology: WebGraph, config: SimulationConfig,
     return traces
 
 
-def _simulate_chunk(payload: tuple[WebGraph, SimulationConfig, float,
-                                   list[int], str]) -> list[AgentTrace]:
-    """Process-pool entry point (module level so it pickles)."""
-    topology, config, horizon, indices, arrival_profile = payload
-    return _simulate_range(topology, config, horizon, indices,
-                           arrival_profile)
+def _simulate_one(index: int, topology: WebGraph, config: SimulationConfig,
+                  horizon: float, arrival_profile: str) -> AgentTrace:
+    """Simulate one agent (the parallel work unit; module-level to pickle)."""
+    rng, start_time = _agent_rng_and_start(config, index, horizon,
+                                           arrival_profile)
+    return simulate_agent(agent_name(index), topology, config, rng,
+                          start_time)
 
 
 def simulate_population(topology: WebGraph, config: SimulationConfig,
@@ -125,8 +127,11 @@ def simulate_population(topology: WebGraph, config: SimulationConfig,
             ``proxy_group_size``).
         horizon: agents' first requests are spread uniformly over
             ``[0, horizon)`` seconds.
-        n_workers: parallelize across processes.  Results are identical to
-            the serial run (agents are seeded independently); only allowed
+        n_workers: parallelize agent simulation via
+            :func:`repro.parallel.parallel_map` — ``None`` (default) runs
+            in-process, ``0`` auto-detects usable CPUs, a positive count
+            uses exactly that many workers.  Results are identical to the
+            serial run (agents are seeded independently); only allowed
             without proxy sharing, whose shared caches are inherently
             sequential.
         arrival_profile: how arrivals spread over the horizon —
@@ -135,23 +140,29 @@ def simulate_population(topology: WebGraph, config: SimulationConfig,
 
     Raises:
         SimulationError: if ``horizon`` is negative, ``n_workers`` is
-            non-positive, or workers are combined with a proxy.
+            negative, or workers are combined with a proxy.
     """
     if horizon < 0:
         raise SimulationError(f"horizon must be >= 0, got {horizon}")
-    if n_workers is not None and n_workers <= 0:
-        raise SimulationError(f"n_workers must be positive, got {n_workers}")
+    if n_workers is not None and n_workers < 0:
+        raise SimulationError(
+            f"n_workers must be >= 0 (0 = auto-detect), got {n_workers}")
 
     if config.proxy_group_size > 1:
-        if n_workers is not None and n_workers > 1:
+        if n_workers is not None and n_workers != 1:
             raise SimulationError(
                 "proxy sharing is sequential; do not combine "
-                "proxy_group_size > 1 with n_workers > 1")
+                "proxy_group_size > 1 with parallel workers")
         traces = _simulate_with_proxies(topology, config, horizon,
                                         arrival_profile)
-    elif n_workers is not None and n_workers > 1:
-        traces = _simulate_parallel(topology, config, horizon, n_workers,
-                                    arrival_profile)
+    elif n_workers is not None and n_workers != 1:
+        from repro.parallel import parallel_map
+
+        traces = parallel_map(
+            functools.partial(_simulate_one, topology=topology,
+                              config=config, horizon=horizon,
+                              arrival_profile=arrival_profile),
+            range(config.n_agents), workers=n_workers)
     else:
         traces = _simulate_range(topology, config, horizon,
                                  list(range(config.n_agents)),

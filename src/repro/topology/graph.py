@@ -21,7 +21,38 @@ import networkx as nx
 
 from repro.exceptions import TopologyError
 
-__all__ = ["WebGraph"]
+__all__ = ["WebGraph", "AdjacencyIndex"]
+
+
+class AdjacencyIndex:
+    """Interned integer view of a :class:`WebGraph`'s adjacency.
+
+    Pages are assigned dense integer ids by sorted page name, and the
+    predecessor relation is precomputed both as frozensets of ids (O(1)
+    membership, cheap int hashing) and as numerically sorted id tuples
+    (deterministic iteration — numeric id order *is* lexicographic page
+    order, because ids are sorted-name ranks).  Smart-SRA Phase 2's inner
+    loop runs entirely on this view; see
+    :meth:`WebGraph.adjacency_index`.
+
+    Attributes:
+        pages: page names, indexed by id (sorted).
+        page_id: name → id mapping.
+        pred_id_sets: per page id, the frozenset of predecessor ids.
+        pred_sorted_ids: per page id, predecessor ids as a sorted tuple.
+    """
+
+    __slots__ = ("pages", "page_id", "pred_id_sets", "pred_sorted_ids")
+
+    def __init__(self, pred: Mapping[str, frozenset[str]]) -> None:
+        self.pages: tuple[str, ...] = tuple(sorted(pred))
+        self.page_id: dict[str, int] = {
+            page: index for index, page in enumerate(self.pages)}
+        self.pred_id_sets: tuple[frozenset[int], ...] = tuple(
+            frozenset(self.page_id[source] for source in pred[page])
+            for page in self.pages)
+        self.pred_sorted_ids: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(id_set)) for id_set in self.pred_id_sets)
 
 
 class WebGraph:
@@ -42,7 +73,7 @@ class WebGraph:
             set, or an empty graph.
     """
 
-    __slots__ = ("_succ", "_pred", "_start_pages", "_edge_count")
+    __slots__ = ("_succ", "_pred", "_start_pages", "_edge_count", "_index")
 
     def __init__(self, edges: Iterable[tuple[str, str]],
                  pages: Iterable[str] | None = None,
@@ -92,6 +123,7 @@ class WebGraph:
             page: frozenset(sources) for page, sources in pred.items()}
         self._start_pages: frozenset[str] = starts
         self._edge_count = edge_count
+        self._index: AdjacencyIndex | None = None
 
     # -- basic queries ------------------------------------------------------
 
@@ -150,6 +182,28 @@ class WebGraph:
     def predecessors(self, page: str) -> frozenset[str]:
         """Pages with a hyperlink *to* ``page`` (empty for unknown pages)."""
         return self._pred.get(page, frozenset())
+
+    def adjacency_index(self) -> AdjacencyIndex:
+        """The interned integer adjacency view (built once, then cached).
+
+        The cache never crosses a pickle boundary — parallel workers
+        rebuild it locally in O(pages + links), keeping worker payloads
+        slim — and the graph's immutability makes sharing it safe.
+        """
+        index = self._index
+        if index is None:
+            index = self._index = AdjacencyIndex(self._pred)
+        return index
+
+    def __getstate__(self) -> dict[str, object]:
+        return {"_succ": self._succ, "_pred": self._pred,
+                "_start_pages": self._start_pages,
+                "_edge_count": self._edge_count}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+        object.__setattr__(self, "_index", None)
 
     def out_degree(self, page: str) -> int:
         """Number of out-links of ``page`` (0 for unknown pages)."""

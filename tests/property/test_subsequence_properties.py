@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from hypothesis import given, strategies as st
 
-from repro.evaluation.subsequence import contains, find
+from repro.evaluation.subsequence import SubsequenceIndex, contains, find
 
 _SYMBOLS = st.sampled_from(["A", "B", "C"])
 _SEQ = st.lists(_SYMBOLS, max_size=30)
@@ -49,3 +49,28 @@ def test_transitivity_with_slices(haystack, needle):
     if index != -1 and needle:
         wider = haystack[max(0, index - 1):index + len(needle) + 1]
         assert contains(wider, needle)
+
+
+_CORPUS = st.lists(_SEQ, max_size=8)
+
+
+@given(_CORPUS, _SEQ)
+def test_index_find_all_matches_exhaustive_scan(corpus, needle):
+    """The rarest-symbol postings index ≡ scanning every haystack."""
+    index = SubsequenceIndex(corpus)
+    expected = [i for i, haystack in enumerate(corpus)
+                if contains(haystack, needle)]
+    assert index.find_all(needle) == expected
+    assert index.contains_any(needle) == bool(expected)
+
+
+@given(_CORPUS, st.integers(0, 7), st.integers(0, 29), st.integers(1, 29))
+def test_index_finds_every_planted_slice(corpus, pick, start, length):
+    """Any contiguous slice of a corpus member is found in that member."""
+    if not corpus:
+        return
+    haystack = corpus[pick % len(corpus)]
+    needle = haystack[start % (len(haystack) + 1):][:length]
+    if not needle:
+        return
+    assert (pick % len(corpus)) in SubsequenceIndex(corpus).find_all(needle)

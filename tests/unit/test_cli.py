@@ -14,9 +14,10 @@ def test_parser_lists_all_commands():
     actions = {action.dest: action for action in parser._actions}
     choices = actions["command"].choices
     assert set(choices) == {"topology", "simulate", "clean", "reconstruct",
-                            "evaluate", "experiment", "mine", "stats",
-                            "run-spec", "dataset", "compare", "anonymize",
-                            "selftest", "leaderboard", "chaos", "ingest"}
+                            "sessionize", "evaluate", "experiment", "sweep",
+                            "mine", "stats", "run-spec", "dataset",
+                            "compare", "anonymize", "selftest",
+                            "leaderboard", "chaos", "ingest"}
 
 
 def test_topology_command(tmp_path, capsys):
@@ -210,3 +211,95 @@ def test_ingest_strict_fails_on_dirty_log(pipeline_files, capsys):
     assert main(["ingest", "--log", dirty,
                  "--error-policy", "strict"]) == 1
     assert "error:" in capsys.readouterr().err
+
+
+class TestWorkersFlag:
+    def test_negative_workers_rejected(self, pipeline_files, capsys):
+        out = str(pipeline_files["dir"] / "neg.json")
+        code = main(["reconstruct", "--log", pipeline_files["log"],
+                     "--heuristic", "heur2", "--output", out,
+                     "--workers", "-2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: --workers must be >= 0")
+
+    def test_simulate_negative_workers_rejected(self, tmp_path, capsys):
+        site = str(tmp_path / "site.json")
+        assert main(["topology", "--pages", "20", "--output", site]) == 0
+        code = main(["simulate", "--topology", site, "--agents", "5",
+                     "--log", str(tmp_path / "x.log"),
+                     "--sessions", str(tmp_path / "x.json"),
+                     "--workers", "-1"])
+        assert code == 2
+        assert "error: --workers" in capsys.readouterr().err
+
+    def test_parallel_reconstruction_matches_serial(self, pipeline_files):
+        serial = str(pipeline_files["dir"] / "serial.json")
+        parallel = str(pipeline_files["dir"] / "parallel.json")
+        base = ["reconstruct", "--log", pipeline_files["log"],
+                "--heuristic", "heur4",
+                "--topology", pipeline_files["site"]]
+        assert main(base + ["--output", serial]) == 0
+        assert main(base + ["--output", parallel, "--workers", "2"]) == 0
+        assert SessionSet.load(parallel) == SessionSet.load(serial)
+
+    def test_simulate_auto_workers_matches_serial(self, tmp_path):
+        site = str(tmp_path / "site.json")
+        assert main(["topology", "--pages", "20", "--seed", "4",
+                     "--output", site]) == 0
+        logs = []
+        for name, extra in (("a.log", []), ("b.log", ["--workers", "0"])):
+            log = str(tmp_path / name)
+            assert main(["simulate", "--topology", site, "--agents", "10",
+                         "--seed", "2", "--log", log,
+                         "--sessions", log + ".json"] + extra) == 0
+            with open(log, "rb") as handle:
+                logs.append(handle.read())
+        assert logs[0] == logs[1]
+
+
+def test_sessionize_alias(pipeline_files):
+    out = str(pipeline_files["dir"] / "alias.json")
+    assert main(["sessionize", "--log", pipeline_files["log"],
+                 "--heuristic", "heur2", "--output", out]) == 0
+    assert len(SessionSet.load(out)) > 0
+
+
+class TestSweepCommand:
+    def test_sweep_writes_table_and_csv(self, pipeline_files, capsys):
+        csv_path = str(pipeline_files["dir"] / "sweep.csv")
+        assert main(["sweep", "--topology", pipeline_files["site"],
+                     "--parameter", "stp", "--values", "0.1,0.3",
+                     "--agents", "15", "--seed", "2",
+                     "--csv", csv_path]) == 0
+        printed = capsys.readouterr().out
+        assert "vs STP" in printed
+        with open(csv_path, encoding="utf-8") as handle:
+            assert handle.readline().startswith("stp,")
+
+    def test_sweep_rejects_garbage_values(self, capsys):
+        code = main(["sweep", "--parameter", "stp",
+                     "--values", "0.1,banana"])
+        assert code == 2
+        assert "error: --values" in capsys.readouterr().err
+
+    def test_sweep_rejects_empty_values(self, capsys):
+        code = main(["sweep", "--parameter", "stp", "--values", ","])
+        assert code == 2
+        assert "at least one value" in capsys.readouterr().err
+
+
+def test_stats_merges_multiple_snapshots(tmp_path, capsys):
+    import json as json_module
+    paths = []
+    for name, count in (("w1.json", 3), ("w2.json", 4)):
+        path = tmp_path / name
+        path.write_text(json_module.dumps(
+            {"version": 1, "counters": {"sessions.requests": count},
+             "gauges": {"depth": count}, "histograms": {}}))
+        paths.append(str(path))
+    assert main(["stats", "--snapshot", paths[0], "--snapshot", paths[1],
+                 "--format", "json"]) == 0
+    merged = json_module.loads(capsys.readouterr().out)
+    assert merged["counters"]["sessions.requests"] == 7   # counters add
+    assert merged["gauges"]["depth"] == 4                 # last write wins

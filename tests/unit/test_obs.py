@@ -24,11 +24,13 @@ from repro.obs import (
     Registry,
     Tracer,
     get_registry,
+    merge_snapshots,
     series_name,
     set_registry,
     snapshot_to_prometheus,
     snapshot_to_table,
     split_series,
+    use_local_registry,
     use_registry,
 )
 from repro.obs.registry import (
@@ -375,3 +377,95 @@ class TestTracing:
         for line in lines:
             record = json.loads(line)
             assert list(record) == sorted(record)
+
+
+class TestSnapshotMerging:
+    """merge_snapshot / merge_snapshots — the parallel reconciliation step."""
+
+    def test_counters_add(self):
+        a, b = Registry(), Registry()
+        a.counter("jobs", kind="x").inc(3)
+        b.counter("jobs", kind="x").inc(4)
+        b.counter("jobs", kind="y").inc(1)
+        a.merge_snapshot(b.snapshot())
+        counters = a.snapshot()["counters"]
+        assert counters["jobs{kind=x}"] == 7
+        assert counters["jobs{kind=y}"] == 1
+
+    def test_gauges_last_write_wins(self):
+        a, b = Registry(), Registry()
+        a.gauge("depth").set(10)
+        b.gauge("depth").set(2)
+        a.merge_snapshot(b.snapshot())
+        assert a.snapshot()["gauges"]["depth"] == 2
+
+    def test_histograms_add_bucket_wise(self):
+        bounds = (1.0, 10.0)
+        a, b = Registry(), Registry()
+        for value in (0.5, 5.0):
+            a.histogram("size", bounds).observe(value)
+        for value in (5.0, 50.0):
+            b.histogram("size", bounds).observe(value)
+        a.merge_snapshot(b.snapshot())
+        data = a.snapshot()["histograms"]["size"]
+        assert data["buckets"] == [[1.0, 1], [10.0, 2]]
+        assert data["overflow"] == 1
+        assert data["count"] == 4
+        assert data["sum"] == pytest.approx(60.5)
+
+    def test_mismatched_bucket_bounds_rejected(self):
+        a, b = Registry(), Registry()
+        a.histogram("size", (1.0, 2.0)).observe(0.5)
+        b.histogram("size", (1.0, 3.0)).observe(0.5)
+        with pytest.raises(ConfigurationError):
+            a.merge_snapshot(b.snapshot())
+
+    def test_merge_into_disabled_registry_is_noop(self):
+        source = Registry()
+        source.counter("jobs").inc()
+        disabled = Registry(enabled=False)
+        disabled.merge_snapshot(source.snapshot())
+        assert disabled.snapshot()["counters"] == {}
+
+    def test_merge_snapshots_equals_one_registry_seeing_everything(self):
+        parts, reference = [], Registry()
+        for round_ in range(3):
+            registry = Registry()
+            for target in (registry, reference):
+                target.counter("jobs").inc(round_ + 1)
+                target.gauge("last").set(round_)
+                target.histogram("size", (2.0, 4.0)).observe(round_)
+            parts.append(registry.snapshot())
+        assert merge_snapshots(*parts) == reference.snapshot()
+
+    def test_merge_order_determines_gauges(self):
+        a, b = Registry(), Registry()
+        a.gauge("g").set(1)
+        b.gauge("g").set(2)
+        assert merge_snapshots(a.snapshot(),
+                               b.snapshot())["gauges"]["g"] == 2
+        assert merge_snapshots(b.snapshot(),
+                               a.snapshot())["gauges"]["g"] == 1
+
+
+class TestLocalRegistry:
+    def test_scoped_override_and_restore(self):
+        outer = get_registry()
+        local = Registry()
+        with use_local_registry(local):
+            assert get_registry() is local
+            get_registry().counter("seen").inc()
+        assert get_registry() is outer
+        assert local.snapshot()["counters"]["seen"] == 1
+
+    def test_other_threads_keep_the_global_registry(self):
+        import threading
+
+        local = Registry()
+        seen_from_thread = []
+        with use_local_registry(local):
+            thread = threading.Thread(
+                target=lambda: seen_from_thread.append(get_registry()))
+            thread.start()
+            thread.join()
+        assert seen_from_thread[0] is not local

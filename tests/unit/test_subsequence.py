@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-from repro.evaluation.subsequence import contains, failure_function, find
+from repro.evaluation.subsequence import (
+    SubsequenceIndex,
+    contains,
+    failure_function,
+    find,
+)
 
 
 class TestPaperExamples:
@@ -67,3 +72,45 @@ class TestContains:
 
     def test_order_matters(self):
         assert not contains(("A", "B", "C"), ("C", "B"))
+
+
+class TestSubsequenceIndex:
+    CORPUS = [("P9", "P1", "P3", "P5", "P8"),   # captures [P1,P3,P5]
+              ("P1", "P9", "P3", "P5", "P8"),   # interrupted — no capture
+              ("P1", "P3", "P5"),               # exact match
+              ()]                               # empty haystack
+
+    def test_find_all_matches_linear_scan(self):
+        index = SubsequenceIndex(self.CORPUS)
+        needle = ("P1", "P3", "P5")
+        expected = [i for i, hay in enumerate(self.CORPUS)
+                    if contains(hay, needle)]
+        assert index.find_all(needle) == expected == [0, 2]
+
+    def test_absent_symbol_short_circuits(self):
+        index = SubsequenceIndex(self.CORPUS)
+        assert index.find_all(("P1", "P77")) == []
+
+    def test_empty_needle_matches_every_sequence(self):
+        index = SubsequenceIndex(self.CORPUS)
+        assert index.find_all(()) == [0, 1, 2, 3]
+
+    def test_contains_any(self):
+        index = SubsequenceIndex(self.CORPUS)
+        assert index.contains_any(("P3", "P5", "P8"))
+        assert not index.contains_any(("P8", "P5"))
+
+    def test_duplicate_anchor_positions_dedupe_hits(self):
+        # the anchor symbol occurs twice in one haystack; the haystack
+        # must still be reported once.
+        index = SubsequenceIndex([("a", "b", "a", "b")])
+        assert index.find_all(("a", "b")) == [0]
+
+    def test_len_and_sequences(self):
+        index = SubsequenceIndex(self.CORPUS)
+        assert len(index) == 4
+        assert index.sequences == list(self.CORPUS)
+
+    def test_accepts_lists(self):
+        index = SubsequenceIndex([["x", "y"], ["y", "x"]])
+        assert index.find_all(["y", "x"]) == [1]

@@ -198,4 +198,11 @@ class TestParallelSimulation:
     def test_invalid_worker_count(self, small_site):
         with pytest.raises(SimulationError):
             simulate_population(small_site, SimulationConfig(n_agents=5),
-                                n_workers=0)
+                                n_workers=-1)
+
+    def test_zero_workers_means_auto(self, small_site):
+        config = SimulationConfig(n_agents=8, seed=3)
+        serial = simulate_population(small_site, config)
+        auto = simulate_population(small_site, config, n_workers=0)
+        assert serial.log_requests == auto.log_requests
+        assert serial.ground_truth == auto.ground_truth
