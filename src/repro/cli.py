@@ -12,7 +12,9 @@ Subcommands mirror the paper's pipeline:
 * ``evaluate``   — score a reconstructed session file against ground truth;
 * ``experiment`` — regenerate Figure 8, 9 or 10 and print the table;
 * ``sweep``      — sweep one simulation parameter (stp/lpp/nip), scoring
-  all heuristics per value, optionally in parallel;
+  all heuristics per value, optionally in parallel; ``--checkpoint DIR``
+  persists every completed point and ``--resume`` continues a killed
+  sweep with identical final results;
 * ``mine``       — mine frequent navigation patterns from a session file;
 * ``stats``      — profile a session file (lengths, durations, top pages);
 * ``run-spec``   — execute a declarative JSON experiment specification;
@@ -23,9 +25,19 @@ Subcommands mirror the paper's pipeline:
   examples and the pinned golden numbers;
 * ``leaderboard``— rank every heuristic on one simulated workload;
 * ``chaos``      — corrupt a log with seeded fault injection (degraded-
-  input testing; composable with ``ingest`` over a pipe);
+  input testing; composable with ``ingest`` over a pipe), or — with
+  ``--exec-selftest`` — inject *execution* faults (crashed / hung / slow
+  workers) and verify the supervised engine recovers byte-identically;
 * ``ingest``     — parse a (possibly degraded) log under an explicit
-  error policy, with full accounting and a quarantine file.
+  error policy, with full accounting and a quarantine file;
+* ``doctor``     — audit a ``--checkpoint`` directory: schema, integrity
+  hashes, orphans, and what a ``--resume`` would skip or redo.
+
+Long-running commands (``sweep``, ``simulate``, ``reconstruct``) accept
+supervision flags (``--max-retries``, ``--chunk-deadline``,
+``--on-chunk-failure``) that wrap parallel execution in the fault-
+tolerant supervisor; Ctrl-C exits with code 130 after flushing completed
+checkpoint units, so an interrupted run is always resumable.
 
 Every command prints a short human-readable summary to stdout; files are
 only written where an ``--output``-style flag points.
@@ -124,6 +136,27 @@ def build_parser() -> argparse.ArgumentParser:
                  "(default), 0 = all usable CPUs, N = exactly N; output "
                  "is identical for every value")
 
+    def add_supervision_flags(
+            command_parser: argparse.ArgumentParser) -> None:
+        """Fault-tolerance knobs (repro.parallel.supervisor); supervision
+        activates when any of them is given."""
+        command_parser.add_argument(
+            "--max-retries", type=int, default=None, metavar="N",
+            help="retry a crashed or hung chunk up to N times with "
+                 "exponential backoff (supervised execution; default 2 "
+                 "once supervision is active)")
+        command_parser.add_argument(
+            "--chunk-deadline", type=float, default=None, metavar="SECONDS",
+            help="progress deadline: if no chunk completes within this "
+                 "window the worker pool is presumed hung, killed, and "
+                 "the outstanding chunks are retried")
+        command_parser.add_argument(
+            "--on-chunk-failure", choices=["raise", "serial", "skip"],
+            default=None,
+            help="what to do with a chunk that exhausts its retries: "
+                 "re-run it serially in-process (default), quarantine "
+                 "and skip it, or abort the run")
+
     topo = sub.add_parser("topology", help="generate a site topology")
     topo.add_argument("--family", choices=["random", "hierarchical",
                                            "power-law"], default="random")
@@ -148,6 +181,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="log format: plain CLF (the paper's reactive "
                           "setting) or Combined (adds Referer/User-Agent)")
     add_workers_flag(sim)
+    add_supervision_flags(sim)
+    sim.add_argument("--checkpoint", metavar="DIR",
+                     help="persist completed agent blocks here so an "
+                          "interrupted simulation can --resume")
+    sim.add_argument("--resume", action="store_true",
+                     help="continue from --checkpoint, re-simulating "
+                          "only the missing agent blocks")
 
     clean = sub.add_parser("clean", help="filter a CLF log to page views")
     clean.add_argument("--log", required=True)
@@ -164,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--output", required=True,
                      help="session JSON output path")
     add_workers_flag(rec)
+    add_supervision_flags(rec)
 
     ev = sub.add_parser("evaluate", help="score reconstruction vs truth")
     ev.add_argument("--truth", required=True)
@@ -194,6 +235,15 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--seed", type=int, default=0)
     swp.add_argument("--csv", help="also write the series as CSV here")
     add_workers_flag(swp)
+    add_supervision_flags(swp)
+    swp.add_argument("--checkpoint", metavar="DIR",
+                     help="persist every completed sweep point here "
+                          "(report + metrics snapshot) the moment it "
+                          "finishes")
+    swp.add_argument("--resume", action="store_true",
+                     help="continue from --checkpoint, recomputing only "
+                          "the missing points; the final table and "
+                          "metrics equal an uninterrupted run's")
 
     mine = sub.add_parser("mine", help="mine frequent navigation patterns")
     mine.add_argument("--sessions", required=True)
@@ -258,9 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
     board.add_argument("--seed", type=int, default=0)
 
     chaos = sub.add_parser("chaos",
-                           help="corrupt a log with seeded fault injection")
-    chaos.add_argument("--log", required=True,
-                       help="input log path ('-' reads stdin)")
+                           help="corrupt a log with seeded fault "
+                                "injection, or selftest execution-fault "
+                                "recovery")
+    chaos.add_argument("--log",
+                       help="input log path ('-' reads stdin); required "
+                            "unless --exec-selftest is given")
     chaos.add_argument("--output", default="-",
                        help="corrupted log path ('-' writes stdout)")
     chaos.add_argument("--seed", type=int, default=0,
@@ -271,6 +324,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "(truncate, garble, encoding, duplicate, "
                             "reorder, clock-skew, rotation-split, bot); "
                             "all models at the default rate when omitted")
+    chaos.add_argument("--exec-selftest", action="store_true",
+                       help="instead of corrupting a log, run the "
+                            "execution-fault recovery selftest: inject "
+                            "worker crashes/hangs into a supervised "
+                            "parallel run and verify the output is "
+                            "byte-identical to serial")
+    chaos.add_argument("--exec-fault", action="append",
+                       metavar="KIND:INDEX[:SECONDS[:ATTEMPTS]]",
+                       help="execution fault to arm (with "
+                            "--exec-selftest), repeatable: crash-chunk, "
+                            "hang-chunk, slow-chunk, corrupt-checkpoint; "
+                            "default: crash-chunk:1 and hang-chunk:2:30")
+    chaos.add_argument("--selftest-items", type=int, default=64,
+                       help="work items for --exec-selftest (default 64)")
+    chaos.add_argument("--selftest-workers", type=int, default=2,
+                       help="pool workers for --exec-selftest (default 2)")
 
     ing = sub.add_parser("ingest",
                          help="parse a degraded log under an error policy")
@@ -284,6 +353,16 @@ def build_parser() -> argparse.ArgumentParser:
     ing.add_argument("--output",
                      help="write the successfully parsed records back out "
                           "as a normalized log")
+
+    doctor = sub.add_parser("doctor",
+                            help="audit a checkpoint directory: "
+                                 "integrity, schema, what --resume "
+                                 "would skip")
+    doctor.add_argument("checkpoint", metavar="DIR",
+                        help="the --checkpoint directory to audit")
+    doctor.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the audit as a JSON document instead "
+                             "of text")
 
     return parser
 
@@ -322,14 +401,42 @@ def _workers_invalid(args: argparse.Namespace) -> bool:
     return False
 
 
+def _supervision_from(args: argparse.Namespace):
+    """Build a RetryPolicy from the supervision flags (None = inactive).
+
+    Supervision activates when any flag is given; unset companions take
+    the policy defaults (2 retries, no deadline, serial degradation).
+    """
+    if (args.max_retries is None and args.chunk_deadline is None
+            and args.on_chunk_failure is None):
+        return None
+    from repro.parallel.supervisor import RetryPolicy
+    return RetryPolicy(
+        max_retries=(2 if args.max_retries is None else args.max_retries),
+        deadline=args.chunk_deadline,
+        on_failure=args.on_chunk_failure or "serial",
+        seed=getattr(args, "seed", 0) or 0)
+
+
+def _resume_invalid(args: argparse.Namespace) -> bool:
+    """Validate the --resume/--checkpoint pairing."""
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+        return True
+    return False
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    if _workers_invalid(args):
+    if _workers_invalid(args) or _resume_invalid(args):
         return 2
     graph = load_graph(args.topology)
     config = SimulationConfig(stp=args.stp, lpp=args.lpp, nip=args.nip,
                               n_agents=args.agents, seed=args.seed)
     result = simulate_population(graph, config,
-                                 n_workers=_validated_workers(args))
+                                 n_workers=_validated_workers(args),
+                                 supervision=_supervision_from(args),
+                                 checkpoint=args.checkpoint,
+                                 resume=args.resume)
     records = requests_to_records(result.log_requests, IdentityAddressMap())
     if args.format == "combined":
         written = write_combined_file(args.log, records)
@@ -397,7 +504,8 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
     else:
         heuristic = get_heuristic(args.heuristic)
     sessions = heuristic.reconstruct(requests,
-                                     workers=_validated_workers(args))
+                                     workers=_validated_workers(args),
+                                     supervision=_supervision_from(args))
     sessions.save(args.output)
     print(f"{heuristic.label}: {len(sessions)} sessions from "
           f"{len(requests)} requests "
@@ -438,7 +546,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    if _workers_invalid(args):
+    if _workers_invalid(args) or _resume_invalid(args):
         return 2
     try:
         values = [float(token) for token in args.values.split(",") if token]
@@ -456,7 +564,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         graph = random_site(300, 15.0, seed=args.seed)
     base = SimulationConfig(n_agents=args.agents, seed=args.seed)
     result = run_sweep(graph, base, args.parameter, values,
-                       workers=_validated_workers(args))
+                       workers=_validated_workers(args),
+                       supervision=_supervision_from(args),
+                       checkpoint=args.checkpoint, resume=args.resume)
+    for failure in result.failures:
+        print(f"warning: {failure.reason} at chunk {failure.chunk_index} "
+              f"resolved by {failure.resolution}", file=sys.stderr)
     print(render_sweep_table(
         result, f"sweep: real accuracy (%) vs {args.parameter.upper()} "
                 f"({args.agents} agents)"))
@@ -657,7 +770,38 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_exec_selftest(args: argparse.Namespace) -> int:
+    """Run the execution-fault self-test (``chaos --exec-selftest``)."""
+    from repro.faults import run_exec_selftest
+    specs = args.exec_fault or ["crash-chunk:1", "hang-chunk:2:30"]
+    result = run_exec_selftest(specs, items=args.selftest_items,
+                               workers=args.selftest_workers,
+                               seed=args.seed)
+    stats = result["stats"]
+    print(f"exec selftest: {result['items']} items over "
+          f"{result['chunks']} chunks with faults "
+          f"{'; '.join(specs)}", file=sys.stderr)
+    print(f"  retries {stats['retries']}, respawns {stats['respawns']}, "
+          f"deadline hits {stats['deadline_hits']}, "
+          f"crashes {stats['crashes']}, "
+          f"degraded serial {stats['degraded_serial']}, "
+          f"skipped {stats['skipped']}", file=sys.stderr)
+    for failure in result["failures"]:
+        print(f"  chunk {failure['chunk_index']} exhausted retries "
+              f"({failure['reason']}) -> {failure['resolution']}",
+              file=sys.stderr)
+    verdict = "identical to serial" if result["identical"] else "DIVERGED"
+    print(f"  recovered output: {verdict}", file=sys.stderr)
+    return 0 if result["identical"] else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.exec_selftest:
+        return _chaos_exec_selftest(args)
+    if args.log is None:
+        print("error: --log is required (unless --exec-selftest)",
+              file=sys.stderr)
+        return 2
     from repro.faults import chaos_stream, parse_fault_spec
     specs = None
     if args.fault:
@@ -726,6 +870,20 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.parallel.checkpoint import CheckpointStore
+    if not os.path.isdir(args.checkpoint):
+        print(f"error: {args.checkpoint} is not a directory",
+              file=sys.stderr)
+        return 2
+    report = CheckpointStore(args.checkpoint).validate()
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "topology": _cmd_topology,
     "simulate": _cmd_simulate,
@@ -745,6 +903,7 @@ _COMMANDS = {
     "leaderboard": _cmd_leaderboard,
     "chaos": _cmd_chaos,
     "ingest": _cmd_ingest,
+    "doctor": _cmd_doctor,
 }
 
 
@@ -815,6 +974,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return 0
+    except KeyboardInterrupt:
+        # checkpointed commands flush every completed unit as it finishes,
+        # so the run can be continued with --resume after a Ctrl-C.
+        print("error: interrupted; completed checkpoint units were kept "
+              "(rerun with --resume to continue)", file=sys.stderr)
+        return 130
     except (ReproError, OSError, ValueError, KeyError) as error:
         text = str(error).strip()
         message = (text.splitlines()[0] if text

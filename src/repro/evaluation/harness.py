@@ -16,15 +16,19 @@ shape of the paper's Figures 8-10.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
+import hashlib
+import json
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.config import SmartSRAConfig
 from repro.core.smart_sra import SmartSRA
 from repro.evaluation.metrics import AccuracyReport, evaluate_reconstruction
 from repro.exceptions import EvaluationError
-from repro.obs import get_registry
+from repro.obs import Registry, get_registry, use_local_registry
 from repro.sessions.base import SessionReconstructor
 from repro.sessions.navigation_oriented import NavigationHeuristic
 from repro.sessions.time_oriented import DurationHeuristic, PageStayHeuristic
@@ -59,12 +63,16 @@ class TrialResult:
 
     Attributes:
         simulation: the full simulation output (topology, ground truth,
-            log, per-agent traces).
+            log, per-agent traces).  ``None`` for a trial fully restored
+            from a checkpoint — the reports are intact but the raw
+            simulation was deliberately not persisted (it is cheap to
+            regenerate and enormous to store); rerun without ``resume``
+            when the traces themselves are needed.
         reports: per-heuristic :class:`AccuracyReport`, keyed by the name
             used in the heuristics mapping.
     """
 
-    simulation: SimulationResult
+    simulation: SimulationResult | None
     reports: dict[str, AccuracyReport]
 
     def accuracies(self, metric: str = "matched") -> dict[str, float]:
@@ -109,7 +117,9 @@ def _score_heuristic(task: tuple[str, SessionReconstructor],
 def run_trial(topology: WebGraph, config: SimulationConfig,
               heuristics: Mapping[str, SessionReconstructor] | None = None,
               cache_dir: str | None = None, *,
-              workers: int | None = None, mode: str = "auto") -> TrialResult:
+              workers: int | None = None, mode: str = "auto",
+              supervision=None, checkpoint=None,
+              resume: bool = False) -> TrialResult:
     """Simulate one population and evaluate every heuristic on its log.
 
     Args:
@@ -127,7 +137,26 @@ def run_trial(topology: WebGraph, config: SimulationConfig,
             reconcile).
         mode: parallel execution mode; ignored when ``workers`` is
             ``None``.
+        supervision: optional
+            :class:`~repro.parallel.supervisor.RetryPolicy` — parallel
+            scoring then survives worker crashes and hangs at per-
+            heuristic granularity.  Under ``on_failure="skip"`` an
+            unrecoverable heuristic is *omitted* from :attr:`reports`.
+        checkpoint: optional checkpoint directory (path or
+            :class:`~repro.parallel.checkpoint.CheckpointStore`); each
+            completed heuristic's report is persisted as it finishes.
+        resume: continue from an existing checkpoint directory, skipping
+            heuristics whose reports are already on disk.  The restored
+            trial's metrics are merged so the final snapshot matches an
+            uninterrupted run; raises
+            :class:`~repro.exceptions.ConfigurationError` when the
+            directory belongs to a different trial configuration.
     """
+    if supervision is not None or checkpoint is not None:
+        return _run_trial_supervised(
+            topology, config, heuristics, cache_dir, workers=workers,
+            mode=mode, supervision=supervision, checkpoint=checkpoint,
+            resume=resume)
     registry = get_registry()
     if heuristics is None:
         heuristics = standard_heuristics(topology)
@@ -168,13 +197,20 @@ class SweepResult:
 
     Attributes:
         parameter: the swept :class:`SimulationConfig` field name.
-        values: the swept values, in run order.
+        values: the swept values, in run order.  Points quarantined under
+            a ``skip`` supervision policy are absent — :attr:`values` and
+            :attr:`trials` stay aligned, and :attr:`failures` records
+            what was dropped.
         trials: the corresponding trial results.
+        failures: structured :class:`~repro.parallel.supervisor.
+            ChunkFailure` records for points that exhausted their retry
+            budget (empty without supervision).
     """
 
     parameter: str
     values: tuple[float, ...]
     trials: tuple[TrialResult, ...]
+    failures: tuple = ()
 
     def series(self, metric: str = "matched") -> dict[str, list[float]]:
         """Per-heuristic accuracy series aligned with :attr:`values`.
@@ -221,7 +257,9 @@ def _run_sweep_point(value: float, topology: WebGraph,
 def sweep(topology: WebGraph, base_config: SimulationConfig, parameter: str,
           values: Sequence[float],
           heuristic_factory=None, cache_dir: str | None = None, *,
-          workers: int | None = None, mode: str = "auto") -> SweepResult:
+          workers: int | None = None, mode: str = "auto",
+          supervision=None, checkpoint=None,
+          resume: bool = False) -> SweepResult:
     """Vary one simulation parameter, evaluating all heuristics per value.
 
     Args:
@@ -240,15 +278,35 @@ def sweep(topology: WebGraph, base_config: SimulationConfig, parameter: str,
             with value-labelled gauges).
         mode: parallel execution mode; ignored when ``workers`` is
             ``None``.
+        supervision: optional
+            :class:`~repro.parallel.supervisor.RetryPolicy` — each sweep
+            point becomes a supervised unit of work with crash retry,
+            progress deadlines and the policy's degradation path.
+        checkpoint: optional checkpoint directory (path or
+            :class:`~repro.parallel.checkpoint.CheckpointStore`).  Every
+            completed point is persisted (report + metrics snapshot) the
+            moment it finishes, so a killed sweep loses at most the
+            points in flight.
+        resume: continue from an existing checkpoint, recomputing only
+            the missing points.  The resumed sweep's report *and* final
+            metrics snapshot equal an uninterrupted run's.
 
     Raises:
         EvaluationError: for an empty value list or an unknown parameter.
+        ConfigurationError: when resuming against a checkpoint written by
+            a different sweep configuration.
     """
     if not values:
         raise EvaluationError("sweep requires at least one parameter value")
     if not hasattr(base_config, parameter):
         raise EvaluationError(
             f"unknown simulation parameter {parameter!r}")
+
+    if supervision is not None or checkpoint is not None:
+        return _sweep_supervised(
+            topology, base_config, parameter, values, heuristic_factory,
+            cache_dir, workers=workers, mode=mode, supervision=supervision,
+            checkpoint=checkpoint, resume=resume)
 
     point = functools.partial(
         _run_sweep_point, topology=topology, base_config=base_config,
@@ -263,3 +321,312 @@ def sweep(topology: WebGraph, base_config: SimulationConfig, parameter: str,
                               mode=mode)
     return SweepResult(parameter=parameter, values=tuple(values),
                        trials=tuple(trials))
+
+
+# -- fault-tolerant execution (supervision + checkpoint/resume) ----------
+#
+# The supervised variants below trade the plain paths' directness for two
+# properties long runs need: every completed unit of work (a scored
+# heuristic, a sweep point) is durable the moment it finishes, and each
+# unit's metrics are captured in a private registry snapshot that is
+# persisted with it.  Merging the saved snapshots for restored units in
+# unit order is what makes a resumed run's final metrics equal an
+# uninterrupted run's.
+
+
+def _checkpoint_store(checkpoint):
+    """Normalize the ``checkpoint`` argument (path or store or None)."""
+    if checkpoint is None:
+        return None
+    from repro.parallel.checkpoint import CheckpointStore
+
+    if isinstance(checkpoint, CheckpointStore):
+        return checkpoint
+    return CheckpointStore(checkpoint)
+
+
+def _fingerprint(document: Mapping[str, Any]) -> str:
+    """Stable digest of a run configuration (pins checkpoint dirs)."""
+    payload = json.dumps(document, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+def _passthrough_policy():
+    """The no-supervision policy used when only checkpointing was asked
+    for: no retries, first unrecoverable failure raises — plain-path
+    failure semantics, but completed units still flush to disk."""
+    from repro.parallel.supervisor import RetryPolicy
+
+    return RetryPolicy(max_retries=0, on_failure="raise")
+
+
+def _simulate_for_trial(topology: WebGraph, config: SimulationConfig,
+                        cache_dir: str | None) -> SimulationResult:
+    if cache_dir is not None:
+        from repro.evaluation.simcache import cached_simulation
+
+        return cached_simulation(topology, config, cache_dir)
+    return simulate_population(topology, config)
+
+
+def _score_heuristic_captured(task: tuple[str, SessionReconstructor],
+                              simulation: SimulationResult
+                              ) -> tuple[AccuracyReport, dict | None]:
+    """Score one heuristic under a private registry; return both.
+
+    The snapshot travels with the report into the checkpoint unit, so a
+    resume can replay the unit's metric contribution without redoing the
+    work.  Disabled observability yields ``None`` — nothing to replay.
+    """
+    ambient = get_registry()
+    if not ambient.enabled:
+        return _score_heuristic(task, simulation), None
+    local = Registry()
+    with use_local_registry(local):
+        report = _score_heuristic(task, simulation)
+    return report, local.snapshot()
+
+
+def _run_sweep_point_captured(value: float, topology: WebGraph,
+                              base_config: SimulationConfig, parameter: str,
+                              heuristic_factory, cache_dir: str | None
+                              ) -> tuple[TrialResult, dict | None]:
+    """Run one sweep point under a private registry; return both."""
+    ambient = get_registry()
+    if not ambient.enabled:
+        return _run_sweep_point(value, topology, base_config, parameter,
+                                heuristic_factory, cache_dir), None
+    local = Registry()
+    with use_local_registry(local):
+        trial = _run_sweep_point(value, topology, base_config, parameter,
+                                 heuristic_factory, cache_dir)
+    return trial, local.snapshot()
+
+
+def _point_key(parameter: str, index: int, value: float) -> str:
+    """The checkpoint unit key for one sweep point."""
+    return f"{parameter}[{index}]={value:g}"
+
+
+def _trial_payload(value: float, trial: TrialResult) -> dict[str, Any]:
+    """The JSON body persisted for one completed sweep point.
+
+    Deliberately *not* the full trial: the simulation (log, traces) is
+    cheap to regenerate and enormous to store, so only the scored
+    reports survive a round trip — enough for :class:`SweepResult`'s
+    series, rows and accuracy views.
+    """
+    return {
+        "value": float(value),
+        "total_real": (len(trial.simulation.ground_truth)
+                       if trial.simulation is not None else None),
+        "reports": {name: report.to_dict()
+                    for name, report in trial.reports.items()},
+    }
+
+
+def _trial_from_payload(payload: Mapping[str, Any]) -> TrialResult:
+    """Rebuild the lite :class:`TrialResult` a checkpoint unit stores."""
+    reports = {name: AccuracyReport.from_dict(data)
+               for name, data in payload.get("reports", {}).items()}
+    return TrialResult(simulation=None, reports=reports)
+
+
+def _run_trial_supervised(topology: WebGraph, config: SimulationConfig,
+                          heuristics, cache_dir: str | None, *,
+                          workers: int | None, mode: str, supervision,
+                          checkpoint, resume: bool) -> TrialResult:
+    """:func:`run_trial` with supervision and/or checkpointing active."""
+    from repro.parallel.supervisor import supervised_map
+
+    registry = get_registry()
+    if heuristics is None:
+        heuristics = standard_heuristics(topology)
+    store = _checkpoint_store(checkpoint)
+    restored: dict[str, tuple[AccuracyReport, dict | None]] = {}
+    meta = None
+    if store is not None:
+        fingerprint = _fingerprint({
+            "kind": "trial",
+            "topology": topology.fingerprint(),
+            "config": dataclasses.asdict(config),
+            "heuristics": sorted(heuristics),
+        })
+        store.begin(fingerprint, label=f"trial seed={config.seed}",
+                    resume=resume)
+        meta = store.load_unit("trial-meta", "meta")
+        for name in heuristics:
+            unit = store.load_unit("trial-report", name)
+            if unit is not None:
+                restored[name] = (AccuracyReport.from_dict(unit["payload"]),
+                                  unit.get("obs"))
+
+    pending = [(name, heuristic) for name, heuristic in heuristics.items()
+               if name not in restored]
+
+    # Simulate unless every heuristic AND the trial metadata were
+    # restored (the simulation is never persisted — see _trial_payload).
+    simulation: SimulationResult | None = None
+    if pending or meta is None:
+        with registry.span("trial.simulate", agents=config.n_agents,
+                           seed=config.seed):
+            if registry.enabled:
+                local = Registry()
+                with use_local_registry(local), \
+                        local.timer("eval.simulate.seconds"):
+                    simulation = _simulate_for_trial(topology, config,
+                                                     cache_dir)
+                sim_obs: dict | None = local.snapshot()
+            else:
+                simulation = _simulate_for_trial(topology, config, cache_dir)
+                sim_obs = None
+        if sim_obs:
+            registry.merge_snapshot(sim_obs)
+        total_real = len(simulation.ground_truth)
+        if store is not None:
+            store.save_unit("trial-meta", "meta",
+                            {"total_real": total_real}, obs=sim_obs)
+    else:
+        total_real = int(meta["payload"]["total_real"])
+        if meta.get("obs"):
+            registry.merge_snapshot(meta["obs"])
+
+    computed: dict[str, tuple[AccuracyReport, dict | None]] = {}
+
+    def record(name: str,
+               result: tuple[AccuracyReport, dict | None]) -> None:
+        computed[name] = result
+        if store is not None:
+            store.save_unit("trial-report", name, result[0].to_dict(),
+                            obs=result[1])
+
+    try:
+        if pending:
+            score = functools.partial(_score_heuristic_captured,
+                                      simulation=simulation)
+            if workers is None:
+                for task in pending:
+                    record(task[0], score(task))
+            else:
+                policy = (supervision if supervision is not None
+                          else _passthrough_policy())
+                supervised_map(
+                    score, pending, workers=workers, mode=mode,
+                    chunk_size=1, policy=policy,
+                    on_chunk_complete=lambda index, results:
+                        record(pending[index][0], results[0]))
+    except BaseException:
+        if store is not None:
+            store.mark("interrupted")
+        raise
+    if store is not None:
+        store.mark("complete")
+
+    reports: dict[str, AccuracyReport] = {}
+    for name in heuristics:
+        entry = restored.get(name) or computed.get(name)
+        if entry is None:
+            continue  # quarantined under on_failure="skip"
+        report, snapshot = entry
+        reports[name] = report
+        if snapshot:
+            registry.merge_snapshot(snapshot)
+    if registry.enabled:
+        registry.counter("eval.trials").inc()
+        registry.counter("eval.sessions.real").inc(total_real)
+        for name, report in reports.items():
+            registry.counter("eval.sessions.reconstructed",
+                             heuristic=name).inc(report.reconstructed_count)
+            registry.gauge("eval.accuracy",
+                           heuristic=name).set(report.matched_accuracy)
+    return TrialResult(simulation=simulation, reports=reports)
+
+
+def _sweep_supervised(topology: WebGraph, base_config: SimulationConfig,
+                      parameter: str, values: Sequence[float],
+                      heuristic_factory, cache_dir: str | None, *,
+                      workers: int | None, mode: str, supervision,
+                      checkpoint, resume: bool) -> SweepResult:
+    """:func:`sweep` with supervision and/or checkpointing active."""
+    from repro.parallel.supervisor import supervised_map
+
+    registry = get_registry()
+    store = _checkpoint_store(checkpoint)
+    restored: dict[int, tuple[TrialResult, dict | None]] = {}
+    if store is not None:
+        marker = ("standard" if heuristic_factory is None else
+                  getattr(heuristic_factory, "__qualname__",
+                          repr(heuristic_factory)))
+        fingerprint = _fingerprint({
+            "kind": "sweep",
+            "parameter": parameter,
+            "values": [float(value) for value in values],
+            "topology": topology.fingerprint(),
+            "config": dataclasses.asdict(base_config),
+            "heuristics": marker,
+        })
+        store.begin(fingerprint, label=f"sweep {parameter}", resume=resume)
+        for index, value in enumerate(values):
+            unit = store.load_unit("sweep-point",
+                                   _point_key(parameter, index, value))
+            if unit is not None:
+                restored[index] = (_trial_from_payload(unit["payload"]),
+                                   unit.get("obs"))
+
+    todo = [(index, value) for index, value in enumerate(values)
+            if index not in restored]
+    point = functools.partial(
+        _run_sweep_point_captured, topology=topology,
+        base_config=base_config, parameter=parameter,
+        heuristic_factory=heuristic_factory, cache_dir=cache_dir)
+
+    computed: dict[int, tuple[TrialResult, dict | None]] = {}
+
+    def record(position: int,
+               result: tuple[TrialResult, dict | None]) -> None:
+        index, value = todo[position]
+        computed[index] = result
+        if store is not None:
+            store.save_unit("sweep-point",
+                            _point_key(parameter, index, value),
+                            _trial_payload(value, result[0]),
+                            obs=result[1])
+
+    failures: tuple = ()
+    try:
+        if todo:
+            if workers is None:
+                for position, (_, value) in enumerate(todo):
+                    record(position, point(value))
+            else:
+                policy = (supervision if supervision is not None
+                          else _passthrough_policy())
+                outcome = supervised_map(
+                    point, [value for _, value in todo], workers=workers,
+                    mode=mode, chunk_size=1, policy=policy,
+                    on_chunk_complete=lambda position, results:
+                        record(position, results[0]))
+                failures = tuple(outcome.failures)
+    except BaseException:
+        if store is not None:
+            store.mark("interrupted")
+        raise
+    if store is not None:
+        store.mark("complete")
+
+    # Reassemble in point order, merging each point's metric snapshot in
+    # that same order — restored or freshly computed, the ambient
+    # registry ends up exactly where an uninterrupted run left it.
+    kept_values: list[float] = []
+    kept_trials: list[TrialResult] = []
+    for index, value in enumerate(values):
+        entry = restored.get(index) or computed.get(index)
+        if entry is None:
+            continue  # quarantined under on_failure="skip"
+        trial, snapshot = entry
+        if snapshot:
+            registry.merge_snapshot(snapshot)
+        kept_values.append(value)
+        kept_trials.append(trial)
+    return SweepResult(parameter=parameter, values=tuple(kept_values),
+                       trials=tuple(kept_trials), failures=failures)

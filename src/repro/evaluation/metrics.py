@@ -25,8 +25,10 @@ some real session).
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+import dataclasses
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
+from typing import Any
 
 from repro.evaluation.subsequence import SubsequenceIndex, contains
 from repro.exceptions import EvaluationError
@@ -100,6 +102,22 @@ class AccuracyReport:
         if self.reconstructed_count == 0:
             return 0.0
         return self.productive / self.reconstructed_count
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-safe) for reports and checkpoints."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> AccuracyReport:
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Unknown keys are ignored so documents written by a newer minor
+        version still load; a missing field raises ``TypeError`` — the
+        checkpoint layer treats that as a corrupt unit and recomputes.
+        """
+        names = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items()
+                      if key in names})
 
 
 def _maximum_matching(adjacency: list[list[int]]) -> int:

@@ -91,3 +91,14 @@ class EvaluationError(ReproError):
 
 class ConfigurationError(ReproError):
     """A configuration object contains invalid or contradictory values."""
+
+
+class ExecutionError(ReproError):
+    """A supervised parallel execution exhausted its recovery budget.
+
+    Raised by :mod:`repro.parallel.supervisor` when a chunk keeps crashing
+    its worker or overrunning its deadline beyond ``max_retries`` and the
+    active failure policy is ``"raise"``.  The message carries the chunk
+    index, the attempt count and the last observed failure so operators
+    can correlate it with the checkpoint directory.
+    """

@@ -29,6 +29,15 @@ from repro.faults.chaos import (
     chaos_stream,
     parse_fault_spec,
 )
+from repro.faults.execution import (
+    EXEC_FAULT_KINDS,
+    EXEC_FAULTS_ENV,
+    ExecutionFault,
+    active_exec_faults,
+    parse_exec_fault,
+    run_exec_selftest,
+    use_execution_faults,
+)
 from repro.faults.injectors import (
     BotTraffic,
     ClockSkew,
@@ -56,4 +65,11 @@ __all__ = [
     "build_injectors",
     "chaos_stream",
     "parse_fault_spec",
+    "EXEC_FAULT_KINDS",
+    "EXEC_FAULTS_ENV",
+    "ExecutionFault",
+    "active_exec_faults",
+    "parse_exec_fault",
+    "run_exec_selftest",
+    "use_execution_faults",
 ]

@@ -1,0 +1,260 @@
+"""Injectable *execution* faults: crashed, hung and slow workers.
+
+The fault models in :mod:`repro.faults.injectors` corrupt **data**; the
+models here break **execution** — the worker process dies mid-chunk, hangs
+past its deadline, or a checkpoint file rots on disk.  They exist so the
+recovery machinery in :mod:`repro.parallel.supervisor` and
+:mod:`repro.parallel.checkpoint` can be exercised deterministically from
+tests, from CI and from ``repro chaos --exec-selftest``, instead of
+waiting for real hardware to misbehave.
+
+Faults are armed through the :data:`EXEC_FAULTS_ENV` environment variable
+(environment propagates into pool workers under both ``fork`` and
+``spawn``), normally via the :func:`use_execution_faults` context manager::
+
+    with use_execution_faults("crash-chunk:2", "slow-chunk:0:0.1"):
+        parallel_map(fn, items, workers=4, supervision=RetryPolicy())
+
+Each spec is ``kind:index[:seconds[:attempts]]``:
+
+* ``crash-chunk:N`` — the worker executing chunk ``N`` dies with
+  ``os._exit`` (the pool observes ``BrokenProcessPool``);
+* ``hang-chunk:N[:S]`` — chunk ``N`` sleeps ``S`` seconds (default 30)
+  before doing any work, tripping the supervisor's deadline;
+* ``slow-chunk:N[:S]`` — chunk ``N`` is delayed ``S`` seconds (default
+  0.25) but completes — exercises deadline headroom, not recovery;
+* ``corrupt-checkpoint:N`` — the ``N``-th checkpoint unit written by
+  :class:`~repro.parallel.checkpoint.CheckpointStore` has its integrity
+  digest flipped after the atomic rename, so validation must catch it.
+
+``attempts`` (default 1) is the number of *attempts* the fault fires for:
+with the default, a chunk crashes on its first attempt and succeeds on
+retry — the canonical transient fault.  Worker faults only ever fire
+inside a pool worker process (never in the parent, never in threads), so
+the supervisor's serial-degrade path is immune by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "EXEC_FAULTS_ENV",
+    "EXEC_FAULT_KINDS",
+    "ExecutionFault",
+    "parse_exec_fault",
+    "parse_exec_fault_plan",
+    "use_execution_faults",
+    "active_exec_faults",
+    "inject_chunk_faults",
+    "corrupt_checkpoint_file",
+]
+
+#: environment variable carrying the armed fault plan into pool workers.
+EXEC_FAULTS_ENV = "REPRO_EXEC_FAULTS"
+
+#: the recognized execution-fault kinds.
+EXEC_FAULT_KINDS = ("crash-chunk", "hang-chunk", "slow-chunk",
+                    "corrupt-checkpoint")
+
+#: default sleep, per kind, when the spec names no explicit duration.
+_DEFAULT_SECONDS = {"hang-chunk": 30.0, "slow-chunk": 0.25}
+
+#: exit status of a fault-crashed worker (distinctive in core dumps/strace).
+_CRASH_EXIT_STATUS = 23
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionFault:
+    """One armed execution fault.
+
+    Attributes:
+        kind: one of :data:`EXEC_FAULT_KINDS`.
+        index: the chunk index (or checkpoint-unit ordinal) it targets.
+        seconds: sleep duration for ``hang-chunk``/``slow-chunk``.
+        attempts: the fault fires while ``attempt < attempts`` (so the
+            default of 1 models a transient fault that a single retry
+            clears; a value above ``max_retries`` models a hard fault).
+    """
+
+    kind: str
+    index: int
+    seconds: float = 0.0
+    attempts: int = 1
+
+    def encode(self) -> str:
+        """The spec string :func:`parse_exec_fault` parses back."""
+        return f"{self.kind}:{self.index}:{self.seconds:g}:{self.attempts}"
+
+    def fires(self, kind: str, index: int, attempt: int) -> bool:
+        return (self.kind == kind and self.index == index
+                and attempt < self.attempts)
+
+
+def parse_exec_fault(text: str) -> ExecutionFault:
+    """Parse one ``kind:index[:seconds[:attempts]]`` spec.
+
+    Raises:
+        ConfigurationError: for an unknown kind or malformed numbers.
+    """
+    parts = text.strip().split(":")
+    kind = parts[0]
+    if kind not in EXEC_FAULT_KINDS:
+        known = ", ".join(EXEC_FAULT_KINDS)
+        raise ConfigurationError(
+            f"unknown execution fault {kind!r} (known: {known})")
+    if len(parts) < 2 or len(parts) > 4:
+        raise ConfigurationError(
+            f"execution fault spec {text!r} must be "
+            f"kind:index[:seconds[:attempts]]")
+    try:
+        index = int(parts[1])
+        seconds = (float(parts[2]) if len(parts) > 2
+                   else _DEFAULT_SECONDS.get(kind, 0.0))
+        attempts = int(parts[3]) if len(parts) > 3 else 1
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"malformed execution fault spec {text!r}") from exc
+    if index < 0 or seconds < 0 or attempts < 1:
+        raise ConfigurationError(
+            f"execution fault spec {text!r} has out-of-range fields")
+    return ExecutionFault(kind, index, seconds, attempts)
+
+
+def parse_exec_fault_plan(text: str) -> tuple[ExecutionFault, ...]:
+    """Parse a ``;``-separated plan string (the env-var encoding)."""
+    return tuple(parse_exec_fault(part)
+                 for part in text.split(";") if part.strip())
+
+
+def active_exec_faults() -> tuple[ExecutionFault, ...]:
+    """The currently armed faults (empty when the env var is unset)."""
+    text = os.environ.get(EXEC_FAULTS_ENV, "")
+    if not text:
+        return ()
+    return parse_exec_fault_plan(text)
+
+
+@contextmanager
+def use_execution_faults(*specs: str | ExecutionFault) -> Iterator[None]:
+    """Arm execution faults for the duration of the block.
+
+    Accepts spec strings or :class:`ExecutionFault` objects; the previous
+    environment value is restored on exit.  Pools spawned inside the block
+    inherit the plan; pools spawned before it do not re-read it per chunk
+    dispatch from the parent side, but workers consult the environment
+    they were created with, so arm faults *before* creating the pool.
+    """
+    plan = [fault if isinstance(fault, ExecutionFault)
+            else parse_exec_fault(fault) for fault in specs]
+    previous = os.environ.get(EXEC_FAULTS_ENV)
+    os.environ[EXEC_FAULTS_ENV] = ";".join(f.encode() for f in plan)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(EXEC_FAULTS_ENV, None)
+        else:
+            os.environ[EXEC_FAULTS_ENV] = previous
+
+
+def _in_worker_process() -> bool:
+    """True only inside a multiprocessing child (never the main process)."""
+    return multiprocessing.parent_process() is not None
+
+
+def inject_chunk_faults(chunk_index: int, attempt: int) -> None:
+    """Apply any armed worker fault matching ``(chunk_index, attempt)``.
+
+    Called by the engine at the top of every chunk execution.  Only fires
+    inside a pool *worker process*: in the parent (serial mode, thread
+    mode, or the supervisor's serial-degrade path) it is a no-op, so an
+    armed crash fault can never take down the supervising process.
+    """
+    faults = active_exec_faults()
+    if not faults or not _in_worker_process():
+        return
+    for fault in faults:
+        if fault.fires("slow-chunk", chunk_index, attempt):
+            time.sleep(fault.seconds)
+        elif fault.fires("hang-chunk", chunk_index, attempt):
+            time.sleep(fault.seconds)
+        elif fault.fires("crash-chunk", chunk_index, attempt):
+            # a real crash: no exception, no cleanup, no exit handlers —
+            # the pool parent observes BrokenProcessPool.
+            os._exit(_CRASH_EXIT_STATUS)
+
+
+def corrupt_checkpoint_file(path: str, ordinal: int) -> bool:
+    """Corrupt the checkpoint unit at ``path`` if a fault targets it.
+
+    Called by :class:`~repro.parallel.checkpoint.CheckpointStore` after
+    every atomic unit write with that unit's write ordinal.  When a
+    ``corrupt-checkpoint:N`` fault matches, the stored integrity digest is
+    rewritten to an obviously-wrong value (valid JSON, wrong hash) —
+    exactly the damage a torn block or bit rot produces from the reader's
+    point of view.  Returns ``True`` when the file was corrupted.
+    """
+    import json
+
+    for fault in active_exec_faults():
+        if fault.fires("corrupt-checkpoint", ordinal, 0):
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+            document["digest"] = "0" * 64
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+            return True
+    return False
+
+
+def _selftest_work(x: int, seed: int = 0) -> int:
+    """Deterministic, CPU-trivial work item for the exec selftest."""
+    value = (x + seed) & 0xFFFFFFFF
+    for _ in range(8):
+        value = (value * 2654435761 + 1) & 0xFFFFFFFF
+    return value
+
+
+def run_exec_selftest(specs: list[str], *, items: int = 64, workers: int = 2,
+                      seed: int = 0, policy=None) -> dict:
+    """Run the execution-fault recovery selftest (``repro chaos``'s body).
+
+    Arms ``specs``, fans a trivial deterministic workload out through the
+    supervised engine, and checks the recovered output is byte-identical
+    to the serial loop.  Returns a plain dict: ``identical`` (bool),
+    ``items``, ``chunks``, ``stats`` (supervision counters) and
+    ``failures`` (structured :class:`ChunkFailure` dicts).
+    """
+    import functools
+
+    from repro.parallel.supervisor import RetryPolicy, supervised_map
+
+    if policy is None:
+        policy = RetryPolicy(max_retries=2, deadline=5.0)
+    work = functools.partial(_selftest_work, seed=seed)
+    expected = [work(x) for x in range(items)]
+    with use_execution_faults(*specs):
+        outcome = supervised_map(work, range(items), workers=workers,
+                                 mode="process", policy=policy)
+    return {
+        "identical": outcome.results == expected,
+        "items": items,
+        "chunks": outcome.stats.chunks,
+        "stats": {
+            "retries": outcome.stats.retries,
+            "respawns": outcome.stats.respawns,
+            "deadline_hits": outcome.stats.deadline_hits,
+            "crashes": outcome.stats.crashes,
+            "degraded_serial": outcome.stats.degraded_serial,
+            "skipped": outcome.stats.skipped,
+        },
+        "failures": [failure.to_dict() for failure in outcome.failures],
+    }

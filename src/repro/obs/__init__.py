@@ -39,6 +39,7 @@ from repro.obs.registry import (
     get_registry,
     merge_snapshots,
     series_name,
+    snapshot_digest,
     set_registry,
     snapshot_to_prometheus,
     snapshot_to_table,
@@ -62,6 +63,7 @@ __all__ = [
     "use_registry",
     "use_local_registry",
     "merge_snapshots",
+    "snapshot_digest",
     "series_name",
     "split_series",
     "snapshot_to_prometheus",

@@ -49,6 +49,7 @@ __all__ = [
     "use_registry",
     "use_local_registry",
     "merge_snapshots",
+    "snapshot_digest",
     "series_name",
     "split_series",
     "snapshot_to_prometheus",
@@ -618,6 +619,23 @@ def use_local_registry(registry: Registry) -> Iterator[Registry]:
         yield registry
     finally:
         _LOCAL.registry = previous
+
+
+def snapshot_digest(document: dict[str, Any]) -> str:
+    """SHA-256 hex digest of a document's canonical JSON encoding.
+
+    Canonical means sorted keys and compact separators, so two equal
+    documents digest identically regardless of insertion order.  Used to
+    integrity-stamp registry snapshots and checkpoint units
+    (:mod:`repro.parallel.checkpoint`) so a torn or bit-rotted file is
+    detected instead of silently resumed from.
+    """
+    import hashlib
+    import json
+
+    payload = json.dumps(document, sort_keys=True,
+                         separators=(",", ":"), default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def merge_snapshots(*snapshots: dict[str, Any]) -> dict[str, Any]:

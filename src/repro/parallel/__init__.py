@@ -7,19 +7,34 @@ evaluation harness, and agent-sharded simulation.  The contract is
 :mod:`repro.parallel.engine` for how chunked order-preserving execution
 and per-worker metrics-registry merging deliver that.
 
+On top of the engine sit the fault-tolerance layers:
+
+* :mod:`repro.parallel.supervisor` — chunk-level retry with backoff,
+  progress deadlines, pool respawn after worker crashes, and structured
+  degradation when a chunk cannot be recovered;
+* :mod:`repro.parallel.checkpoint` — atomic, integrity-hashed
+  checkpoints of completed work units so interrupted sweeps and
+  simulations resume instead of restarting.
+
 Quickstart::
 
     from repro import SmartSRA, random_site
-    from repro.parallel import parallel_map
+    from repro.parallel import RetryPolicy, parallel_map
 
     site = random_site(300, 15, seed=1)
     smart = SmartSRA(site)
     sessions = smart.reconstruct(log_requests, workers=0)  # 0 = all CPUs
 
-    # or drive the engine directly:
-    squares = parallel_map(pow2, range(1000), workers=4)
+    # or drive the engine directly, surviving worker crashes:
+    squares = parallel_map(pow2, range(1000), workers=4,
+                           supervision=RetryPolicy(deadline=60.0))
 """
 
+from repro.parallel.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointStore,
+    DoctorReport,
+)
 from repro.parallel.engine import (
     CHUNKS_PER_WORKER,
     ParallelPlan,
@@ -31,10 +46,24 @@ from repro.parallel.engine import (
     shard_by_key,
     shard_by_user,
 )
+from repro.parallel.supervisor import (
+    ChunkFailure,
+    RetryPolicy,
+    SupervisedMapResult,
+    SupervisionStats,
+    supervised_map,
+)
 
 __all__ = [
     "CHUNKS_PER_WORKER",
+    "CHECKPOINT_SCHEMA",
+    "CheckpointStore",
+    "ChunkFailure",
+    "DoctorReport",
     "ParallelPlan",
+    "RetryPolicy",
+    "SupervisedMapResult",
+    "SupervisionStats",
     "available_cpus",
     "parallel_map",
     "paused_gc",
@@ -42,4 +71,5 @@ __all__ = [
     "resolve_workers",
     "shard_by_key",
     "shard_by_user",
+    "supervised_map",
 ]

@@ -1,0 +1,365 @@
+"""Durable checkpoint/resume for long-running runs.
+
+A sweep across 10 parameter values or a 100k-agent simulation can run
+for hours; a crash at 95% used to mean starting over.  This module gives
+the long-running entry points (:func:`repro.evaluation.harness.sweep`,
+:func:`repro.simulator.population.simulate_population`) a durable store
+of *completed work units* so an interrupted run resumes where it died:
+
+* every completed unit is written atomically (temp file in the same
+  directory, then ``os.replace``) so a crash mid-write can never leave a
+  half-written unit that a resume would trust;
+* each unit document is schema-versioned and carries a SHA-256 integrity
+  digest over its canonical JSON, so bit rot and torn writes are
+  detected on load (a corrupt unit is *recomputed*, never trusted);
+* the directory's ``MANIFEST.json`` pins a fingerprint of the producing
+  configuration — resuming with a different topology, config or
+  parameter grid is a :class:`~repro.exceptions.ConfigurationError`, not
+  a silently mixed result.
+
+Units carry an optional observability snapshot (the
+:meth:`repro.obs.registry.Registry.snapshot` captured while the unit was
+computed).  On resume the caller merges the saved snapshots for skipped
+units, so a resumed run's final metrics equal an uninterrupted run's.
+
+``repro doctor DIR`` (see :func:`CheckpointStore.validate`) audits a
+checkpoint directory offline and reports what a ``--resume`` would skip,
+redo, or refuse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+from repro.obs import snapshot_digest
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "MANIFEST_NAME",
+    "CheckpointStore",
+    "DoctorReport",
+]
+
+#: version of the on-disk unit/manifest layout; bumped on incompatible
+#: changes so old directories are redone rather than misread.
+CHECKPOINT_SCHEMA = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+
+#: manifest statuses a store moves through.
+_STATUSES = ("running", "interrupted", "complete")
+
+
+def _unit_filename(kind: str, key: str) -> str:
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+    return f"{kind}__{digest}.json"
+
+
+def _atomic_write_json(path: str, document: dict[str, Any]) -> None:
+    """Write ``document`` to ``path`` via temp-file + ``os.replace``.
+
+    The temp file lives in the target directory so the rename stays on
+    one filesystem (atomic on POSIX); a crash between write and rename
+    leaves only a ``.tmp`` straggler, which readers ignore.
+    """
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True, default=str)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(slots=True)
+class DoctorReport:
+    """Outcome of auditing a checkpoint directory.
+
+    Attributes:
+        directory: the audited path.
+        manifest: the parsed manifest, ``None`` if absent or unreadable.
+        valid: ``(kind, key)`` of every unit a resume would trust.
+        corrupt: filenames whose integrity digest does not match.
+        schema_mismatch: filenames written under a different schema.
+        orphans: files that are not valid checkpoint artifacts (stray
+            files, interrupted temp files, units whose filename does not
+            match their stored key).
+    """
+
+    directory: str
+    manifest: dict[str, Any] | None = None
+    valid: list[tuple[str, str]] = field(default_factory=list)
+    corrupt: list[str] = field(default_factory=list)
+    schema_mismatch: list[str] = field(default_factory=list)
+    orphans: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every unit present is trustworthy."""
+        return (self.manifest is not None and not self.corrupt
+                and not self.schema_mismatch)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (``repro doctor --json``)."""
+        return {
+            "directory": self.directory,
+            "manifest": self.manifest,
+            "valid": [list(unit) for unit in self.valid],
+            "corrupt": list(self.corrupt),
+            "schema_mismatch": list(self.schema_mismatch),
+            "orphans": list(self.orphans),
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        """Human-readable audit, one conclusion per line."""
+        lines = [f"checkpoint directory: {self.directory}"]
+        if self.manifest is None:
+            lines.append("  manifest: MISSING or unreadable — --resume "
+                         "would refuse this directory")
+        else:
+            lines.append(
+                f"  manifest: schema={self.manifest.get('schema')} "
+                f"status={self.manifest.get('status')} "
+                f"label={self.manifest.get('label', '')!r}")
+        lines.append(f"  units resume would skip: {len(self.valid)}")
+        for kind, key in self.valid:
+            lines.append(f"    ok    {kind}: {key}")
+        for name in self.corrupt:
+            lines.append(f"    BAD   {name} (digest mismatch — will be "
+                         "recomputed)")
+        for name in self.schema_mismatch:
+            lines.append(f"    OLD   {name} (schema mismatch — will be "
+                         "recomputed)")
+        for name in self.orphans:
+            lines.append(f"    ???   {name} (not a checkpoint unit — "
+                         "ignored)")
+        verdict = "ok" if self.ok else "DEGRADED"
+        lines.append(f"  verdict: {verdict}")
+        return "\n".join(lines)
+
+
+class CheckpointStore:
+    """One checkpoint directory: a manifest plus completed-unit files.
+
+    A store is bound to a directory and, after :meth:`begin`, to the run
+    fingerprint recorded in its manifest.  Units are write-once records
+    keyed by ``(kind, key)`` — e.g. ``("sweep-point", "timeout[2]=15")``
+    — each holding the unit's result payload, its obs snapshot, and an
+    integrity digest.
+
+    Thread-safety: units are written from the parent process only (the
+    supervisor's ``on_chunk_complete`` callback runs in the parent), so
+    no cross-process locking is needed.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.fspath(directory)
+        self._write_ordinal = 0
+
+    # -- manifest lifecycle -------------------------------------------
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def read_manifest(self) -> dict[str, Any] | None:
+        """The parsed manifest, or ``None`` when absent or unreadable."""
+        try:
+            with open(self.manifest_path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return document if isinstance(document, dict) else None
+
+    def begin(self, fingerprint: str, label: str = "",
+              resume: bool = False) -> dict[str, Any]:
+        """Open the directory for a run with the given fingerprint.
+
+        Fresh directory: creates it and writes a ``running`` manifest.
+        Existing directory with ``resume=True``: validates that the
+        stored fingerprint matches — a mismatch means the checkpoints
+        were produced by a *different* run configuration and mixing them
+        in would corrupt results.  Existing directory without
+        ``resume``: refused, so a typo'd ``--checkpoint`` can never
+        silently cannibalize another run's state.
+
+        Raises:
+            ConfigurationError: fingerprint mismatch, schema mismatch,
+                or an existing run directory without ``resume``.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        existing = self.read_manifest()
+        if existing is not None:
+            if not resume:
+                raise ConfigurationError(
+                    f"checkpoint directory {self.directory!r} already "
+                    f"holds a run (status={existing.get('status')!r}); "
+                    f"pass --resume to continue it or point --checkpoint "
+                    f"at a fresh directory")
+            if existing.get("schema") != CHECKPOINT_SCHEMA:
+                raise ConfigurationError(
+                    f"checkpoint schema {existing.get('schema')!r} in "
+                    f"{self.directory!r} does not match this version "
+                    f"({CHECKPOINT_SCHEMA}); the directory must be redone")
+            if existing.get("fingerprint") != fingerprint:
+                raise ConfigurationError(
+                    f"checkpoint directory {self.directory!r} was written "
+                    f"by a different run configuration (fingerprint "
+                    f"{existing.get('fingerprint')!r} != {fingerprint!r}); "
+                    f"refusing to mix results")
+        elif resume and any(name.endswith(".json")
+                            for name in os.listdir(self.directory)):
+            raise ConfigurationError(
+                f"checkpoint directory {self.directory!r} has no readable "
+                f"manifest; cannot resume from it")
+        manifest = {"schema": CHECKPOINT_SCHEMA, "fingerprint": fingerprint,
+                    "label": label, "status": "running"}
+        _atomic_write_json(self.manifest_path, manifest)
+        return manifest
+
+    def mark(self, status: str) -> None:
+        """Transition the manifest status (``interrupted``/``complete``)."""
+        if status not in _STATUSES:
+            raise ConfigurationError(
+                f"unknown checkpoint status {status!r}; "
+                f"use one of {_STATUSES}")
+        manifest = self.read_manifest()
+        if manifest is None:  # pragma: no cover - begin() always precedes
+            return
+        manifest["status"] = status
+        _atomic_write_json(self.manifest_path, manifest)
+
+    # -- units ---------------------------------------------------------
+
+    def save_unit(self, kind: str, key: str, payload: Any,
+                  obs: dict[str, Any] | None = None) -> str:
+        """Persist one completed work unit; returns the file path.
+
+        The document's digest covers the canonical JSON of everything
+        except the digest itself, so any post-write mutation — torn
+        block, bit rot, a hand-edit — is detected by :meth:`load_unit`.
+        """
+        document: dict[str, Any] = {"schema": CHECKPOINT_SCHEMA,
+                                    "kind": kind, "key": key,
+                                    "payload": payload, "obs": obs}
+        document["digest"] = snapshot_digest(document)
+        path = os.path.join(self.directory, _unit_filename(kind, key))
+        _atomic_write_json(path, document)
+        ordinal = self._write_ordinal
+        self._write_ordinal += 1
+        if os.environ.get("REPRO_EXEC_FAULTS"):
+            from repro.faults.execution import corrupt_checkpoint_file
+            corrupt_checkpoint_file(path, ordinal)
+        return path
+
+    def load_unit(self, kind: str, key: str) -> dict[str, Any] | None:
+        """Load a unit if present *and* trustworthy, else ``None``.
+
+        ``None`` covers every failure mode — missing file, unparseable
+        JSON, schema mismatch, digest mismatch, key collision — because
+        the caller's correct response to all of them is the same:
+        recompute the unit.
+        """
+        path = os.path.join(self.directory, _unit_filename(kind, key))
+        document = self._load_verified(path)
+        if (document is None or document.get("kind") != kind
+                or document.get("key") != key):
+            return None
+        return document
+
+    @staticmethod
+    def _load_verified(path: str) -> dict[str, Any] | None:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (not isinstance(document, dict)
+                or document.get("schema") != CHECKPOINT_SCHEMA):
+            return None
+        stored = document.pop("digest", None)
+        if stored != snapshot_digest(document):
+            return None
+        return document
+
+    def completed_units(self, kind: str | None = None
+                        ) -> list[dict[str, Any]]:
+        """Every trustworthy unit on disk (optionally one kind only)."""
+        units = []
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return []
+        for name in names:
+            if name == MANIFEST_NAME or not name.endswith(".json"):
+                continue
+            document = self._load_verified(
+                os.path.join(self.directory, name))
+            if document is None:
+                continue
+            if kind is not None and document.get("kind") != kind:
+                continue
+            units.append(document)
+        return units
+
+    # -- audit ---------------------------------------------------------
+
+    def validate(self) -> DoctorReport:
+        """Audit the directory: what would ``--resume`` skip, redo, refuse?
+
+        Classifies every file: ``valid`` units (digest and filename both
+        check out), ``corrupt`` (digest mismatch), ``schema_mismatch``
+        (written by another layout version), and ``orphans`` (temp-file
+        stragglers, stray files, units filed under the wrong name).
+        """
+        report = DoctorReport(directory=self.directory,
+                              manifest=self.read_manifest())
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return report
+        for name in names:
+            if name == MANIFEST_NAME:
+                continue
+            path = os.path.join(self.directory, name)
+            if not name.endswith(".json") or not os.path.isfile(path):
+                report.orphans.append(name)
+                continue
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    document = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                report.corrupt.append(name)
+                continue
+            if not isinstance(document, dict):
+                report.orphans.append(name)
+                continue
+            if document.get("schema") != CHECKPOINT_SCHEMA:
+                report.schema_mismatch.append(name)
+                continue
+            stored = document.pop("digest", None)
+            if stored != snapshot_digest(document):
+                report.corrupt.append(name)
+                continue
+            kind = document.get("kind")
+            key = document.get("key")
+            if (not isinstance(kind, str) or not isinstance(key, str)
+                    or _unit_filename(kind, key) != name):
+                report.orphans.append(name)
+                continue
+            report.valid.append((kind, key))
+        return report

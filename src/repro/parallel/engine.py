@@ -173,9 +173,22 @@ def paused_gc():
         gc.enable()
 
 
-def _run_chunk(payload: tuple[Callable[[Any], Any], list[Any], bool]
+#: environment variable arming injectable execution faults (see
+#: :mod:`repro.faults.execution`); checked by name so the hot path pays
+#: one dict lookup when no faults are armed.
+_EXEC_FAULTS_ENV = "REPRO_EXEC_FAULTS"
+
+
+def _run_chunk(payload: tuple[Callable[[Any], Any], list[Any], bool,
+                              int, int]
                ) -> tuple[list[Any], dict[str, Any] | None]:
     """Execute one chunk; module-level so it pickles into worker processes.
+
+    The payload is ``(fn, items, collect_obs, chunk_index, attempt)`` —
+    the index and attempt exist for the execution-fault hook
+    (:func:`repro.faults.execution.inject_chunk_faults`), which lets tests
+    crash, hang or slow a specific chunk attempt deterministically.  The
+    hook only ever fires inside pool worker processes.
 
     When obs collection is requested, the chunk runs under a private
     thread-local registry and returns its snapshot alongside the results
@@ -183,7 +196,10 @@ def _run_chunk(payload: tuple[Callable[[Any], Any], list[Any], bool]
     concern).  GC is paused per chunk — chunk results stay live until the
     chunk returns, so mid-chunk collections are pure overhead.
     """
-    fn, chunk, collect = payload
+    fn, chunk, collect, chunk_index, attempt = payload
+    if os.environ.get(_EXEC_FAULTS_ENV):
+        from repro.faults.execution import inject_chunk_faults
+        inject_chunk_faults(chunk_index, attempt)
     if not collect:
         with paused_gc():
             return [fn(item) for item in chunk], None
@@ -196,7 +212,8 @@ def _run_chunk(payload: tuple[Callable[[Any], Any], list[Any], bool]
 def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
                  workers: int | None = 0, mode: str = "auto",
                  chunk_size: int | None = None,
-                 collect_obs: bool | None = None) -> list[R]:
+                 collect_obs: bool | None = None,
+                 supervision: Any = None) -> list[R]:
     """``[fn(item) for item in items]``, fanned out deterministically.
 
     Items are split into contiguous chunks, chunks execute on a
@@ -217,10 +234,27 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
             :data:`CHUNKS_PER_WORKER` per worker).
         collect_obs: force per-chunk registry capture on/off; default
             follows whether the ambient registry is enabled.
+        supervision: optional
+            :class:`~repro.parallel.supervisor.RetryPolicy`; when given,
+            chunks run under the fault-tolerant supervisor — per-chunk
+            deadlines, retry with backoff, pool respawn on worker crash,
+            and the policy's degradation path when retries are exhausted.
+            Under ``on_failure="skip"`` the items of an unrecoverable
+            chunk are *omitted* from the result; callers that must map
+            results back to items should use
+            :func:`~repro.parallel.supervisor.supervised_map` directly.
 
     Raises:
         ConfigurationError: invalid workers / mode / chunk_size.
+        ExecutionError: a chunk exhausted its retries under
+            ``supervision`` with ``on_failure="raise"``.
     """
+    if supervision is not None:
+        from repro.parallel.supervisor import supervised_map
+        return supervised_map(fn, items, workers=workers, mode=mode,
+                              chunk_size=chunk_size,
+                              collect_obs=collect_obs,
+                              policy=supervision).results
     items = list(items)
     probe = (fn, items[0]) if items else (fn,)
     plan = plan_execution(len(items), workers, mode, chunk_size, probe)
@@ -231,7 +265,8 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
 
     chunks = [items[offset:offset + plan.chunk_size]
               for offset in range(0, len(items), plan.chunk_size)]
-    payloads = [(fn, chunk, collect) for chunk in chunks]
+    payloads = [(fn, chunk, collect, index, 0)
+                for index, chunk in enumerate(chunks)]
     pool_workers = min(plan.workers, len(chunks))
 
     outputs: list[tuple[list[R], dict[str, Any] | None]] | None = None
@@ -265,7 +300,9 @@ def _map_in_processes(payloads: list, pool_workers: int) -> list:
     Environmental failures — a sandbox without ``/dev/shm`` semaphores, a
     missing ``fork``/``spawn`` — surface as :class:`_PoolUnavailable` so
     the caller can fall back; exceptions raised by the work function
-    itself propagate untouched.
+    itself propagate untouched.  Every error path shuts the executor down
+    with ``cancel_futures=True`` so a failing chunk raises immediately
+    instead of blocking on straggler chunks that are now pointless.
     """
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
@@ -276,10 +313,16 @@ def _map_in_processes(payloads: list, pool_workers: int) -> list:
             PermissionError) as error:
         raise _PoolUnavailable(str(error)) from error
     try:
-        with pool:
-            return list(pool.map(_run_chunk, payloads))
+        futures = [pool.submit(_run_chunk, payload) for payload in payloads]
+        results = [future.result() for future in futures]
     except BrokenProcessPool as error:
+        pool.shutdown(wait=False, cancel_futures=True)
         raise _PoolUnavailable(str(error)) from error
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return results
 
 
 def _map_in_threads(payloads: list, pool_workers: int) -> list:
@@ -288,11 +331,20 @@ def _map_in_threads(payloads: list, pool_workers: int) -> list:
     Pure-Python work gains no wall-clock speedup under the GIL; this path
     exists as the always-available fallback with identical semantics
     (per-chunk registries are thread-local, so obs capture stays exact).
+    As with the process path, error paths cancel queued chunks so the
+    first failure propagates without draining the whole backlog.
     """
     from concurrent.futures import ThreadPoolExecutor
 
-    with ThreadPoolExecutor(max_workers=pool_workers) as pool:
-        return list(pool.map(_run_chunk, payloads))
+    pool = ThreadPoolExecutor(max_workers=pool_workers)
+    try:
+        futures = [pool.submit(_run_chunk, payload) for payload in payloads]
+        results = [future.result() for future in futures]
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return results
 
 
 def shard_by_key(items: Iterable[T], key: Callable[[T], Any]

@@ -56,7 +56,7 @@ class SessionReconstructor(ABC):
 
     def reconstruct(self, requests: Iterable[Request], *,
                     workers: int | None = None,
-                    mode: str = "auto") -> SessionSet:
+                    mode: str = "auto", supervision=None) -> SessionSet:
         """Reconstruct sessions for a whole (possibly multi-user) stream.
 
         The stream is partitioned by ``user_id``; each user's sub-stream is
@@ -75,10 +75,18 @@ class SessionReconstructor(ABC):
             mode: parallel execution mode (``"auto"`` picks processes when
                 the heuristic pickles, else threads); ignored when
                 ``workers`` is ``None``.
+            supervision: optional
+                :class:`~repro.parallel.supervisor.RetryPolicy` — parallel
+                chunks then survive worker crashes and hangs (retry with
+                backoff, pool respawn, serial degradation), with output
+                still byte-identical to the serial run.  Ignored when
+                ``workers`` is ``None``.
 
         Raises:
             ReconstructionError: if any request has a negative timestamp.
             ConfigurationError: for an invalid ``workers`` or ``mode``.
+            ExecutionError: a chunk exhausted its retries under
+                ``supervision`` with ``on_failure="raise"``.
         """
         from repro.parallel import parallel_map, paused_gc
 
@@ -112,7 +120,7 @@ class SessionReconstructor(ABC):
                 else:
                     per_user_sessions = parallel_map(
                         self.reconstruct_user, list(per_user.values()),
-                        workers=workers, mode=mode)
+                        workers=workers, mode=mode, supervision=supervision)
                     for user_sessions in per_user_sessions:
                         sessions.extend(user_sessions)
             if registry.enabled:

@@ -18,13 +18,17 @@ day), like real visitors arriving over a day.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
+import hashlib
+import json
 import random
 from dataclasses import dataclass
+from typing import Any
 
 from repro.exceptions import SimulationError
 from repro.obs import get_registry
-from repro.sessions.model import Request, SessionSet
+from repro.sessions.model import Request, Session, SessionSet
 from repro.simulator.arrivals import sample_arrival
 from repro.simulator.agent import AgentTrace, simulate_agent
 from repro.simulator.config import SimulationConfig
@@ -117,8 +121,10 @@ def _simulate_one(index: int, topology: WebGraph, config: SimulationConfig,
 def simulate_population(topology: WebGraph, config: SimulationConfig,
                         horizon: float = 86_400.0,
                         n_workers: int | None = None,
-                        arrival_profile: str = "uniform"
-                        ) -> SimulationResult:
+                        arrival_profile: str = "uniform", *,
+                        supervision=None, checkpoint=None,
+                        resume: bool = False,
+                        checkpoint_block: int = 256) -> SimulationResult:
     """Simulate ``config.n_agents`` agents browsing ``topology``.
 
     Args:
@@ -137,10 +143,28 @@ def simulate_population(topology: WebGraph, config: SimulationConfig,
         arrival_profile: how arrivals spread over the horizon —
             ``"uniform"`` (paper-implicit default) or ``"diurnal"`` (see
             :mod:`repro.simulator.arrivals`).
+        supervision: optional
+            :class:`~repro.parallel.supervisor.RetryPolicy` for the
+            parallel path — worker crashes and hangs are then recovered
+            at chunk granularity instead of killing the run.
+        checkpoint: optional checkpoint directory (path or
+            :class:`~repro.parallel.checkpoint.CheckpointStore`).  Agent
+            traces are persisted in blocks of ``checkpoint_block`` as
+            they complete; requires independent agents
+            (``proxy_group_size == 1``), since shared proxy caches make
+            block results order-dependent.
+        resume: continue from an existing checkpoint directory,
+            re-simulating only the missing agent blocks.  Because agents
+            are prefix-stable, the resumed population is identical to an
+            uninterrupted run — including the final ``sim.*`` metrics,
+            which are derived from the assembled traces.
+        checkpoint_block: agents per checkpoint unit (trade-off between
+            write frequency and work lost to an interrupt).
 
     Raises:
         SimulationError: if ``horizon`` is negative, ``n_workers`` is
-            negative, or workers are combined with a proxy.
+            negative, workers are combined with a proxy, or checkpointing
+            is combined with proxy sharing.
     """
     if horizon < 0:
         raise SimulationError(f"horizon must be >= 0, got {horizon}")
@@ -148,7 +172,15 @@ def simulate_population(topology: WebGraph, config: SimulationConfig,
         raise SimulationError(
             f"n_workers must be >= 0 (0 = auto-detect), got {n_workers}")
 
-    if config.proxy_group_size > 1:
+    if checkpoint is not None:
+        if config.proxy_group_size > 1:
+            raise SimulationError(
+                "checkpointing requires independent agents; proxy "
+                "sharing makes block results order-dependent")
+        traces = _simulate_checkpointed(
+            topology, config, horizon, arrival_profile, n_workers,
+            supervision, checkpoint, resume, checkpoint_block)
+    elif config.proxy_group_size > 1:
         if n_workers is not None and n_workers != 1:
             raise SimulationError(
                 "proxy sharing is sequential; do not combine "
@@ -162,7 +194,8 @@ def simulate_population(topology: WebGraph, config: SimulationConfig,
             functools.partial(_simulate_one, topology=topology,
                               config=config, horizon=horizon,
                               arrival_profile=arrival_profile),
-            range(config.n_agents), workers=n_workers)
+            range(config.n_agents), workers=n_workers,
+            supervision=supervision)
     else:
         traces = _simulate_range(topology, config, horizon,
                                  list(range(config.n_agents)),
@@ -220,21 +253,133 @@ def _simulate_with_proxies(topology: WebGraph, config: SimulationConfig,
     return [trace for trace in traces if trace is not None]
 
 
-def _simulate_parallel(topology: WebGraph, config: SimulationConfig,
-                       horizon: float, n_workers: int,
-                       arrival_profile: str = "uniform"
-                       ) -> list[AgentTrace]:
-    """Fan agent simulation out over a process pool (order-preserving)."""
-    from concurrent.futures import ProcessPoolExecutor
+# -- checkpoint/resume ---------------------------------------------------
+#
+# Agents are prefix-stable pure functions of (seed, index, horizon,
+# profile), so the natural checkpoint unit is a *block of agent indices*:
+# blocks complete independently, serialize compactly, and a resumed block
+# regenerates byte-identically if its unit was lost or corrupted.  The
+# ``sim.*`` metrics are derived from the assembled traces at the end of
+# :func:`simulate_population`, so restored and recomputed blocks
+# contribute identically — no per-unit snapshot is needed.
 
-    indices = list(range(config.n_agents))
-    chunk_size = max(1, (config.n_agents + n_workers - 1) // n_workers)
-    chunks = [indices[offset:offset + chunk_size]
-              for offset in range(0, config.n_agents, chunk_size)]
-    payloads = [(topology, config, horizon, chunk, arrival_profile)
-                for chunk in chunks]
+
+def _request_to_jsonable(request: Request) -> list[Any]:
+    """Full-fidelity request encoding (unlike
+    :meth:`~repro.sessions.model.SessionSet.to_jsonable`, which drops the
+    referrer — checkpointed traces must round-trip *exactly*)."""
+    return [request.timestamp, request.user_id, request.page,
+            request.synthetic, request.referrer]
+
+
+def _request_from_jsonable(doc: list[Any]) -> Request:
+    timestamp, user_id, page, synthetic, referrer = doc
+    return Request(timestamp, user_id, page, synthetic, referrer)
+
+
+def _trace_to_jsonable(trace: AgentTrace) -> dict[str, Any]:
+    return {
+        "agent_id": trace.agent_id,
+        "sessions": [[_request_to_jsonable(request) for request in session]
+                     for session in trace.real_sessions],
+        "server": [_request_to_jsonable(request)
+                   for request in trace.server_requests],
+        "cache_hits": trace.cache_hits,
+        "proxy_hits": trace.proxy_hits,
+        "cache_misses": trace.cache_misses,
+    }
+
+
+def _trace_from_jsonable(doc: dict[str, Any]) -> AgentTrace:
+    return AgentTrace(
+        agent_id=doc["agent_id"],
+        real_sessions=tuple(
+            Session(_request_from_jsonable(request) for request in session)
+            for session in doc["sessions"]),
+        server_requests=tuple(_request_from_jsonable(request)
+                              for request in doc["server"]),
+        cache_hits=doc["cache_hits"],
+        proxy_hits=doc["proxy_hits"],
+        cache_misses=doc["cache_misses"],
+    )
+
+
+def _simulate_block(block: tuple[int, int], topology: WebGraph,
+                    config: SimulationConfig, horizon: float,
+                    arrival_profile: str) -> list[AgentTrace]:
+    """Simulate one contiguous agent-index block (parallel work unit)."""
+    start, end = block
+    return _simulate_range(topology, config, horizon,
+                           list(range(start, end)), arrival_profile)
+
+
+def _simulate_checkpointed(topology: WebGraph, config: SimulationConfig,
+                           horizon: float, arrival_profile: str,
+                           n_workers: int | None, supervision, checkpoint,
+                           resume: bool, block_size: int
+                           ) -> list[AgentTrace]:
+    """Block-checkpointed population simulation (with optional workers)."""
+    from repro.parallel.checkpoint import CheckpointStore
+    from repro.parallel.supervisor import RetryPolicy, supervised_map
+
+    if block_size < 1:
+        raise SimulationError(
+            f"checkpoint_block must be >= 1, got {block_size}")
+    store = (checkpoint if isinstance(checkpoint, CheckpointStore)
+             else CheckpointStore(checkpoint))
+    fingerprint = hashlib.sha256(json.dumps({
+        "kind": "simulate",
+        "topology": topology.fingerprint(),
+        "config": dataclasses.asdict(config),
+        "horizon": horizon,
+        "arrival_profile": arrival_profile,
+        "block": block_size,
+    }, sort_keys=True, default=str).encode("utf-8")).hexdigest()[:24]
+    store.begin(fingerprint, label=f"simulate agents={config.n_agents}",
+                resume=resume)
+
+    blocks = [(start, min(start + block_size, config.n_agents))
+              for start in range(0, config.n_agents, block_size)]
+    restored: dict[int, list[AgentTrace]] = {}
+    for index, (start, end) in enumerate(blocks):
+        unit = store.load_unit("agent-block", f"agents={start}-{end}")
+        if unit is not None:
+            restored[index] = [_trace_from_jsonable(doc)
+                               for doc in unit["payload"]["traces"]]
+
+    todo = [index for index in range(len(blocks)) if index not in restored]
+    computed: dict[int, list[AgentTrace]] = {}
+
+    def record(position: int, block_traces: list[AgentTrace]) -> None:
+        index = todo[position]
+        computed[index] = block_traces
+        start, end = blocks[index]
+        store.save_unit(
+            "agent-block", f"agents={start}-{end}",
+            {"traces": [_trace_to_jsonable(trace)
+                        for trace in block_traces]})
+
+    work = functools.partial(_simulate_block, topology=topology,
+                             config=config, horizon=horizon,
+                             arrival_profile=arrival_profile)
+    try:
+        if n_workers is None or n_workers == 1:
+            for position, index in enumerate(todo):
+                record(position, work(blocks[index]))
+        elif todo:
+            policy = (supervision if supervision is not None
+                      else RetryPolicy(max_retries=0, on_failure="raise"))
+            supervised_map(
+                work, [blocks[index] for index in todo], workers=n_workers,
+                chunk_size=1, policy=policy,
+                on_chunk_complete=lambda position, results:
+                    record(position, results[0]))
+    except BaseException:
+        store.mark("interrupted")
+        raise
+    store.mark("complete")
+
     traces: list[AgentTrace] = []
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        for chunk_traces in pool.map(_simulate_chunk, payloads):
-            traces.extend(chunk_traces)
+    for index in range(len(blocks)):
+        traces.extend(restored.get(index) or computed.get(index) or [])
     return traces

@@ -1,0 +1,165 @@
+"""Unit tests for the checkpoint store (``repro.parallel.checkpoint``)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults import use_execution_faults
+from repro.parallel import CHECKPOINT_SCHEMA, CheckpointStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(str(tmp_path / "ckpt"))
+
+
+class TestManifestLifecycle:
+    def test_begin_creates_running_manifest(self, store):
+        manifest = store.begin("fp-1", label="demo")
+        assert manifest == {"schema": CHECKPOINT_SCHEMA,
+                            "fingerprint": "fp-1", "label": "demo",
+                            "status": "running"}
+        assert store.read_manifest() == manifest
+
+    def test_mark_transitions_status(self, store):
+        store.begin("fp-1")
+        store.mark("interrupted")
+        assert store.read_manifest()["status"] == "interrupted"
+        store.mark("complete")
+        assert store.read_manifest()["status"] == "complete"
+        with pytest.raises(ConfigurationError, match="status"):
+            store.mark("exploded")
+
+    def test_begin_refuses_existing_run_without_resume(self, store):
+        store.begin("fp-1")
+        with pytest.raises(ConfigurationError, match="--resume"):
+            store.begin("fp-1")
+
+    def test_begin_refuses_fingerprint_mismatch(self, store):
+        store.begin("fp-1")
+        with pytest.raises(ConfigurationError, match="fingerprint"):
+            store.begin("fp-2", resume=True)
+
+    def test_begin_refuses_schema_mismatch(self, store):
+        store.begin("fp-1")
+        manifest = store.read_manifest()
+        manifest["schema"] = CHECKPOINT_SCHEMA + 1
+        with open(store.manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ConfigurationError, match="schema"):
+            store.begin("fp-1", resume=True)
+
+    def test_resume_without_manifest_but_with_units_refused(self, store):
+        store.begin("fp-1")
+        store.save_unit("trial", "a", {"x": 1})
+        os.unlink(store.manifest_path)
+        with pytest.raises(ConfigurationError, match="manifest"):
+            store.begin("fp-1", resume=True)
+
+
+class TestUnits:
+    def test_save_load_roundtrip(self, store):
+        store.begin("fp-1")
+        path = store.save_unit("trial", "stp[0]=0.3",
+                               {"value": 0.3, "rows": [1, 2]},
+                               obs={"counters": {"a": 1}})
+        assert os.path.isfile(path)
+        unit = store.load_unit("trial", "stp[0]=0.3")
+        assert unit["payload"] == {"value": 0.3, "rows": [1, 2]}
+        assert unit["obs"] == {"counters": {"a": 1}}
+        # no temp-file stragglers after an atomic write
+        assert not [name for name in os.listdir(store.directory)
+                    if name.endswith(".tmp")]
+
+    def test_load_missing_and_wrong_kind(self, store):
+        store.begin("fp-1")
+        store.save_unit("trial", "a", {"x": 1})
+        assert store.load_unit("trial", "b") is None
+        assert store.load_unit("other", "a") is None
+
+    def test_corrupted_unit_rejected(self, store):
+        store.begin("fp-1")
+        path = store.save_unit("trial", "a", {"x": 1})
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        document["payload"]["x"] = 2  # digest now stale
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        assert store.load_unit("trial", "a") is None
+
+    def test_unparseable_unit_rejected(self, store):
+        store.begin("fp-1")
+        path = store.save_unit("trial", "a", {"x": 1})
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert store.load_unit("trial", "a") is None
+
+    def test_completed_units_filters_by_kind(self, store):
+        store.begin("fp-1")
+        store.save_unit("trial", "a", {"x": 1})
+        store.save_unit("trial", "b", {"x": 2})
+        store.save_unit("meta", "m", {"x": 3})
+        assert len(store.completed_units()) == 3
+        trials = store.completed_units("trial")
+        assert sorted(unit["key"] for unit in trials) == ["a", "b"]
+
+    def test_corrupt_checkpoint_fault_breaks_second_write(self, store):
+        store.begin("fp-1")
+        with use_execution_faults("corrupt-checkpoint:1"):
+            store.save_unit("trial", "a", {"x": 1})
+            store.save_unit("trial", "b", {"x": 2})
+        assert store.load_unit("trial", "a") is not None
+        assert store.load_unit("trial", "b") is None  # ordinal 1 corrupted
+
+
+class TestDoctor:
+    def test_clean_directory_is_ok(self, store):
+        store.begin("fp-1", label="demo")
+        store.save_unit("trial", "a", {"x": 1})
+        store.mark("complete")
+        report = store.validate()
+        assert report.ok
+        assert report.valid == [("trial", "a")]
+        assert report.corrupt == []
+        assert "verdict: ok" in report.render()
+        assert report.to_dict()["ok"] is True
+
+    def test_corruption_and_orphans_classified(self, store, tmp_path):
+        store.begin("fp-1")
+        path = store.save_unit("trial", "a", {"x": 1})
+        store.save_unit("trial", "b", {"x": 2})
+        # corrupt one unit in place
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        document["digest"] = "0" * 64
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        # a schema-mismatched unit
+        old = {"schema": CHECKPOINT_SCHEMA + 7, "kind": "trial",
+               "key": "c", "payload": None, "obs": None, "digest": "x"}
+        with open(os.path.join(store.directory, "trial__old.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(old, handle)
+        # an interrupted temp-file straggler and a stray file
+        open(os.path.join(store.directory, "junk.tmp"), "w").close()
+        open(os.path.join(store.directory, "README"), "w").close()
+        report = store.validate()
+        assert not report.ok
+        assert report.valid == [("trial", "b")]
+        assert len(report.corrupt) == 1
+        assert report.schema_mismatch == ["trial__old.json"]
+        assert sorted(report.orphans) == ["README", "junk.tmp"]
+        rendered = report.render()
+        assert "BAD" in rendered and "OLD" in rendered
+        assert "verdict: DEGRADED" in rendered
+
+    def test_missing_manifest_not_ok(self, store):
+        store.begin("fp-1")
+        os.unlink(store.manifest_path)
+        report = store.validate()
+        assert not report.ok
+        assert "MISSING" in report.render()

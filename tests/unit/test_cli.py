@@ -17,7 +17,7 @@ def test_parser_lists_all_commands():
                             "sessionize", "evaluate", "experiment", "sweep",
                             "mine", "stats", "run-spec", "dataset",
                             "compare", "anonymize", "selftest",
-                            "leaderboard", "chaos", "ingest"}
+                            "leaderboard", "chaos", "ingest", "doctor"}
 
 
 def test_topology_command(tmp_path, capsys):
