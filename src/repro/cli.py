@@ -31,7 +31,11 @@ Subcommands mirror the paper's pipeline:
 * ``ingest``     — parse a (possibly degraded) log under an explicit
   error policy, with full accounting and a quarantine file;
 * ``doctor``     — audit a ``--checkpoint`` directory: schema, integrity
-  hashes, orphans, and what a ``--resume`` would skip or redo.
+  hashes, orphans, and what a ``--resume`` would skip or redo;
+* ``diffcheck``  — the differential correctness oracle: run a corpus
+  through every Smart-SRA execution path (serial, parallel, supervised,
+  checkpoint/resume, streaming), verify the paper's five output rules,
+  and exit non-zero on any divergence.
 
 Long-running commands (``sweep``, ``simulate``, ``reconstruct``) accept
 supervision flags (``--max-retries``, ``--chunk-deadline``,
@@ -363,6 +367,30 @@ def build_parser() -> argparse.ArgumentParser:
     doctor.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the audit as a JSON document instead "
                              "of text")
+
+    diff = sub.add_parser("diffcheck",
+                          help="cross-engine differential correctness "
+                               "oracle: run a corpus through every "
+                               "Smart-SRA execution path and diff the "
+                               "canonical outputs")
+    diff.add_argument("--corpus",
+                      help="directory of corpus case JSON files (e.g. the "
+                           "committed tests/data/diffcheck); omitted, a "
+                           "fresh adversarial corpus is generated from "
+                           "--seed")
+    diff.add_argument("--engines", default="all",
+                      help="comma-separated engine names, or 'all' "
+                           "(default); the serial baseline is always "
+                           "included")
+    diff.add_argument("--seed", type=int, default=None,
+                      help="override the per-case seeds (default: each "
+                           "case's own pinned seed)")
+    diff.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the full report as a JSON document "
+                           "instead of text")
+    diff.add_argument("--write-golden", metavar="DIR",
+                      help="regenerate the golden corpus into DIR (cases "
+                           "pinned against the serial engine) and exit")
 
     return parser
 
@@ -884,6 +912,38 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_diffcheck(args: argparse.Namespace) -> int:
+    from repro.diffcheck import (
+        EngineContext,
+        generate_corpus,
+        load_corpus,
+        run_diffcheck,
+        run_engine,
+        save_corpus,
+    )
+    if args.write_golden is not None:
+        seed = args.seed if args.seed is not None else 0
+        pinned = []
+        for case in generate_corpus(seed=seed):
+            reference = run_engine("serial", EngineContext(
+                case.requests, case.topology, case.config, case.seed))
+            pinned.append(case.with_expected(reference))
+        paths = save_corpus(pinned, args.write_golden)
+        print(f"wrote {len(paths)} golden case(s) to {args.write_golden}")
+        return 0
+    if args.corpus is not None:
+        cases = load_corpus(args.corpus)
+    else:
+        cases = generate_corpus(
+            seed=args.seed if args.seed is not None else 0)
+    report = run_diffcheck(cases, engines=args.engines, seed=args.seed)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "topology": _cmd_topology,
     "simulate": _cmd_simulate,
@@ -904,6 +964,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "ingest": _cmd_ingest,
     "doctor": _cmd_doctor,
+    "diffcheck": _cmd_diffcheck,
 }
 
 

@@ -1,0 +1,258 @@
+"""The execution paths under differential test, behind one interface.
+
+After PRs 3-4 the same request log can be reconstructed five
+structurally different ways — serial batch, chunked parallel fan-out,
+supervised execution that survives injected worker crashes, a
+checkpoint/resume round trip through persisted work units, and the
+incremental streaming pipeline.  Each is wrapped here as an *engine*: a
+function from one :class:`EngineContext` to one
+:class:`~repro.sessions.model.SessionSet`, so the harness can canonical-
+compare their outputs pairwise without knowing how any of them executes.
+
+Every engine is deterministic given the context ``seed`` — including the
+supervised leg (fault injection plus seeded retry jitter) and the
+reorder leg (seeded bounded shuffle) — so a divergence is always a bug,
+never noise.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.config import SmartSRAConfig
+from repro.core.smart_sra import SmartSRA
+from repro.exceptions import ConfigurationError
+from repro.faults.execution import use_execution_faults
+from repro.parallel import CheckpointStore, RetryPolicy, shard_by_user
+from repro.sessions.model import Request, Session, SessionSet
+from repro.streaming import streaming_smart_sra
+from repro.topology.graph import WebGraph
+
+__all__ = [
+    "ENGINE_REGISTRY",
+    "EngineContext",
+    "available_engines",
+    "resolve_engines",
+    "run_engine",
+]
+
+EngineFn = Callable[["EngineContext"], SessionSet]
+
+
+@dataclass(frozen=True, slots=True)
+class EngineContext:
+    """Everything an engine needs to reconstruct one corpus case.
+
+    Attributes:
+        requests: the request stream, already in ``(timestamp, user,
+            page)`` sort order — each engine applies its own execution
+            discipline on top (chunking, sharding, bounded shuffling).
+        topology: the site graph.
+        config: the ρ/δ thresholds.
+        seed: drives every seeded choice an engine makes (retry jitter,
+            reorder shuffle), so reruns are reproducible.
+        workdir: scratch directory for engines that persist state (the
+            resume leg); a fresh temporary directory when ``None``.
+    """
+
+    requests: tuple[Request, ...]
+    topology: WebGraph
+    config: SmartSRAConfig = field(default_factory=SmartSRAConfig)
+    seed: int = 0
+    workdir: str | None = None
+
+
+def _serial(ctx: EngineContext) -> SessionSet:
+    return SmartSRA(ctx.topology, ctx.config).reconstruct(ctx.requests)
+
+
+def _parallel(workers: int) -> EngineFn:
+    def run(ctx: EngineContext) -> SessionSet:
+        return SmartSRA(ctx.topology, ctx.config).reconstruct(
+            ctx.requests, workers=workers, mode="auto")
+    return run
+
+
+def _supervised(ctx: EngineContext) -> SessionSet:
+    """Parallel reconstruction that must survive injected worker faults.
+
+    Chunk 0 crashes its worker on the first attempt (transient — the
+    canonical recoverable fault) and chunk 1 is slowed; the supervisor
+    has to retry, respawn the pool and still produce output identical to
+    every other engine.  Faults only fire inside pool worker processes,
+    so on platforms where the process pool is unavailable this leg
+    degrades to a plain supervised thread run — still a valid engine,
+    just without the crash exercised.
+    """
+    policy = RetryPolicy(max_retries=3, deadline=30.0, backoff_base=0.01,
+                         backoff_cap=0.1, seed=ctx.seed)
+    with use_execution_faults("crash-chunk:0", "slow-chunk:1:0.02"):
+        return SmartSRA(ctx.topology, ctx.config).reconstruct(
+            ctx.requests, workers=2, mode="auto", supervision=policy)
+
+
+def _resume(ctx: EngineContext) -> SessionSet:
+    """Checkpoint/resume round trip, with one unit corrupted on disk.
+
+    Simulates an interrupted run: the first half of the per-user shards
+    is computed and persisted (with a ``corrupt-checkpoint`` fault
+    flipping the first unit's integrity digest after the atomic write),
+    then a second pass resumes against the same directory — it must
+    reject the corrupted unit, reuse the trustworthy ones, recompute the
+    rest, and reassemble output identical to the serial engine.
+    """
+    shards = shard_by_user(ctx.requests)
+    smart = SmartSRA(ctx.topology, ctx.config)
+    workdir = ctx.workdir or tempfile.mkdtemp(prefix="diffcheck-resume-")
+    directory = str(Path(workdir) / "checkpoints")
+    fingerprint = (f"diffcheck:{ctx.topology.fingerprint()}:"
+                   f"{ctx.config.max_gap}:{ctx.config.max_duration}:"
+                   f"{len(ctx.requests)}")
+
+    def reconstruct_shard(shard: Sequence[Request]) -> list[Session]:
+        ordered = sorted(shard, key=lambda request: request.timestamp)
+        return smart.reconstruct_user(ordered)
+
+    first_pass = CheckpointStore(directory)
+    first_pass.begin(fingerprint, label="diffcheck-resume")
+    interrupted_at = (len(shards) + 1) // 2
+    with use_execution_faults("corrupt-checkpoint:0"):
+        for index, shard in enumerate(shards[:interrupted_at]):
+            payload = SessionSet(reconstruct_shard(shard)).to_jsonable()
+            first_pass.save_unit("user-shard", f"{index:06d}", payload)
+    # The run "dies" here; a fresh store resumes the same directory.
+    second_pass = CheckpointStore(directory)
+    second_pass.begin(fingerprint, label="diffcheck-resume", resume=True)
+    sessions: list[Session] = []
+    for index, shard in enumerate(shards):
+        unit = second_pass.load_unit("user-shard", f"{index:06d}")
+        if unit is not None:
+            sessions.extend(SessionSet.from_jsonable(unit["payload"]))
+        else:
+            recomputed = reconstruct_shard(shard)
+            second_pass.save_unit(
+                "user-shard", f"{index:06d}",
+                SessionSet(recomputed).to_jsonable())
+            sessions.extend(recomputed)
+    second_pass.mark("complete")
+    return SessionSet(sessions)
+
+
+def _streaming(ctx: EngineContext) -> SessionSet:
+    pipeline = streaming_smart_sra(ctx.topology, ctx.config)
+    sessions = pipeline.feed_many(ctx.requests)
+    sessions.extend(pipeline.flush())
+    return SessionSet(sessions)
+
+
+def _streaming_watermark(ctx: EngineContext) -> SessionSet:
+    """Streaming with periodic watermark flushes between feeds.
+
+    Emitting eagerly at watermarks exercises the incremental closing
+    logic (`flush(watermark)`) rather than the end-of-stream drain; the
+    session *set* must not depend on when flushes happen.
+    """
+    pipeline = streaming_smart_sra(ctx.topology, ctx.config)
+    step = max(ctx.config.max_gap * 0.75, 1.0)
+    sessions: list[Session] = []
+    next_watermark = step
+    for request in ctx.requests:
+        while request.timestamp >= next_watermark:
+            sessions.extend(pipeline.flush(next_watermark))
+            next_watermark += step
+        sessions.extend(pipeline.feed(request))
+    sessions.extend(pipeline.flush())
+    return SessionSet(sessions)
+
+
+def _streaming_reorder(ctx: EngineContext) -> SessionSet:
+    """Streaming over a seeded, time-bounded shuffle of the stream.
+
+    The stream is partitioned into blocks spanning at most the reorder
+    window; each block is shuffled (seeded by the context), so arrival
+    order differs from event order by a bounded amount.  The reorder
+    buffer must restore the deterministic total order and reproduce the
+    batch output exactly — ``late_policy="raise"`` turns any miscounted
+    bound into a loud failure instead of a quietly dropped request.
+    """
+    window = max(ctx.config.max_gap / 2.0, 1.0)
+    rng = random.Random(ctx.seed)
+    shuffled: list[Request] = []
+    block: list[Request] = []
+    for request in ctx.requests:
+        if block and request.timestamp - block[0].timestamp > window:
+            rng.shuffle(block)
+            shuffled.extend(block)
+            block = []
+        block.append(request)
+    rng.shuffle(block)
+    shuffled.extend(block)
+    pipeline = streaming_smart_sra(ctx.topology, ctx.config,
+                                   reorder_window=window)
+    sessions = pipeline.feed_many(shuffled)
+    sessions.extend(pipeline.flush())
+    return SessionSet(sessions)
+
+
+#: name -> engine, in report order.  ``serial`` is the baseline every
+#: other engine is diffed against and must stay first.
+ENGINE_REGISTRY: dict[str, EngineFn] = {
+    "serial": _serial,
+    "parallel-2": _parallel(2),
+    "parallel-3": _parallel(3),
+    "parallel-auto": _parallel(0),
+    "supervised": _supervised,
+    "resume": _resume,
+    "streaming": _streaming,
+    "streaming-watermark": _streaming_watermark,
+    "streaming-reorder": _streaming_reorder,
+}
+
+
+def available_engines() -> tuple[str, ...]:
+    """Every registered engine name, baseline first."""
+    return tuple(ENGINE_REGISTRY)
+
+
+def resolve_engines(spec: str | Sequence[str]) -> tuple[str, ...]:
+    """Expand an ``--engines`` value into registry names.
+
+    Accepts ``"all"``, a comma-separated string, or a sequence of names.
+    The serial baseline is always included (a diff needs its reference)
+    and ordering follows the registry, not the spec.
+
+    Raises:
+        ConfigurationError: for an unknown engine name.
+    """
+    if isinstance(spec, str):
+        names = ([name.strip() for name in spec.split(",") if name.strip()]
+                 if spec != "all" else list(ENGINE_REGISTRY))
+    else:
+        names = list(spec)
+    unknown = [name for name in names if name not in ENGINE_REGISTRY]
+    if unknown:
+        known = ", ".join(ENGINE_REGISTRY)
+        raise ConfigurationError(
+            f"unknown engine(s) {', '.join(sorted(unknown))} "
+            f"(known: {known})")
+    chosen = set(names) | {"serial"}
+    return tuple(name for name in ENGINE_REGISTRY if name in chosen)
+
+
+def run_engine(name: str, ctx: EngineContext) -> SessionSet:
+    """Run one registered engine over a context.
+
+    Raises:
+        ConfigurationError: for an unknown engine name.
+    """
+    try:
+        engine = ENGINE_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine {name!r} "
+            f"(known: {', '.join(ENGINE_REGISTRY)})") from None
+    return engine(ctx)

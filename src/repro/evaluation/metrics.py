@@ -82,18 +82,25 @@ class AccuracyReport:
 
     @property
     def accuracy(self) -> float:
-        """Any-capture real accuracy: ``captured / total_real``."""
+        """Any-capture real accuracy: ``captured / total_real``.
+
+        With no ground-truth sessions the ratio is vacuously ``1.0``
+        (there was nothing to recover and nothing was missed); spurious
+        reconstructed output still shows up in :attr:`precision`.
+        """
         if self.total_real == 0:
-            raise EvaluationError(
-                "accuracy undefined: ground truth has no sessions")
+            return 1.0
         return self.captured / self.total_real
 
     @property
     def matched_accuracy(self) -> float:
-        """One-to-one matched real accuracy: ``matched / total_real``."""
+        """One-to-one matched real accuracy: ``matched / total_real``.
+
+        Vacuously ``1.0`` when the ground truth is empty, mirroring
+        :attr:`accuracy`.
+        """
         if self.total_real == 0:
-            raise EvaluationError(
-                "accuracy undefined: ground truth has no sessions")
+            return 1.0
         return self.matched / self.total_real
 
     @property
@@ -172,15 +179,24 @@ def real_accuracy(ground_truth: SessionSet, reconstructed: SessionSet,
 
 def evaluate_reconstruction(heuristic: str, ground_truth: SessionSet,
                             reconstructed: SessionSet,
-                            match_within_user: bool = True) -> AccuracyReport:
+                            match_within_user: bool = True, *,
+                            allow_empty: bool = False) -> AccuracyReport:
     """Full evaluation of one heuristic's output against ground truth.
 
     See :func:`real_accuracy` for the ``match_within_user`` semantics.
 
+    Args:
+        allow_empty: permit an empty ``ground_truth`` and return a report
+            with ``total_real == 0`` (accuracies vacuously 1.0) instead of
+            raising.  An empty ground truth is usually an upstream mistake,
+            so the default stays strict; the differential harness and
+            empty-corpus evaluations opt in explicitly.
+
     Raises:
-        EvaluationError: when ``ground_truth`` is empty.
+        EvaluationError: when ``ground_truth`` is empty and ``allow_empty``
+            is false.
     """
-    if len(ground_truth) == 0:
+    if len(ground_truth) == 0 and not allow_empty:
         raise EvaluationError(
             "cannot evaluate against an empty ground truth")
 

@@ -21,6 +21,7 @@ clock — the heuristics only ever take differences).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
@@ -246,6 +247,20 @@ class Session:
         """The set of page ids visited in this session."""
         return frozenset(self._pages)
 
+    def canonical_key(self) -> tuple[str, tuple[tuple[float, str, bool], ...]]:
+        """An engine-independent identity for differential comparison.
+
+        Two sessions reconstructed by different execution paths (serial,
+        parallel, streaming, resumed) describe the same visit iff their
+        canonical keys are equal: same user, same ``(timestamp, page,
+        synthetic)`` sequence.  Referrers are deliberately excluded — they
+        are provenance metadata that CLF logs do not carry, and
+        :class:`Request` equality already ignores them.
+        """
+        user = self._requests[0].user_id if self._requests else ""
+        return (user, tuple((r.timestamp, r.page, r.synthetic)
+                            for r in self._requests))
+
 
 class SessionSet:
     """An immutable collection of sessions with per-user indexing.
@@ -323,6 +338,38 @@ class SessionSet:
     def filtered(self, min_length: int = 1) -> "SessionSet":
         """Return a new set keeping only sessions of at least ``min_length``."""
         return SessionSet(s for s in self._sessions if len(s) >= min_length)
+
+    # -- canonical form ----------------------------------------------------
+
+    def canonical_form(self) -> dict[str, list[tuple[tuple[float, str, bool], ...]]]:
+        """Order-independent normal form for cross-engine comparison.
+
+        Maps each user to the *sorted* list of that user's canonical
+        session bodies (see :meth:`Session.canonical_key`).  Engines may
+        emit sessions in different orders (streaming emits as candidates
+        close, parallel emits chunk by chunk), so construction order must
+        not participate in equivalence — but multiplicity must: a session
+        reconstructed twice is a divergence, hence a sorted list rather
+        than a set.  Empty sessions normalize under the ``""`` user.
+        """
+        grouped: dict[str, list[tuple[tuple[float, str, bool], ...]]] = {}
+        for session in self._sessions:
+            user, body = session.canonical_key()
+            grouped.setdefault(user, []).append(body)
+        return {user: sorted(bodies) for user, bodies in grouped.items()}
+
+    def canonical_digest(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_form`.
+
+        Stable across processes and sessions-set construction order; two
+        sets digest equally iff their canonical forms are equal (floats
+        serialize via ``repr``, which round-trips exactly).
+        """
+        form = self.canonical_form()
+        payload = json.dumps(
+            [[user, bodies] for user, bodies in sorted(form.items())],
+            separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     # -- serialization -----------------------------------------------------
 

@@ -78,6 +78,8 @@ class StreamingStats:
         late_dropped: requests discarded by ``late_policy="drop"``.
         duplicates_dropped: adjacent duplicates discarded by ``dedup``.
         reorder_buffered: requests currently held in the reorder buffer.
+        closed_requests: requests already handed to the finisher via a
+            closed candidate.
     """
 
     active_users: int
@@ -87,6 +89,19 @@ class StreamingStats:
     late_dropped: int = 0
     duplicates_dropped: int = 0
     reorder_buffered: int = 0
+    closed_requests: int = 0
+
+    def reconciles(self) -> bool:
+        """Whether the counters balance: nothing was silently lost.
+
+        Every request ever accepted is either still buffered in an open
+        candidate or was closed out through the finisher, so
+        ``fed_requests == buffered_requests + closed_requests`` must hold
+        at every point in the stream's life (late/duplicate drops are
+        counted *before* a request is fed, and the reorder buffer holds
+        requests that are not yet fed).
+        """
+        return self.fed_requests == self.buffered_requests + self.closed_requests
 
 
 class StreamingReconstructor:
@@ -151,6 +166,7 @@ class StreamingReconstructor:
         self._flush_watermark = float("-inf")
         self._emitted = 0
         self._fed = 0
+        self._closed = 0
         self._late_dropped = 0
         self._duplicates_dropped = 0
         reg = registry if registry is not None else get_registry()
@@ -179,6 +195,10 @@ class StreamingReconstructor:
             raise ReconstructionError(
                 f"negative timestamp {request.timestamp}")
         if request.timestamp < self._flush_watermark:
+            if self._flush_watermark == float("inf"):
+                return self._late(
+                    request,
+                    "the stream was sealed by an end-of-stream flush()")
             return self._late(
                 request,
                 f"request at t={request.timestamp} predates the flushed "
@@ -208,17 +228,26 @@ class StreamingReconstructor:
             emitted.extend(self.feed(request))
         return emitted
 
-    def _release(self, up_to: float) -> list[Session]:
-        """Pop reorder-buffered requests with timestamp ≤ ``up_to``."""
+    def _release(self, below: float) -> list[Session]:
+        """Pop reorder-buffered requests with timestamp strictly < ``below``.
+
+        The bound is exclusive: a request *at* the release floor (or at a
+        flushed watermark) is not late yet, so an equal-timestamp peer may
+        still arrive and must be allowed to sort against it.  Releasing
+        ties eagerly would make the output depend on arrival interleaving.
+        End-of-stream drains with ``below=float("inf")``, which releases
+        everything.
+        """
         emitted: list[Session] = []
-        while self._reorder and self._reorder[0].timestamp <= up_to:
+        while self._reorder and self._reorder[0].timestamp < below:
             emitted.extend(self._accept(heapq.heappop(self._reorder)))
         return emitted
 
     def _update_lag(self) -> None:
         """Publish how far the flushed watermark trails the stream head."""
         if (self._max_seen > float("-inf")
-                and self._flush_watermark > float("-inf")):
+                and self._flush_watermark > float("-inf")
+                and self._flush_watermark < float("inf")):
             self._g_lag.set(self._max_seen - self._flush_watermark)
 
     def _late(self, request: Request, reason: str) -> list[Session]:
@@ -266,11 +295,14 @@ class StreamingReconstructor:
 
         Args:
             watermark: event-time lower bound for all *future* requests.
-                The reorder buffer first releases everything at or before
-                it (safe: nothing earlier can still arrive); candidates
-                whose last request lies more than ρ before it are then
-                provably closed and are emitted.  ``None`` closes
-                everything (end of stream).
+                The reorder buffer first releases everything strictly
+                before it (a request *at* the watermark may still gain an
+                equal-timestamp peer, so it is held); candidates whose
+                last request lies more than ρ before it are then provably
+                closed and are emitted.  ``None`` closes everything and
+                **seals the stream** (end of stream): any later ``feed``
+                is a late event under ``late_policy``, never a silent
+                restart that would diverge from batch output.
 
         After ``flush(watermark)``, feeding a request strictly older than
         ``watermark`` is a *late* event (see ``late_policy``).
@@ -278,6 +310,7 @@ class StreamingReconstructor:
         emitted: list[Session] = []
         if watermark is None:
             emitted.extend(self._release(float("inf")))
+            self._flush_watermark = float("inf")
         else:
             emitted.extend(self._release(watermark))
             self._flush_watermark = max(self._flush_watermark, watermark)
@@ -295,6 +328,7 @@ class StreamingReconstructor:
         if not candidate:
             return []
         sessions = self._finisher(candidate)
+        self._closed += len(candidate)
         self._emitted += len(sessions)
         self._m_emitted.inc(len(sessions))
         self._g_buffered.dec(len(candidate))
@@ -314,6 +348,7 @@ class StreamingReconstructor:
             late_dropped=self._late_dropped,
             duplicates_dropped=self._duplicates_dropped,
             reorder_buffered=len(self._reorder),
+            closed_requests=self._closed,
         )
 
 

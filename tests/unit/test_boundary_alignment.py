@@ -1,0 +1,125 @@
+"""Threshold boundary alignment across every sessionization path.
+
+The paper's thresholds are *inclusive*: a page-stay gap of exactly ρ and
+a session span of exactly δ are legal; only strictly-greater values cut.
+These tests pin that reading — with the same parametrized boundary
+streams — across heur1, heur2, Smart-SRA Phase 1, the batch Smart-SRA
+reconstructor and the streaming pipeline, so a drive-by ``>=`` in any
+one of them breaks a named test instead of silently diverging from the
+other paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SmartSRAConfig
+from repro.core.phase1 import split_candidates
+from repro.core.smart_sra import SmartSRA
+from repro.sessions.model import Request
+from repro.sessions.time_oriented import DurationHeuristic, PageStayHeuristic
+from repro.streaming.pipeline import streaming_phase1, streaming_smart_sra
+from repro.topology.graph import WebGraph
+
+RHO = 600.0
+DELTA = 1800.0
+EPS = 1e-6
+
+CHAIN = WebGraph([("A", "B"), ("B", "C"), ("C", "D")],
+                 pages=["A", "B", "C", "D"], start_pages=["A"])
+
+
+def _stream(gaps, user="u"):
+    pages = ["A", "B", "C", "D"]
+    t = 0.0
+    requests = [Request(t, user, pages[0])]
+    for i, gap in enumerate(gaps):
+        t += gap
+        requests.append(Request(t, user, pages[(i + 1) % 4]))
+    return requests
+
+
+#: (gap sequence, expected candidate count) under inclusive ρ/δ —
+#: exactly-on-threshold stays together, epsilon past splits.
+GAP_CASES = [
+    pytest.param([RHO], 1, id="gap-exactly-rho"),
+    pytest.param([RHO + EPS], 2, id="gap-just-past-rho"),
+    pytest.param([RHO, RHO], 1, id="two-rho-gaps-within-delta"),
+    pytest.param([RHO, RHO, RHO + EPS], 2, id="rho-chain-then-split"),
+    pytest.param([0.0], 1, id="zero-gap-tie"),
+]
+
+#: δ-boundary gap sequences whose individual gaps all respect ρ, so the
+#: duration rule (not the gap rule) decides the cut.
+DURATION_CASES = [
+    pytest.param([RHO, RHO, RHO], 1, id="span-exactly-delta"),
+    pytest.param([RHO, RHO, RHO, EPS], 2, id="span-just-past-delta"),
+    pytest.param([500.0, 500.0, 500.0], 1, id="three-hops-under-delta"),
+]
+
+#: heur1 ignores ρ entirely, so its δ cases may use larger hops.
+HEUR1_DURATION_CASES = [
+    pytest.param([DELTA / 2, DELTA / 2], 1, id="span-exactly-delta"),
+    pytest.param([DELTA / 2, DELTA / 2 + EPS], 2, id="span-just-past-delta"),
+]
+
+
+class TestPhase1Boundaries:
+    @pytest.mark.parametrize("gaps, expected", GAP_CASES + DURATION_CASES)
+    def test_split_candidates(self, gaps, expected):
+        config = SmartSRAConfig(max_duration=DELTA, max_gap=RHO)
+        candidates = split_candidates(_stream(gaps), config)
+        assert len(candidates) == expected
+
+    @pytest.mark.parametrize("gaps, expected", GAP_CASES + DURATION_CASES)
+    def test_streaming_phase1_matches_batch(self, gaps, expected):
+        config = SmartSRAConfig(max_duration=DELTA, max_gap=RHO)
+        pipeline = streaming_phase1(config)
+        emitted = pipeline.feed_many(_stream(gaps))
+        emitted.extend(pipeline.flush())
+        assert len(emitted) == expected
+        batch = split_candidates(_stream(gaps), config)
+        assert ([tuple(r.page for r in s) for s in emitted]
+                == [tuple(r.page for r in c) for c in batch])
+
+
+class TestTimeOrientedBoundaries:
+    @pytest.mark.parametrize("gap, sessions", [
+        pytest.param(RHO, 1, id="gap-exactly-rho"),
+        pytest.param(RHO + EPS, 2, id="gap-just-past-rho"),
+    ])
+    def test_page_stay_heuristic(self, gap, sessions):
+        out = PageStayHeuristic(max_gap=RHO).reconstruct(_stream([gap]))
+        assert len(out) == sessions
+
+    @pytest.mark.parametrize("gaps, sessions", HEUR1_DURATION_CASES)
+    def test_duration_heuristic(self, gaps, sessions):
+        out = DurationHeuristic(max_duration=DELTA).reconstruct(
+            _stream(gaps))
+        assert len(out) == sessions
+
+
+class TestSmartSRABoundaries:
+    @pytest.mark.parametrize("gaps, expected", GAP_CASES + DURATION_CASES)
+    def test_batch_equals_streaming_at_boundaries(self, gaps, expected):
+        config = SmartSRAConfig(max_duration=DELTA, max_gap=RHO)
+        requests = _stream(gaps)
+        batch = SmartSRA(CHAIN, config).reconstruct(requests)
+        pipeline = streaming_smart_sra(CHAIN, config)
+        streamed = pipeline.feed_many(requests)
+        streamed.extend(pipeline.flush())
+        from repro.sessions.model import SessionSet
+        assert (SessionSet(streamed).canonical_digest()
+                == batch.canonical_digest())
+
+    def test_rho_boundary_request_joins_session_everywhere(self):
+        # one request exactly ρ after its predecessor must land in the
+        # *same* session in batch and streaming alike.
+        config = SmartSRAConfig(max_duration=DELTA, max_gap=RHO)
+        requests = [Request(0.0, "u", "A"), Request(RHO, "u", "B")]
+        batch = SmartSRA(CHAIN, config).reconstruct(requests)
+        assert [s.pages for s in batch] == [("A", "B")]
+        pipeline = streaming_smart_sra(CHAIN, config)
+        streamed = pipeline.feed_many(requests)
+        streamed.extend(pipeline.flush())
+        assert [s.pages for s in streamed] == [("A", "B")]

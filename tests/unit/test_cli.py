@@ -17,7 +17,8 @@ def test_parser_lists_all_commands():
                             "sessionize", "evaluate", "experiment", "sweep",
                             "mine", "stats", "run-spec", "dataset",
                             "compare", "anonymize", "selftest",
-                            "leaderboard", "chaos", "ingest", "doctor"}
+                            "leaderboard", "chaos", "ingest", "doctor",
+                            "diffcheck"}
 
 
 def test_topology_command(tmp_path, capsys):

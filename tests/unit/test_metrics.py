@@ -119,3 +119,49 @@ class TestReportDiagnostics:
         truth = SessionSet([_s(["A"])])
         report = evaluate_reconstruction("my-heuristic", truth, truth)
         assert report.heuristic == "my-heuristic"
+
+
+class TestEmptyCorpusEvaluation:
+    """Zero-denominator paths must return defined values (regression).
+
+    ``accuracy``/``matched_accuracy`` used to raise on a report with no
+    ground-truth sessions, which turned an empty evaluation corpus into
+    a crash deep inside sweep/diffcheck plumbing.  They are vacuously
+    1.0 now (nothing to recover, nothing missed); the strict default of
+    ``evaluate_reconstruction`` still rejects an empty ground truth so
+    upstream mistakes stay loud.
+    """
+
+    def test_accuracies_defined_on_empty_truth(self):
+        report = evaluate_reconstruction(
+            "h", SessionSet([]), SessionSet([]), allow_empty=True)
+        assert report.total_real == 0
+        assert report.accuracy == 1.0
+        assert report.matched_accuracy == 1.0
+        assert report.precision == 0.0
+
+    def test_spurious_output_shows_in_precision_not_accuracy(self):
+        report = evaluate_reconstruction(
+            "h", SessionSet([]), SessionSet([_s(["A", "B"])]),
+            allow_empty=True)
+        assert report.accuracy == 1.0          # vacuous: no real sessions
+        assert report.reconstructed_count == 1
+        assert report.precision == 0.0         # the junk is still visible
+
+    def test_empty_reconstruction_against_real_truth(self):
+        report = evaluate_reconstruction(
+            "h", SessionSet([_s(["A", "B"])]), SessionSet([]))
+        assert report.accuracy == 0.0
+        assert report.matched_accuracy == 0.0
+        assert report.precision == 0.0
+
+    def test_empty_truth_still_rejected_by_default(self):
+        with pytest.raises(EvaluationError):
+            evaluate_reconstruction("h", SessionSet([]), SessionSet([]))
+
+    def test_report_roundtrip_keeps_vacuous_values(self):
+        report = evaluate_reconstruction(
+            "h", SessionSet([]), SessionSet([]), allow_empty=True)
+        from repro.evaluation.metrics import AccuracyReport
+        recovered = AccuracyReport.from_dict(report.to_dict())
+        assert recovered.accuracy == 1.0

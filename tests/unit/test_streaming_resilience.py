@@ -195,3 +195,134 @@ class TestSmartSRAWithResilience:
         streamed = pipeline.feed_many(arrivals)
         streamed.extend(pipeline.flush())
         assert _sessions_signature(streamed) == _sessions_signature(batch)
+
+
+class TestReorderTieDeterminism:
+    """Equal-timestamp ties straddling the release floor (regression).
+
+    The reorder buffer used to release requests *at* the floor eagerly,
+    so a tie arriving exactly at the floor could not sort against an
+    equal-timestamp peer released moments earlier — the output depended
+    on arrival interleaving.  Release is now strictly below the bound:
+    a request at the floor is not late yet, so its ties are still due.
+    """
+
+    ORDERS = [
+        [Request(100.0, "u", "A"), Request(100.0, "u", "B"),
+         Request(110.0, "u", "Z")],
+        [Request(100.0, "u", "B"), Request(110.0, "u", "Z"),
+         Request(100.0, "u", "A")],   # tie arrives exactly at the floor
+        [Request(110.0, "u", "Z"), Request(100.0, "u", "B"),
+         Request(100.0, "u", "A")],
+    ]
+
+    def _run(self, order):
+        pipeline = streaming_phase1(reorder_window=10.0)
+        emitted = pipeline.feed_many(order)
+        emitted.extend(pipeline.flush())
+        return _sessions_signature(emitted)
+
+    def test_tie_at_release_floor_is_arrival_order_independent(self):
+        signatures = {tuple(map(tuple, self._run(order)))
+                      for order in self.ORDERS}
+        assert len(signatures) == 1
+
+    def test_tie_at_release_floor_is_not_late(self):
+        pipeline = streaming_phase1(reorder_window=10.0)
+        pipeline.feed(Request(110.0, "u", "Z"))
+        # exactly at the floor (110 - 10): legal, buffered, not late.
+        pipeline.feed(Request(100.0, "u", "A"))
+        assert pipeline.stats().late_dropped == 0
+        assert pipeline.stats().reorder_buffered == 2
+
+    def test_release_at_flush_watermark_holds_ties(self):
+        pipeline = streaming_phase1(reorder_window=50.0)
+        pipeline.feed(Request(60.0, "u", "B"))
+        pipeline.flush(60.0)
+        # a tie at the watermark is still legal input; it must sort
+        # against the held request instead of trailing it.
+        pipeline.feed(Request(60.0, "u", "A"))
+        emitted = pipeline.flush()
+        assert [s.pages for s in emitted] == [("A", "B")]
+
+
+class TestEndOfStreamSeal:
+    """flush(None) must terminate the stream, not quietly restart it.
+
+    Feeding after the end-of-stream flush used to open a fresh candidate
+    where batch processing would have merged the requests — a silent
+    divergence.  The final flush now seals the pipeline: later feeds are
+    late events under the configured policy.
+    """
+
+    def test_feed_after_final_flush_raises(self):
+        pipeline = streaming_phase1()
+        pipeline.feed(Request(0.0, "u", "A"))
+        pipeline.flush()
+        with pytest.raises(LateEventError, match="sealed"):
+            pipeline.feed(Request(10.0, "u", "B"))
+
+    def test_feed_after_final_flush_drops_under_drop_policy(self):
+        pipeline = streaming_phase1(late_policy="drop")
+        pipeline.feed(Request(0.0, "u", "A"))
+        sealed = pipeline.flush()
+        assert [s.pages for s in sealed] == [("A",)]
+        assert pipeline.feed(Request(10.0, "u", "B")) == []
+        assert pipeline.flush() == []
+        assert pipeline.stats().late_dropped == 1
+
+    def test_flush_styles_emit_identical_sessions(self):
+        requests = [Request(0.0, "u", "A"), Request(30.0, "u", "B"),
+                    Request(700.0, "u", "A"), Request(710.0, "v", "B")]
+
+        def collect(flusher):
+            pipeline = streaming_phase1()
+            emitted = pipeline.feed_many(requests)
+            emitted.extend(flusher(pipeline))
+            return _sessions_signature(emitted)
+
+        end_of_stream = collect(lambda p: p.flush())
+        explicit_none = collect(lambda p: p.flush(None))
+        stepped = collect(lambda p: p.flush(1500.0) + p.flush())
+        assert end_of_stream == explicit_none == stepped
+
+
+class TestStatsReconciliation:
+    """StreamingStats must account for every request exactly once."""
+
+    def test_counters_reconcile_throughout_stream_life(self):
+        pipeline = streaming_phase1(late_policy="drop", dedup=True,
+                                    reorder_window=20.0)
+        arrivals = [
+            Request(0.0, "u", "A"),
+            Request(50.0, "u", "B"),
+            Request(45.0, "u", "A"),     # reordered within the window
+            Request(50.0, "u", "B"),     # duplicate of the buffered tail
+            Request(5.0, "u", "A"),      # hopelessly late -> dropped
+            Request(900.0, "u", "C"),    # closes the first candidate
+            Request(905.0, "v", "A"),
+        ]
+        for request in arrivals:
+            pipeline.feed(request)
+            assert pipeline.stats().reconciles()
+        pipeline.flush()
+        stats = pipeline.stats()
+        assert stats.reconciles()
+        assert stats.buffered_requests == 0
+        assert stats.closed_requests == stats.fed_requests
+        assert stats.late_dropped == 1
+        assert stats.duplicates_dropped == 1
+        total_in = (stats.fed_requests + stats.late_dropped
+                    + stats.duplicates_dropped + stats.reorder_buffered)
+        assert total_in == len(arrivals)
+
+    def test_closed_requests_track_finished_candidates(self):
+        pipeline = streaming_phase1()
+        pipeline.feed(Request(0.0, "u", "A"))
+        pipeline.feed(Request(10.0, "u", "B"))
+        assert pipeline.stats().closed_requests == 0
+        pipeline.feed(Request(5000.0, "u", "C"))   # closes [A, B]
+        stats = pipeline.stats()
+        assert stats.closed_requests == 2
+        assert stats.buffered_requests == 1
+        assert stats.reconciles()
