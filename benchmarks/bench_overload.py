@@ -1,0 +1,158 @@
+"""Extension A19 — bounded-memory streaming under adversarial traffic.
+
+Streams a crawler + NAT workload whose *ungoverned* peak tracked state is
+at least 10x the configured budget through the governed pipeline at fixed
+budgets, and reports throughput (krec/s), peak tracked bytes, peak
+process RSS and the degradation ledger per budget.  The acceptance claim
+is the governor's contract: the workload completes, peak tracked state
+stays under the budget, and the stats ledger reconciles — nothing is
+silently lost, only visibly degraded.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+
+import pytest
+
+from _bench_utils import BENCH_QUICK, BENCH_SEED, emit
+from repro.simulator.adversarial import adversarial_workload
+from repro.streaming.governor import GovernorConfig
+from repro.streaming.pipeline import streaming_smart_sra
+from repro.topology.generators import random_site
+
+#: fixed budgets under test (bytes).
+_BUDGETS = (8 * 1024,) if BENCH_QUICK else (16 * 1024, 32 * 1024)
+_PER_USER_CAP = 64
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Crawler+NAT traffic oversubscribing every budget by >= 10x.
+
+    One-second crawler cadence keeps each crawler's candidate open until
+    the span rule (δ) closes it at ~1800 buffered requests, so the
+    ungoverned pipeline tracks hundreds of KiB while the governed one is
+    asked to live in tens.
+    """
+    topology = random_site(150, 6.0, seed=BENCH_SEED)
+    requests = adversarial_workload(
+        topology,
+        crawlers=3 if BENCH_QUICK else 5,
+        crawler_requests=1200 if BENCH_QUICK else 2500,
+        crawler_interval=1.0,
+        nat_pools=1 if BENCH_QUICK else 2,
+        humans_per_pool=8 if BENCH_QUICK else 12,
+        normal_agents=4 if BENCH_QUICK else 8,
+        seed=BENCH_SEED)
+    return topology, requests
+
+
+def _ungoverned_peak(topology, requests) -> int:
+    """Peak tracked bytes with a budget no workload can reach.
+
+    Phase-1 buffering (the memory story) is identical whatever the
+    finisher, so the probe uses the identity finisher — running full
+    Phase 2 over un-capped crawler candidates would only burn time.
+    """
+    from repro.streaming.pipeline import streaming_phase1
+    probe = streaming_phase1(
+        governor=GovernorConfig(memory_budget=1 << 30))
+    probe.feed_many(requests)
+    probe.flush()
+    return probe.stats().peak_tracked_bytes
+
+
+def test_overload_bounded_memory(workload, results_dir, bench_metrics):
+    topology, requests = workload
+    unbounded = _ungoverned_peak(topology, requests)
+    # the acceptance precondition: the workload genuinely oversubscribes
+    # every budget under test by an order of magnitude.
+    assert unbounded >= 10 * max(_BUDGETS), (
+        f"workload peaks at {unbounded}B ungoverned; not adversarial "
+        f"enough for a {max(_BUDGETS)}B budget")
+
+    lines = [
+        f"Extension A19 — bounded-memory streaming under adversarial "
+        f"traffic",
+        f"  workload:            {len(requests)} requests "
+        f"(crawlers + NAT pools + normal agents, seed {BENCH_SEED})",
+        f"  ungoverned peak:     {unbounded} B tracked "
+        f"({unbounded / max(_BUDGETS):.1f}x the largest budget)",
+        f"  per-user cap:        {_PER_USER_CAP} requests, "
+        f"policy evict, quick={'yes' if BENCH_QUICK else 'no'}",
+        "",
+        "  budget      krec/s   peak-tracked   peak-RSS     evict  "
+        "quarantine  shed",
+    ]
+    for budget in _BUDGETS:
+        governor = GovernorConfig(
+            memory_budget=budget, per_user_cap=_PER_USER_CAP,
+            overload_policy="evict", quarantine_after=2,
+            quarantine_cap=4 * _PER_USER_CAP)
+        pipeline = streaming_smart_sra(topology, governor=governor,
+                                       late_policy="drop")
+        start = time.perf_counter()
+        pipeline.feed_many(requests)
+        pipeline.flush()
+        elapsed = time.perf_counter() - start
+        stats = pipeline.stats()
+
+        # the contract under test: completion, boundedness, accounting.
+        assert stats.fed_requests == len(requests)
+        assert stats.peak_tracked_bytes <= budget, (
+            f"budget {budget}: peak {stats.peak_tracked_bytes}")
+        assert stats.reconciles(), stats
+
+        krec_s = stats.fed_requests / elapsed / 1000.0
+        rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        lines.append(
+            f"  {budget:>7}B  {krec_s:7.1f}   {stats.peak_tracked_bytes:>9} B"
+            f"   {rss_kib:>7} KiB  {stats.evicted_requests:>6}"
+            f"  {stats.quarantine_flushes:>10}  {stats.shed_requests:>4}")
+        bench_metrics.gauge(
+            f"bench.overload.peak_tracked.{budget}").set(
+                stats.peak_tracked_bytes)
+        bench_metrics.gauge(
+            f"bench.overload.krec_s.{budget}").set(round(krec_s, 2))
+
+    lines.append("")
+    lines.append("  peak tracked bytes stayed under every budget; ledgers "
+                 "reconcile (asserted)")
+    emit(results_dir, "overload", "\n".join(lines) + "\n")
+
+
+def test_overload_shed_policy_throughput(workload, results_dir,
+                                         bench_metrics):
+    """Shed is the cheap admission-control baseline: no rebalancing work,
+    requests refused at the door once the budget is full."""
+    topology, requests = workload
+    budget = min(_BUDGETS)
+    governor = GovernorConfig(memory_budget=budget,
+                              per_user_cap=_PER_USER_CAP,
+                              overload_policy="shed",
+                              quarantine_after=2,
+                              quarantine_cap=4 * _PER_USER_CAP)
+    pipeline = streaming_smart_sra(topology, governor=governor,
+                                   late_policy="drop")
+    start = time.perf_counter()
+    pipeline.feed_many(requests)
+    pipeline.flush()
+    elapsed = time.perf_counter() - start
+    stats = pipeline.stats()
+    assert stats.peak_tracked_bytes <= budget
+    assert stats.reconciles()
+    assert stats.shed_requests > 0
+    krec_s = stats.fed_requests / elapsed / 1000.0
+    emit(results_dir, "overload_shed",
+         f"Extension A19 (companion) — shed-policy baseline "
+         f"[{budget} B budget]\n"
+         f"  requests presented:   {stats.fed_requests}\n"
+         f"  requests shed:        {stats.shed_requests} "
+         f"({stats.shed_requests / stats.fed_requests:.1%})\n"
+         f"  throughput:           {krec_s:.1f} krec/s\n"
+         f"  peak tracked:         {stats.peak_tracked_bytes} B "
+         f"(bounded, asserted)\n")
+    bench_metrics.gauge("bench.overload.shed_requests").set(
+        stats.shed_requests)

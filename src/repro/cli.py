@@ -9,6 +9,10 @@ Subcommands mirror the paper's pipeline:
 * ``reconstruct``— apply one heuristic to a CLF log (alias:
   ``sessionize``); ``--workers N`` fans reconstruction out over the
   :mod:`repro.parallel` engine with identical output;
+* ``stream``     — incremental reconstruction (:mod:`repro.streaming`):
+  feed the log in arrival order, emit sessions as they close;
+  ``--memory-budget``/``--overload-policy`` put the resource governor
+  in front so tracked state stays bounded under adversarial traffic;
 * ``evaluate``   — score a reconstructed session file against ground truth;
 * ``experiment`` — regenerate Figure 8, 9 or 10 and print the table;
 * ``sweep``      — sweep one simulation parameter (stp/lpp/nip), scoring
@@ -27,11 +31,17 @@ Subcommands mirror the paper's pipeline:
 * ``chaos``      — corrupt a log with seeded fault injection (degraded-
   input testing; composable with ``ingest`` over a pipe), or — with
   ``--exec-selftest`` — inject *execution* faults (crashed / hung / slow
-  workers) and verify the supervised engine recovers byte-identically;
+  workers) and verify the supervised engine recovers byte-identically,
+  or — with ``--overload-selftest`` — stream an adversarial crawler+NAT
+  workload through the governed pipeline under ``mem-pressure``/
+  ``burst`` faults and verify memory stays bounded and the stats
+  ledger reconciles;
 * ``ingest``     — parse a (possibly degraded) log under an explicit
   error policy, with full accounting and a quarantine file;
-* ``doctor``     — audit a ``--checkpoint`` directory: schema, integrity
-  hashes, orphans, and what a ``--resume`` would skip or redo;
+* ``doctor``     — audit a ``--checkpoint`` directory (schema, integrity
+  hashes, orphans, what a ``--resume`` would skip or redo) or, given
+  overload flags, audit a streaming governor configuration for legal-
+  but-degenerate combinations;
 * ``diffcheck``  — the differential correctness oracle: run a corpus
   through every Smart-SRA execution path (serial, parallel, supervised,
   checkpoint/resume, streaming), verify the paper's five output rules,
@@ -210,6 +220,70 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers_flag(rec)
     add_supervision_flags(rec)
 
+    def add_overload_flags(command_parser: argparse.ArgumentParser) -> None:
+        """Resource-governor knobs (repro.streaming.governor); the
+        governed pipeline activates when any of them is given."""
+        command_parser.add_argument(
+            "--memory-budget", metavar="SIZE", default=None,
+            help="byte budget for tracked streaming state (open "
+                 "candidates + quarantine channels); accepts k/m/g "
+                 "binary suffixes (e.g. 64k, 8m)")
+        command_parser.add_argument(
+            "--overload-policy", choices=["block", "evict", "shed",
+                                          "raise"], default=None,
+            help="degradation above the budget's high watermark: evict "
+                 "oldest-idle users (default), block (spill cold buffers "
+                 "to --spill-dir), shed new requests, or raise "
+                 "OverloadError")
+        command_parser.add_argument(
+            "--per-user-cap", type=int, default=None, metavar="N",
+            help="max requests in one user's open candidate before it "
+                 "is force-finished (and the user earns a quarantine "
+                 "strike)")
+        command_parser.add_argument(
+            "--spill-dir", metavar="DIR", default=None,
+            help="spill store directory (required by, and only "
+                 "meaningful under, --overload-policy block)")
+        command_parser.add_argument(
+            "--quarantine-after", type=int, default=None, metavar="N",
+            help="cap strikes before a pathological user is routed to "
+                 "the bounded quarantine side channel")
+        command_parser.add_argument(
+            "--quarantine-cap", type=int, default=None, metavar="N",
+            help="requests held per quarantine channel before it is "
+                 "flushed through the finisher")
+
+    strm = sub.add_parser("stream",
+                          help="incremental (streaming) reconstruction, "
+                               "optionally under a memory governor")
+    strm.add_argument("--log", required=True,
+                      help="CLF log, fed in file order")
+    strm.add_argument("--heuristic", choices=["smart-sra", "phase1"],
+                      default="smart-sra",
+                      help="finisher for closed candidates: full "
+                           "Smart-SRA Phase 2 (needs --topology) or raw "
+                           "Phase-1 candidates")
+    strm.add_argument("--topology",
+                      help="topology JSON (required by smart-sra)")
+    strm.add_argument("--output", required=True,
+                      help="session JSON output path")
+    strm.add_argument("--late-policy", choices=["raise", "drop"],
+                      default="raise",
+                      help="what to do with a request behind the "
+                           "watermark or its user's buffered tail")
+    strm.add_argument("--reorder-window", type=float, default=0.0,
+                      metavar="SECONDS",
+                      help="event-time bound for out-of-order arrival "
+                           "tolerance (0 = strict order)")
+    strm.add_argument("--dedup", action="store_true",
+                      help="drop adjacent duplicates (double logging)")
+    strm.add_argument("--flush-every", type=float, default=0.0,
+                      metavar="SECONDS",
+                      help="emit provably-closed sessions at periodic "
+                           "event-time watermarks instead of only at end "
+                           "of stream")
+    add_overload_flags(strm)
+
     ev = sub.add_parser("evaluate", help="score reconstruction vs truth")
     ev.add_argument("--truth", required=True)
     ev.add_argument("--reconstructed", required=True)
@@ -344,6 +418,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="work items for --exec-selftest (default 64)")
     chaos.add_argument("--selftest-workers", type=int, default=2,
                        help="pool workers for --exec-selftest (default 2)")
+    chaos.add_argument("--overload-selftest", action="store_true",
+                       help="stream an adversarial crawler+NAT workload "
+                            "through the governed pipeline under "
+                            "mem-pressure/burst faults and verify "
+                            "tracked memory stays under budget and the "
+                            "stats ledger reconciles")
+    chaos.add_argument("--overload-budget", metavar="SIZE", default="48k",
+                       help="memory budget for --overload-selftest "
+                            "(k/m/g suffixes; default 48k)")
+    chaos.add_argument("--overload-policy",
+                       choices=["block", "evict", "shed", "raise"],
+                       default="evict",
+                       help="overload policy for --overload-selftest")
+    chaos.add_argument("--overload-spill-dir", metavar="DIR",
+                       help="spill directory for --overload-selftest "
+                            "with policy block")
+    chaos.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the --overload-selftest verdict as a "
+                            "JSON document instead of text")
 
     ing = sub.add_parser("ingest",
                          help="parse a degraded log under an error policy")
@@ -359,14 +452,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "as a normalized log")
 
     doctor = sub.add_parser("doctor",
-                            help="audit a checkpoint directory: "
-                                 "integrity, schema, what --resume "
-                                 "would skip")
-    doctor.add_argument("checkpoint", metavar="DIR",
-                        help="the --checkpoint directory to audit")
+                            help="audit a checkpoint directory "
+                                 "(integrity, schema, what --resume "
+                                 "would skip) or an overload "
+                                 "configuration")
+    doctor.add_argument("checkpoint", metavar="DIR", nargs="?",
+                        help="the --checkpoint directory to audit "
+                             "(omit when auditing overload flags)")
     doctor.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the audit as a JSON document instead "
                              "of text")
+    add_overload_flags(doctor)
 
     diff = sub.add_parser("diffcheck",
                           help="cross-engine differential correctness "
@@ -539,6 +635,87 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
           f"{len(requests)} requests "
           f"(mean length {sessions.mean_length():.2f})")
     print(f"wrote {args.output}")
+    return 0
+
+
+_OVERLOAD_FLAGS = ("memory_budget", "overload_policy", "per_user_cap",
+                   "spill_dir", "quarantine_after", "quarantine_cap")
+
+
+def _governor_from(args: argparse.Namespace):
+    """Build a GovernorConfig from the overload flags (None = ungoverned).
+
+    The governed pipeline activates when any flag is given; unset
+    companions take the :class:`GovernorConfig` defaults.
+    """
+    if all(getattr(args, flag, None) is None for flag in _OVERLOAD_FLAGS):
+        return None
+    from repro.streaming.governor import GovernorConfig, parse_memory_budget
+    overrides = {flag: getattr(args, flag) for flag in _OVERLOAD_FLAGS
+                 if getattr(args, flag) is not None}
+    if "memory_budget" in overrides:
+        overrides["memory_budget"] = parse_memory_budget(
+            overrides["memory_budget"])
+    return GovernorConfig(**overrides)
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.streaming import streaming_phase1, streaming_smart_sra
+    from repro.streaming.governor import GovernedStreamingStats
+    if args.flush_every < 0:
+        print(f"error: --flush-every must be >= 0, got {args.flush_every}",
+              file=sys.stderr)
+        return 2
+    governor = _governor_from(args)
+    options = dict(late_policy=args.late_policy,
+                   reorder_window=args.reorder_window, dedup=args.dedup)
+    if args.heuristic == "phase1":
+        pipeline = streaming_phase1(governor=governor, **options)
+    else:
+        if not args.topology:
+            print("error: smart-sra requires --topology", file=sys.stderr)
+            return 2
+        pipeline = streaming_smart_sra(load_graph(args.topology),
+                                       governor=governor, **options)
+    records = _read_log_surfacing_drops(args.log)
+    requests = records_to_requests(records)
+    sessions = []
+    next_watermark = (requests[0].timestamp + args.flush_every
+                      if args.flush_every > 0 and requests else None)
+    for request in requests:
+        while (next_watermark is not None
+               and request.timestamp >= next_watermark):
+            sessions.extend(pipeline.flush(next_watermark))
+            next_watermark += args.flush_every
+        sessions.extend(pipeline.feed(request))
+    sessions.extend(pipeline.flush())
+    SessionSet(sessions).save(args.output)
+    stats = pipeline.stats()
+    mode = ("governed" if isinstance(stats, GovernedStreamingStats)
+            else "ungoverned")
+    print(f"streamed {stats.fed_requests} requests -> "
+          f"{stats.emitted_sessions} sessions ({args.heuristic}, {mode})")
+    if stats.late_dropped or stats.duplicates_dropped:
+        print(f"  dropped: {stats.late_dropped} late, "
+              f"{stats.duplicates_dropped} duplicates")
+    if isinstance(stats, GovernedStreamingStats):
+        print(f"  budget {stats.memory_budget}B, peak tracked "
+              f"{stats.peak_tracked_bytes}B "
+              f"({'bounded' if stats.peak_tracked_bytes <= stats.memory_budget else 'EXCEEDED'})")
+        print(f"  degradation: {stats.evictions} evictions "
+              f"({stats.evicted_requests} requests), "
+              f"{stats.shed_requests} shed, "
+              f"{stats.spill_writes} spills "
+              f"({stats.spill_restores} restored, "
+              f"{stats.spill_lost} lost), "
+              f"{stats.quarantined_users} quarantined users "
+              f"({stats.quarantine_flushes} channel flushes, "
+              f"{stats.cap_strikes} cap strikes)")
+    print(f"wrote {args.output}")
+    if not stats.reconciles():
+        print("error: streaming accounting does not reconcile",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -823,12 +1000,57 @@ def _chaos_exec_selftest(args: argparse.Namespace) -> int:
     return 0 if result["identical"] else 1
 
 
+def _chaos_overload_selftest(args: argparse.Namespace) -> int:
+    """Run the overload-degradation self-test (``chaos
+    --overload-selftest``)."""
+    from repro.faults import run_overload_selftest
+    from repro.streaming.governor import parse_memory_budget
+    specs = args.exec_fault or ["mem-pressure:500:0.5", "burst:800:96"]
+    result = run_overload_selftest(
+        specs, budget=parse_memory_budget(args.overload_budget),
+        policy=args.overload_policy, seed=args.seed,
+        spill_dir=args.overload_spill_dir)
+    ok = (result["bounded"] and result["reconciled"]
+          and result["invariant_clean"])
+    if args.as_json:
+        print(json.dumps({**result, "ok": ok}, indent=1, sort_keys=True))
+        return 0 if ok else 1
+    stats = result["stats"]
+    print(f"overload selftest: {result['requests']} requests under "
+          f"policy={result['policy']} budget={result['budget']}B with "
+          f"faults {'; '.join(specs)}", file=sys.stderr)
+    print(f"  peak tracked {stats['peak_tracked_bytes']}B "
+          f"({'bounded' if result['bounded'] else 'EXCEEDED BUDGET'}), "
+          f"{result['sessions']} sessions", file=sys.stderr)
+    print(f"  evictions {stats['evictions']} "
+          f"({stats['evicted_requests']} requests), "
+          f"shed {stats['shed_requests']}, "
+          f"spills {stats['spill_writes']} "
+          f"(restored {stats['spill_restores']}), "
+          f"quarantine flushes {stats['quarantine_flushes']}",
+          file=sys.stderr)
+    print(f"  ledger: "
+          f"{'reconciles' if result['reconciled'] else 'DOES NOT RECONCILE'}"
+          f"; output rules: "
+          f"{'clean' if result['invariant_clean'] else 'VIOLATED'}",
+          file=sys.stderr)
+    for violation in result["violations"]:
+        print(f"    ! {violation}", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.exec_selftest and args.overload_selftest:
+        print("error: --exec-selftest and --overload-selftest are "
+              "mutually exclusive", file=sys.stderr)
+        return 2
     if args.exec_selftest:
         return _chaos_exec_selftest(args)
+    if args.overload_selftest:
+        return _chaos_overload_selftest(args)
     if args.log is None:
-        print("error: --log is required (unless --exec-selftest)",
-              file=sys.stderr)
+        print("error: --log is required (unless --exec-selftest or "
+              "--overload-selftest)", file=sys.stderr)
         return 2
     from repro.faults import chaos_stream, parse_fault_spec
     specs = None
@@ -900,6 +1122,24 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
 
 def _cmd_doctor(args: argparse.Namespace) -> int:
     from repro.parallel.checkpoint import CheckpointStore
+    governor = _governor_from(args)
+    if governor is not None:
+        from repro.streaming.governor import audit_overload_config
+        if args.checkpoint is not None:
+            print("error: audit either a checkpoint DIR or an overload "
+                  "configuration, not both", file=sys.stderr)
+            return 2
+        audit = audit_overload_config(governor)
+        if args.as_json:
+            print(json.dumps(audit.to_dict(), indent=1, sort_keys=True))
+        else:
+            print(audit.render())
+        return 0 if audit.ok else 1
+    if args.checkpoint is None:
+        print("error: doctor needs a checkpoint DIR to audit, or "
+              "overload flags (e.g. --memory-budget) for a governor "
+              "audit", file=sys.stderr)
+        return 2
     if not os.path.isdir(args.checkpoint):
         print(f"error: {args.checkpoint} is not a directory",
               file=sys.stderr)
@@ -950,6 +1190,7 @@ _COMMANDS = {
     "clean": _cmd_clean,
     "reconstruct": _cmd_reconstruct,
     "sessionize": _cmd_reconstruct,
+    "stream": _cmd_stream,
     "evaluate": _cmd_evaluate,
     "experiment": _cmd_experiment,
     "sweep": _cmd_sweep,

@@ -38,6 +38,7 @@ from repro.diffcheck.corpus import (
 )
 from repro.diffcheck.engines import (
     ENGINE_REGISTRY,
+    INVARIANT_ONLY_ENGINES,
     EngineContext,
     available_engines,
     resolve_engines,
@@ -62,6 +63,7 @@ __all__ = [
     "DiffcheckReport",
     "Divergence",
     "ENGINE_REGISTRY",
+    "INVARIANT_ONLY_ENGINES",
     "EngineContext",
     "INVARIANT_RULES",
     "InvariantViolation",

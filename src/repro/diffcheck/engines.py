@@ -34,6 +34,7 @@ from repro.topology.graph import WebGraph
 
 __all__ = [
     "ENGINE_REGISTRY",
+    "INVARIANT_ONLY_ENGINES",
     "EngineContext",
     "available_engines",
     "resolve_engines",
@@ -198,6 +199,48 @@ def _streaming_reorder(ctx: EngineContext) -> SessionSet:
     return SessionSet(sessions)
 
 
+def _streaming_governed(ctx: EngineContext) -> SessionSet:
+    """Streaming under a resource governor whose budget is never hit.
+
+    The governance layer must be a pure pass-through until pressure
+    exists: with an effectively unlimited budget the governed output has
+    to be byte-identical to every other engine's — any divergence means
+    the governor rewrote behavior it promised not to touch.
+    """
+    from repro.streaming.governor import GovernorConfig
+    governor = GovernorConfig(memory_budget=1 << 30)
+    pipeline = streaming_smart_sra(ctx.topology, ctx.config,
+                                   governor=governor)
+    sessions = pipeline.feed_many(ctx.requests)
+    sessions.extend(pipeline.flush())
+    if not pipeline.stats().reconciles():   # surfaces as a divergence
+        return SessionSet([])
+    return SessionSet(sessions)
+
+
+def _streaming_evicting(ctx: EngineContext) -> SessionSet:
+    """Streaming under a budget small enough to force degradation.
+
+    Eviction splits candidates early, so the session *set* legitimately
+    differs from the batch output — this engine is invariant-only (see
+    :data:`INVARIANT_ONLY_ENGINES`): the harness checks that every
+    emitted session still satisfies the five output rules and that the
+    stats ledger reconciles, not that the segmentation matches serial.
+    """
+    from repro.streaming.governor import GovernorConfig
+    governor = GovernorConfig(memory_budget=2048, per_user_cap=8,
+                              quarantine_after=2, quarantine_cap=16)
+    pipeline = streaming_smart_sra(ctx.topology, ctx.config,
+                                   governor=governor, late_policy="drop")
+    sessions = pipeline.feed_many(ctx.requests)
+    sessions.extend(pipeline.flush())
+    if not pipeline.stats().reconciles():   # surfaces as a violation
+        raise ConfigurationError(
+            "streaming-evicting stats failed to reconcile: "
+            f"{pipeline.stats()}")
+    return SessionSet(sessions)
+
+
 #: name -> engine, in report order.  ``serial`` is the baseline every
 #: other engine is diffed against and must stay first.
 ENGINE_REGISTRY: dict[str, EngineFn] = {
@@ -210,7 +253,15 @@ ENGINE_REGISTRY: dict[str, EngineFn] = {
     "streaming": _streaming,
     "streaming-watermark": _streaming_watermark,
     "streaming-reorder": _streaming_reorder,
+    "streaming-governed": _streaming_governed,
+    "streaming-evicting": _streaming_evicting,
 }
+
+#: engines whose output is *intentionally* not canonical-identical to
+#: serial (forced degradation changes segmentation).  The harness still
+#: runs the invariant verifier over them but skips the canonical diff
+#: and the golden-digest comparison.
+INVARIANT_ONLY_ENGINES = frozenset({"streaming-evicting"})
 
 
 def available_engines() -> tuple[str, ...]:

@@ -26,7 +26,12 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.diffcheck.corpus import CorpusCase
-from repro.diffcheck.engines import EngineContext, resolve_engines, run_engine
+from repro.diffcheck.engines import (
+    INVARIANT_ONLY_ENGINES,
+    EngineContext,
+    resolve_engines,
+    run_engine,
+)
 from repro.diffcheck.invariants import InvariantViolation, verify_sessions
 from repro.obs import get_registry
 
@@ -237,7 +242,9 @@ def run_diffcheck(cases: Iterable[CorpusCase],
         divergences: list[Divergence] = []
         baseline_form = forms["serial"]
         for name in chosen:
-            if name == "serial":
+            if name == "serial" or name in INVARIANT_ONLY_ENGINES:
+                # invariant-only engines degrade segmentation on purpose;
+                # their outputs are rule-checked above, not diffed.
                 continue
             # attribute a rule to the diff when the engine's own output
             # breaks one for that user; else it is a pure segmentation
@@ -253,7 +260,8 @@ def run_diffcheck(cases: Iterable[CorpusCase],
             golden_form = {user: list(bodies)
                            for user, bodies in case.expected_form}
             for name in chosen:
-                if digests[name] == case.expected_digest:
+                if (name in INVARIANT_ONLY_ENGINES
+                        or digests[name] == case.expected_digest):
                     continue
                 found = _first_divergence(case.name, "golden", name,
                                           golden_form, forms[name], {})

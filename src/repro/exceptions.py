@@ -80,6 +80,18 @@ class LateEventError(ReconstructionError):
     """
 
 
+class OverloadError(ReproError):
+    """The streaming resource governor refused to admit more work.
+
+    Raised only under ``overload_policy="raise"`` (see
+    :class:`repro.streaming.governor.GovernorConfig`): admitting the next
+    request would push tracked state past the configured memory budget,
+    and the deployment chose a hard failure over shedding, eviction or
+    spilling.  The pipeline's accepted state is untouched — the caller may
+    flush, drain, and retry.
+    """
+
+
 class EvaluationError(ReproError):
     """The evaluation harness was given inconsistent inputs.
 

@@ -36,6 +36,7 @@ from repro.faults.execution import (
     active_exec_faults,
     parse_exec_fault,
     run_exec_selftest,
+    run_overload_selftest,
     use_execution_faults,
 )
 from repro.faults.injectors import (
@@ -71,5 +72,6 @@ __all__ = [
     "active_exec_faults",
     "parse_exec_fault",
     "run_exec_selftest",
+    "run_overload_selftest",
     "use_execution_faults",
 ]

@@ -25,7 +25,15 @@ Each spec is ``kind:index[:seconds[:attempts]]``:
   0.25) but completes — exercises deadline headroom, not recovery;
 * ``corrupt-checkpoint:N`` — the ``N``-th checkpoint unit written by
   :class:`~repro.parallel.checkpoint.CheckpointStore` has its integrity
-  digest flipped after the atomic rename, so validation must catch it.
+  digest flipped after the atomic rename, so validation must catch it;
+* ``mem-pressure:N[:F]`` — from feed ordinal ``N`` on, a
+  :class:`~repro.streaming.governor.GovernedStreamingReconstructor`
+  constructed under the armed plan shrinks its effective memory budget
+  by factor ``F`` (default 0.5) — models the co-tenant that eats half
+  the headroom mid-stream;
+* ``burst:N[:C]`` — the :func:`run_overload_selftest` driver injects
+  ``C`` (default 64) extra same-timestamp requests from a synthetic
+  burst user at feed ordinal ``N`` — models a thundering-herd arrival.
 
 ``attempts`` (default 1) is the number of *attempts* the fault fires for:
 with the default, a chunk crashes on its first attempt and succeeds on
@@ -55,6 +63,7 @@ __all__ = [
     "active_exec_faults",
     "inject_chunk_faults",
     "corrupt_checkpoint_file",
+    "run_overload_selftest",
 ]
 
 #: environment variable carrying the armed fault plan into pool workers.
@@ -62,10 +71,13 @@ EXEC_FAULTS_ENV = "REPRO_EXEC_FAULTS"
 
 #: the recognized execution-fault kinds.
 EXEC_FAULT_KINDS = ("crash-chunk", "hang-chunk", "slow-chunk",
-                    "corrupt-checkpoint")
+                    "corrupt-checkpoint", "mem-pressure", "burst")
 
 #: default sleep, per kind, when the spec names no explicit duration.
-_DEFAULT_SECONDS = {"hang-chunk": 30.0, "slow-chunk": 0.25}
+#: (For ``mem-pressure`` the field is a budget-shrink factor; for
+#: ``burst`` it is a request count — the spec grammar is shared.)
+_DEFAULT_SECONDS = {"hang-chunk": 30.0, "slow-chunk": 0.25,
+                    "mem-pressure": 0.5, "burst": 64.0}
 
 #: exit status of a fault-crashed worker (distinctive in core dumps/strace).
 _CRASH_EXIT_STATUS = 23
@@ -257,4 +269,77 @@ def run_exec_selftest(specs: list[str], *, items: int = 64, workers: int = 2,
             "skipped": outcome.stats.skipped,
         },
         "failures": [failure.to_dict() for failure in outcome.failures],
+    }
+
+
+def run_overload_selftest(specs: list[str], *, budget: int = 48 * 1024,
+                          policy: str = "evict", seed: int = 0,
+                          spill_dir: str | None = None) -> dict:
+    """Run the overload-degradation selftest (``repro chaos``'s body).
+
+    Generates an adversarial crawler + NAT workload, arms ``specs``
+    (typically ``mem-pressure`` and ``burst`` faults), streams it
+    through a governed Smart-SRA pipeline under ``budget`` bytes, and
+    checks the degradation contract end to end: peak tracked state stays
+    under the budget, the stats ledger reconciles, and every emitted
+    session satisfies the five Smart-SRA invariants.  Returns a plain
+    dict with the three verdicts plus the degradation counters.
+    """
+    from repro.core.config import SmartSRAConfig
+    from repro.diffcheck.invariants import verify_sessions
+    from repro.sessions.model import Request
+    from repro.simulator.adversarial import adversarial_workload
+    from repro.streaming.governor import GovernorConfig
+    from repro.streaming.pipeline import streaming_smart_sra
+    from repro.topology.generators import random_site
+
+    topology = random_site(n_pages=120, avg_out_degree=6.0, seed=seed)
+    config = SmartSRAConfig()
+    workload = adversarial_workload(
+        topology, crawlers=2, crawler_requests=600, crawler_interval=5.0,
+        nat_pools=2, humans_per_pool=10, normal_agents=6, seed=seed)
+    governor = GovernorConfig(
+        memory_budget=budget, per_user_cap=64, overload_policy=policy,
+        spill_dir=spill_dir, quarantine_after=2, quarantine_cap=256)
+    with use_execution_faults(*specs):
+        bursts = {fault.index: max(1, int(fault.seconds))
+                  for fault in active_exec_faults()
+                  if fault.kind == "burst"}
+        pipeline = streaming_smart_sra(topology, config,
+                                       governor=governor,
+                                       late_policy="drop")
+        sessions = []
+        for ordinal, request in enumerate(workload):
+            extra = bursts.get(ordinal, 0)
+            pages = sorted(topology.start_pages)
+            for i in range(extra):   # thundering herd at this instant
+                sessions.extend(pipeline.feed(Request(
+                    request.timestamp, "burst-bot",
+                    pages[i % len(pages)])))
+            sessions.extend(pipeline.feed(request))
+        sessions.extend(pipeline.flush())
+    stats = pipeline.stats()
+    violations = verify_sessions(sessions, topology, config)
+    return {
+        "bounded": stats.peak_tracked_bytes <= budget,
+        "reconciled": stats.reconciles(),
+        "invariant_clean": not violations,
+        "violations": [v.to_dict() for v in violations[:10]],
+        "budget": budget,
+        "policy": policy,
+        "requests": stats.fed_requests,
+        "sessions": len(sessions),
+        "stats": {
+            "peak_tracked_bytes": stats.peak_tracked_bytes,
+            "evictions": stats.evictions,
+            "evicted_requests": stats.evicted_requests,
+            "shed_requests": stats.shed_requests,
+            "spill_writes": stats.spill_writes,
+            "spill_restores": stats.spill_restores,
+            "spill_lost": stats.spill_lost,
+            "quarantined_users": stats.quarantined_users,
+            "quarantine_flushes": stats.quarantine_flushes,
+            "cap_strikes": stats.cap_strikes,
+            "late_dropped": stats.late_dropped,
+        },
     }

@@ -31,6 +31,7 @@ Quickstart::
 """
 
 from repro.parallel.checkpoint import (
+    atomic_write_json,
     CHECKPOINT_SCHEMA,
     CheckpointStore,
     DoctorReport,
@@ -64,6 +65,7 @@ __all__ = [
     "RetryPolicy",
     "SupervisedMapResult",
     "SupervisionStats",
+    "atomic_write_json",
     "available_cpus",
     "parallel_map",
     "paused_gc",

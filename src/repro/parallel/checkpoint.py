@@ -41,6 +41,7 @@ from repro.obs import snapshot_digest
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
+    "atomic_write_json",
     "MANIFEST_NAME",
     "CheckpointStore",
     "DoctorReport",
@@ -61,12 +62,14 @@ def _unit_filename(kind: str, key: str) -> str:
     return f"{kind}__{digest}.json"
 
 
-def _atomic_write_json(path: str, document: dict[str, Any]) -> None:
+def atomic_write_json(path: str, document: dict[str, Any]) -> None:
     """Write ``document`` to ``path`` via temp-file + ``os.replace``.
 
     The temp file lives in the target directory so the rename stays on
     one filesystem (atomic on POSIX); a crash between write and rename
-    leaves only a ``.tmp`` straggler, which readers ignore.
+    leaves only a ``.tmp`` straggler, which readers ignore.  Shared with
+    :class:`repro.streaming.governor.SpillStore`, which persists cold
+    user buffers under the same durability contract.
     """
     directory = os.path.dirname(path) or "."
     fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -228,7 +231,7 @@ class CheckpointStore:
                 f"manifest; cannot resume from it")
         manifest = {"schema": CHECKPOINT_SCHEMA, "fingerprint": fingerprint,
                     "label": label, "status": "running"}
-        _atomic_write_json(self.manifest_path, manifest)
+        atomic_write_json(self.manifest_path, manifest)
         return manifest
 
     def mark(self, status: str) -> None:
@@ -241,7 +244,7 @@ class CheckpointStore:
         if manifest is None:  # pragma: no cover - begin() always precedes
             return
         manifest["status"] = status
-        _atomic_write_json(self.manifest_path, manifest)
+        atomic_write_json(self.manifest_path, manifest)
 
     # -- units ---------------------------------------------------------
 
@@ -258,7 +261,7 @@ class CheckpointStore:
                                     "payload": payload, "obs": obs}
         document["digest"] = snapshot_digest(document)
         path = os.path.join(self.directory, _unit_filename(kind, key))
-        _atomic_write_json(path, document)
+        atomic_write_json(path, document)
         ordinal = self._write_ordinal
         self._write_ordinal += 1
         if os.environ.get("REPRO_EXEC_FAULTS"):

@@ -16,6 +16,11 @@ requests removed) — the pairing that makes exact accuracy evaluation of
 reactive heuristics possible.
 """
 
+from repro.simulator.adversarial import (
+    adversarial_workload,
+    simulate_crawler,
+    simulate_nat_pool,
+)
 from repro.simulator.agent import AgentTrace, simulate_agent
 from repro.simulator.cache import BrowserCache
 from repro.simulator.clock import StayTimeSampler
@@ -37,6 +42,9 @@ __all__ = [
     "simulate_agent",
     "SimulationResult",
     "simulate_population",
+    "simulate_crawler",
+    "simulate_nat_pool",
+    "adversarial_workload",
     "select_content_pages",
     "validate_simulation",
     "ValidationReport",

@@ -1,0 +1,162 @@
+"""Adversarial traffic generators: crawlers and NAT-aggregated users.
+
+Meiss et al. ("What's in a Session", PAPERS.md) document the two traffic
+shapes that break session reconstruction's assumptions in real logs:
+
+* **crawlers** walk the site on a fixed cadence and never go idle, so a
+  time-rule session for them never closes — an ungoverned per-user
+  buffer grows without bound;
+* **NAT/proxy addresses** aggregate many independent humans behind one
+  client IP, so the "one user key = one user" assumption fails and the
+  merged stream looks like a single hyperactive user.
+
+This module synthesizes both deterministically, reusing the simulator's
+seeding discipline (a private :class:`random.Random` derived from the
+seed and the agent identity, so populations are prefix-stable).  It is
+the minimal adversarial scenario pack the resource governor
+(:mod:`repro.streaming.governor`) and bench A19 need; the pipelines
+consume the output like any other request stream.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.exceptions import SimulationError
+from repro.sessions.model import Request
+from repro.simulator.agent import simulate_agent
+from repro.simulator.config import SimulationConfig
+from repro.topology.graph import WebGraph
+
+__all__ = [
+    "simulate_crawler",
+    "simulate_nat_pool",
+    "adversarial_workload",
+]
+
+
+def simulate_crawler(crawler_id: str, topology: WebGraph, *,
+                     requests: int = 1000, interval: float = 5.0,
+                     start_time: float = 0.0) -> tuple[Request, ...]:
+    """A breadth-first crawler that never goes idle.
+
+    Walks the real link graph from the start pages on a fixed cadence —
+    every inter-request gap is exactly ``interval`` seconds, so as long
+    as ``interval`` stays below ρ the crawler's candidate session never
+    closes by the gap rule.  When the frontier is exhausted the crawl
+    restarts (a full re-crawl pass), exactly like production bots.
+    Deterministic: same arguments, same trace.
+
+    Args:
+        crawler_id: the user key stamped on every request.
+        topology: the site being crawled.
+        requests: trace length.
+        interval: seconds between consecutive fetches (keep it under the
+            reconstruction ρ to model the never-idle pathology).
+        start_time: timestamp of the first fetch.
+
+    Raises:
+        SimulationError: for a non-positive ``requests`` or ``interval``.
+    """
+    if requests <= 0:
+        raise SimulationError(f"requests must be positive, got {requests}")
+    if interval <= 0:
+        raise SimulationError(f"interval must be positive, got {interval}")
+    trace: list[Request] = []
+    clock = start_time
+    queue: deque[tuple[str, str | None]] = deque()
+    seen: set[str] = set()
+    while len(trace) < requests:
+        if not queue:
+            seen.clear()
+            starts = sorted(topology.start_pages)
+            queue.extend((page, None) for page in starts)
+            seen.update(starts)
+        page, referrer = queue.popleft()
+        trace.append(Request(clock, crawler_id, page, referrer=referrer))
+        clock += interval
+        for successor in sorted(topology.successors(page)):
+            if successor not in seen:
+                seen.add(successor)
+                queue.append((successor, page))
+    return tuple(trace)
+
+
+def simulate_nat_pool(nat_id: str, topology: WebGraph,
+                      config: SimulationConfig | None = None, *,
+                      humans: int = 16, seed: int = 0,
+                      start_spread: float = 600.0) -> tuple[Request, ...]:
+    """Independent human agents whose requests share one NAT user key.
+
+    Runs ``humans`` ordinary :func:`~repro.simulator.agent.simulate_agent`
+    walks (each with its own derived RNG, so the pool is prefix-stable in
+    ``humans``), rewrites every server request's ``user_id`` to
+    ``nat_id``, and merges the traces in timestamp order — the
+    aggregated, interleaved stream a reconstruction pipeline actually
+    sees from a NAT or proxy address.
+
+    Args:
+        nat_id: the shared client-IP user key.
+        topology: the site being browsed.
+        config: per-human behavior (paper defaults when omitted).
+        humans: number of independent users behind the address.
+        seed: base seed; human ``i`` uses ``Random(f"nat:{seed}:{nat_id}:{i}")``.
+        start_spread: each human starts at a uniform offset in
+            ``[0, start_spread)`` seconds, so their sessions interleave.
+
+    Raises:
+        SimulationError: for a non-positive ``humans`` or negative
+            ``start_spread``.
+    """
+    if humans <= 0:
+        raise SimulationError(f"humans must be positive, got {humans}")
+    if start_spread < 0:
+        raise SimulationError(
+            f"start_spread must be >= 0, got {start_spread}")
+    resolved = config if config is not None else SimulationConfig()
+    merged: list[Request] = []
+    for index in range(humans):
+        rng = random.Random(f"nat:{seed}:{nat_id}:{index}")
+        start = start_spread * rng.random()
+        trace = simulate_agent(f"{nat_id}/h{index}", topology, resolved,
+                               rng, start_time=start)
+        merged.extend(
+            Request(request.timestamp, nat_id, request.page,
+                    referrer=request.referrer)
+            for request in trace.server_requests)
+    return tuple(sorted(merged))
+
+
+def adversarial_workload(topology: WebGraph, *,
+                         crawlers: int = 2, crawler_requests: int = 400,
+                         crawler_interval: float = 5.0,
+                         nat_pools: int = 2, humans_per_pool: int = 12,
+                         normal_agents: int = 8,
+                         config: SimulationConfig | None = None,
+                         seed: int = 0) -> tuple[Request, ...]:
+    """A mixed crawler + NAT + normal-user stream, sorted by time.
+
+    The standard workload for governor tests, ``repro chaos
+    --overload-selftest`` and bench A19: never-idle crawlers, aggregated
+    NAT pools, and a background of well-behaved agents, all
+    deterministically derived from ``seed`` and merged into one
+    chronological request stream.
+    """
+    resolved = config if config is not None else SimulationConfig()
+    requests: list[Request] = []
+    for index in range(crawlers):
+        requests.extend(simulate_crawler(
+            f"crawler-{index}", topology, requests=crawler_requests,
+            interval=crawler_interval,
+            start_time=float(index)))
+    for index in range(nat_pools):
+        requests.extend(simulate_nat_pool(
+            f"nat-{index}", topology, resolved,
+            humans=humans_per_pool, seed=seed))
+    for index in range(normal_agents):
+        rng = random.Random(f"adversarial:{seed}:agent:{index}")
+        trace = simulate_agent(f"user-{index}", topology, resolved, rng,
+                               start_time=600.0 * rng.random())
+        requests.extend(trace.server_requests)
+    return tuple(sorted(requests))

@@ -22,8 +22,24 @@ For degraded real-world streams, the reconstructor also offers a bounded
 reorder buffer, a late-event policy (typed
 :class:`~repro.exceptions.LateEventError` or counted drops) and adjacent
 deduplication — see :mod:`repro.streaming.pipeline`.
+
+For *adversarial* streams — crawlers that never idle, NAT addresses
+aggregating thousands of humans — :mod:`repro.streaming.governor` bounds
+tracked memory under an explicit budget with observable degradation
+(eviction, spill-to-disk, quarantine, shedding) instead of OOM.
 """
 
+from repro.streaming.governor import (
+    OVERLOAD_POLICIES,
+    GovernedStreamingReconstructor,
+    GovernedStreamingStats,
+    GovernorConfig,
+    OverloadAudit,
+    SpillStore,
+    audit_overload_config,
+    parse_memory_budget,
+    request_cost,
+)
 from repro.streaming.pipeline import (
     StreamingReconstructor,
     StreamingStats,
@@ -36,4 +52,13 @@ __all__ = [
     "StreamingStats",
     "streaming_smart_sra",
     "streaming_phase1",
+    "OVERLOAD_POLICIES",
+    "GovernorConfig",
+    "GovernedStreamingReconstructor",
+    "GovernedStreamingStats",
+    "SpillStore",
+    "OverloadAudit",
+    "audit_overload_config",
+    "parse_memory_budget",
+    "request_cost",
 ]

@@ -352,28 +352,47 @@ class StreamingReconstructor:
         )
 
 
+def _make_pipeline(finisher: Finisher, config: SmartSRAConfig | None,
+                   governor: object, options: dict) -> StreamingReconstructor:
+    if governor is None:
+        return StreamingReconstructor(finisher, config,
+                                      **options)  # type: ignore[arg-type]
+    # imported lazily: governor depends on this module.
+    from repro.streaming.governor import GovernedStreamingReconstructor
+    return GovernedStreamingReconstructor(
+        finisher, config, governor=governor,
+        **options)  # type: ignore[arg-type]
+
+
 def streaming_smart_sra(topology: WebGraph,
-                        config: SmartSRAConfig | None = None,
+                        config: SmartSRAConfig | None = None, *,
+                        governor: object | None = None,
                         **options: object) -> StreamingReconstructor:
     """A streaming pipeline emitting full Smart-SRA (heur4) sessions.
 
     Keyword options (``late_policy``, ``reorder_window``, ``dedup``) pass
-    through to :class:`StreamingReconstructor`.
+    through to :class:`StreamingReconstructor`.  Passing a
+    :class:`~repro.streaming.governor.GovernorConfig` as ``governor``
+    returns a budgeted
+    :class:`~repro.streaming.governor.GovernedStreamingReconstructor`
+    instead.
     """
     resolved = config if config is not None else SmartSRAConfig()
-    return StreamingReconstructor(
+    return _make_pipeline(
         lambda candidate: maximal_sessions_fast(candidate, topology,
                                                 resolved),
-        resolved, **options)  # type: ignore[arg-type]
+        resolved, governor, dict(options))
 
 
-def streaming_phase1(config: SmartSRAConfig | None = None,
+def streaming_phase1(config: SmartSRAConfig | None = None, *,
+                     governor: object | None = None,
                      **options: object) -> StreamingReconstructor:
     """A streaming pipeline emitting raw Phase-1 candidates as sessions.
 
     Keyword options (``late_policy``, ``reorder_window``, ``dedup``) pass
-    through to :class:`StreamingReconstructor`.
+    through to :class:`StreamingReconstructor`; ``governor`` selects the
+    budgeted variant exactly as in :func:`streaming_smart_sra`.
     """
-    return StreamingReconstructor(
-        lambda candidate: [Session(candidate)], config,
-        **options)  # type: ignore[arg-type]
+    return _make_pipeline(
+        lambda candidate: [Session(candidate)], config, governor,
+        dict(options))

@@ -1,0 +1,97 @@
+"""Crawler and NAT-pool agent classes (repro.simulator.adversarial)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulator.adversarial import (
+    adversarial_workload,
+    simulate_crawler,
+    simulate_nat_pool,
+)
+from repro.simulator.config import SimulationConfig
+from repro.topology.generators import random_site
+
+
+@pytest.fixture(scope="module")
+def site():
+    return random_site(40, 4.0, seed=9)
+
+
+class TestCrawler:
+    def test_fixed_cadence_never_idles(self, site):
+        trace = simulate_crawler("bot", site, requests=50, interval=5.0)
+        assert len(trace) == 50
+        gaps = {round(b.timestamp - a.timestamp, 9)
+                for a, b in zip(trace, trace[1:])}
+        assert gaps == {5.0}                 # never a closable gap
+        assert {r.user_id for r in trace} == {"bot"}
+
+    def test_deterministic(self, site):
+        assert (simulate_crawler("bot", site, requests=30)
+                == simulate_crawler("bot", site, requests=30))
+
+    def test_walks_real_links(self, site):
+        trace = simulate_crawler("bot", site, requests=80)
+        for request in trace:
+            if request.referrer is not None:
+                assert site.has_link(request.referrer, request.page)
+
+    def test_restarts_when_frontier_exhausts(self, site):
+        # far more requests than pages forces at least one full re-crawl.
+        trace = simulate_crawler("bot", site,
+                                 requests=site.page_count * 3)
+        assert len(trace) == site.page_count * 3
+
+    @pytest.mark.parametrize("kwargs", [dict(requests=0),
+                                        dict(interval=0.0),
+                                        dict(interval=-1.0)])
+    def test_bad_arguments_rejected(self, site, kwargs):
+        with pytest.raises(SimulationError):
+            simulate_crawler("bot", site, **kwargs)
+
+
+class TestNatPool:
+    def test_merges_humans_under_one_key(self, site):
+        trace = simulate_nat_pool("nat", site, humans=6, seed=3)
+        assert trace
+        assert {r.user_id for r in trace} == {"nat"}
+        times = [r.timestamp for r in trace]
+        assert times == sorted(times)
+
+    def test_prefix_stable_in_humans(self, site):
+        # growing the pool must not change the existing humans' walks.
+        small = simulate_nat_pool("nat", site, humans=3, seed=3)
+        large = simulate_nat_pool("nat", site, humans=6, seed=3)
+        assert set(small) <= set(large)
+
+    def test_distinct_pools_differ(self, site):
+        config = SimulationConfig(seed=0)
+        assert (simulate_nat_pool("nat-a", site, config, humans=4, seed=3)
+                != simulate_nat_pool("nat-b", site, config, humans=4,
+                                     seed=3))
+
+    @pytest.mark.parametrize("kwargs", [dict(humans=0),
+                                        dict(start_spread=-1.0)])
+    def test_bad_arguments_rejected(self, site, kwargs):
+        with pytest.raises(SimulationError):
+            simulate_nat_pool("nat", site, **kwargs)
+
+
+class TestAdversarialWorkload:
+    def test_mixes_all_traffic_classes_in_time_order(self, site):
+        requests = adversarial_workload(
+            site, crawlers=2, crawler_requests=30, nat_pools=2,
+            humans_per_pool=3, normal_agents=2, seed=4)
+        users = {r.user_id for r in requests}
+        assert {"crawler-0", "crawler-1", "nat-0", "nat-1"} <= users
+        assert any(user.startswith("user-") for user in users)
+        times = [r.timestamp for r in requests]
+        assert times == sorted(times)
+
+    def test_deterministic(self, site):
+        kwargs = dict(crawlers=1, crawler_requests=20, nat_pools=1,
+                      humans_per_pool=2, normal_agents=2, seed=4)
+        assert (adversarial_workload(site, **kwargs)
+                == adversarial_workload(site, **kwargs))

@@ -14,11 +14,11 @@ def test_parser_lists_all_commands():
     actions = {action.dest: action for action in parser._actions}
     choices = actions["command"].choices
     assert set(choices) == {"topology", "simulate", "clean", "reconstruct",
-                            "sessionize", "evaluate", "experiment", "sweep",
-                            "mine", "stats", "run-spec", "dataset",
-                            "compare", "anonymize", "selftest",
-                            "leaderboard", "chaos", "ingest", "doctor",
-                            "diffcheck"}
+                            "sessionize", "stream", "evaluate",
+                            "experiment", "sweep", "mine", "stats",
+                            "run-spec", "dataset", "compare", "anonymize",
+                            "selftest", "leaderboard", "chaos", "ingest",
+                            "doctor", "diffcheck"}
 
 
 def test_topology_command(tmp_path, capsys):
@@ -304,3 +304,127 @@ def test_stats_merges_multiple_snapshots(tmp_path, capsys):
     merged = json_module.loads(capsys.readouterr().out)
     assert merged["counters"]["sessions.requests"] == 7   # counters add
     assert merged["gauges"]["depth"] == 4                 # last write wins
+
+
+# -- stream / governor -------------------------------------------------------
+
+
+def test_stream_matches_batch_reconstruct(pipeline_files, capsys):
+    streamed = str(pipeline_files["dir"] / "streamed.json")
+    batch = str(pipeline_files["dir"] / "batch.json")
+    assert main(["stream", "--log", pipeline_files["log"],
+                 "--topology", pipeline_files["site"],
+                 "--output", streamed]) == 0
+    assert "ungoverned" in capsys.readouterr().out
+    assert main(["reconstruct", "--log", pipeline_files["log"],
+                 "--heuristic", "smart-sra",
+                 "--topology", pipeline_files["site"],
+                 "--output", batch]) == 0
+    key = lambda sessions: sorted((s.user_id, s.pages, s.start_time)
+                                  for s in sessions)
+    assert key(SessionSet.load(streamed)) == key(SessionSet.load(batch))
+
+
+def test_stream_governed_reports_degradation(pipeline_files, capsys):
+    out = str(pipeline_files["dir"] / "governed.json")
+    assert main(["stream", "--log", pipeline_files["log"],
+                 "--topology", pipeline_files["site"], "--output", out,
+                 "--memory-budget", "4k", "--overload-policy", "evict",
+                 "--per-user-cap", "16", "--late-policy", "drop",
+                 "--flush-every", "600"]) == 0
+    printed = capsys.readouterr().out
+    assert "governed" in printed
+    assert "bounded" in printed
+    assert "evictions" in printed
+    assert len(SessionSet.load(out)) > 0
+
+
+def test_stream_block_policy_spills(pipeline_files, capsys):
+    out = str(pipeline_files["dir"] / "spilled.json")
+    spill = str(pipeline_files["dir"] / "spill")
+    assert main(["stream", "--log", pipeline_files["log"],
+                 "--topology", pipeline_files["site"], "--output", out,
+                 "--memory-budget", "4k", "--overload-policy", "block",
+                 "--spill-dir", spill, "--late-policy", "drop"]) == 0
+    assert "spills" in capsys.readouterr().out
+
+
+def test_stream_phase1_needs_no_topology(pipeline_files):
+    out = str(pipeline_files["dir"] / "phase1.json")
+    assert main(["stream", "--log", pipeline_files["log"],
+                 "--heuristic", "phase1", "--output", out]) == 0
+
+
+def test_stream_smart_sra_without_topology_fails(pipeline_files, capsys):
+    code = main(["stream", "--log", pipeline_files["log"],
+                 "--output", str(pipeline_files["dir"] / "x.json")])
+    assert code == 2
+    assert "requires --topology" in capsys.readouterr().err
+
+
+def test_stream_rejects_bad_governor_combination(pipeline_files, capsys):
+    code = main(["stream", "--log", pipeline_files["log"],
+                 "--heuristic", "phase1",
+                 "--output", str(pipeline_files["dir"] / "x.json"),
+                 "--overload-policy", "block"])
+    assert code == 1
+    assert "spill_dir" in capsys.readouterr().err
+
+
+def test_stream_rejects_malformed_budget(pipeline_files, capsys):
+    code = main(["stream", "--log", pipeline_files["log"],
+                 "--heuristic", "phase1",
+                 "--output", str(pipeline_files["dir"] / "x.json"),
+                 "--memory-budget", "lots"])
+    assert code == 1
+    assert "malformed memory budget" in capsys.readouterr().err
+
+
+def test_doctor_audits_overload_configuration(capsys):
+    assert main(["doctor", "--memory-budget", "64k",
+                 "--per-user-cap", "64"]) == 0
+    assert "verdict: ok" in capsys.readouterr().out
+    assert main(["doctor", "--memory-budget", "4k"]) == 1
+    assert "DEGRADED" in capsys.readouterr().out
+
+
+def test_doctor_overload_json(capsys):
+    assert main(["doctor", "--json", "--memory-budget", "64k",
+                 "--per-user-cap", "64"]) == 0
+    import json as json_module
+    document = json_module.loads(capsys.readouterr().out)
+    assert document["ok"] is True
+    assert document["memory_budget"] == 64 * 1024
+
+
+def test_doctor_without_target_fails(capsys):
+    assert main(["doctor"]) == 2
+    assert "needs a checkpoint DIR" in capsys.readouterr().err
+
+
+def test_doctor_rejects_both_modes(tmp_path, capsys):
+    assert main(["doctor", str(tmp_path), "--memory-budget", "64k"]) == 2
+    assert "not both" in capsys.readouterr().err
+
+
+def test_chaos_overload_selftest(capsys):
+    assert main(["chaos", "--overload-selftest",
+                 "--overload-budget", "48k"]) == 0
+    err = capsys.readouterr().err
+    assert "bounded" in err
+    assert "reconciles" in err
+
+
+def test_chaos_overload_selftest_json(capsys):
+    assert main(["chaos", "--overload-selftest", "--json",
+                 "--overload-budget", "48k",
+                 "--exec-fault", "mem-pressure:400:0.5"]) == 0
+    import json as json_module
+    document = json_module.loads(capsys.readouterr().out)
+    assert document["ok"] is True
+    assert document["bounded"] is True
+
+
+def test_chaos_selftests_mutually_exclusive(capsys):
+    assert main(["chaos", "--exec-selftest", "--overload-selftest"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err

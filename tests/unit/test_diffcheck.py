@@ -9,6 +9,7 @@ import pytest
 
 from repro.core.config import SmartSRAConfig
 from repro.diffcheck import (
+    INVARIANT_ONLY_ENGINES,
     CorpusCase,
     EngineContext,
     available_engines,
@@ -164,7 +165,24 @@ class TestEngines:
                             config=SmartSRAConfig(), seed=3)
         reference = run_engine("serial", ctx).canonical_digest()
         for name in available_engines():
+            if name in INVARIANT_ONLY_ENGINES:
+                continue
             assert run_engine(name, ctx).canonical_digest() == reference, name
+
+    def test_invariant_only_engines_stay_rule_clean(self, chain_topology):
+        # forced-degradation engines may segment differently, but every
+        # session they emit must still pass the output-rule verifier.
+        requests = tuple(sorted([
+            Request(float(i), f"u{i % 3}", page)
+            for i, page in enumerate("AB" * 12)
+        ], key=lambda r: (r.timestamp, r.user_id)))
+        ctx = EngineContext(requests=requests, topology=chain_topology,
+                            config=SmartSRAConfig(), seed=3)
+        assert INVARIANT_ONLY_ENGINES  # the set must not silently empty
+        for name in INVARIANT_ONLY_ENGINES:
+            output = run_engine(name, ctx)
+            assert verify_sessions(output, chain_topology,
+                                   SmartSRAConfig()) == ()
 
 
 # -- corpus ------------------------------------------------------------------

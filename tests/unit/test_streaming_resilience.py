@@ -326,3 +326,113 @@ class TestStatsReconciliation:
         assert stats.closed_requests == 2
         assert stats.buffered_requests == 1
         assert stats.reconciles()
+
+
+class TestGovernedFlushInteraction:
+    """Watermark flushes, late events and equal-timestamp boundaries must
+    keep their contracts when the governor evicts or spills buffers."""
+
+    def _evicting(self, **overrides):
+        from repro.streaming.governor import GovernorConfig
+        kwargs = dict(memory_budget=300)
+        kwargs.update(overrides)
+        return streaming_phase1(governor=GovernorConfig(**kwargs))
+
+    def _fill_until_eviction(self, pipeline):
+        """Two-request candidate for u1 (tail t=10), then pressure."""
+        pipeline.feed(Request(0.0, "u1", "A"))
+        pipeline.feed(Request(10.0, "u1", "B"))
+        for index, user in enumerate(["u2", "u3", "u4"]):
+            pipeline.feed(Request(11.0 + index, user, "A"))
+        assert pipeline.stats().evictions > 0
+        return pipeline
+
+    def test_watermark_flush_after_eviction_stays_reconciled(self):
+        pipeline = self._fill_until_eviction(self._evicting())
+        pipeline.flush(watermark=5000.0)     # closes every open candidate
+        stats = pipeline.stats()
+        assert stats.buffered_requests == 0
+        assert stats.reconciles()
+        # the flushed watermark now dominates: older than it is late even
+        # for the evicted user whose own watermark was earlier.
+        with pytest.raises(LateEventError, match="flushed watermark"):
+            pipeline.feed(Request(10.0, "u1", "C"))
+
+    def test_equal_timestamp_at_eviction_watermark_then_flush(self):
+        pipeline = self._fill_until_eviction(self._evicting())
+        # tie at the eviction watermark starts a fresh candidate (its
+        # admission may immediately re-trigger rebalancing) ...
+        sessions = pipeline.feed(Request(10.0, "u1", "C"))
+        # ... and a later watermark flush closes whatever remains open.
+        sessions.extend(pipeline.flush(watermark=10.0 + 1800.0))
+        assert ("u1", ("C",), 10.0) in _sessions_signature(sessions)
+        assert pipeline.stats().reconciles()
+
+    def test_seal_after_eviction_keeps_late_accounting(self):
+        pipeline = self._fill_until_eviction(
+            self._evicting(overload_policy="evict"))
+        pipeline.flush()                     # seals the stream
+        with pytest.raises(LateEventError, match="sealed"):
+            pipeline.feed(Request(9999.0, "u1", "C"))
+        assert pipeline.stats().reconciles()
+
+    def test_watermark_flush_closes_due_spilled_buffers_from_disk(self,
+                                                                  tmp_path):
+        from repro.streaming.governor import GovernorConfig, SpillStore
+        governor = GovernorConfig(memory_budget=800,
+                                  overload_policy="block",
+                                  spill_dir=str(tmp_path / "spill"))
+        pipeline = streaming_phase1(governor=governor)
+        for index in range(12):
+            pipeline.feed(Request(float(index), f"u{index % 5}", "A"))
+        spilled_before = pipeline.stats().spilled_requests
+        assert spilled_before > 0
+        # every spilled tail is < 12; a watermark past tail + rho closes
+        # them straight from disk without re-entering tracked state.
+        tracked_before = pipeline.stats().tracked_bytes
+        sessions = pipeline.flush(watermark=12.0 + 600.0 + 1.0)
+        stats = pipeline.stats()
+        assert stats.spilled_requests == 0
+        assert stats.spill_restores > 0
+        assert stats.tracked_bytes <= tracked_before
+        assert stats.closed_requests >= spilled_before
+        assert stats.reconciles()
+        assert sum(len(s.requests) for s in sessions) == stats.fed_requests
+        assert SpillStore(governor.spill_dir).pending() == 0
+
+    def test_early_watermark_keeps_undue_spilled_buffers_cold(self,
+                                                              tmp_path):
+        from repro.streaming.governor import GovernorConfig
+        governor = GovernorConfig(memory_budget=800,
+                                  overload_policy="block",
+                                  spill_dir=str(tmp_path / "spill"))
+        pipeline = streaming_phase1(governor=governor)
+        for index in range(12):
+            pipeline.feed(Request(float(index), f"u{index % 5}", "A"))
+        spilled_before = pipeline.stats().spilled_requests
+        assert spilled_before > 0
+        # a watermark within rho of the spilled tails closes nothing cold.
+        pipeline.flush(watermark=20.0)
+        stats = pipeline.stats()
+        assert stats.spilled_requests == spilled_before
+        assert stats.reconciles()
+
+    def test_equal_timestamp_restore_boundary(self, tmp_path):
+        from repro.streaming.governor import GovernorConfig
+        governor = GovernorConfig(memory_budget=800,
+                                  overload_policy="block",
+                                  spill_dir=str(tmp_path / "spill"))
+        pipeline = streaming_phase1(governor=governor)
+        for index in range(12):
+            pipeline.feed(Request(float(index), f"u{index % 5}", "A"))
+        assert pipeline.stats().spill_writes > 0
+        # an equal-timestamp request for a spilled user restores the cold
+        # buffer and appends as a legal tie, not a late event.
+        pipeline.feed(Request(11.0, "u1", "Z"))
+        stats = pipeline.stats()
+        assert stats.late_dropped == 0
+        assert stats.reconciles()
+        sessions = pipeline.flush()
+        joined = [s for s in sessions
+                  if s.user_id == "u1" and "Z" in s.pages]
+        assert joined                        # the tie landed in u1's trace
