@@ -56,7 +56,7 @@ def _comparable(snapshot: dict) -> tuple:
              if not series.split("{")[0].endswith(".seconds")})
 
 
-def test_parallel_reconstruction(benchmark, results_dir):
+def test_parallel_reconstruction(benchmark, results_dir, bench_metrics):
     topology = paper_topology(seed=BENCH_SEED)
     smart = SmartSRA(topology)
     config = PAPER_DEFAULTS.simulation_config(n_agents=_AGENTS,

@@ -53,7 +53,7 @@ def _timed(fn):
     return time.perf_counter() - start, result
 
 
-def test_scaling_with_log_size(benchmark, results_dir):
+def test_scaling_with_log_size(benchmark, results_dir, bench_metrics):
     topology = paper_topology(seed=BENCH_SEED)
     smart = SmartSRA(topology)
     logs = {}

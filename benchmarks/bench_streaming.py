@@ -3,24 +3,33 @@
 Times the incremental pipeline against batch Smart-SRA on the same log and
 verifies the outputs are identical (same sessions, emitted online).  Also
 reports the pipeline's peak buffering — the memory story that makes
-streaming worthwhile on logs that do not fit in RAM.
+streaming worthwhile on logs that do not fit in RAM — and the cost of
+attaching a live :class:`~repro.obs.TimelineSampler` to the hot path
+(asserted < 3% outside quick mode).
 """
 
 from __future__ import annotations
 
+import gc
+import time
+
 import pytest
 
-from _bench_utils import BENCH_SEED, emit
+from _bench_utils import BENCH_QUICK, BENCH_SEED, emit
 from repro.core.smart_sra import SmartSRA
 from repro.evaluation.experiments import PAPER_DEFAULTS, paper_topology
+from repro.obs import Registry, TimelineSampler, use_registry
 from repro.simulator.population import simulate_population
 from repro.streaming.pipeline import streaming_smart_sra
 
 _AGENTS = 400
+_OVERHEAD_ROUNDS = 2 if BENCH_QUICK else 5
+#: acceptance bound on timeline-sampling overhead (ISSUE 7).
+_MAX_OVERHEAD = 0.03
 
 
 @pytest.fixture(scope="module")
-def workload():
+def workload(bench_metrics):
     topology = paper_topology(seed=BENCH_SEED)
     config = PAPER_DEFAULTS.simulation_config(n_agents=_AGENTS,
                                               seed=BENCH_SEED)
@@ -55,3 +64,55 @@ def test_batch_reference(benchmark, workload):
     topology, log = workload
     result = benchmark(lambda: SmartSRA(topology).reconstruct(log))
     assert len(result) > 0
+
+
+def test_timeline_sampling_overhead(workload, results_dir):
+    """A live TimelineSampler must cost < 3% on the streaming hot path.
+
+    The sampler observes from its own daemon thread — the pipeline only
+    pays registry-lock contention during each snapshot.  Measured
+    best-of-N with interleaved rounds (bare, then sampled, per round) so
+    host-load drift hits both variants equally; sampling runs at 20 ms —
+    50x denser than the 1 s default — to make the bound conservative.
+    """
+    topology, log = workload
+
+    def run_stream(registry):
+        gc.collect()
+        with use_registry(registry):
+            start = time.perf_counter()
+            pipeline = streaming_smart_sra(topology)
+            emitted = pipeline.feed_many(log)
+            emitted.extend(pipeline.flush())
+            seconds = time.perf_counter() - start
+        return seconds, len(emitted)
+
+    bare = sampled = float("inf")
+    sessions = points = 0
+    for __ in range(_OVERHEAD_ROUNDS):
+        seconds, sessions = run_stream(Registry())
+        bare = min(bare, seconds)
+        registry = Registry()
+        sampler = TimelineSampler(registry, interval=0.02, capacity=4096)
+        sampler.start()
+        try:
+            seconds, sampled_sessions = run_stream(registry)
+        finally:
+            sampler.stop()
+        assert sampled_sessions == sessions
+        points = len(sampler.points())
+        sampled = min(sampled, seconds)
+
+    overhead = sampled / bare - 1.0
+    if not BENCH_QUICK:
+        assert overhead < _MAX_OVERHEAD, (bare, sampled, overhead)
+
+    emit(results_dir, "timeline_overhead",
+         f"Extension A8b — timeline sampling overhead [{_AGENTS} agents, "
+         f"best of {_OVERHEAD_ROUNDS}]\n"
+         f"  bare streaming run:    {bare:8.3f}s\n"
+         f"  with 20ms sampler:     {sampled:8.3f}s "
+         f"({points} points retained)\n"
+         f"  overhead:              {overhead:+8.1%} "
+         f"(bound {_MAX_OVERHEAD:.0%}"
+         f"{', not asserted in quick mode' if BENCH_QUICK else ''})\n")

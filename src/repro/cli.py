@@ -45,7 +45,13 @@ Subcommands mirror the paper's pipeline:
 * ``diffcheck``  — the differential correctness oracle: run a corpus
   through every Smart-SRA execution path (serial, parallel, supervised,
   checkpoint/resume, streaming), verify the paper's five output rules,
-  and exit non-zero on any divergence.
+  and exit non-zero on any divergence;
+* ``trace``      — analyze a ``--trace`` JSON-lines file: span tree,
+  inclusive/exclusive time, critical-path attribution and folded-stack
+  flamegraph output (``repro trace analyze FILE``);
+* ``bench-diff`` — compare fresh benchmark metric sidecars against the
+  committed ``BENCH_BASELINE.json`` perf baseline, exiting non-zero on
+  regression (``--update`` re-records the baseline).
 
 Long-running commands (``sweep``, ``simulate``, ``reconstruct``) accept
 supervision flags (``--max-retries``, ``--chunk-deadline``,
@@ -65,6 +71,14 @@ output moves to stderr so the emitted JSON stays machine-parseable.
 ``repro stats --snapshot FILE`` renders a saved snapshot as a table,
 JSON, or Prometheus text.  The metric catalog is documented in
 ``docs/observability.md``.
+
+The long-running commands (``stream``, ``simulate``, ``sweep``) further
+accept ``--serve-metrics PORT``: a loopback HTTP endpoint (stdlib
+``http.server``, daemon thread) serving ``/metrics`` (Prometheus),
+``/health``, ``/snapshot`` and ``/timeline`` *while the run is going*,
+with a :class:`repro.obs.TimelineSampler` recording counter/gauge series
+into a bounded ring (``--timeline-interval``/``--timeline-capacity``).
+The server and sampler are torn down cleanly on exit and on SIGINT.
 """
 
 from __future__ import annotations
@@ -82,7 +96,12 @@ from repro.evaluation.metrics import evaluate_reconstruction
 from repro.evaluation.report import render_csv, render_sweep_table
 from repro.exceptions import ReproError
 from repro.logs.cleaning import LogCleaner
-from repro.logs.reader import read_clf_file, records_to_requests
+from repro.logs.reader import (
+    iter_clf_lines,
+    iter_requests,
+    read_clf_file,
+    records_to_requests,
+)
 from repro.evaluation.statistics import describe, render_statistics
 from repro.logs.users import IdentityAddressMap
 from repro.logs.writer import (
@@ -171,6 +190,25 @@ def build_parser() -> argparse.ArgumentParser:
                  "re-run it serially in-process (default), quarantine "
                  "and skip it, or abort the run")
 
+    def add_serve_flags(command_parser: argparse.ArgumentParser) -> None:
+        """Live telemetry knobs (repro.obs.export / repro.obs.timeline);
+        the HTTP exporter + timeline sampler start when --serve-metrics
+        is given."""
+        command_parser.add_argument(
+            "--serve-metrics", type=int, default=None, metavar="PORT",
+            help="serve /metrics, /health, /snapshot and /timeline on "
+                 "this loopback port for the duration of the run "
+                 "(0 = any free port, printed to stderr)")
+        command_parser.add_argument(
+            "--timeline-interval", type=float, default=None,
+            metavar="SECONDS",
+            help="timeline sampling interval (default 1.0; only "
+                 "meaningful with --serve-metrics)")
+        command_parser.add_argument(
+            "--timeline-capacity", type=int, default=None, metavar="N",
+            help="timeline ring capacity in points (default 600; oldest "
+                 "points are evicted beyond it)")
+
     topo = sub.add_parser("topology", help="generate a site topology")
     topo.add_argument("--family", choices=["random", "hierarchical",
                                            "power-law"], default="random")
@@ -196,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "setting) or Combined (adds Referer/User-Agent)")
     add_workers_flag(sim)
     add_supervision_flags(sim)
+    add_serve_flags(sim)
     sim.add_argument("--checkpoint", metavar="DIR",
                      help="persist completed agent blocks here so an "
                           "interrupted simulation can --resume")
@@ -283,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "event-time watermarks instead of only at end "
                            "of stream")
     add_overload_flags(strm)
+    add_serve_flags(strm)
 
     ev = sub.add_parser("evaluate", help="score reconstruction vs truth")
     ev.add_argument("--truth", required=True)
@@ -314,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--csv", help="also write the series as CSV here")
     add_workers_flag(swp)
     add_supervision_flags(swp)
+    add_serve_flags(swp)
     swp.add_argument("--checkpoint", metavar="DIR",
                      help="persist every completed sweep point here "
                           "(report + metrics snapshot) the moment it "
@@ -463,6 +504,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the audit as a JSON document instead "
                              "of text")
     add_overload_flags(doctor)
+    # telemetry flags are auditable too: doctor never starts a server,
+    # it vets the configuration (interval, port, ring size vs budget).
+    add_serve_flags(doctor)
 
     diff = sub.add_parser("diffcheck",
                           help="cross-engine differential correctness "
@@ -487,6 +531,53 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--write-golden", metavar="DIR",
                       help="regenerate the golden corpus into DIR (cases "
                            "pinned against the serial engine) and exit")
+
+    trace = sub.add_parser("trace",
+                           help="analyze a --trace JSON-lines file: span "
+                                "tree, critical path, folded stacks")
+    trace.add_argument("action", choices=["analyze"],
+                       help="'analyze' is the only action today")
+    trace.add_argument("file", help="trace file written by --trace "
+                                    "('-' reads stdin)")
+    trace.add_argument("--folded", metavar="OUT",
+                       help="also write folded-stack flamegraph lines "
+                            "here (flamegraph.pl / speedscope input)")
+    trace.add_argument("--top", type=int, default=10,
+                       help="rows in the by-name self-time table "
+                            "(default 10)")
+    trace.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the report as a JSON document instead "
+                            "of text")
+
+    bdiff = sub.add_parser("bench-diff",
+                           help="compare fresh bench metric sidecars "
+                                "against the committed perf baseline; "
+                                "non-zero exit on regression")
+    bdiff.add_argument("--results", metavar="DIR",
+                       default="benchmarks/results",
+                       help="directory of *.metrics.json sidecars "
+                            "(default benchmarks/results)")
+    bdiff.add_argument("--baseline", metavar="FILE",
+                       default="BENCH_BASELINE.json",
+                       help="baseline document (default "
+                            "BENCH_BASELINE.json)")
+    bdiff.add_argument("--threshold", type=float, default=None,
+                       help="relative regression threshold (default "
+                            "0.20 = 20%%)")
+    bdiff.add_argument("--quick", action="store_true",
+                       help="structural check only (CI on shrunken "
+                            "REPRO_BENCH_QUICK workloads): every "
+                            "baselined bench and metric must still be "
+                            "present; values are not compared")
+    bdiff.add_argument("--update", action="store_true",
+                       help="re-record the baseline from the current "
+                            "sidecars instead of comparing")
+    bdiff.add_argument("--verbose", action="store_true",
+                       help="also list metrics that are within "
+                            "threshold")
+    bdiff.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the diff report as a JSON document "
+                            "instead of text")
 
     return parser
 
@@ -575,17 +666,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _read_log_surfacing_drops(path: str) -> list:
-    """Read a log skipping malformed lines, but say so when any dropped."""
-    from repro.logs.ingest import IngestReport
-    report = IngestReport()
-    records = read_clf_file(path, skip_malformed=True, report=report)
+def _note_drops(report) -> None:
+    """Say so when a skip-malformed read dropped lines (never silently)."""
     if report.dropped:
         faults = ", ".join(f"{name}={count}" for name, count
                            in sorted(report.fault_counts.items()))
         print(f"note: skipped {report.dropped} malformed lines "
               f"({faults}) — use 'repro ingest' to quarantine or "
               f"repair them", file=sys.stderr)
+
+
+def _read_log_surfacing_drops(path: str) -> list:
+    """Read a log skipping malformed lines, but say so when any dropped."""
+    from repro.logs.ingest import IngestReport
+    report = IngestReport()
+    records = read_clf_file(path, skip_malformed=True, report=report)
+    _note_drops(report)
     return records
 
 
@@ -677,18 +773,26 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             return 2
         pipeline = streaming_smart_sra(load_graph(args.topology),
                                        governor=governor, **options)
-    records = _read_log_surfacing_drops(args.log)
-    requests = records_to_requests(records)
+    # feed lazily — one parsed line in, zero or more sessions out — so a
+    # live source (a pipe, a FIFO, a slowly growing file) is processed
+    # as it arrives; --serve-metrics watches exactly this loop.
+    from repro.logs.ingest import IngestReport
+    report = IngestReport()
     sessions = []
-    next_watermark = (requests[0].timestamp + args.flush_every
-                      if args.flush_every > 0 and requests else None)
-    for request in requests:
-        while (next_watermark is not None
-               and request.timestamp >= next_watermark):
-            sessions.extend(pipeline.flush(next_watermark))
-            next_watermark += args.flush_every
-        sessions.extend(pipeline.feed(request))
+    next_watermark = None
+    with open(args.log, encoding="utf-8") as handle:
+        for request in iter_requests(
+                iter_clf_lines(handle, skip_malformed=True,
+                               report=report)):
+            if next_watermark is None and args.flush_every > 0:
+                next_watermark = request.timestamp + args.flush_every
+            while (next_watermark is not None
+                   and request.timestamp >= next_watermark):
+                sessions.extend(pipeline.flush(next_watermark))
+                next_watermark += args.flush_every
+            sessions.extend(pipeline.feed(request))
     sessions.extend(pipeline.flush())
+    _note_drops(report)
     SessionSet(sessions).save(args.output)
     stats = pipeline.stats()
     mode = ("governed" if isinstance(stats, GovernedStreamingStats)
@@ -1120,25 +1224,52 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+_TELEMETRY_FLAGS = ("serve_metrics", "timeline_interval",
+                    "timeline_capacity")
+
+
 def _cmd_doctor(args: argparse.Namespace) -> int:
     from repro.parallel.checkpoint import CheckpointStore
     governor = _governor_from(args)
-    if governor is not None:
-        from repro.streaming.governor import audit_overload_config
+    telemetry = any(getattr(args, flag, None) is not None
+                    for flag in _TELEMETRY_FLAGS)
+    if governor is not None or telemetry:
         if args.checkpoint is not None:
-            print("error: audit either a checkpoint DIR or an overload "
-                  "configuration, not both", file=sys.stderr)
+            print("error: audit either a checkpoint DIR or a "
+                  "configuration (overload/telemetry flags), not both",
+                  file=sys.stderr)
             return 2
-        audit = audit_overload_config(governor)
+        audits = []
+        if governor is not None:
+            from repro.streaming.governor import audit_overload_config
+            audits.append(audit_overload_config(governor))
+        if telemetry:
+            from repro.obs import audit_telemetry_config
+            audits.append(audit_telemetry_config(
+                interval=args.timeline_interval,
+                capacity=args.timeline_capacity,
+                port=args.serve_metrics,
+                memory_budget=(governor.memory_budget
+                               if governor is not None else None)))
+        ok = all(audit.ok for audit in audits)
         if args.as_json:
-            print(json.dumps(audit.to_dict(), indent=1, sort_keys=True))
+            if len(audits) == 1:
+                # the single-audit document keeps its historical shape
+                # (governor-only doctor runs predate the telemetry audit).
+                document = audits[0].to_dict()
+            else:
+                document = {"ok": ok,
+                            "audits": [audit.to_dict()
+                                       for audit in audits]}
+            print(json.dumps(document, indent=1, sort_keys=True))
         else:
-            print(audit.render())
-        return 0 if audit.ok else 1
+            print("\n".join(audit.render() for audit in audits))
+        return 0 if ok else 1
     if args.checkpoint is None:
         print("error: doctor needs a checkpoint DIR to audit, or "
-              "overload flags (e.g. --memory-budget) for a governor "
-              "audit", file=sys.stderr)
+              "overload/telemetry flags (e.g. --memory-budget, "
+              "--serve-metrics) for a configuration audit",
+              file=sys.stderr)
         return 2
     if not os.path.isdir(args.checkpoint):
         print(f"error: {args.checkpoint} is not a directory",
@@ -1184,6 +1315,58 @@ def _cmd_diffcheck(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import analyze_trace
+    report = analyze_trace(sys.stdin if args.file == "-" else args.file)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(report.render(top=args.top))
+    if args.folded:
+        folded = report.folded()
+        with open(args.folded, "w", encoding="utf-8") as handle:
+            handle.write("".join(line + "\n" for line in folded))
+        print(f"wrote {args.folded} ({len(folded)} stacks)",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        build_baseline,
+        compare_to_baseline,
+        load_sidecars,
+    )
+    from repro.obs.baseline import DEFAULT_THRESHOLD
+    sidecars = load_sidecars(args.results)
+    if args.update:
+        if args.quick:
+            print("error: --update and --quick are mutually exclusive "
+                  "(never record a baseline from shrunken quick-mode "
+                  "runs)", file=sys.stderr)
+            return 2
+        document = build_baseline(sidecars)
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        benches = ", ".join(sorted(document["benches"]))
+        print(f"recorded baseline for {len(document['benches'])} "
+              f"bench(es) ({benches}) into {args.baseline}")
+        return 0
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    report = compare_to_baseline(
+        sidecars, baseline,
+        threshold=(DEFAULT_THRESHOLD if args.threshold is None
+                   else args.threshold),
+        quick=args.quick)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(report.render(verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "topology": _cmd_topology,
     "simulate": _cmd_simulate,
@@ -1206,7 +1389,13 @@ _COMMANDS = {
     "ingest": _cmd_ingest,
     "doctor": _cmd_doctor,
     "diffcheck": _cmd_diffcheck,
+    "trace": _cmd_trace,
+    "bench-diff": _cmd_bench_diff,
 }
+
+#: subcommands where --serve-metrics starts the live exporter (doctor
+#: shares the flag names but only audits them).
+_SERVING_COMMANDS = frozenset({"stream", "simulate", "sweep"})
 
 
 def _export_metrics(registry: Registry, path: str) -> None:
@@ -1229,7 +1418,9 @@ def _run_command(args: argparse.Namespace) -> int:
     command = _COMMANDS[args.command]
     metrics_path = getattr(args, "metrics", None)
     trace_path = getattr(args, "trace", None)
-    if metrics_path is None and trace_path is None:
+    serve_port = (getattr(args, "serve_metrics", None)
+                  if args.command in _SERVING_COMMANDS else None)
+    if metrics_path is None and trace_path is None and serve_port is None:
         return command(args)
 
     trace_handle = None
@@ -1239,7 +1430,23 @@ def _run_command(args: argparse.Namespace) -> int:
                         else open(trace_path, "w", encoding="utf-8"))
         tracer = Tracer(trace_handle)
     registry = Registry(tracer=tracer)
+    sampler = None
+    server = None
     try:
+        if serve_port is not None:
+            from repro.obs import MetricsServer, TimelineSampler
+            interval = getattr(args, "timeline_interval", None)
+            capacity = getattr(args, "timeline_capacity", None)
+            sampler = TimelineSampler(
+                registry,
+                interval=1.0 if interval is None else interval,
+                capacity=600 if capacity is None else capacity)
+            server = MetricsServer(registry, serve_port, sampler=sampler)
+            server.start()
+            sampler.start()
+            print(f"serving metrics on {server.url} "
+                  f"(/metrics /health /snapshot /timeline)",
+                  file=sys.stderr)
         with use_registry(registry), registry.span(f"cli.{args.command}"):
             if metrics_path == "-":
                 # stdout is reserved for the snapshot: the command's
@@ -1249,6 +1456,12 @@ def _run_command(args: argparse.Namespace) -> int:
             else:
                 code = command(args)
     finally:
+        # teardown runs on every exit path, SIGINT included: the
+        # sampler thread stops, the port is released, the trace closes.
+        if sampler is not None:
+            sampler.stop()
+        if server is not None:
+            server.close()
         if trace_handle is not None and trace_handle is not sys.stderr:
             trace_handle.close()
     if metrics_path is not None:

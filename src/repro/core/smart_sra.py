@@ -52,9 +52,13 @@ class SmartSRA(SessionReconstructor):
     def reconstruct_user(self, requests: Sequence[Request]) -> list[Session]:
         registry = get_registry()
         sessions: list[Session] = []
-        with registry.timer("sessions.phase1.seconds"):
+        # spans mirror the timers so a --trace run yields the
+        # phase1 -> phase2 critical path (free when no tracer is set).
+        with registry.span("sessions.phase1"), \
+                registry.timer("sessions.phase1.seconds"):
             candidates = split_candidates(requests, self.config)
-        with registry.timer("sessions.phase2.seconds"):
+        with registry.span("sessions.phase2"), \
+                registry.timer("sessions.phase2.seconds"):
             for candidate in candidates:
                 sessions.extend(
                     maximal_sessions_fast(candidate, self.topology,

@@ -105,6 +105,16 @@ class ConfigurationError(ReproError):
     """A configuration object contains invalid or contradictory values."""
 
 
+class TraceError(ReproError):
+    """A JSON-lines trace file cannot be parsed into a span tree.
+
+    Raised by :mod:`repro.obs.spans` for records that are not valid JSON
+    objects, spans that reference an unknown parent, or duplicate span
+    identifiers — a trace good enough to analyze must reconstruct into a
+    forest exactly.
+    """
+
+
 class ExecutionError(ReproError):
     """A supervised parallel execution exhausted its recovery budget.
 

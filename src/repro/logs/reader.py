@@ -22,7 +22,8 @@ from repro.logs.clf import CLFRecord, url_to_page
 from repro.logs.ingest import ErrorPolicy, IngestReport, ingest_lines
 from repro.sessions.model import Request
 
-__all__ = ["read_clf_file", "iter_clf_lines", "records_to_requests"]
+__all__ = ["read_clf_file", "iter_clf_lines", "iter_requests",
+           "records_to_requests"]
 
 
 def iter_clf_lines(lines: Iterable[str], *,
@@ -99,17 +100,31 @@ def records_to_requests(records: Iterable[CLFRecord],
         LateEventError: when ``watermark`` is given and a record predates
             it.
     """
+    return list(iter_requests(records, page_views_only,
+                              watermark=watermark))
+
+
+def iter_requests(records: Iterable[CLFRecord],
+                  page_views_only: bool = True, *,
+                  watermark: float | None = None) -> Iterator[Request]:
+    """Lazy :func:`records_to_requests`: one request out per record in.
+
+    Composes with :func:`iter_clf_lines` into a fully incremental
+    file-to-request pipeline — ``repro stream`` feeds a log this way so
+    a live run (a pipe, a growing file) is processed as it arrives
+    instead of after a full read.
+
+    Raises:
+        LateEventError: as :func:`records_to_requests`.
+    """
     from repro.exceptions import LateEventError
-    requests: list[Request] = []
     for record in records:
         if watermark is not None and record.timestamp < watermark:
             raise LateEventError(
                 f"record from {record.host!r} at t={record.timestamp} "
                 f"predates the watermark {watermark}")
         if not page_views_only or record.is_page_view:
-            requests.append(
-                Request(record.timestamp, record.host,
-                        url_to_page(record.url),
-                        referrer=(url_to_page(record.referrer)
-                                  if record.referrer is not None else None)))
-    return requests
+            yield Request(record.timestamp, record.host,
+                          url_to_page(record.url),
+                          referrer=(url_to_page(record.referrer)
+                                    if record.referrer is not None else None))

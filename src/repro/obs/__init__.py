@@ -47,6 +47,28 @@ from repro.obs.registry import (
     use_local_registry,
     use_registry,
 )
+from repro.obs.baseline import (
+    BaselineReport,
+    build_baseline,
+    compare_to_baseline,
+    derive_metrics,
+    load_sidecars,
+)
+from repro.obs.export import MetricsServer, health_report
+from repro.obs.spans import (
+    SpanNode,
+    TraceReport,
+    analyze_trace,
+    build_span_forest,
+    parse_trace,
+)
+from repro.obs.timeline import (
+    TelemetryAudit,
+    TimelinePoint,
+    TimelineSampler,
+    audit_telemetry_config,
+    histogram_quantile,
+)
 from repro.obs.tracing import ListSink, Tracer
 
 __all__ = [
@@ -70,4 +92,21 @@ __all__ = [
     "snapshot_to_table",
     "Tracer",
     "ListSink",
+    "TimelineSampler",
+    "TimelinePoint",
+    "TelemetryAudit",
+    "audit_telemetry_config",
+    "histogram_quantile",
+    "MetricsServer",
+    "health_report",
+    "SpanNode",
+    "TraceReport",
+    "analyze_trace",
+    "build_span_forest",
+    "parse_trace",
+    "BaselineReport",
+    "build_baseline",
+    "compare_to_baseline",
+    "derive_metrics",
+    "load_sidecars",
 ]

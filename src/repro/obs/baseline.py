@@ -1,0 +1,218 @@
+"""Perf-baseline tracking: turn bench sidecars into an enforced ratchet.
+
+``pytest benchmarks/ --emit-metrics`` leaves one snapshot sidecar per
+bench module in ``benchmarks/results/*.metrics.json``.  This module
+reduces each sidecar to scalar **derived metrics**, records them in a
+committed ``BENCH_BASELINE.json``, and compares a fresh run against that
+baseline with configurable thresholds — ``repro bench-diff`` exits
+non-zero on regression, so a perf cliff fails CI instead of landing
+silently.
+
+Derived metrics per sidecar:
+
+* every counter, verbatim (``stream.requests.fed`` → 150000);
+* ``<series>:mean`` for every histogram — mean observation;
+* ``<series>:rate`` for every ``.seconds`` histogram with a positive
+  sum — observations per wall second, the throughput number.
+
+Regression semantics are directional: a ``:rate`` metric regresses by
+**dropping** more than the threshold (throughput fell), a ``.seconds``
+``:mean`` regresses by **rising** more than the threshold (latency
+grew).  Counters carry workload shape, not speed — they are compared
+only as *drift* (informational) and never fail the diff; structural
+absence of a whole metric does.  ``--quick`` mode (CI on shrunken
+workloads) checks structure only: every baselined bench has a sidecar
+and every baselined metric still derives from it, values ignored.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from glob import glob
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "derive_metrics",
+    "load_sidecars",
+    "build_baseline",
+    "compare_to_baseline",
+    "BaselineReport",
+]
+
+#: default relative-change threshold for regression (20%).
+DEFAULT_THRESHOLD = 0.20
+
+BASELINE_VERSION = 1
+
+
+def derive_metrics(snapshot: dict[str, Any]) -> dict[str, float]:
+    """Reduce a snapshot document to the scalar metrics we baseline."""
+    metrics: dict[str, float] = dict(snapshot.get("counters", {}))
+    for series, data in snapshot.get("histograms", {}).items():
+        count = data.get("count", 0)
+        total = data.get("sum", 0.0)
+        metrics[f"{series}:mean"] = total / count if count else 0.0
+        if ".seconds" in series and total > 0:
+            metrics[f"{series}:rate"] = count / total
+    return metrics
+
+
+def load_sidecars(results_dir: str) -> dict[str, dict[str, Any]]:
+    """Load every ``*.metrics.json`` sidecar: ``{bench_name: snapshot}``.
+
+    The bench name is the filename stem (``bench_streaming`` for
+    ``bench_streaming.metrics.json``).
+
+    Raises:
+        ConfigurationError: when the directory holds no sidecars, or a
+            sidecar is not a version-1 snapshot document.
+    """
+    paths = sorted(glob(os.path.join(results_dir, "*.metrics.json")))
+    if not paths:
+        raise ConfigurationError(
+            f"no *.metrics.json sidecars in {results_dir!r}; run "
+            f"pytest benchmarks/ --emit-metrics first")
+    sidecars: dict[str, dict[str, Any]] = {}
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                snapshot = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"sidecar {path!r} is not valid JSON: {exc}") from exc
+        if not isinstance(snapshot, dict) or snapshot.get("version") != 1:
+            raise ConfigurationError(
+                f"sidecar {path!r} is not a version-1 snapshot document")
+        name = os.path.basename(path)[:-len(".metrics.json")]
+        sidecars[name] = snapshot
+    return sidecars
+
+
+def build_baseline(sidecars: dict[str, dict[str, Any]]) -> dict[str, Any]:
+    """Baseline document from sidecar snapshots (sorted, committable)."""
+    return {"version": BASELINE_VERSION,
+            "benches": {name: {"metrics": dict(sorted(
+                derive_metrics(snapshot).items()))}
+                for name, snapshot in sorted(sidecars.items())}}
+
+
+def _direction(metric: str) -> str:
+    """``higher`` (rate: drop regresses), ``lower`` (seconds mean: rise
+    regresses) or ``shape`` (counters: drift only, never fails)."""
+    if metric.endswith(":rate"):
+        return "higher"
+    if metric.endswith(":mean") and ".seconds" in metric:
+        return "lower"
+    return "shape"
+
+
+class BaselineReport:
+    """Outcome of comparing fresh sidecars against a baseline.
+
+    ``rows`` are ``(bench, metric, status, detail)`` with status one of
+    ``ok`` / ``drift`` / ``missing`` / ``REGRESSION``; the comparison
+    fails (:attr:`ok` False, ``repro bench-diff`` exits 1) when any row
+    is ``missing`` or ``REGRESSION``.
+    """
+
+    def __init__(self, rows: list[tuple[str, str, str, str]],
+                 threshold: float, quick: bool) -> None:
+        self.rows = rows
+        self.threshold = threshold
+        self.quick = quick
+
+    @property
+    def regressions(self) -> list[tuple[str, str, str, str]]:
+        return [row for row in self.rows
+                if row[2] in ("REGRESSION", "missing")]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready report (``repro bench-diff --json``)."""
+        return {"version": 1, "ok": self.ok, "quick": self.quick,
+                "threshold": self.threshold,
+                "regressions": len(self.regressions),
+                "rows": [{"bench": bench, "metric": metric,
+                          "status": status, "detail": detail}
+                         for bench, metric, status, detail in self.rows]}
+
+    def render(self, verbose: bool = False) -> str:
+        """Human-readable diff; quiet rows (ok) elided unless verbose."""
+        mode = "quick (structure only)" if self.quick else (
+            f"threshold {self.threshold:.0%}")
+        lines = [f"bench-diff: {len(self.rows)} checks, mode {mode}"]
+        shown = 0
+        for bench, metric, status, detail in self.rows:
+            if status == "ok" and not verbose:
+                continue
+            shown += 1
+            lines.append(f"  {status:<10} {bench}: {metric} — {detail}")
+        if not shown:
+            lines.append("  all metrics within threshold")
+        lines.append(f"verdict: {'ok' if self.ok else 'REGRESSION'} "
+                     f"({len(self.regressions)} failing)")
+        return "\n".join(lines)
+
+
+def compare_to_baseline(sidecars: dict[str, dict[str, Any]],
+                        baseline: dict[str, Any], *,
+                        threshold: float = DEFAULT_THRESHOLD,
+                        quick: bool = False) -> BaselineReport:
+    """Compare fresh sidecar snapshots against a baseline document.
+
+    Only benches present in the baseline are checked — a *new* bench
+    cannot regress, it just is not ratcheted until recorded with
+    ``repro bench-diff --update``.  A baselined bench with no fresh
+    sidecar is ``missing`` (the ratchet cannot be silently dodged by
+    deleting a bench's sidecar).
+
+    Raises:
+        ConfigurationError: for a malformed baseline document or a
+            non-positive threshold.
+    """
+    if threshold <= 0:
+        raise ConfigurationError(
+            f"regression threshold must be positive, got {threshold}")
+    if baseline.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"baseline document version "
+            f"{baseline.get('version')!r} is not {BASELINE_VERSION}")
+    rows: list[tuple[str, str, str, str]] = []
+    for bench, entry in sorted(baseline.get("benches", {}).items()):
+        recorded = entry.get("metrics", {})
+        if bench not in sidecars:
+            rows.append((bench, "*", "missing",
+                         "baselined bench has no fresh sidecar"))
+            continue
+        current = derive_metrics(sidecars[bench])
+        for metric, old in sorted(recorded.items()):
+            if metric not in current:
+                rows.append((bench, metric, "missing",
+                             "metric no longer derivable from sidecar"))
+                continue
+            if quick:
+                rows.append((bench, metric, "ok", "present"))
+                continue
+            new = current[metric]
+            if old <= 0:
+                rows.append((bench, metric, "ok",
+                             f"baseline {old:g} not comparable"))
+                continue
+            change = (new - old) / old
+            direction = _direction(metric)
+            detail = f"{old:g} -> {new:g} ({change:+.1%})"
+            if direction == "higher" and change < -threshold:
+                rows.append((bench, metric, "REGRESSION", detail))
+            elif direction == "lower" and change > threshold:
+                rows.append((bench, metric, "REGRESSION", detail))
+            elif direction == "shape" and abs(change) > threshold:
+                rows.append((bench, metric, "drift", detail))
+            else:
+                rows.append((bench, metric, "ok", detail))
+    return BaselineReport(rows, threshold, quick)

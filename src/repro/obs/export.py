@@ -1,0 +1,230 @@
+"""Live HTTP exposition of a registry: `/metrics`, `/health` and friends.
+
+A :class:`MetricsServer` turns the in-process :class:`Registry` from a
+snapshot-at-exit artifact into something a scraper or a human with
+``curl`` can watch *while the run is going*.  It is a stdlib
+``http.server`` on a daemon thread — no framework, no dependency — and it
+only ever **reads** the registry, so the instrumented pipeline cannot be
+slowed or broken by a scrape.
+
+Endpoints:
+
+``/metrics``
+    Prometheus text exposition (the exact output of
+    :meth:`Registry.render_prometheus`).
+``/snapshot``
+    The versioned JSON snapshot document.
+``/timeline``
+    The :class:`~repro.obs.timeline.TimelineSampler` ring as JSON
+    (404 when no sampler is attached).
+``/health``
+    Liveness + operational verdict as JSON.  Status ``ok`` answers 200;
+    ``degraded`` answers 503 so a probe can act on the HTTP code alone.
+    The verdict is derived from the registry itself: a streaming
+    governor over its byte budget, or a supervisor that skipped chunks,
+    degrades health.
+
+Wired into the CLI as ``--serve-metrics PORT`` on the long-running
+subcommands (``repro stream``, ``repro simulate``, ``repro sweep``); the
+server starts before the run and is torn down cleanly on exit or SIGINT.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+from repro.obs.registry import Registry
+from repro.obs.timeline import TimelineSampler
+
+__all__ = ["MetricsServer", "health_report"]
+
+
+def health_report(snapshot: dict[str, Any]) -> dict[str, Any]:
+    """Operational health verdict derived from a snapshot document.
+
+    Pure and offline-testable: the server calls this with a live
+    snapshot, tests call it with a constructed one.  Returns::
+
+        {"status": "ok" | "degraded", "reasons": [...],
+         "governor": {...} | None, "supervisor": {...} | None}
+
+    Degradation conditions:
+
+    * the streaming governor's tracked state exceeds its byte budget
+      (eviction/shed cannot keep up — the bound is broken *right now*);
+    * the supervisor exhausted retries and **skipped** chunks (output is
+      incomplete);
+    * the supervisor fell back to degraded serial execution (still
+      correct, but the parallel engine is gone — worth a page).
+    """
+    gauges = snapshot.get("gauges", {})
+    counters = snapshot.get("counters", {})
+    reasons: list[str] = []
+
+    governor: dict[str, Any] | None = None
+    budget = gauges.get("governor.budget_bytes", 0)
+    if budget:
+        tracked = gauges.get("governor.tracked_bytes", 0)
+        governor = {
+            "tracked_bytes": tracked, "budget_bytes": budget,
+            "evictions": counters.get("governor.evictions", 0),
+            "shed_requests": counters.get("governor.shed_requests", 0),
+            "spills": counters.get("governor.spills", 0),
+        }
+        if tracked > budget:
+            reasons.append(
+                f"governor over budget: tracked {tracked}B > "
+                f"budget {budget}B")
+
+    supervisor: dict[str, Any] | None = None
+    supervisor_series = {series: value for series, value in counters.items()
+                         if series.startswith("parallel.supervisor.")}
+    if supervisor_series:
+        supervisor = supervisor_series
+        skipped = supervisor_series.get("parallel.supervisor.skipped", 0)
+        degraded = supervisor_series.get(
+            "parallel.supervisor.degraded_serial", 0)
+        if skipped:
+            reasons.append(f"supervisor skipped {skipped} chunk(s); "
+                           f"output is incomplete")
+        if degraded:
+            reasons.append(f"supervisor degraded {degraded} chunk(s) to "
+                           f"serial execution")
+
+    return {"status": "degraded" if reasons else "ok",
+            "reasons": reasons,
+            "governor": governor,
+            "supervisor": supervisor}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the four endpoints; everything else is a JSON 404."""
+
+    # set per-server by MetricsServer (class attribute on a subclass).
+    server: "_Server"
+
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        owner = self.server.owner
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        registry = owner.registry
+        owner._count(path)
+        if path == "/metrics":
+            self._respond(200, registry.render_prometheus(),
+                          "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/snapshot":
+            self._json(200, registry.snapshot())
+        elif path == "/timeline":
+            if owner.sampler is None:
+                self._json(404, {"error": "no timeline sampler attached"})
+            else:
+                self._json(200, owner.sampler.to_dict())
+        elif path == "/health":
+            report = health_report(registry.snapshot())
+            self._json(200 if report["status"] == "ok" else 503, report)
+        else:
+            self._json(404, {"error": f"unknown path {path!r}",
+                             "endpoints": ["/metrics", "/snapshot",
+                                           "/timeline", "/health"]})
+
+    def _json(self, status: int, document: dict[str, Any]) -> None:
+        self._respond(status, json.dumps(document, sort_keys=True) + "\n",
+                      "application/json")
+
+    def _respond(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging; scrapes are not events."""
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # a scrape target should come back instantly after a restart.
+    allow_reuse_address = True
+    owner: "MetricsServer"
+
+
+class MetricsServer:
+    """Serves a registry (and optionally a timeline ring) over HTTP.
+
+    Args:
+        registry: the registry to expose (read-only access).
+        port: TCP port; ``0`` asks the OS for a free one — read
+            :attr:`port` after construction for the bound value.
+        host: bind address; loopback by default — metrics can leak
+            operational detail, so exposing beyond the host is an
+            explicit decision.
+        sampler: optional :class:`TimelineSampler` backing ``/timeline``.
+
+    The server binds in the constructor (so a busy port fails fast,
+    before the run starts) and serves from a daemon thread after
+    :meth:`start`.  Scrapes are counted into the registry as
+    ``export.requests{endpoint=...}``.
+
+    Use as a context manager for deterministic teardown::
+
+        with MetricsServer(registry, port=9100) as server:
+            run_the_stream()     # curl :9100/metrics meanwhile
+    """
+
+    def __init__(self, registry: Registry, port: int, *,
+                 host: str = "127.0.0.1",
+                 sampler: TimelineSampler | None = None) -> None:
+        if not 0 <= port <= 65535:
+            raise ConfigurationError(
+                f"serve-metrics port must be 0-65535, got {port}")
+        self.registry = registry
+        self.sampler = sampler
+        try:
+            self._httpd = _Server((host, port), _Handler)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot bind metrics server to {host}:{port}: "
+                f"{exc}") from exc
+        self._httpd.owner = self
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    def _count(self, path: str) -> None:
+        endpoint = path.strip("/") or "root"
+        self.registry.counter("export.requests",
+                              endpoint=endpoint).inc()
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound server, e.g. ``http://127.0.0.1:9100``."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        """Begin serving on a daemon thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-server", daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the port (idempotent)."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

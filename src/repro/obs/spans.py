@@ -1,0 +1,322 @@
+"""Trace analysis: span trees, critical paths and folded stacks.
+
+The tracer (:mod:`repro.obs.tracing`) writes flat JSON-lines records —
+one span per line, children before parents because spans serialize on
+close.  This module turns that stream back into the tree it came from
+and answers the operator's questions: *where did the time go, which
+chain of stages bounds the wall clock, and what would a flamegraph
+show?*
+
+Definitions (all exact, no sampling):
+
+inclusive time
+    A span's own ``dur_s`` — everything that happened between its open
+    and close, children included.
+exclusive time (self time)
+    Inclusive time minus the sum of the direct children's inclusive
+    times.  The tracer's span stack is single-threaded, so children
+    nest sequentially inside their parent and exclusive time telescopes:
+    **the root's inclusive time equals the sum of every span's exclusive
+    time in its tree, exactly** — the identity ``repro trace analyze``
+    reports and the tests pin.
+critical path
+    The chain from the root obtained by always descending into the
+    child with the largest inclusive time — through
+    ``cli.reconstruct`` → phase1 → phase2 → heuristic spans, this names
+    the stage chain that bounds the wall clock.  Splitting every span's
+    exclusive time into *on-path* and *off-path* gives
+    ``root inclusive == critical + idle`` exactly.
+
+Folded-stack output is one line per span — ``root;child;leaf N`` with
+``N`` the exclusive time in integer microseconds — directly consumable
+by ``flamegraph.pl`` or speedscope.  Spans carrying ``chunk``/``attempt``
+attributes (the supervisor's retry attribution) render as
+``name[chunk=3,attempt=1]`` so a retried chunk is distinguishable from
+its first attempt.
+
+CLI surface: ``repro trace analyze FILE [--folded OUT] [--top N]``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, TextIO
+
+from repro.exceptions import TraceError
+
+__all__ = [
+    "SpanNode",
+    "TraceReport",
+    "parse_trace",
+    "build_span_forest",
+    "analyze_trace",
+]
+
+#: span attributes appended to display names, in this order — the
+#: supervisor's chunk/attempt attribution plus the heuristic label.
+_NAME_ATTRS = ("heuristic", "chunk", "attempt")
+
+
+class SpanNode:
+    """One span with its children re-attached.
+
+    Attributes mirror the trace record (``name``, ``id``, ``parent``,
+    ``ts``, ``dur_s``, ``attrs``, ``error``); ``children`` are ordered by
+    span id, which is opening order, and ``events`` are the point-in-time
+    records that named this span as theirs.
+    """
+
+    __slots__ = ("name", "id", "parent", "ts", "dur_s", "attrs", "error",
+                 "children", "events")
+
+    def __init__(self, record: dict[str, Any]) -> None:
+        self.name: str = record["name"]
+        self.id: int = record["id"]
+        self.parent: int | None = record.get("parent")
+        self.ts: float = record.get("ts", 0.0)
+        self.dur_s: float = record.get("dur_s", 0.0)
+        self.attrs: dict[str, Any] = record.get("attrs") or {}
+        self.error: str | None = record.get("error")
+        self.children: list["SpanNode"] = []
+        self.events: list[dict[str, Any]] = []
+
+    @property
+    def inclusive(self) -> float:
+        """Wall seconds between open and close, children included."""
+        return self.dur_s
+
+    @property
+    def exclusive(self) -> float:
+        """Self time: inclusive minus the children's inclusive sum.
+
+        Not clamped at zero — with sequential children the value is
+        non-negative up to clock granularity, and keeping the raw
+        arithmetic is what makes exclusive times telescope exactly back
+        to the root's inclusive time.
+        """
+        return self.dur_s - sum(child.dur_s for child in self.children)
+
+    @property
+    def display_name(self) -> str:
+        """``name`` plus identifying attrs: ``parallel.chunk[chunk=3,attempt=1]``."""
+        parts = [f"{key}={self.attrs[key]}" for key in _NAME_ATTRS
+                 if key in self.attrs]
+        if self.error:
+            parts.append("error")
+        return f"{self.name}[{','.join(parts)}]" if parts else self.name
+
+    def walk(self) -> Iterable["SpanNode"]:
+        """Yield this node and every descendant, depth-first, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def parse_trace(lines: Iterable[str]) -> list[dict[str, Any]]:
+    """Parse JSON-lines trace records (blank lines skipped).
+
+    Raises:
+        TraceError: for a line that is not a JSON object or a span
+            record missing its required fields.
+    """
+    records: list[dict[str, Any]] = []
+    for number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TraceError(
+                f"trace line {number} is not valid JSON: {exc}") from exc
+        if not isinstance(record, dict) or "type" not in record:
+            raise TraceError(
+                f"trace line {number} is not a trace record: {text[:80]!r}")
+        if record["type"] == "span":
+            for field in ("name", "id", "dur_s"):
+                if field not in record:
+                    raise TraceError(
+                        f"span record on line {number} is missing "
+                        f"{field!r}")
+        records.append(record)
+    return records
+
+
+def build_span_forest(records: Iterable[dict[str, Any]]) -> list[SpanNode]:
+    """Reassemble flat trace records into root span trees.
+
+    Children are re-attached to their parents and ordered by id
+    (opening order); events are attached to the span they name.  Returns
+    the roots in opening order — a CLI trace has exactly one
+    (``cli.<command>``), but a concatenation of traces is a forest and
+    analyzes fine.
+
+    Raises:
+        TraceError: for duplicate span ids, a child naming an unknown
+            parent, or an event naming an unknown span.
+    """
+    nodes: dict[int, SpanNode] = {}
+    events: list[dict[str, Any]] = []
+    for record in records:
+        if record.get("type") == "span":
+            node = SpanNode(record)
+            if node.id in nodes:
+                raise TraceError(f"duplicate span id {node.id}")
+            nodes[node.id] = node
+        elif record.get("type") == "event":
+            events.append(record)
+    roots: list[SpanNode] = []
+    for node in sorted(nodes.values(), key=lambda n: n.id):
+        if node.parent is None:
+            roots.append(node)
+        else:
+            parent = nodes.get(node.parent)
+            if parent is None:
+                raise TraceError(
+                    f"span {node.id} ({node.name!r}) references unknown "
+                    f"parent {node.parent}")
+            parent.children.append(node)
+    for event in events:
+        span_id = event.get("span")
+        if span_id is not None:
+            if span_id not in nodes:
+                raise TraceError(
+                    f"event {event.get('name')!r} references unknown "
+                    f"span {span_id}")
+            nodes[span_id].events.append(event)
+    return roots
+
+
+def _critical_path(root: SpanNode) -> list[SpanNode]:
+    path = [root]
+    node = root
+    while node.children:
+        node = max(node.children, key=lambda child: child.dur_s)
+        path.append(node)
+    return path
+
+
+class TraceReport:
+    """The analysis of one span forest.
+
+    Attributes:
+        roots: the reconstructed root spans.
+        total_seconds: summed inclusive time of the roots — total traced
+            wall time.
+        critical_path: the heaviest-child chain of the heaviest root.
+        critical_seconds: summed exclusive time *on* that chain.
+        idle_seconds: summed exclusive time off the chain (in the same
+            tree), so ``critical + idle == heaviest root inclusive``
+            exactly.
+    """
+
+    def __init__(self, roots: list[SpanNode]) -> None:
+        if not roots:
+            raise TraceError("trace contains no spans")
+        self.roots = roots
+        self.total_seconds = sum(root.dur_s for root in roots)
+        heaviest = max(roots, key=lambda root: root.dur_s)
+        self.heaviest_root = heaviest
+        self.critical_path = _critical_path(heaviest)
+        on_path = {id(node) for node in self.critical_path}
+        self.critical_seconds = sum(node.exclusive
+                                    for node in self.critical_path)
+        self.idle_seconds = sum(node.exclusive for node in heaviest.walk()
+                                if id(node) not in on_path)
+
+    def spans(self) -> Iterable[SpanNode]:
+        """Every span in the forest, depth-first."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def by_name(self) -> list[dict[str, Any]]:
+        """Per-display-name aggregate rows, heaviest exclusive first."""
+        rows: dict[str, dict[str, Any]] = {}
+        for node in self.spans():
+            row = rows.setdefault(node.display_name, {
+                "name": node.display_name, "count": 0,
+                "inclusive_s": 0.0, "exclusive_s": 0.0, "errors": 0})
+            row["count"] += 1
+            row["inclusive_s"] += node.inclusive
+            row["exclusive_s"] += node.exclusive
+            row["errors"] += 1 if node.error else 0
+        return sorted(rows.values(),
+                      key=lambda row: (-row["exclusive_s"], row["name"]))
+
+    def folded(self) -> list[str]:
+        """Folded-stack lines: ``root;child;leaf <exclusive µs>``.
+
+        One line per span (zero-weight spans included, so every stack
+        that existed appears), ready for ``flamegraph.pl``.
+        """
+        lines: list[str] = []
+
+        def descend(node: SpanNode, prefix: str) -> None:
+            stack = (f"{prefix};{node.display_name}" if prefix
+                     else node.display_name)
+            lines.append(f"{stack} {max(0, round(node.exclusive * 1e6))}")
+            for child in node.children:
+                descend(child, stack)
+
+        for root in self.roots:
+            descend(root, "")
+        return lines
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready report (``repro trace analyze --json``)."""
+        return {
+            "version": 1,
+            "spans": sum(1 for _ in self.spans()),
+            "roots": [root.display_name for root in self.roots],
+            "total_seconds": self.total_seconds,
+            "critical_path": [
+                {"name": node.display_name, "inclusive_s": node.inclusive,
+                 "exclusive_s": node.exclusive}
+                for node in self.critical_path],
+            "critical_seconds": self.critical_seconds,
+            "idle_seconds": self.idle_seconds,
+            "by_name": self.by_name(),
+        }
+
+    def render(self, top: int = 10) -> str:
+        """Human-readable report: identity line, critical path, top table."""
+        heaviest = self.heaviest_root
+        lines = [
+            f"trace: {sum(1 for _ in self.spans())} spans, "
+            f"{len(self.roots)} root(s), total {self.total_seconds:.6f}s",
+            f"identity: root inclusive {heaviest.dur_s:.6f}s == "
+            f"critical {self.critical_seconds:.6f}s "
+            f"+ idle {self.idle_seconds:.6f}s",
+            "critical path:",
+        ]
+        for node in self.critical_path:
+            lines.append(f"  {node.display_name:<40} "
+                         f"incl {node.inclusive * 1e3:10.3f}ms  "
+                         f"self {node.exclusive * 1e3:10.3f}ms")
+        lines.append(f"top spans by self time (showing <= {top}):")
+        for row in self.by_name()[:max(0, top)]:
+            flag = "  !" if row["errors"] else ""
+            lines.append(f"  {row['name']:<40} x{row['count']:<5d} "
+                         f"self {row['exclusive_s'] * 1e3:10.3f}ms  "
+                         f"incl {row['inclusive_s'] * 1e3:10.3f}ms{flag}")
+        return "\n".join(lines)
+
+
+def analyze_trace(source: str | TextIO | Iterable[str]) -> TraceReport:
+    """Parse and analyze a JSON-lines trace.
+
+    Args:
+        source: a path to a trace file, or any iterable of lines
+            (an open file, a list from :class:`~repro.obs.tracing.
+            ListSink` rendered to JSON, ...).
+
+    Raises:
+        TraceError: when the trace cannot be parsed or holds no spans.
+        OSError: when a path cannot be read.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            records = parse_trace(handle)
+    else:
+        records = parse_trace(source)
+    return TraceReport(build_span_forest(records))

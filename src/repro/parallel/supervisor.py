@@ -251,9 +251,12 @@ def supervised_map(fn: Callable[[Any], Any], items: Iterable[Any], *,
     outputs: list[tuple[list[Any], dict | None] | None]
     if plan.mode != "process":
         # serial plan or thread fallback: direct execution, same shape.
+        # The chunk/attempt span makes each chunk attributable in
+        # `repro trace analyze` (attempt 0 — nothing retries here).
         outputs = []
         for index, chunk in enumerate(chunks):
-            result = _run_chunk((fn, chunk, collect, index, 0))
+            with parent.span("parallel.chunk", chunk=index, attempt=0):
+                result = _run_chunk((fn, chunk, collect, index, 0))
             outputs.append(result)
             if on_chunk_complete is not None:
                 on_chunk_complete(index, result[0])
@@ -269,7 +272,9 @@ def supervised_map(fn: Callable[[Any], Any], items: Iterable[Any], *,
                     "mode='thread' or mode='auto'") from None
             outputs = []
             for index, chunk in enumerate(chunks):
-                result = _run_chunk((fn, chunk, collect, index, 0))
+                with parent.span("parallel.chunk", chunk=index,
+                                 attempt=0):
+                    result = _run_chunk((fn, chunk, collect, index, 0))
                 outputs.append(result)
                 if on_chunk_complete is not None:
                     on_chunk_complete(index, result[0])
@@ -338,9 +343,16 @@ def _supervised_process_map(fn: Callable[[Any], Any],
     outputs: dict[int, tuple[list[Any], dict | None] | None] = {}
     pool: ProcessPoolExecutor | None = None
     spawned = 0
+    # worker-side code cannot trace (spans do not cross the process
+    # boundary), so chunk lifecycle is recorded parent-side: trace
+    # *events* carrying chunk/attempt, and a span around the in-parent
+    # degraded-serial re-execution.
+    registry = get_registry()
 
     def complete(index: int,
                  output: tuple[list[Any], dict | None]) -> None:
+        registry.event("parallel.chunk.complete", chunk=index,
+                       attempt=attempts[index])
         outputs[index] = output
         del pending[index]
         if on_chunk_complete is not None:
@@ -365,11 +377,16 @@ def _supervised_process_map(fn: Callable[[Any], Any],
             # parent, so a genuinely healthy chunk recovers here, and a
             # genuinely broken work function raises its real exception.
             stats.degraded_serial += 1
-            complete(index,
-                     _run_chunk((fn, chunks[index], collect, index,
-                                 attempts[index] + 1)))
+            attempts[index] += 1
+            with registry.span("parallel.chunk", chunk=index,
+                               attempt=attempts[index], degraded="serial"):
+                output = _run_chunk((fn, chunks[index], collect, index,
+                                     attempts[index]))
+            complete(index, output)
         else:
             stats.skipped += 1
+            registry.event("parallel.chunk.skipped", chunk=index,
+                           attempt=attempts[index], reason=reason)
             outputs[index] = None
             del pending[index]
 
@@ -442,6 +459,8 @@ def _supervised_process_map(fn: Callable[[Any], Any],
                                                           attempts[index]))
                     attempts[index] += 1
                     stats.retries += 1
+                    registry.event("parallel.chunk.retry", chunk=index,
+                                   attempt=attempts[index], reason=reason)
                 else:
                     resolve_exhausted(index, reason, error)
             if pending and delay > 0.0:

@@ -109,8 +109,10 @@ class SessionReconstructor(ABC):
                 n_requests += 1
 
             sessions: list[Session] = []
-            with registry.timer("sessions.reconstruct.seconds",
-                                heuristic=self.name):
+            with registry.span("sessions.reconstruct",
+                               heuristic=self.name, users=len(per_user)), \
+                    registry.timer("sessions.reconstruct.seconds",
+                                   heuristic=self.name):
                 for user_requests in per_user.values():
                     user_requests.sort(key=lambda r: r.timestamp)
                 if workers is None:

@@ -1,0 +1,173 @@
+"""Live telemetry, end to end: ``repro stream --serve-metrics``.
+
+The acceptance scenario for the exporter: a governed streaming run fed
+through a FIFO (so the run stays alive for as long as the test wants),
+scraped over HTTP *mid-run*, then interrupted with SIGINT — which must
+tear the server down and exit 130 with a one-line message, exactly like
+an operator's Ctrl-C.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+
+ROOT = pathlib.Path(__file__).parent.parent.parent
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "mkfifo"), reason="live test needs POSIX FIFOs")
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """A small simulated site + CLF log to feed through the FIFO."""
+    tmp = tmp_path_factory.mktemp("live-metrics")
+    site = tmp / "site.json"
+    log = tmp / "access.log"
+    assert main(["topology", "--pages", "40", "--out-degree", "4",
+                 "--seed", "3", "--output", str(site)]) == 0
+    assert main(["simulate", "--topology", str(site), "--agents", "60",
+                 "--seed", "1", "--log", str(log),
+                 "--sessions", str(tmp / "truth.json")]) == 0
+    lines = log.read_text(encoding="utf-8").splitlines(keepends=True)
+    assert len(lines) > 100
+    return {"site": site, "lines": lines, "dir": tmp}
+
+
+def _get(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+def _poll(predicate, timeout=20.0, interval=0.05):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError(f"timed out after {timeout}s waiting for "
+                         f"{predicate.__name__}")
+
+
+def test_stream_serves_metrics_mid_run_and_exits_130_on_sigint(
+        corpus, tmp_path):
+    import signal
+
+    fifo = tmp_path / "stream.fifo"
+    os.mkfifo(fifo)
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"),
+               PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "stream",
+         "--log", str(fifo), "--topology", str(corpus["site"]),
+         "--output", str(tmp_path / "sessions.json"),
+         "--memory-budget", "256k",
+         "--serve-metrics", "0", "--timeline-interval", "0.05"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env, cwd=str(ROOT))
+    writer = None
+    try:
+        # the server starts (and announces itself) before the log is
+        # even opened, so the URL line arrives while the FIFO still has
+        # no writer.
+        header = proc.stderr.readline()
+        assert "serving metrics on" in header, (header,
+                                                proc.stderr.read())
+        url = header.split()[3]
+        assert url.startswith("http://127.0.0.1:")
+
+        # attaching the writer unblocks the child's open(); feed half
+        # the log and leave the FIFO open so the run is genuinely
+        # mid-stream while we scrape.
+        writer = open(fifo, "w", encoding="utf-8")
+        half = corpus["lines"][:len(corpus["lines"]) // 2]
+        writer.writelines(half)
+        writer.flush()
+
+        def fed_requests():
+            __, body = _get(url + "/snapshot")
+            return json.loads(body)["counters"].get(
+                "stream.requests.fed", 0)
+        assert _poll(fed_requests) > 0
+
+        status, metrics = _get(url + "/metrics")
+        assert status == 200
+        assert "repro_stream_requests_fed" in metrics
+        # the governor is live under --memory-budget.
+        assert "repro_governor_budget_bytes" in metrics
+
+        status, health = _get(url + "/health")
+        assert status == 200
+        document = json.loads(health)
+        assert document["status"] == "ok"
+        assert document["governor"]["budget_bytes"] > 0
+
+        def timeline_points():
+            __, body = _get(url + "/timeline")
+            return len(json.loads(body)["timestamps"])
+        assert _poll(timeline_points) > 0
+
+        # more traffic is visible on the next scrape: the export is
+        # live, not a snapshot from startup.
+        before = fed_requests()
+        writer.writelines(corpus["lines"][len(corpus["lines"]) // 2:])
+        writer.flush()
+        _poll(lambda: fed_requests() > before)
+
+        # Ctrl-C: teardown must be clean — exit 130, one-line message.
+        proc.send_signal(signal.SIGINT)
+        writer.close()
+        writer = None
+        __, err = proc.communicate(timeout=30)
+        assert proc.returncode == 130, err
+        interrupted = [line for line in err.splitlines()
+                       if "interrupted" in line]
+        assert len(interrupted) == 1
+        assert interrupted[0].startswith("error: interrupted")
+    finally:
+        if writer is not None:
+            writer.close()
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=10)
+
+
+def test_stream_with_serve_metrics_completes_normally(corpus, tmp_path,
+                                                      capsys):
+    """A finite run with --serve-metrics exits 0 and releases the port
+    (in-process: the same interpreter must be able to rebind)."""
+    log = tmp_path / "access.log"
+    log.write_text("".join(corpus["lines"][:200]), encoding="utf-8")
+    out = tmp_path / "sessions.json"
+    assert main(["stream", "--log", str(log),
+                 "--topology", str(corpus["site"]),
+                 "--output", str(out), "--serve-metrics", "0",
+                 "--timeline-interval", "0.05"]) == 0
+    err = capsys.readouterr().err
+    assert "serving metrics on" in err
+    assert out.exists()
+
+
+def test_doctor_with_serve_flags_only_audits(capsys):
+    """doctor shares the telemetry flag names but must never bind the
+    port — it audits the configuration and exits by verdict."""
+    assert main(["doctor", "--serve-metrics", "80",
+                 "--timeline-interval", "0.001"]) == 0
+    printed = capsys.readouterr().out
+    assert "telemetry configuration:" in printed
+    assert "privileged" in printed
+    assert "serving metrics on" not in printed

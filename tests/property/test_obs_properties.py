@@ -19,7 +19,7 @@ from repro.logs.ingest import (
     ingest_lines,
     report_from_registry,
 )
-from repro.obs import Registry, use_registry
+from repro.obs import Registry, TimelineSampler, merge_snapshots, use_registry
 
 _CLEAN_LINE = st.builds(
     lambda i, host, url: format_clf_line(
@@ -119,3 +119,132 @@ class TestRegistryReportReconciliation:
         without = run(Registry(enabled=False))
         assert with_metrics[0] == without[0]
         assert with_metrics[1] == without[1]
+
+
+# -- merge_snapshots algebra -------------------------------------------------
+#
+# All numeric material is integer-valued so float addition is exact and
+# the algebraic laws hold with ``==`` rather than a tolerance.  Histogram
+# series share one fixed bucket layout because merging is only defined
+# across identical bounds.
+
+_NAMES = st.sampled_from(
+    ["ingest.parsed", "governor.evictions", "stream.emitted",
+     'sessions.count{heuristic=heur4}'])
+
+_BOUNDS = (0.001, 0.1, 1.0)
+
+
+def _histogram_doc(counts, overflow, total):
+    return {"buckets": [[bound, count]
+                        for bound, count in zip(_BOUNDS, counts)],
+            "overflow": overflow,
+            "sum": float(total),
+            "count": sum(counts) + overflow}
+
+
+_SNAPSHOTS = st.builds(
+    lambda counters, gauges, histograms: {
+        "version": 1, "counters": counters, "gauges": gauges,
+        "histograms": histograms},
+    st.dictionaries(_NAMES, st.integers(0, 10**6), max_size=3),
+    st.dictionaries(_NAMES, st.integers(-100, 100).map(float), max_size=2),
+    st.dictionaries(
+        _NAMES,
+        st.builds(_histogram_doc,
+                  st.lists(st.integers(0, 50), min_size=len(_BOUNDS),
+                           max_size=len(_BOUNDS)),
+                  st.integers(0, 10),
+                  st.integers(0, 1000)),
+        max_size=2),
+)
+
+
+class TestMergeSnapshotsAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(a=_SNAPSHOTS, b=_SNAPSHOTS, c=_SNAPSHOTS)
+    def test_associative(self, a, b, c):
+        """(a + b) + c == a + (b + c), gauges included (last-write is
+        associative too)."""
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        assert left == right
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=_SNAPSHOTS, b=_SNAPSHOTS)
+    def test_commutative_without_gauges(self, a, b):
+        """Counters and histograms add, so order cannot matter.  Gauges
+        are deliberately last-write-wins (not commutative), hence the
+        law is stated on the gauge-free projection."""
+        for snapshot in (a, b):
+            snapshot["gauges"] = {}
+        assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(snapshot=_SNAPSHOTS)
+    def test_identity_with_empty(self, snapshot):
+        """An empty registry's snapshot is the neutral element on both
+        sides, and a single-argument merge is a canonicalising no-op."""
+        empty = Registry().snapshot()
+        canonical = merge_snapshots(snapshot)
+        assert merge_snapshots(empty, snapshot) == canonical
+        assert merge_snapshots(snapshot, empty) == canonical
+        assert merge_snapshots(canonical) == canonical
+
+
+# -- timeline ring invariants ------------------------------------------------
+
+
+class TestTimelineRingInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(increments=st.lists(st.integers(0, 100), min_size=1,
+                               max_size=30),
+           capacity=st.integers(2, 8))
+    def test_ring_invariants(self, increments, capacity):
+        """For any increment sequence and any capacity: the ring never
+        exceeds capacity, eviction accounting is exact, timestamps are
+        strictly monotonic, and the exported deltas telescope back to
+        ``last - first`` over the retained window."""
+        registry = Registry()
+        counter = registry.counter("work.done")
+        sampler = TimelineSampler(registry, interval=1.0,
+                                  capacity=capacity)
+        for step, amount in enumerate(increments):
+            counter.inc(amount)
+            sampler.sample(timestamp=float(step + 1))
+
+        points = sampler.points()
+        assert len(points) == min(len(increments), capacity)
+        assert sampler.evicted == max(0, len(increments) - capacity)
+
+        timestamps = [point.timestamp for point in points]
+        assert timestamps == sorted(set(timestamps))
+
+        document = sampler.to_dict()
+        assert document["timestamps"] == timestamps
+        values = document["counters"]["work.done"]
+        deltas = document["deltas"].get("work.done", [])
+        assert len(deltas) == len(values) - 1
+        assert sum(deltas) == values[-1] - values[0]
+        # the retained window's last value is the live counter.
+        assert values[-1] == registry.value("work.done")
+
+    @settings(max_examples=40, deadline=None)
+    @given(counts=st.lists(st.integers(1, 5), min_size=2, max_size=10),
+           capacity=st.integers(2, 12))
+    def test_rates_are_deltas_over_time(self, counts, capacity):
+        """With timestamps spaced exactly 2s apart, every exported rate
+        is the matching delta halved."""
+        registry = Registry()
+        counter = registry.counter("lines.read")
+        sampler = TimelineSampler(registry, interval=1.0,
+                                  capacity=capacity)
+        for step, amount in enumerate(counts):
+            counter.inc(amount)
+            sampler.sample(timestamp=2.0 * (step + 1))
+        document = sampler.to_dict()
+        deltas = document["deltas"].get("lines.read", [])
+        rates = document["rates"].get("lines.read", [])
+        assert len(rates) == len(deltas)
+        for delta, rate in zip(deltas, rates):
+            assert rate == delta / 2.0

@@ -18,7 +18,7 @@ def test_parser_lists_all_commands():
                             "experiment", "sweep", "mine", "stats",
                             "run-spec", "dataset", "compare", "anonymize",
                             "selftest", "leaderboard", "chaos", "ingest",
-                            "doctor", "diffcheck"}
+                            "doctor", "diffcheck", "trace", "bench-diff"}
 
 
 def test_topology_command(tmp_path, capsys):
@@ -395,6 +395,33 @@ def test_doctor_overload_json(capsys):
     document = json_module.loads(capsys.readouterr().out)
     assert document["ok"] is True
     assert document["memory_budget"] == 64 * 1024
+
+
+def test_doctor_audits_telemetry_configuration(capsys):
+    assert main(["doctor", "--serve-metrics", "9100",
+                 "--timeline-interval", "1.0",
+                 "--timeline-capacity", "600"]) == 0
+    printed = capsys.readouterr().out
+    assert "telemetry configuration:" in printed
+    assert "verdict: ok" in printed
+    # an impossible port is a failing verdict, not a warning.
+    assert main(["doctor", "--serve-metrics", "70000"]) == 1
+    assert "DEGRADED" in capsys.readouterr().out
+
+
+def test_doctor_combined_overload_and_telemetry_json(capsys):
+    import json as json_module
+    assert main(["doctor", "--json", "--memory-budget", "64k",
+                 "--per-user-cap", "64",
+                 "--timeline-interval", "0.001",
+                 "--timeline-capacity", "600"]) == 0
+    document = json_module.loads(capsys.readouterr().out)
+    assert document["ok"] is True
+    assert len(document["audits"]) == 2
+    # the tiny interval warns; the governor budget feeds the ring check.
+    telemetry = document["audits"][1]
+    assert any(check["level"] == "warn"
+               for check in telemetry["checks"])
 
 
 def test_doctor_without_target_fails(capsys):

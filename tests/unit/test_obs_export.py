@@ -1,0 +1,160 @@
+"""Unit tests for repro.obs.export — health verdicts and the HTTP server."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    MetricsServer,
+    Registry,
+    TimelineSampler,
+    health_report,
+)
+
+
+def _get(url: str):
+    """GET a URL; returns (status, body text) without raising on 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+class TestHealthReport:
+    def test_empty_snapshot_is_ok(self):
+        report = health_report(Registry().snapshot())
+        assert report == {"status": "ok", "reasons": [],
+                          "governor": None, "supervisor": None}
+
+    def test_governor_within_budget_is_ok_with_section(self):
+        registry = Registry()
+        registry.gauge("governor.budget_bytes").set(1000.0)
+        registry.gauge("governor.tracked_bytes").set(400.0)
+        registry.counter("governor.evictions").inc(3)
+        report = health_report(registry.snapshot())
+        assert report["status"] == "ok"
+        assert report["governor"]["tracked_bytes"] == 400.0
+        assert report["governor"]["evictions"] == 3
+
+    def test_governor_over_budget_degrades(self):
+        registry = Registry()
+        registry.gauge("governor.budget_bytes").set(1000.0)
+        registry.gauge("governor.tracked_bytes").set(2000.0)
+        report = health_report(registry.snapshot())
+        assert report["status"] == "degraded"
+        assert any("over budget" in reason for reason in report["reasons"])
+
+    def test_supervisor_skipped_chunks_degrade(self):
+        registry = Registry()
+        registry.counter("parallel.supervisor.skipped").inc(2)
+        report = health_report(registry.snapshot())
+        assert report["status"] == "degraded"
+        assert any("skipped 2 chunk" in reason
+                   for reason in report["reasons"])
+
+    def test_supervisor_degraded_serial_degrades(self):
+        registry = Registry()
+        registry.counter("parallel.supervisor.degraded_serial").inc()
+        report = health_report(registry.snapshot())
+        assert report["status"] == "degraded"
+
+    def test_healthy_supervisor_counters_stay_ok(self):
+        registry = Registry()
+        registry.counter("parallel.supervisor.retries").inc(4)
+        report = health_report(registry.snapshot())
+        assert report["status"] == "ok"
+        assert report["supervisor"] == {"parallel.supervisor.retries": 4}
+
+
+class TestMetricsServer:
+    def test_rejects_out_of_range_port(self):
+        with pytest.raises(ConfigurationError, match="port"):
+            MetricsServer(Registry(), 70000)
+
+    def test_port_zero_binds_a_free_port(self):
+        with MetricsServer(Registry(), 0) as server:
+            assert 0 < server.port <= 65535
+            assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_metrics_endpoint_serves_prometheus_text(self):
+        registry = Registry()
+        registry.counter("stream.requests.fed").inc(42)
+        with MetricsServer(registry, 0) as server:
+            status, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert "repro_stream_requests_fed 42" in body
+
+    def test_snapshot_endpoint_serves_versioned_json(self):
+        registry = Registry()
+        registry.counter("ingest.parsed").inc(7)
+        with MetricsServer(registry, 0) as server:
+            status, body = _get(server.url + "/snapshot")
+        document = json.loads(body)
+        assert status == 200
+        assert document["version"] == 1
+        assert document["counters"]["ingest.parsed"] == 7
+
+    def test_health_answers_200_ok_and_503_degraded(self):
+        registry = Registry()
+        with MetricsServer(registry, 0) as server:
+            status, body = _get(server.url + "/health")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+            registry.gauge("governor.budget_bytes").set(10.0)
+            registry.gauge("governor.tracked_bytes").set(20.0)
+            status, body = _get(server.url + "/health")
+            assert status == 503
+            assert json.loads(body)["status"] == "degraded"
+
+    def test_timeline_404_without_sampler_200_with(self):
+        registry = Registry()
+        with MetricsServer(registry, 0) as server:
+            status, __ = _get(server.url + "/timeline")
+            assert status == 404
+        sampler = TimelineSampler(registry, capacity=4)
+        sampler.sample(timestamp=1.0)
+        with MetricsServer(registry, 0, sampler=sampler) as server:
+            status, body = _get(server.url + "/timeline")
+        assert status == 200
+        assert json.loads(body)["timestamps"] == [1.0]
+
+    def test_unknown_path_is_json_404_listing_endpoints(self):
+        with MetricsServer(Registry(), 0) as server:
+            status, body = _get(server.url + "/nope")
+        assert status == 404
+        assert "/metrics" in json.loads(body)["endpoints"]
+
+    def test_scrapes_are_counted_into_the_registry(self):
+        registry = Registry()
+        with MetricsServer(registry, 0) as server:
+            _get(server.url + "/metrics")
+            _get(server.url + "/metrics")
+            _get(server.url + "/health")
+        assert registry.value("export.requests", endpoint="metrics") == 2
+        assert registry.value("export.requests", endpoint="health") == 1
+
+    def test_live_updates_visible_between_scrapes(self):
+        registry = Registry()
+        counter = registry.counter("work.done")
+        with MetricsServer(registry, 0) as server:
+            __, before = _get(server.url + "/metrics")
+            counter.inc(5)
+            __, after = _get(server.url + "/metrics")
+        assert "repro_work_done 0" in before
+        assert "repro_work_done 5" in after
+
+    def test_close_is_idempotent_and_releases_port(self):
+        server = MetricsServer(Registry(), 0)
+        server.start()
+        port = server.port
+        server.close()
+        server.close()
+        # the port must be rebindable immediately.
+        with MetricsServer(Registry(), port):
+            pass

@@ -1,0 +1,212 @@
+"""Unit tests for repro.obs.timeline — sampler, quantiles, doctor audit."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import Registry, TimelineSampler, histogram_quantile
+from repro.obs.timeline import (
+    MIN_SANE_INTERVAL,
+    audit_telemetry_config,
+    estimate_timeline_bytes,
+)
+
+
+def _histogram_doc(bounds, counts, overflow=0, total=0.0):
+    return {"buckets": [[bound, count]
+                        for bound, count in zip(bounds, counts)],
+            "overflow": overflow, "sum": total,
+            "count": sum(counts) + overflow}
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_reads_zero(self):
+        assert histogram_quantile(_histogram_doc((1.0,), [0]), 0.5) == 0.0
+
+    @pytest.mark.parametrize("quantile", [0.0, 1.0, -0.1, 1.5])
+    def test_out_of_range_quantile_raises(self, quantile):
+        with pytest.raises(ConfigurationError):
+            histogram_quantile(_histogram_doc((1.0,), [4]), quantile)
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations, all in the (2, 4] bucket: p50 ranks 5th of 10,
+        # landing halfway through the bucket -> 2 + (4-2) * 0.5 = 3.
+        doc = _histogram_doc((2.0, 4.0), [0, 10])
+        assert histogram_quantile(doc, 0.5) == 3.0
+
+    def test_first_bucket_interpolates_from_zero(self):
+        doc = _histogram_doc((4.0,), [10])
+        assert histogram_quantile(doc, 0.5) == 2.0
+
+    def test_overflow_reports_last_finite_bound(self):
+        doc = _histogram_doc((1.0, 2.0), [0, 0], overflow=5)
+        assert histogram_quantile(doc, 0.9) == 2.0
+
+    def test_quantile_spanning_buckets(self):
+        # 4 in (0,1], 4 in (1,2]: p90 ranks 7.2 -> 3.2 into the second
+        # bucket's 4 -> 1 + (2-1) * 0.8 = 1.8.
+        doc = _histogram_doc((1.0, 2.0), [4, 4])
+        assert histogram_quantile(doc, 0.9) == pytest.approx(1.8)
+
+
+class TestTimelineSamplerConfig:
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ConfigurationError, match="interval"):
+            TimelineSampler(Registry(), interval=0.0)
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            TimelineSampler(Registry(), capacity=1)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ConfigurationError, match="quantile"):
+            TimelineSampler(Registry(), quantiles=(0.5, 1.0))
+
+
+class TestManualSampling:
+    def test_non_advancing_timestamp_raises(self):
+        sampler = TimelineSampler(Registry(), capacity=4)
+        sampler.sample(timestamp=5.0)
+        with pytest.raises(ConfigurationError, match="advance"):
+            sampler.sample(timestamp=5.0)
+
+    def test_prefix_selection_filters_series(self):
+        registry = Registry()
+        registry.counter("stream.requests.fed").inc(3)
+        registry.counter("ingest.parsed").inc(7)
+        registry.gauge("governor.tracked_bytes").set(100.0)
+        sampler = TimelineSampler(registry, capacity=4,
+                                  prefixes=("stream.", "governor."))
+        point = sampler.sample(timestamp=1.0)
+        assert point.counters == {"stream.requests.fed": 3}
+        assert point.gauges == {"governor.tracked_bytes": 100.0}
+
+    def test_sampler_records_its_own_series(self):
+        registry = Registry()
+        sampler = TimelineSampler(registry, capacity=2)
+        for step in range(3):
+            sampler.sample(timestamp=float(step + 1))
+        assert registry.value("timeline.samples") == 3
+        assert registry.value("timeline.evicted") == 1
+        assert sampler.evicted == 1
+
+    def test_series_created_mid_run_backfills_zero(self):
+        registry = Registry()
+        sampler = TimelineSampler(registry, capacity=8)
+        sampler.sample(timestamp=1.0)
+        registry.counter("late.arrival").inc(5)
+        sampler.sample(timestamp=2.0)
+        document = sampler.to_dict()
+        assert document["counters"]["late.arrival"] == [0, 5]
+        assert document["deltas"]["late.arrival"] == [5]
+
+    def test_quantiles_exported_per_label(self):
+        registry = Registry()
+        histogram = registry.histogram("feed.seconds", (1.0, 2.0))
+        for value in (0.5, 0.5, 1.5, 1.5):
+            histogram.observe(value)
+        sampler = TimelineSampler(registry, capacity=4,
+                                  quantiles=(0.5,))
+        sampler.sample(timestamp=1.0)
+        document = sampler.to_dict()
+        assert list(document["quantiles"]["feed.seconds"]) == ["p50"]
+        assert len(document["quantiles"]["feed.seconds"]["p50"]) == 1
+
+    def test_to_dict_is_json_clean_and_versioned(self):
+        import json
+        registry = Registry()
+        registry.counter("a").inc()
+        sampler = TimelineSampler(registry, capacity=4)
+        sampler.sample(timestamp=1.0)
+        sampler.sample(timestamp=2.0)
+        document = sampler.to_dict()
+        assert document["version"] == 1
+        assert document["capacity"] == 4
+        json.dumps(document)  # must not raise
+
+
+class TestDaemonThread:
+    def test_start_samples_and_stop_joins(self):
+        registry = Registry()
+        registry.counter("work").inc()
+        sampler = TimelineSampler(registry, interval=0.01, capacity=64)
+        sampler.start()
+        try:
+            deadline = time.time() + 5.0
+            while not sampler.points() and time.time() < deadline:
+                time.sleep(0.01)
+        finally:
+            sampler.stop()
+        assert sampler.points(), "daemon thread never sampled"
+        retained = len(sampler.points())
+        time.sleep(0.05)
+        assert len(sampler.points()) == retained, "thread kept running"
+
+    def test_start_twice_is_idempotent_and_stop_without_start_ok(self):
+        sampler = TimelineSampler(Registry(), interval=0.01)
+        sampler.stop()  # no-op
+        sampler.start()
+        sampler.start()
+        sampler.stop()
+        sampler.stop()
+
+
+class TestTelemetryAudit:
+    def test_sane_config_is_all_ok(self):
+        audit = audit_telemetry_config(interval=1.0, capacity=600,
+                                       port=9100)
+        assert audit.ok
+        assert all(level == "ok" for level, _ in audit.checks)
+
+    def test_sub_10ms_interval_warns(self):
+        audit = audit_telemetry_config(interval=MIN_SANE_INTERVAL / 2)
+        assert audit.ok  # a warning, not a failure
+        assert any(level == "warn" and "contention" in message
+                   for level, message in audit.checks)
+
+    def test_non_positive_interval_fails(self):
+        audit = audit_telemetry_config(interval=0.0)
+        assert not audit.ok
+
+    def test_privileged_port_warns(self):
+        audit = audit_telemetry_config(port=80)
+        assert audit.ok
+        assert any(level == "warn" and "privileged" in message
+                   for level, message in audit.checks)
+
+    def test_out_of_range_port_fails(self):
+        assert not audit_telemetry_config(port=70000).ok
+
+    def test_capacity_over_governor_budget_warns(self):
+        capacity = 10_000
+        budget = estimate_timeline_bytes(capacity) // 2
+        audit = audit_telemetry_config(capacity=capacity,
+                                       memory_budget=budget)
+        assert audit.ok
+        assert any(level == "warn" and "budget" in message
+                   for level, message in audit.checks)
+
+    def test_capacity_under_budget_is_ok(self):
+        capacity = 100
+        budget = estimate_timeline_bytes(capacity) * 10
+        audit = audit_telemetry_config(capacity=capacity,
+                                       memory_budget=budget)
+        assert all(level == "ok" for level, _ in audit.checks)
+
+    def test_no_flags_audits_nothing(self):
+        audit = audit_telemetry_config()
+        assert audit.ok
+        assert audit.checks == [("ok", "nothing to audit (no telemetry "
+                                       "flags given)")]
+
+    def test_render_and_to_dict_shapes(self):
+        audit = audit_telemetry_config(interval=0.001, port=80)
+        text = audit.render()
+        assert text.startswith("telemetry configuration:")
+        assert "verdict: ok" in text
+        document = audit.to_dict()
+        assert document["ok"] is True
+        assert {check["level"] for check in document["checks"]} == {"warn"}

@@ -192,3 +192,62 @@ class TestSupervisorObservability:
         crashes = [value for name, value in counters.items()
                    if name.startswith("parallel.supervisor.crashes")]
         assert crashes and crashes[0] >= 1
+
+
+class TestSupervisorTraceAttribution:
+    def _traced_registry(self):
+        from repro.obs.tracing import ListSink, Tracer
+        sink = ListSink()
+        return Registry(tracer=Tracer(sink)), sink
+
+    def test_direct_execution_spans_carry_chunk_and_attempt(self):
+        from repro.obs import build_span_forest
+        registry, sink = self._traced_registry()
+        with use_registry(registry):
+            with registry.span("cli.reconstruct"):
+                supervised_map(_double, ITEMS, workers=None,
+                               chunk_size=4)
+        roots = build_span_forest(sink.records)
+        chunk_spans = [node for root in roots for node in root.walk()
+                       if node.name == "parallel.chunk"]
+        assert [span.attrs["chunk"] for span in chunk_spans] \
+            == [0, 1, 2, 3]
+        assert all(span.attrs["attempt"] == 0 for span in chunk_spans)
+        assert chunk_spans[0].display_name \
+            == "parallel.chunk[chunk=0,attempt=0]"
+
+    def test_process_mode_records_lifecycle_events_parent_side(self):
+        registry, sink = self._traced_registry()
+        with use_registry(registry):
+            with registry.span("cli.reconstruct"):
+                supervised_map(_double, ITEMS, workers=2,
+                               mode="process", chunk_size=4)
+        events = [record for record in sink.records
+                  if record["type"] == "event"
+                  and record["name"] == "parallel.chunk.complete"]
+        assert sorted(event["attrs"]["chunk"] for event in events) \
+            == [0, 1, 2, 3]
+
+    def test_degraded_serial_respawn_is_attributable(self):
+        """A chunk that exhausts retries and degrades to serial leaves a
+        parent-side span whose attempt counter distinguishes the re-run
+        from the first attempt (the ISSUE's retry-attribution check)."""
+        registry, sink = self._traced_registry()
+        with use_registry(registry):
+            with use_execution_faults("crash-chunk:1:0:99"):
+                supervised_map(_double, ITEMS, workers=2,
+                               mode="process", chunk_size=4,
+                               policy=RetryPolicy(max_retries=1,
+                                                  backoff_base=0.01,
+                                                  on_failure="serial"))
+        retries = [record for record in sink.records
+                   if record["type"] == "event"
+                   and record["name"] == "parallel.chunk.retry"]
+        assert any(event["attrs"]["chunk"] == 1 for event in retries)
+        degraded = [record for record in sink.records
+                    if record["type"] == "span"
+                    and record["name"] == "parallel.chunk"
+                    and record["attrs"].get("degraded") == "serial"]
+        assert len(degraded) == 1
+        assert degraded[0]["attrs"]["chunk"] == 1
+        assert degraded[0]["attrs"]["attempt"] >= 1

@@ -1,0 +1,225 @@
+"""Unit tests for repro.obs.spans and ``repro trace analyze``.
+
+All synthetic durations are dyadic (multiples of 1/64) so float
+arithmetic is exact and the telescoping identity
+``root inclusive == critical + idle`` can be asserted with ``==``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import TraceError
+from repro.obs import analyze_trace, build_span_forest, parse_trace
+from repro.obs.spans import TraceReport
+
+
+def _span(span_id, name, dur, parent=None, attrs=None, error=None):
+    record = {"type": "span", "name": name, "id": span_id,
+              "parent": parent, "ts": float(span_id), "dur_s": dur}
+    if attrs:
+        record["attrs"] = attrs
+    if error:
+        record["error"] = error
+    return record
+
+
+def _lines(records):
+    return [json.dumps(record) for record in records]
+
+
+#: a root with two children, one of which has its own child:
+#:   root(8.0) -> a(4.5) -> leaf(1.25)
+#:             -> b(2.0)
+_TREE = [_span(1, "cli.reconstruct", 8.0),
+         _span(2, "sessions.phase1", 4.5, parent=1),
+         _span(3, "leaf", 1.25, parent=2),
+         _span(4, "sessions.phase2", 2.0, parent=1)]
+
+
+class TestParsing:
+    def test_blank_lines_skipped(self):
+        records = parse_trace(["", json.dumps(_TREE[0]), "  "])
+        assert len(records) == 1
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(TraceError, match="line 1"):
+            parse_trace(["{nope"])
+
+    def test_non_record_raises(self):
+        with pytest.raises(TraceError, match="not a trace record"):
+            parse_trace(['{"name": "x"}'])
+
+    def test_span_missing_field_raises(self):
+        with pytest.raises(TraceError, match="dur_s"):
+            parse_trace(['{"type": "span", "name": "x", "id": 1}'])
+
+    def test_duplicate_span_id_raises(self):
+        with pytest.raises(TraceError, match="duplicate"):
+            build_span_forest([_span(1, "a", 1.0), _span(1, "b", 1.0)])
+
+    def test_unknown_parent_raises(self):
+        with pytest.raises(TraceError, match="unknown parent"):
+            build_span_forest([_span(2, "a", 1.0, parent=9)])
+
+    def test_event_naming_unknown_span_raises(self):
+        records = [_span(1, "a", 1.0),
+                   {"type": "event", "name": "x", "ts": 0.0, "span": 7}]
+        with pytest.raises(TraceError, match="unknown span"):
+            build_span_forest(records)
+
+    def test_events_attach_to_their_span(self):
+        records = [_span(1, "a", 1.0),
+                   {"type": "event", "name": "tick", "ts": 0.5, "span": 1}]
+        roots = build_span_forest(records)
+        assert roots[0].events[0]["name"] == "tick"
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(TraceError, match="no spans"):
+            TraceReport([])
+
+
+class TestAnalysis:
+    def test_exclusive_time_telescopes_exactly(self):
+        report = analyze_trace(_lines(_TREE))
+        root = report.heaviest_root
+        assert root.dur_s == 8.0
+        assert root.exclusive == 8.0 - 4.5 - 2.0
+        total_exclusive = sum(node.exclusive for node in root.walk())
+        assert total_exclusive == 8.0
+
+    def test_identity_root_inclusive_equals_critical_plus_idle(self):
+        report = analyze_trace(_lines(_TREE))
+        assert (report.critical_seconds + report.idle_seconds
+                == report.heaviest_root.dur_s)
+
+    def test_critical_path_descends_heaviest_child(self):
+        report = analyze_trace(_lines(_TREE))
+        assert [node.name for node in report.critical_path] \
+            == ["cli.reconstruct", "sessions.phase1", "leaf"]
+
+    def test_forest_total_and_heaviest_root(self):
+        forest = _TREE + [_span(10, "cli.stats", 0.5)]
+        report = analyze_trace(_lines(forest))
+        assert report.total_seconds == 8.5
+        assert report.heaviest_root.name == "cli.reconstruct"
+
+    def test_display_name_carries_chunk_attempt_and_error(self):
+        records = [_span(1, "parallel.chunk", 1.0,
+                         attrs={"chunk": 3, "attempt": 1}, error="boom")]
+        roots = build_span_forest(records)
+        assert roots[0].display_name \
+            == "parallel.chunk[chunk=3,attempt=1,error]"
+
+    def test_by_name_aggregates_and_sorts_by_self_time(self):
+        report = analyze_trace(_lines(_TREE))
+        rows = report.by_name()
+        assert rows[0]["name"] == "sessions.phase1"  # self 3.25s
+        assert rows[0]["count"] == 1
+        assert rows[0]["exclusive_s"] == 4.5 - 1.25
+
+    def test_folded_lines_cover_every_span(self):
+        report = analyze_trace(_lines(_TREE))
+        folded = report.folded()
+        assert len(folded) == 4
+        assert ("cli.reconstruct;sessions.phase1;leaf 1250000"
+                in folded)
+        stacks = {line.rsplit(" ", 1)[0] for line in folded}
+        assert "cli.reconstruct" in stacks
+
+    def test_to_dict_is_json_clean(self):
+        document = analyze_trace(_lines(_TREE)).to_dict()
+        assert document["version"] == 1
+        assert document["spans"] == 4
+        json.dumps(document)
+
+    def test_render_reports_the_identity(self):
+        text = analyze_trace(_lines(_TREE)).render(top=3)
+        assert "identity: root inclusive 8.000000s == " \
+               "critical" in text
+        assert "critical path:" in text
+
+    def test_analyze_from_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(_lines(_TREE)) + "\n",
+                        encoding="utf-8")
+        report = analyze_trace(str(path))
+        assert report.total_seconds == 8.0
+
+
+class TestTraceCli:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(_lines(_TREE)) + "\n",
+                        encoding="utf-8")
+        return str(path)
+
+    def test_analyze_prints_report(self, trace_file, capsys):
+        assert main(["trace", "analyze", trace_file]) == 0
+        printed = capsys.readouterr().out
+        assert "identity:" in printed
+
+    def test_json_output_parses(self, trace_file, capsys):
+        assert main(["trace", "analyze", trace_file, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["critical_seconds"] + document["idle_seconds"] \
+            == 8.0
+
+    def test_folded_output_written(self, trace_file, tmp_path, capsys):
+        out = str(tmp_path / "folded.txt")
+        assert main(["trace", "analyze", trace_file,
+                     "--folded", out]) == 0
+        with open(out, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 4
+
+    def test_stdin_dash_reads_lines(self, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("\n".join(_lines(_TREE))))
+        assert main(["trace", "analyze", "-"]) == 0
+        assert "critical path:" in capsys.readouterr().out
+
+    def test_missing_file_is_a_one_line_error(self, capsys):
+        assert main(["trace", "analyze", "/nonexistent.jsonl"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and len(err.splitlines()) == 1
+
+    def test_malformed_trace_is_a_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{broken\n", encoding="utf-8")
+        assert main(["trace", "analyze", str(path)]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestEndToEnd:
+    def test_reconstruct_trace_analyzes_with_phase_attribution(
+            self, tmp_path, capsys):
+        """A real --trace run parses back, satisfies the identity
+        exactly, and attributes time through the phase spans."""
+        site = str(tmp_path / "site.json")
+        log = str(tmp_path / "access.log")
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["topology", "--pages", "30", "--out-degree", "4",
+                     "--seed", "3", "--output", site]) == 0
+        assert main(["simulate", "--topology", site, "--agents", "25",
+                     "--seed", "1", "--log", log,
+                     "--sessions", str(tmp_path / "truth.json")]) == 0
+        assert main(["reconstruct", "--log", log, "--heuristic", "heur4",
+                     "--topology", site,
+                     "--output", str(tmp_path / "out.json"),
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        report = analyze_trace(trace)
+        names = {node.name for node in report.spans()}
+        assert {"cli.reconstruct", "sessions.reconstruct",
+                "sessions.phase1", "sessions.phase2"} <= names
+        # the exact identity the render prints.
+        assert (report.critical_seconds + report.idle_seconds
+                == pytest.approx(report.heaviest_root.dur_s, abs=1e-12))
+        assert report.folded()
+        assert len(report.critical_path) >= 2
