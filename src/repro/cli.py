@@ -256,6 +256,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="topology JSON (required by heur3/heur4)")
     rec.add_argument("--output", required=True,
                      help="session JSON output path")
+    rec.add_argument("--engine", choices=["object", "columnar"],
+                     default="object",
+                     help="reconstruction data plane: per-user Python "
+                          "objects (default) or the vectorized columnar "
+                          "plane (same sessions; needs a heuristic with "
+                          "columnar support, e.g. heur1/heur2/heur4)")
     add_workers_flag(rec)
     add_supervision_flags(rec)
 
@@ -351,6 +357,11 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--agents", type=int, default=500,
                      help="agents per sweep point")
     swp.add_argument("--seed", type=int, default=0)
+    swp.add_argument("--engine", choices=["object", "columnar"],
+                     default="object",
+                     help="reconstruction data plane for every point; "
+                          "heuristics without columnar support keep the "
+                          "object path (accuracies are identical)")
     swp.add_argument("--csv", help="also write the series as CSV here")
     add_workers_flag(swp)
     add_supervision_flags(swp)
@@ -723,9 +734,14 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
             heuristic = SmartSRA(graph)
     else:
         heuristic = get_heuristic(args.heuristic)
+    if args.engine == "columnar" and not heuristic.supports_columnar:
+        print(f"error: {args.heuristic} has no columnar data plane; "
+              "drop --engine columnar", file=sys.stderr)
+        return 2
     sessions = heuristic.reconstruct(requests,
                                      workers=_validated_workers(args),
-                                     supervision=_supervision_from(args))
+                                     supervision=_supervision_from(args),
+                                     engine=args.engine)
     sessions.save(args.output)
     print(f"{heuristic.label}: {len(sessions)} sessions from "
           f"{len(requests)} requests "
@@ -874,6 +890,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     base = SimulationConfig(n_agents=args.agents, seed=args.seed)
     result = run_sweep(graph, base, args.parameter, values,
                        workers=_validated_workers(args),
+                       engine=args.engine,
                        supervision=_supervision_from(args),
                        checkpoint=args.checkpoint, resume=args.resume)
     for failure in result.failures:

@@ -22,6 +22,7 @@ Use :class:`~repro.core.smart_sra.SmartSRA` as a drop-in
 
 """
 
+from repro.core.columnar import ColumnarPlane, SymbolTable, UserColumns
 from repro.core.config import SmartSRAConfig
 from repro.core.phase1 import split_candidates
 from repro.core.phase2 import maximal_sessions, maximal_sessions_fast
@@ -34,4 +35,7 @@ __all__ = [
     "split_candidates",
     "maximal_sessions",
     "maximal_sessions_fast",
+    "ColumnarPlane",
+    "SymbolTable",
+    "UserColumns",
 ]

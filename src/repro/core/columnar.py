@@ -1,0 +1,1124 @@
+"""Columnar Smart-SRA data plane — vectorized reconstruction over int columns.
+
+The object-path hot loops (:func:`repro.core.phase1.split_candidates`,
+:func:`repro.core.phase2.maximal_sessions_fast`) traverse a Python object
+graph: every record is a :class:`~repro.sessions.model.Request`, every
+comparison an attribute load, every parallel fan-out a pickled object list.
+This module replaces that data plane with a **struct-of-arrays** view: a
+user's clickstream becomes parallel columns of ``(timestamp, page-id,
+referrer-id)`` with page URLs interned once per run into an integer
+:class:`SymbolTable`, and both Smart-SRA phases run as array passes over
+the whole multi-user batch at once.  ``Request``/``Session`` objects only
+appear at the boundary — ingest interns them into columns, and the final
+session index lists are materialized back through
+:meth:`~repro.sessions.model.Session.from_trusted_parts`.
+
+Backends
+--------
+When numpy imports, every pass is vectorized; otherwise (or when the
+``REPRO_COLUMNAR_FALLBACK`` environment variable is set to a non-empty
+value other than ``0``) a pure-stdlib implementation over ``array`` columns
+runs the *same* algorithm and produces **identical** output — session for
+session, in the same order.  The fallback has no speed claim; it exists so
+the columnar engine is correct everywhere numpy is not.
+
+Phase 2 as a DAG pass
+---------------------
+``maximal_sessions_fast`` releases requests in *waves* (a request joins the
+wave after the one that consumed its last blocker) and extends open
+sessions wave by wave.  That whole process is equivalent to a static DAG
+computation, which is what makes it vectorizable:
+
+* **edges** — within one candidate, ``a → b`` when ``link(page_a, page_b)``
+  and ``0 <= t_b - t_a <= ρ``.  Forward edges (``a < b``) are exactly the
+  blocker relation; equal-timestamp pairs additionally contribute
+  *reversed* edges (``a > b``, ``t_a == t_b``) that can extend but never
+  block.
+* **wave** — longest-path depth over forward edges (``wave[b] = 1 +
+  max(wave[a])`` over blockers, ``0`` with none): provably the release
+  wave of the object path.
+* **succ** — a session ending at ``a`` is consumed by the *first* wave
+  holding a valid extender, branching into all of that wave's extenders:
+  ``succ(a) = {b : wave[b] == min wave over edges a → b with wave[a] <
+  wave[b]}``.  Forward edges always satisfy the wave inequality (a blocker
+  strictly raises its dependent's wave); only reversed edges need the
+  check.
+* **sessions** — exactly the root-to-sink paths of the ``succ`` relation.
+  Roots are the zero-wave requests, plus — under ``rescue_orphans`` — any
+  released request no firing edge reaches (the rescued singletons).
+  Without the rescue policy, a released request nothing reaches simply
+  never exists, and reachability from the roots encodes that for free.
+
+Paths are enumerated breadth-first over the whole batch (a trie of
+``(request, parent)`` frontier blocks), so enumeration is also a handful of
+array ops per depth level rather than a per-session Python walk.  Output
+order within a user is deterministic — ``(path depth, discovery order)`` —
+and independent of which other users share the batch, which is what makes
+``columnar`` and ``columnar-parallel`` construction-order identical.  It
+differs from the object engines' order; cross-engine comparison is by
+canonical form, exactly as for ``maximal_sessions`` vs the fast path.
+
+Float exactness
+---------------
+Every accepting comparison uses the *same* float expressions as the object
+path — ``fl(t_b - t_a) <= ρ``, ``fl(t_i - t_first) > δ`` — never an
+algebraically equal rearrangement.  Vectorized window discovery
+(``searchsorted`` over offset timestamps) only ever produces *supersets*,
+which the exact per-pair predicates then filter, so ρ/δ-boundary ties
+resolve bit-identically to the object engines.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from array import array
+from bisect import bisect_right
+from collections.abc import Sequence
+from operator import attrgetter
+
+from repro.core.config import SmartSRAConfig
+from repro.exceptions import ConfigurationError, ReconstructionError
+from repro.obs import SIZE_BUCKETS, get_registry
+from repro.sessions.model import Request, Session
+from repro.topology.graph import WebGraph
+
+try:  # numpy is optional — the stdlib fallback reproduces it exactly
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the CI fallback leg
+    _np = None
+
+__all__ = [
+    "COLUMNAR_FALLBACK_ENV",
+    "numpy_available",
+    "active_backend",
+    "SymbolTable",
+    "UserColumns",
+    "ColumnBatch",
+    "ColumnarPlane",
+    "PlaneResult",
+    "reconstruct_serial",
+    "reconstruct_parallel",
+]
+
+#: setting this environment variable to anything non-empty other than
+#: ``"0"`` forces the stdlib fallback even when numpy is importable —
+#: how tests and the CI fallback leg exercise backend parity cheaply.
+COLUMNAR_FALLBACK_ENV = "REPRO_COLUMNAR_FALLBACK"
+
+#: dense adjacency matrices are capped at this many cells (16M booleans =
+#: 16 MiB); larger topologies fall back to sorted-edge-key membership.
+_DENSE_ADJACENCY_LIMIT = 1 << 24
+
+# C-level attribute readers for the ingest hot loops.
+_GET_TIMESTAMP = attrgetter("timestamp")
+_GET_PAGE = attrgetter("page")
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be selected at all."""
+    return _np is not None
+
+
+def active_backend(backend: str | None = None) -> str:
+    """Resolve a backend request to ``"numpy"`` or ``"fallback"``.
+
+    Args:
+        backend: ``None`` (follow :data:`COLUMNAR_FALLBACK_ENV`, then
+            numpy availability) or an explicit ``"numpy"``/``"fallback"``.
+
+    Raises:
+        ConfigurationError: for an unknown name, or an explicit
+            ``"numpy"`` request when numpy is not importable.
+    """
+    if backend is None:
+        forced = os.environ.get(COLUMNAR_FALLBACK_ENV, "")
+        if forced and forced != "0":
+            return "fallback"
+        return "numpy" if _np is not None else "fallback"
+    if backend not in ("numpy", "fallback"):
+        raise ConfigurationError(
+            f"unknown columnar backend {backend!r}; "
+            "use 'numpy' or 'fallback'")
+    if backend == "numpy" and _np is None:
+        raise ConfigurationError(
+            "columnar backend 'numpy' requested but numpy is not importable")
+    return backend
+
+
+class SymbolTable:
+    """Bidirectional page-URL ↔ integer-id interner.
+
+    Seeded from a topology's :class:`~repro.topology.graph.AdjacencyIndex`
+    so every topology page's symbol id **equals** its adjacency rank —
+    the precomputed predecessor structures then apply to the columns
+    directly.  Pages outside the topology intern on first sight to ids
+    ``>= n_topology``; they have no links, so they never block and never
+    extend (mirroring the object path's ``id -1`` convention).
+    """
+
+    __slots__ = ("_names", "_ids", "n_topology")
+
+    def __init__(self, pages: Sequence[str] = ()) -> None:
+        self._names: list[str] = list(pages)
+        self._ids: dict[str, int] = {
+            name: index for index, name in enumerate(self._names)}
+        if len(self._ids) != len(self._names):
+            raise ConfigurationError("symbol table seed has duplicate pages")
+        #: ids below this bound are topology pages (== adjacency ranks).
+        self.n_topology: int = len(self._names)
+
+    @classmethod
+    def for_topology(cls, topology: WebGraph) -> "SymbolTable":
+        """Seed from ``topology`` so ids coincide with adjacency ranks."""
+        return cls(topology.adjacency_index().pages)
+
+    def intern(self, page: str) -> int:
+        """Return ``page``'s id, assigning the next one on first sight."""
+        ids = self._ids
+        pid = ids.get(page)
+        if pid is None:
+            pid = ids[page] = len(self._names)
+            self._names.append(page)
+        return pid
+
+    def resolve(self, pid: int) -> str:
+        """The page name behind ``pid``.
+
+        Raises:
+            ReconstructionError: for an id this table never assigned.
+        """
+        if 0 <= pid < len(self._names):
+            return self._names[pid]
+        raise ReconstructionError(
+            f"unknown page id {pid} (table holds {len(self._names)})")
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, page: str) -> bool:
+        return page in self._ids
+
+    @property
+    def pages(self) -> tuple[str, ...]:
+        """All interned page names, indexed by id."""
+        return tuple(self._names)
+
+
+#: referrer-id column value for "no referrer" (direct entry / plain CLF).
+NO_REFERRER = -1
+
+
+class UserColumns:
+    """One user's clickstream as parallel columns — the pool work unit.
+
+    Pickles as compact byte buffers instead of a list of ``Request``
+    objects, which is what lets :func:`reconstruct_parallel` ship work to
+    processes without the per-object serialization tax bench A17 measured.
+    The wire form narrows page/referrer ids to int32 and elides the
+    referrer/synthetic columns entirely when every value is the default
+    (plain CLF logs), so a request costs 12 wire bytes against ~30 for a
+    pickled ``Request`` — and, more importantly, decoding is a buffer
+    copy, not per-object reconstruction.  The byte form is
+    backend-neutral: a numpy parent can feed fallback workers and vice
+    versa (both sides hold native-endian float64/int64 after decode).
+    """
+
+    __slots__ = ("user_id", "times", "pages", "referrers", "synthetic")
+
+    def __init__(self, user_id: str, times, pages, referrers,
+                 synthetic) -> None:
+        self.user_id = user_id
+        self.times = times
+        self.pages = pages
+        self.referrers = referrers
+        self.synthetic = synthetic
+
+    @classmethod
+    def from_requests(cls, user_id: str, requests: Sequence[Request],
+                      symbols: SymbolTable,
+                      backend: str | None = None) -> "UserColumns":
+        """Intern one user's (chronological) requests into columns."""
+        ids = symbols._ids
+        intern = symbols.intern
+        times: list[float] = []
+        pages: list[int] = []
+        referrers: list[int] = []
+        synthetic: list[int] = []
+        for request in requests:
+            times.append(request.timestamp)
+            pid = ids.get(request.page)
+            pages.append(pid if pid is not None else intern(request.page))
+            referrer = request.referrer
+            if referrer is None:
+                referrers.append(NO_REFERRER)
+            else:
+                rid = ids.get(referrer)
+                referrers.append(rid if rid is not None
+                                 else intern(referrer))
+            synthetic.append(1 if request.synthetic else 0)
+        if active_backend(backend) == "numpy":
+            return cls(user_id,
+                       _np.asarray(times, dtype=_np.float64),
+                       _np.asarray(pages, dtype=_np.int64),
+                       _np.asarray(referrers, dtype=_np.int64),
+                       _np.asarray(synthetic, dtype=_np.uint8))
+        return cls(user_id, array("d", times), array("q", pages),
+                   array("q", referrers), array("B", synthetic))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __getstate__(self):
+        # ``None`` for the referrer column means "all NO_REFERRER" and
+        # for the synthetic column "all false" — the plain-CLF common
+        # case costs zero wire bytes.  Ids travel as int32 (a symbol
+        # table big enough to overflow that would not fit in memory).
+        referrers = (None if _column_all_equal(self.referrers, NO_REFERRER)
+                     else _ids_to_bytes(self.referrers))
+        synthetic = (None if _column_all_equal(self.synthetic, 0)
+                     else _as_bytes(self.synthetic))
+        return (self.user_id, len(self.times), _as_bytes(self.times),
+                _ids_to_bytes(self.pages), referrers, synthetic)
+
+    def __setstate__(self, state) -> None:
+        user_id, count, times_b, pages_b, referrers_b, synthetic_b = state
+        self.user_id = user_id
+        if active_backend() == "numpy":
+            self.times = _np.frombuffer(times_b, dtype=_np.float64)
+            self.pages = _np.frombuffer(
+                pages_b, dtype=_np.int32).astype(_np.int64)
+            self.referrers = (
+                _np.full(count, NO_REFERRER, dtype=_np.int64)
+                if referrers_b is None else
+                _np.frombuffer(referrers_b, dtype=_np.int32
+                               ).astype(_np.int64))
+            self.synthetic = (_np.zeros(count, dtype=_np.uint8)
+                              if synthetic_b is None else
+                              _np.frombuffer(synthetic_b, dtype=_np.uint8))
+        else:
+            self.times = _from_bytes("d", times_b)
+            self.pages = array("q", _from_bytes("i", pages_b))
+            self.referrers = (array("q", [NO_REFERRER]) * count
+                              if referrers_b is None else
+                              array("q", _from_bytes("i", referrers_b)))
+            self.synthetic = (array("B", [0]) * count
+                              if synthetic_b is None else
+                              _from_bytes("B", synthetic_b))
+
+
+def _as_bytes(column) -> bytes:
+    return column.tobytes()
+
+
+def _ids_to_bytes(column) -> bytes:
+    """Narrow an int64 id column to its int32 wire form."""
+    if _np is not None and isinstance(column, _np.ndarray):
+        return column.astype(_np.int32).tobytes()
+    return array("i", column).tobytes()
+
+
+def _column_all_equal(column, value: int) -> bool:
+    if _np is not None and isinstance(column, _np.ndarray):
+        return bool((column == value).all())
+    return all(entry == value for entry in column)
+
+
+def _from_bytes(typecode: str, data: bytes):
+    column = array(typecode)
+    column.frombytes(data)
+    return column
+
+
+class ColumnBatch:
+    """Many users' columns concatenated — what one plane pass consumes.
+
+    Batching *across* users matters as much as vectorizing within one:
+    per-array fixed overhead would otherwise dominate on real logs, where
+    the median user contributes a handful of requests.  ``user_starts``
+    has ``len(users) + 1`` entries (offset of each user plus the total),
+    and candidate splitting forces a cut at every user boundary.
+    """
+
+    __slots__ = ("users", "user_starts", "times", "pages", "backend")
+
+    def __init__(self, users, user_starts, times, pages,
+                 backend: str) -> None:
+        self.users = users
+        self.user_starts = user_starts
+        self.times = times
+        self.pages = pages
+        self.backend = backend
+
+    @classmethod
+    def from_user_requests(cls, items, symbols: SymbolTable,
+                           backend: str | None = None) -> "ColumnBatch":
+        """Intern ``[(user_id, sorted requests), ...]`` into one batch."""
+        resolved = active_backend(backend)
+        users: list[str] = []
+        user_starts: list[int] = [0]
+        cursor = 0
+        for user_id, requests in items:
+            users.append(user_id)
+            cursor += len(requests)
+            user_starts.append(cursor)
+        pool: list[Request] = []
+        for __, requests in items:
+            pool.extend(requests)
+        times = list(map(_GET_TIMESTAMP, pool))
+        pages = list(map(symbols._ids.get, map(_GET_PAGE, pool)))
+        if None in pages:     # only on first sight of off-topology pages
+            intern = symbols.intern
+            pages = [pid if pid is not None else intern(request.page)
+                     for pid, request in zip(pages, pool)]
+        if resolved == "numpy":
+            return cls(users, _np.asarray(user_starts, dtype=_np.int64),
+                       _np.asarray(times, dtype=_np.float64),
+                       _np.asarray(pages, dtype=_np.int64), resolved)
+        return cls(users, user_starts, array("d", times),
+                   array("q", pages), resolved)
+
+    @classmethod
+    def from_user_columns(cls, columns: Sequence[UserColumns]
+                          ) -> "ColumnBatch":
+        """Concatenate per-user columns (all of one backend) into a batch."""
+        backend = active_backend()
+        users = [column.user_id for column in columns]
+        user_starts: list[int] = [0]
+        for column in columns:
+            user_starts.append(user_starts[-1] + len(column))
+        if backend == "numpy":
+            times = (_np.concatenate([c.times for c in columns])
+                     if columns else _np.zeros(0, dtype=_np.float64))
+            pages = (_np.concatenate([c.pages for c in columns])
+                     if columns else _np.zeros(0, dtype=_np.int64))
+            return cls(users, _np.asarray(user_starts, dtype=_np.int64),
+                       times, pages, backend)
+        times = array("d")
+        pages = array("q")
+        for column in columns:
+            times.extend(column.times)
+            pages.extend(column.pages)
+        return cls(users, user_starts, times, pages, backend)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class PlaneResult:
+    """Index-level output of one plane pass, grouped by batch user.
+
+    ``session_flat[session_offsets[i]:session_offsets[i + 1]]`` holds the
+    ``i``-th session's request positions (batch-global, ascending-time);
+    sessions are ordered user by user (batch user order).  Materialization
+    back to :class:`~repro.sessions.model.Session` objects is the caller's
+    boundary step — benches time the plane up to exactly this point.
+    """
+
+    __slots__ = ("session_offsets", "session_flat", "user_session_counts")
+
+    def __init__(self, session_offsets, session_flat,
+                 user_session_counts) -> None:
+        self.session_offsets = session_offsets
+        self.session_flat = session_flat
+        self.user_session_counts = user_session_counts
+
+    def __len__(self) -> int:
+        return max(0, len(self.session_offsets) - 1)
+
+
+class ColumnarPlane:
+    """The reconstruction pipeline over columns for one heuristic config.
+
+    Two shapes exist: the full Smart-SRA plane (Phase-1 split + the
+    Phase-2 DAG pass) and split-only planes for the time-oriented
+    heuristics (δ-only for heur1, ρ-only for heur2, both for the Phase-1
+    ablation) — one bound at infinity disables that rule in exactly the
+    object path's ``>`` form, since nothing exceeds infinity.
+    """
+
+    def __init__(self, symbols: SymbolTable, *, max_gap: float,
+                 max_duration: float, phase2: bool = False,
+                 rescue_orphans: bool = False,
+                 publish_phase1: bool = False,
+                 pred_id_sets: tuple[frozenset[int], ...] = ()) -> None:
+        self.symbols = symbols
+        self.max_gap = max_gap
+        self.max_duration = max_duration
+        self.phase2 = phase2
+        self.rescue_orphans = rescue_orphans
+        self.publish_phase1 = publish_phase1
+        self.pred_id_sets = pred_id_sets
+        self._dense = None       # lazy numpy adjacency (never pickled)
+        self._edge_keys = None
+
+    @classmethod
+    def for_smart_sra(cls, topology: WebGraph,
+                      config: SmartSRAConfig | None = None
+                      ) -> "ColumnarPlane":
+        """The full heur4 plane: split + topology DAG pass."""
+        if config is None:
+            config = SmartSRAConfig()
+        index = topology.adjacency_index()
+        return cls(SymbolTable(index.pages), max_gap=config.max_gap,
+                   max_duration=config.max_duration, phase2=True,
+                   rescue_orphans=config.rescue_orphans,
+                   publish_phase1=True,
+                   pred_id_sets=index.pred_id_sets)
+
+    @classmethod
+    def split_only(cls, *, max_gap: float = math.inf,
+                   max_duration: float = math.inf,
+                   publish_phase1: bool = False) -> "ColumnarPlane":
+        """A time-rules-only plane (heur1 / heur2 / Phase-1 ablation)."""
+        return cls(SymbolTable(), max_gap=max_gap,
+                   max_duration=max_duration,
+                   publish_phase1=publish_phase1)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_dense"] = None       # workers rebuild lazily, payloads
+        state["_edge_keys"] = None   # stay slim (mirrors WebGraph)
+        return state
+
+    @property
+    def n_topology(self) -> int:
+        return self.symbols.n_topology
+
+    # -- the pass ----------------------------------------------------------
+
+    def run_batch(self, batch: ColumnBatch) -> PlaneResult:
+        """Run the full plane over one batch, publishing obs tallies.
+
+        Phase-1 counters (``sessions.phase1.*``) match the object path
+        exactly; so do the Phase-2 tallies (``sessions.phase2.*`` —
+        candidates, extension hits, orphan misses, session count), proven
+        by the counter-parity unit test.
+        """
+        if batch.backend == "numpy":
+            starts = _split_numpy(batch.times, batch.user_starts,
+                                  self.max_gap, self.max_duration)
+            self._publish_phase1(len(starts), len(batch),
+                                 _sizes_numpy(starts, len(batch)))
+            if not self.phase2:
+                return _candidates_as_result_numpy(batch, starts)
+            return self._phase2_numpy(batch, starts)
+        starts = _split_fallback(batch.times, batch.user_starts,
+                                 self.max_gap, self.max_duration)
+        self._publish_phase1(len(starts), len(batch),
+                             _sizes_fallback(starts, len(batch)))
+        if not self.phase2:
+            return _candidates_as_result_fallback(batch, starts)
+        return self._phase2_fallback(batch, starts)
+
+    def _publish_phase1(self, n_candidates: int, n_requests: int,
+                        sizes) -> None:
+        if not self.publish_phase1:
+            return
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        registry.counter("sessions.phase1.candidates").inc(n_candidates)
+        registry.counter("sessions.phase1.requests").inc(n_requests)
+        histogram = registry.histogram("sessions.phase1.candidate_size",
+                                       SIZE_BUCKETS)
+        for size in sizes:
+            histogram.observe(size)
+
+    def _publish_phase2(self, n_candidates: int, hits: int, misses: int,
+                        sessions: int) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("sessions.phase2.candidates").inc(n_candidates)
+            registry.counter("sessions.phase2.extensions").inc(hits)
+            registry.counter("sessions.phase2.orphans").inc(misses)
+            registry.counter("sessions.phase2.sessions").inc(sessions)
+
+    # -- adjacency ---------------------------------------------------------
+
+    def _linked_numpy(self, pa, pb):
+        """Vector bool: is there a hyperlink ``page pa → page pb``?"""
+        np = _np
+        n_topo = self.n_topology
+        if n_topo == 0 or pa.size == 0:
+            return np.zeros(pa.shape, dtype=bool)
+        known = (pa < n_topo) & (pb < n_topo)
+        keys = np.where(known, pa * n_topo + pb, 0)
+        if n_topo * n_topo <= _DENSE_ADJACENCY_LIMIT:
+            dense = self._dense
+            if dense is None:
+                dense = np.zeros(n_topo * n_topo, dtype=bool)
+                for dst, preds in enumerate(self.pred_id_sets):
+                    if preds:
+                        sources = np.fromiter(preds, dtype=np.int64,
+                                              count=len(preds))
+                        dense[sources * n_topo + dst] = True
+                self._dense = dense
+            return dense[keys] & known
+        edge_keys = self._edge_keys
+        if edge_keys is None:
+            flat = [src * n_topo + dst
+                    for dst, preds in enumerate(self.pred_id_sets)
+                    for src in preds]
+            edge_keys = self._edge_keys = np.sort(
+                np.asarray(flat, dtype=np.int64))
+        if edge_keys.size == 0:
+            return np.zeros(pa.shape, dtype=bool)
+        positions = np.searchsorted(edge_keys, keys)
+        positions[positions == edge_keys.size] = 0
+        return (edge_keys[positions] == keys) & known
+
+    # -- phase 2, numpy ----------------------------------------------------
+
+    def _phase2_numpy(self, batch: ColumnBatch, starts) -> PlaneResult:
+        np = _np
+        t = batch.times
+        n = t.shape[0]
+        if n == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return PlaneResult(np.zeros(1, dtype=np.int64), empty,
+                               np.zeros(len(batch.users), dtype=np.int64))
+        max_gap = self.max_gap
+
+        # Candidate geometry: ordinal and start offset per request.
+        start_flags = np.zeros(n, dtype=np.int64)
+        start_flags[starts] = 1
+        cand_ord = np.cumsum(start_flags) - 1
+        cand_start_of = starts[cand_ord]
+
+        # Offset timestamps: per-candidate-normalized times spread onto a
+        # stride that isolates candidates, so one global sorted array
+        # answers every "tails within ρ of b, same candidate" window via
+        # searchsorted.  Rounding only widens the windows (slack below);
+        # the exact predicates filter afterwards.
+        t_norm = t - t[cand_start_of]
+        stride = float(t_norm.max()) + max_gap + 2.0
+        t_off = t_norm + cand_ord * stride
+        slack = 1e-6 + abs(float(t_off[-1])) * 1e-12
+        arange_n = np.arange(n, dtype=np.int64)
+        lo = np.searchsorted(t_off, t_off - max_gap - slack, side="left")
+
+        # Expand windows to forward (tail a < released b) pairs only —
+        # a ranges over [lo, b), so self-pairs and reversed pairs never
+        # materialize.  Every window pair shares one candidate by
+        # construction: candidates sit ≥ ρ + 2 apart on the t_off axis
+        # (stride is the max span plus ρ + 2, slack is microseconds), so
+        # the ρ-window can never reach a neighbour.  The exact predicate
+        # is the object path's subtraction form; the window is only its
+        # (slack-widened) superset.
+        counts = arange_n - lo
+        total = int(counts.sum())
+        b_idx = np.repeat(arange_n, counts)
+        exclusive = np.cumsum(counts) - counts
+        a_idx = (np.arange(total, dtype=np.int64)
+                 + np.repeat(lo - exclusive, counts))
+        ok = t[b_idx] - t[a_idx] <= max_gap
+        ok &= self._linked_numpy(batch.pages[a_idx], batch.pages[b_idx])
+        fwd_a = a_idx[ok]
+        fwd_b = b_idx[ok]
+
+        # Reversed extension-only pairs exist solely inside runs of equal
+        # timestamps (a > b, t_a == t_b) — expand those runs separately;
+        # they are empty for most batches.
+        eq_next = t_off[1:] == t_off[:-1]
+        if bool(eq_next.any()):
+            hi = np.searchsorted(t_off, t_off, side="right")
+            rev_counts = hi - arange_n - 1
+            rev_total = int(rev_counts.sum())
+            rev_excl = np.cumsum(rev_counts) - rev_counts
+            rb_idx = np.repeat(arange_n, rev_counts)
+            ra_idx = (np.arange(rev_total, dtype=np.int64)
+                      + np.repeat(arange_n + 1 - rev_excl, rev_counts))
+            rok = t[ra_idx] == t[rb_idx]
+            rok &= self._linked_numpy(batch.pages[ra_idx],
+                                      batch.pages[rb_idx])
+            rev_a = ra_idx[rok]
+            rev_b = rb_idx[rok]
+        else:
+            rev_a = rev_b = np.zeros(0, dtype=np.int64)
+
+        # Waves: longest-path depth over the forward (blocker) edges.
+        wave = np.zeros(n, dtype=np.int64)
+        if fwd_a.size:
+            while True:
+                relaxed = wave.copy()
+                np.maximum.at(relaxed, fwd_b, wave[fwd_a] + 1)
+                if np.array_equal(relaxed, wave):
+                    break
+                wave = relaxed
+        rev_ok = wave[rev_a] < wave[rev_b]
+        edge_a = np.concatenate([fwd_a, rev_a[rev_ok]])
+        edge_b = np.concatenate([fwd_b, rev_b[rev_ok]])
+
+        # succ: each tail keeps only edges into its minimal later wave.
+        if edge_a.size:
+            first_wave = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+            np.minimum.at(first_wave, edge_a, wave[edge_b])
+            succ = wave[edge_b] == first_wave[edge_a]
+            succ_a = edge_a[succ]
+            succ_b = edge_b[succ]
+            order = np.lexsort((succ_b, succ_a))
+            succ_a = succ_a[order]
+            succ_b = succ_b[order]
+        else:
+            succ_a = succ_b = np.zeros(0, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(succ_a, minlength=n), out=indptr[1:])
+        outdeg = indptr[1:] - indptr[:-1]
+
+        if self.rescue_orphans:
+            placed = np.zeros(n, dtype=bool)
+            placed[succ_b] = True    # under rescue every succ edge fires
+            roots = np.flatnonzero((wave == 0) | ~placed)
+        else:
+            roots = np.flatnonzero(wave == 0)
+
+        # Breadth-first path trie over the whole batch.  Each node also
+        # remembers its path's root request, so leaves can be sorted into
+        # batch user order before backfill (sessions never cross users: a
+        # session's user is its root's).
+        req_blocks = [roots]
+        parent_blocks = [np.full(roots.size, -1, dtype=np.int64)]
+        root_blocks = [roots]
+        leaf_blocks: list = []
+        leaf_depths: list[int] = []
+        frontier_req = roots
+        frontier_ids = np.arange(roots.size, dtype=np.int64)
+        frontier_roots = roots
+        trie_size = int(roots.size)
+        depth = 0
+        while frontier_req.size:
+            degrees = outdeg[frontier_req]
+            is_leaf = degrees == 0
+            if is_leaf.any():
+                leaf_blocks.append(frontier_ids[is_leaf])
+                leaf_depths.append(depth)
+            grow = ~is_leaf
+            parents = frontier_req[grow]
+            if parents.size == 0:
+                break
+            parent_ids = frontier_ids[grow]
+            child_counts = degrees[grow]
+            n_children = int(child_counts.sum())
+            exclusive = np.cumsum(child_counts) - child_counts
+            slots = (np.arange(n_children, dtype=np.int64)
+                     - np.repeat(exclusive, child_counts)
+                     + np.repeat(indptr[parents], child_counts))
+            children = succ_b[slots]
+            req_blocks.append(children)
+            parent_blocks.append(np.repeat(parent_ids, child_counts))
+            frontier_roots = np.repeat(frontier_roots[grow], child_counts)
+            root_blocks.append(frontier_roots)
+            frontier_req = children
+            frontier_ids = np.arange(trie_size, trie_size + n_children,
+                                     dtype=np.int64)
+            trie_size += n_children
+            depth += 1
+
+        trie_req = np.concatenate(req_blocks)
+        trie_parent = np.concatenate(parent_blocks)
+        trie_root = np.concatenate(root_blocks)
+        if leaf_blocks:
+            leaf_ids = np.concatenate(leaf_blocks)
+            lengths = np.concatenate(
+                [np.full(block.size, block_depth + 1, dtype=np.int64)
+                 for block, block_depth in zip(leaf_blocks, leaf_depths)])
+        else:  # pragma: no cover - every root terminates somewhere
+            leaf_ids = np.zeros(0, dtype=np.int64)
+            lengths = np.zeros(0, dtype=np.int64)
+
+        # Sort sessions into batch user order up front (stable, so the
+        # within-user emission order is the leaf discovery order), then
+        # backfill each path directly into its final slot.
+        user_of = np.searchsorted(batch.user_starts, trie_root[leaf_ids],
+                                  side="right") - 1
+        order = np.argsort(user_of, kind="stable")
+        leaf_ids = leaf_ids[order]
+        lengths = lengths[order]
+        offsets = np.zeros(leaf_ids.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        flat = np.empty(int(offsets[-1]), dtype=np.int64)
+        cursor = leaf_ids
+        positions = offsets[1:] - 1
+        while cursor.size:    # backfill each path, one depth per step
+            flat[positions] = trie_req[cursor]
+            cursor = trie_parent[cursor]
+            alive = cursor >= 0
+            cursor = cursor[alive]
+            positions = positions[alive] - 1
+        user_counts = np.bincount(user_of, minlength=len(batch.users))
+
+        released = int(np.count_nonzero(wave))
+        if trie_req.size > roots.size:
+            # hits = distinct extended requests = depth ≥ 1 trie nodes;
+            # a scatter mask beats a sort-based unique here.
+            reached = np.zeros(n, dtype=bool)
+            reached[trie_req[roots.size:]] = True
+            hits = int(np.count_nonzero(reached))
+        else:
+            hits = 0
+        self._publish_phase2(int(starts.size), hits, released - hits,
+                             int(leaf_ids.size))
+        return PlaneResult(offsets, flat, user_counts)
+
+    # -- phase 2, stdlib fallback -----------------------------------------
+
+    def _phase2_fallback(self, batch: ColumnBatch, starts) -> PlaneResult:
+        t = batch.times
+        p = batch.pages
+        n = len(t)
+        if n == 0:
+            return PlaneResult([0], [], [0] * len(batch.users))
+        max_gap = self.max_gap
+        pred_sets = self.pred_id_sets
+        n_topo = self.n_topology
+
+        wave = [0] * n
+        fwd_edges: list[tuple[int, int]] = []
+        rev_pairs: list[tuple[int, int]] = []
+        bounds = list(starts) + [n]
+        for c in range(len(starts)):
+            lo, hi = bounds[c], bounds[c + 1]
+            for b in range(lo, hi):
+                pb = p[b]
+                preds = pred_sets[pb] if 0 <= pb < n_topo else None
+                tb = t[b]
+                depth = 0
+                if preds:
+                    # Backward ρ-window scan, the object path's exact form.
+                    for a in range(b - 1, lo - 1, -1):
+                        if tb - t[a] > max_gap:
+                            break
+                        if p[a] in preds:
+                            fwd_edges.append((a, b))
+                            if wave[a] + 1 > depth:
+                                depth = wave[a] + 1
+                    # Reversed extenders: equal-time tails after b.
+                    a = b + 1
+                    while a < hi and t[a] == tb:
+                        if p[a] in preds:
+                            rev_pairs.append((a, b))
+                        a += 1
+                wave[b] = depth
+
+        edges = fwd_edges + [(a, b) for a, b in rev_pairs
+                             if wave[a] < wave[b]]
+        first_wave = [n + 1] * n
+        for a, b in edges:
+            if wave[b] < first_wave[a]:
+                first_wave[a] = wave[b]
+        succ: list[list[int]] = [[] for __ in range(n)]
+        for a, b in edges:
+            if wave[b] == first_wave[a]:
+                succ[a].append(b)
+        for children in succ:
+            children.sort()
+
+        if self.rescue_orphans:
+            placed = [False] * n
+            for a, b in edges:
+                if wave[b] == first_wave[a]:
+                    placed[b] = True
+            roots = [i for i in range(n) if wave[i] == 0 or not placed[i]]
+        else:
+            roots = [i for i in range(n) if wave[i] == 0]
+
+        # Breadth-first trie — same traversal (and thus emission order)
+        # as the vectorized version.
+        trie_req: list[int] = list(roots)
+        trie_parent: list[int] = [-1] * len(roots)
+        frontier = list(range(len(roots)))
+        leaves: list[int] = []
+        leaf_lengths: list[int] = []
+        reached: set[int] = set()
+        depth = 0
+        while frontier:
+            grown: list[int] = []
+            for trie_id in frontier:
+                children = succ[trie_req[trie_id]]
+                if not children:
+                    leaves.append(trie_id)
+                    leaf_lengths.append(depth + 1)
+                    continue
+                for child in children:
+                    grown.append(len(trie_req))
+                    trie_req.append(child)
+                    trie_parent.append(trie_id)
+                    reached.add(child)
+            frontier = grown
+            depth += 1
+
+        offsets = [0]
+        flat: list[int] = []
+        for trie_id, length in zip(leaves, leaf_lengths):
+            segment = [0] * length
+            cursor = trie_id
+            for slot in range(length - 1, -1, -1):
+                segment[slot] = trie_req[cursor]
+                cursor = trie_parent[cursor]
+            flat.extend(segment)
+            offsets.append(len(flat))
+
+        released = sum(1 for w in wave if w > 0)
+        hits = len(reached)
+        self._publish_phase2(len(starts), hits, released - hits,
+                             len(leaves))
+        return _regroup_by_user_fallback(batch, offsets, flat)
+
+
+# -- phase 1 ---------------------------------------------------------------
+
+def _split_numpy(times, user_starts, max_gap: float, max_duration: float):
+    """Candidate start offsets over a batch (numpy).
+
+    Gap cuts and user boundaries come from one vectorized diff; the δ
+    rule then refines only the (rare) segments whose total span exceeds
+    it, re-testing candidates with ``searchsorted`` plus an exact
+    subtraction-form adjustment so boundaries agree with the object path
+    bit for bit.
+    """
+    np = _np
+    n = times.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    diffs = times[1:] - times[:-1]
+    is_user_start = np.zeros(n, dtype=bool)
+    is_user_start[user_starts[:-1]] = True
+    unsorted = (diffs < 0) & ~is_user_start[1:]
+    if unsorted.any():
+        i = int(np.flatnonzero(unsorted)[0])
+        raise ReconstructionError(
+            "request stream not sorted by timestamp: "
+            f"{float(times[i])} then {float(times[i + 1])}")
+    forced = is_user_start.copy()
+    forced[1:] |= diffs > max_gap
+    seg_starts = np.flatnonzero(forced)
+    seg_ends = np.append(seg_starts[1:], n)
+    overflow = np.flatnonzero(
+        times[seg_ends - 1] - times[seg_starts] > max_duration)
+    if overflow.size == 0:
+        return seg_starts
+    # Every overflowing segment advances one δ cut per round, all segments
+    # at once: searchsorted over offset-isolated times proposes the cut,
+    # then the exact subtraction-form predicate snaps it so boundaries
+    # agree with the object path bit for bit (at most a rounding step or
+    # two, because times[j] - times[cursor] is monotone in j).
+    o_start = seg_starts[overflow]
+    lengths = seg_ends[overflow] - o_start
+    total = int(lengths.sum())
+    excl = np.cumsum(lengths) - lengths
+    gather = (np.arange(total, dtype=np.int64)
+              - np.repeat(excl, lengths) + np.repeat(o_start, lengths))
+    t_seg = times[gather]
+    t_norm = t_seg - np.repeat(t_seg[excl], lengths)
+    stride = float(t_norm.max()) + max_duration + 2.0
+    t_off = t_norm + np.repeat(
+        np.arange(overflow.size, dtype=np.float64) * stride, lengths)
+    cur = excl
+    end = excl + lengths
+    cuts: list = []
+    while True:
+        active = t_seg[end - 1] - t_seg[cur] > max_duration
+        if not active.any():
+            break
+        cur = cur[active]
+        end = end[active]
+        cut = np.searchsorted(t_off, t_off[cur] + max_duration,
+                              side="right")
+        while True:
+            down = ((cut - 1 > cur)
+                    & (t_seg[cut - 1] - t_seg[cur] > max_duration))
+            if not down.any():
+                break
+            cut[down] -= 1
+        while True:
+            probe = np.minimum(cut, end - 1)
+            up = (cut < end) & (t_seg[probe] - t_seg[cur] <= max_duration)
+            if not up.any():
+                break
+            cut[up] += 1
+        cuts.append(gather[cut])
+        cur = cut
+    return np.unique(np.concatenate([seg_starts] + cuts))
+
+
+def _split_fallback(times, user_starts, max_gap: float,
+                    max_duration: float) -> list[int]:
+    """Candidate start offsets over a batch (stdlib) — the object loop."""
+    starts: list[int] = []
+    for u in range(len(user_starts) - 1):
+        lo, hi = user_starts[u], user_starts[u + 1]
+        if lo == hi:
+            continue
+        starts.append(lo)
+        first = lo
+        previous = times[lo]
+        for i in range(lo + 1, hi):
+            current = times[i]
+            if current < previous:
+                raise ReconstructionError(
+                    "request stream not sorted by timestamp: "
+                    f"{previous} then {current}")
+            if (current - previous > max_gap
+                    or current - times[first] > max_duration):
+                starts.append(i)
+                first = i
+            previous = current
+    return starts
+
+
+def _sizes_numpy(starts, n: int):
+    return _np.diff(_np.append(starts, n)).tolist()
+
+
+def _sizes_fallback(starts: list[int], n: int) -> list[int]:
+    bounds = starts + [n]
+    return [bounds[i + 1] - bounds[i] for i in range(len(starts))]
+
+
+# -- result shaping --------------------------------------------------------
+
+def _candidates_as_result_numpy(batch: ColumnBatch, starts) -> PlaneResult:
+    np = _np
+    n = len(batch)
+    offsets = np.append(starts, n)
+    counts = np.diff(np.searchsorted(starts, batch.user_starts))
+    return PlaneResult(offsets if n else np.zeros(1, dtype=np.int64),
+                       np.arange(n, dtype=np.int64), counts)
+
+
+def _candidates_as_result_fallback(batch: ColumnBatch,
+                                   starts: list[int]) -> PlaneResult:
+    n = len(batch)
+    user_starts = batch.user_starts
+    counts = []
+    for u in range(len(batch.users)):
+        counts.append(bisect_right(starts, user_starts[u + 1] - 1)
+                      - bisect_right(starts, user_starts[u] - 1))
+    return PlaneResult(starts + [n] if n else [0], list(range(n)), counts)
+
+
+def _regroup_by_user_fallback(batch: ColumnBatch, offsets: list[int],
+                              flat: list[int]) -> PlaneResult:
+    n_sessions = len(offsets) - 1
+    user_starts = batch.user_starts
+    user_of = [bisect_right(user_starts, flat[offsets[i]]) - 1
+               for i in range(n_sessions)]
+    order = sorted(range(n_sessions), key=user_of.__getitem__)
+    offsets2 = [0]
+    flat2: list[int] = []
+    for i in order:
+        flat2.extend(flat[offsets[i]:offsets[i + 1]])
+        offsets2.append(len(flat2))
+    counts = [0] * len(batch.users)
+    for u in user_of:
+        counts[u] += 1
+    return PlaneResult(offsets2, flat2, counts)
+
+
+# -- materialization & drivers --------------------------------------------
+
+def materialize_sessions(items, result: PlaneResult) -> list[Session]:
+    """Turn index-level plane output back into ``Session`` objects.
+
+    Reuses the *original* ``Request`` objects (``items`` aligns with the
+    batch's users), so ``synthetic``/``referrer`` metadata survives
+    exactly and no new request allocation happens at the boundary.  One
+    C-level gather picks every referenced request; each session is then a
+    tuple slice, so the per-session Python cost is one constructor call.
+    """
+    offsets = _tolist(result.session_offsets)
+    flat = _tolist(result.session_flat)
+    pool: list[Request] = []
+    for __, requests in items:
+        pool.extend(requests)
+    picked = tuple(map(pool.__getitem__, flat))
+    from_trusted = Session.from_trusted_parts
+    return [from_trusted(picked[lo:hi])
+            for lo, hi in zip(offsets, offsets[1:])]
+
+
+def _tolist(column):
+    return column.tolist() if hasattr(column, "tolist") else column
+
+
+def reconstruct_serial(plane: ColumnarPlane, per_user,
+                       backend: str | None = None) -> list[Session]:
+    """One batched plane pass over every user, then materialize."""
+    items = list(per_user.items())
+    batch = ColumnBatch.from_user_requests(items, plane.symbols,
+                                           backend=backend)
+    result = plane.run_batch(batch)
+    return materialize_sessions(items, result)
+
+
+def _run_block(block: Sequence[UserColumns], plane: ColumnarPlane):
+    """Pool work function: one block of user columns → compact payload.
+
+    Returns ``(user_ids, session counts, session offsets, flat user-local
+    request indices)`` — plain ints and small buffers, so results cross
+    the pool as cheaply as the column inputs did.  Self-describing
+    (user ids travel along), so supervised skip-degradation cannot
+    misalign decoding.
+    """
+    batch = ColumnBatch.from_user_columns(block)
+    result = plane.run_batch(batch)
+    offsets = _tolist(result.session_offsets)
+    counts = _tolist(result.user_session_counts)
+    if batch.backend == "numpy":
+        np = _np
+        lengths = np.diff(result.session_offsets)
+        user_of = np.repeat(
+            np.arange(len(batch.users), dtype=np.int64),
+            result.user_session_counts)
+        base = np.repeat(batch.user_starts[user_of], lengths)
+        local = array("q")
+        local.frombytes((result.session_flat - base).tobytes())
+    else:
+        flat = result.session_flat
+        user_starts = batch.user_starts
+        local = array("q")
+        cursor = 0
+        for u in range(len(batch.users)):
+            base = user_starts[u]
+            for __ in range(counts[u]):
+                lo, hi = offsets[cursor], offsets[cursor + 1]
+                cursor += 1
+                local.extend(flat[j] - base for j in range(lo, hi))
+    return (list(batch.users), counts, offsets, local)
+
+
+def reconstruct_parallel(plane: ColumnarPlane, per_user, *,
+                         workers: int | None, mode: str = "auto",
+                         supervision=None) -> list[Session]:
+    """Fan the plane out over user blocks; materialize parent-side.
+
+    Workers receive :class:`UserColumns` buffers and return index lists,
+    so ``Request`` objects never cross the pool in either direction —
+    the A17 fix.  Output is construction-order identical to
+    :func:`reconstruct_serial`: blocks are contiguous user slices and a
+    user's session order never depends on its batch-mates.
+    """
+    import functools
+
+    from repro.parallel import parallel_map, shard_by_user_columns
+
+    items = list(per_user.items())
+    blocks = shard_by_user_columns(items, plane.symbols)
+    payloads = parallel_map(functools.partial(_run_block, plane=plane),
+                            blocks, workers=workers, mode=mode,
+                            chunk_size=1, supervision=supervision)
+    sessions: list[Session] = []
+    from_trusted = Session.from_trusted_parts
+    for user_ids, counts, offsets, flat in payloads:
+        cursor = 0
+        slot = 0
+        for user_id, count in zip(user_ids, counts):
+            getter = per_user[user_id].__getitem__
+            for __ in range(count):
+                length = offsets[cursor + 1] - offsets[cursor]
+                cursor += 1
+                sessions.append(from_trusted(
+                    tuple(map(getter, flat[slot:slot + length]))))
+                slot += length
+    return sessions

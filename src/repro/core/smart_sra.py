@@ -43,11 +43,28 @@ class SmartSRA(SessionReconstructor):
 
     name = "heur4"
     label = "Smart-SRA"
+    supports_columnar = True
 
     def __init__(self, topology: WebGraph,
                  config: SmartSRAConfig | None = None) -> None:
         self.topology = topology
         self.config = config if config is not None else SmartSRAConfig()
+        self._plane = None
+
+    def _columnar_plane(self):
+        plane = self._plane
+        if plane is None:
+            from repro.core.columnar import ColumnarPlane
+            plane = self._plane = ColumnarPlane.for_smart_sra(
+                self.topology, self.config)
+        return plane
+
+    def __getstate__(self) -> dict[str, object]:
+        # the cached plane duplicates adjacency data the topology already
+        # carries; workers on the object path must not pay for it.
+        state = self.__dict__.copy()
+        state["_plane"] = None
+        return state
 
     def reconstruct_user(self, requests: Sequence[Request]) -> list[Session]:
         registry = get_registry()
@@ -77,9 +94,21 @@ class Phase1Only(SessionReconstructor):
 
     name = "phase1"
     label = "Smart-SRA Phase 1 only (combined time rules)"
+    supports_columnar = True
 
     def __init__(self, config: SmartSRAConfig | None = None) -> None:
         self.config = config if config is not None else SmartSRAConfig()
+        self._plane = None
+
+    def _columnar_plane(self):
+        plane = self._plane
+        if plane is None:
+            from repro.core.columnar import ColumnarPlane
+            plane = self._plane = ColumnarPlane.split_only(
+                max_gap=self.config.max_gap,
+                max_duration=self.config.max_duration,
+                publish_phase1=True)
+        return plane
 
     def reconstruct_user(self, requests: Sequence[Request]) -> list[Session]:
         return [Session(candidate)

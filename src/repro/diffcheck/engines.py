@@ -78,6 +78,26 @@ def _parallel(workers: int) -> EngineFn:
     return run
 
 
+def _columnar(ctx: EngineContext) -> SessionSet:
+    """The vectorized columnar data plane (:mod:`repro.core.columnar`).
+
+    Same heuristic, entirely different execution substrate — interned
+    int columns, batched array passes, a DAG reformulation of the
+    Phase-2 wave loop — so canonical equivalence here is the correctness
+    contract gating every columnar optimization.  Honors the
+    ``REPRO_COLUMNAR_FALLBACK`` environment variable, so one diffcheck
+    run covers whichever backend the environment selects.
+    """
+    return SmartSRA(ctx.topology, ctx.config).reconstruct(
+        ctx.requests, engine="columnar")
+
+
+def _columnar_parallel(ctx: EngineContext) -> SessionSet:
+    """Columnar plane fanned out over user blocks of column buffers."""
+    return SmartSRA(ctx.topology, ctx.config).reconstruct(
+        ctx.requests, engine="columnar", workers=2, mode="auto")
+
+
 def _supervised(ctx: EngineContext) -> SessionSet:
     """Parallel reconstruction that must survive injected worker faults.
 
@@ -248,6 +268,8 @@ ENGINE_REGISTRY: dict[str, EngineFn] = {
     "parallel-2": _parallel(2),
     "parallel-3": _parallel(3),
     "parallel-auto": _parallel(0),
+    "columnar": _columnar,
+    "columnar-parallel": _columnar_parallel,
     "supervised": _supervised,
     "resume": _resume,
     "streaming": _streaming,

@@ -16,7 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from scipy import stats
+try:                                    # optional: only the McNemar test
+    from scipy import stats             # needs scipy; everything else in
+except ImportError:                     # the package runs without it
+    stats = None
 
 from repro.evaluation.subsequence import contains
 from repro.exceptions import EvaluationError
@@ -103,6 +106,10 @@ def compare_heuristics(ground_truth: SessionSet,
     Raises:
         EvaluationError: for an empty ground truth.
     """
+    if stats is None:
+        raise EvaluationError(
+            "compare_heuristics needs scipy (McNemar's exact test); "
+            "install it or compare point estimates only")
     if len(ground_truth) == 0:
         raise EvaluationError("cannot compare against an empty ground truth")
 

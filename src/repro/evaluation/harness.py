@@ -96,18 +96,26 @@ class TrialResult:
 
 
 def _score_heuristic(task: tuple[str, SessionReconstructor],
-                     simulation: SimulationResult) -> AccuracyReport:
+                     simulation: SimulationResult,
+                     engine: str = "object") -> AccuracyReport:
     """Reconstruct and score one heuristic (parallel work unit).
 
     Module-level so it pickles into worker processes; the ambient registry
     it publishes to is the worker's private one, merged back by the
-    engine.
+    engine.  ``engine`` selects the reconstruction data plane; heuristics
+    that do not declare :attr:`~repro.sessions.base.SessionReconstructor.
+    supports_columnar` silently fall back to the object path (both planes
+    are diffcheck-verified equivalent, so mixing them inside one trial is
+    sound).
     """
     name, heuristic = task
+    use_engine = (engine if getattr(heuristic, "supports_columnar", False)
+                  else "object")
     registry = get_registry()
     with registry.span("trial.reconstruct", heuristic=name), \
             registry.timer("eval.reconstruct.seconds", heuristic=name):
-        reconstructed = heuristic.reconstruct(simulation.log_requests)
+        reconstructed = heuristic.reconstruct(simulation.log_requests,
+                                              engine=use_engine)
     with registry.span("trial.evaluate", heuristic=name), \
             registry.timer("eval.evaluate.seconds", heuristic=name):
         return evaluate_reconstruction(
@@ -118,7 +126,7 @@ def run_trial(topology: WebGraph, config: SimulationConfig,
               heuristics: Mapping[str, SessionReconstructor] | None = None,
               cache_dir: str | None = None, *,
               workers: int | None = None, mode: str = "auto",
-              supervision=None, checkpoint=None,
+              engine: str = "object", supervision=None, checkpoint=None,
               resume: bool = False) -> TrialResult:
     """Simulate one population and evaluate every heuristic on its log.
 
@@ -137,6 +145,9 @@ def run_trial(topology: WebGraph, config: SimulationConfig,
             reconcile).
         mode: parallel execution mode; ignored when ``workers`` is
             ``None``.
+        engine: reconstruction data plane, ``"object"`` (default) or
+            ``"columnar"``; heuristics without columnar support keep the
+            object path (results are identical either way).
         supervision: optional
             :class:`~repro.parallel.supervisor.RetryPolicy` — parallel
             scoring then survives worker crashes and hangs at per-
@@ -155,8 +166,8 @@ def run_trial(topology: WebGraph, config: SimulationConfig,
     if supervision is not None or checkpoint is not None:
         return _run_trial_supervised(
             topology, config, heuristics, cache_dir, workers=workers,
-            mode=mode, supervision=supervision, checkpoint=checkpoint,
-            resume=resume)
+            mode=mode, engine=engine, supervision=supervision,
+            checkpoint=checkpoint, resume=resume)
     registry = get_registry()
     if heuristics is None:
         heuristics = standard_heuristics(topology)
@@ -170,13 +181,15 @@ def run_trial(topology: WebGraph, config: SimulationConfig,
             simulation = simulate_population(topology, config)
     tasks = list(heuristics.items())
     if workers is None:
-        reports = {name: _score_heuristic((name, heuristic), simulation)
+        reports = {name: _score_heuristic((name, heuristic), simulation,
+                                          engine=engine)
                    for name, heuristic in tasks}
     else:
         from repro.parallel import parallel_map
 
         scored = parallel_map(
-            functools.partial(_score_heuristic, simulation=simulation),
+            functools.partial(_score_heuristic, simulation=simulation,
+                              engine=engine),
             tasks, workers=workers, mode=mode)
         reports = {task[0]: report for task, report in zip(tasks, scored)}
     if registry.enabled:
@@ -236,7 +249,8 @@ class SweepResult:
 
 def _run_sweep_point(value: float, topology: WebGraph,
                      base_config: SimulationConfig, parameter: str,
-                     heuristic_factory, cache_dir: str | None) -> TrialResult:
+                     heuristic_factory, cache_dir: str | None,
+                     engine: str = "object") -> TrialResult:
     """Run one sweep point (parallel work unit; module-level to pickle)."""
     registry = get_registry()
     config = base_config.with_(**{parameter: value})
@@ -244,7 +258,8 @@ def _run_sweep_point(value: float, topology: WebGraph,
                   else None)
     with registry.span("sweep.point", parameter=parameter, value=value), \
             registry.timer("eval.sweep.point.seconds"):
-        trial = run_trial(topology, config, heuristics, cache_dir=cache_dir)
+        trial = run_trial(topology, config, heuristics, cache_dir=cache_dir,
+                          engine=engine)
     if registry.enabled:
         registry.counter("eval.sweep.points").inc()
         for name, accuracy in trial.accuracies().items():
@@ -258,7 +273,7 @@ def sweep(topology: WebGraph, base_config: SimulationConfig, parameter: str,
           values: Sequence[float],
           heuristic_factory=None, cache_dir: str | None = None, *,
           workers: int | None = None, mode: str = "auto",
-          supervision=None, checkpoint=None,
+          engine: str = "object", supervision=None, checkpoint=None,
           resume: bool = False) -> SweepResult:
     """Vary one simulation parameter, evaluating all heuristics per value.
 
@@ -278,6 +293,9 @@ def sweep(topology: WebGraph, base_config: SimulationConfig, parameter: str,
             with value-labelled gauges).
         mode: parallel execution mode; ignored when ``workers`` is
             ``None``.
+        engine: reconstruction data plane for every point — ``"object"``
+            (default) or ``"columnar"`` (heuristics without columnar
+            support keep the object path; accuracies are identical).
         supervision: optional
             :class:`~repro.parallel.supervisor.RetryPolicy` — each sweep
             point becomes a supervised unit of work with crash retry,
@@ -305,13 +323,13 @@ def sweep(topology: WebGraph, base_config: SimulationConfig, parameter: str,
     if supervision is not None or checkpoint is not None:
         return _sweep_supervised(
             topology, base_config, parameter, values, heuristic_factory,
-            cache_dir, workers=workers, mode=mode, supervision=supervision,
-            checkpoint=checkpoint, resume=resume)
+            cache_dir, workers=workers, mode=mode, engine=engine,
+            supervision=supervision, checkpoint=checkpoint, resume=resume)
 
     point = functools.partial(
         _run_sweep_point, topology=topology, base_config=base_config,
         parameter=parameter, heuristic_factory=heuristic_factory,
-        cache_dir=cache_dir)
+        cache_dir=cache_dir, engine=engine)
     if workers is None:
         trials = [point(value) for value in values]
     else:
@@ -370,7 +388,8 @@ def _simulate_for_trial(topology: WebGraph, config: SimulationConfig,
 
 
 def _score_heuristic_captured(task: tuple[str, SessionReconstructor],
-                              simulation: SimulationResult
+                              simulation: SimulationResult,
+                              engine: str = "object"
                               ) -> tuple[AccuracyReport, dict | None]:
     """Score one heuristic under a private registry; return both.
 
@@ -380,26 +399,29 @@ def _score_heuristic_captured(task: tuple[str, SessionReconstructor],
     """
     ambient = get_registry()
     if not ambient.enabled:
-        return _score_heuristic(task, simulation), None
+        return _score_heuristic(task, simulation, engine=engine), None
     local = Registry()
     with use_local_registry(local):
-        report = _score_heuristic(task, simulation)
+        report = _score_heuristic(task, simulation, engine=engine)
     return report, local.snapshot()
 
 
 def _run_sweep_point_captured(value: float, topology: WebGraph,
                               base_config: SimulationConfig, parameter: str,
-                              heuristic_factory, cache_dir: str | None
+                              heuristic_factory, cache_dir: str | None,
+                              engine: str = "object"
                               ) -> tuple[TrialResult, dict | None]:
     """Run one sweep point under a private registry; return both."""
     ambient = get_registry()
     if not ambient.enabled:
         return _run_sweep_point(value, topology, base_config, parameter,
-                                heuristic_factory, cache_dir), None
+                                heuristic_factory, cache_dir,
+                                engine=engine), None
     local = Registry()
     with use_local_registry(local):
         trial = _run_sweep_point(value, topology, base_config, parameter,
-                                 heuristic_factory, cache_dir)
+                                 heuristic_factory, cache_dir,
+                                 engine=engine)
     return trial, local.snapshot()
 
 
@@ -434,7 +456,8 @@ def _trial_from_payload(payload: Mapping[str, Any]) -> TrialResult:
 
 def _run_trial_supervised(topology: WebGraph, config: SimulationConfig,
                           heuristics, cache_dir: str | None, *,
-                          workers: int | None, mode: str, supervision,
+                          workers: int | None, mode: str,
+                          engine: str = "object", supervision,
                           checkpoint, resume: bool) -> TrialResult:
     """:func:`run_trial` with supervision and/or checkpointing active."""
     from repro.parallel.supervisor import supervised_map
@@ -503,7 +526,7 @@ def _run_trial_supervised(topology: WebGraph, config: SimulationConfig,
     try:
         if pending:
             score = functools.partial(_score_heuristic_captured,
-                                      simulation=simulation)
+                                      simulation=simulation, engine=engine)
             if workers is None:
                 for task in pending:
                     record(task[0], score(task))
@@ -545,7 +568,8 @@ def _run_trial_supervised(topology: WebGraph, config: SimulationConfig,
 def _sweep_supervised(topology: WebGraph, base_config: SimulationConfig,
                       parameter: str, values: Sequence[float],
                       heuristic_factory, cache_dir: str | None, *,
-                      workers: int | None, mode: str, supervision,
+                      workers: int | None, mode: str,
+                      engine: str = "object", supervision,
                       checkpoint, resume: bool) -> SweepResult:
     """:func:`sweep` with supervision and/or checkpointing active."""
     from repro.parallel.supervisor import supervised_map
@@ -578,7 +602,8 @@ def _sweep_supervised(topology: WebGraph, base_config: SimulationConfig,
     point = functools.partial(
         _run_sweep_point_captured, topology=topology,
         base_config=base_config, parameter=parameter,
-        heuristic_factory=heuristic_factory, cache_dir=cache_dir)
+        heuristic_factory=heuristic_factory, cache_dir=cache_dir,
+        engine=engine)
 
     computed: dict[int, tuple[TrialResult, dict | None]] = {}
 

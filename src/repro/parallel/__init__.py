@@ -46,6 +46,7 @@ from repro.parallel.engine import (
     resolve_workers,
     shard_by_key,
     shard_by_user,
+    shard_by_user_columns,
 )
 from repro.parallel.supervisor import (
     ChunkFailure,
@@ -73,5 +74,6 @@ __all__ = [
     "resolve_workers",
     "shard_by_key",
     "shard_by_user",
+    "shard_by_user_columns",
     "supervised_map",
 ]

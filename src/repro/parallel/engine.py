@@ -49,6 +49,7 @@ __all__ = [
     "paused_gc",
     "shard_by_key",
     "shard_by_user",
+    "shard_by_user_columns",
 ]
 
 #: target chunks per worker: >1 so a slow chunk doesn't serialize the
@@ -372,3 +373,54 @@ def shard_by_user(requests: Iterable[Request]) -> list[list[Request]]:
     performs serially.
     """
     return shard_by_key(requests, lambda request: request.user_id)
+
+
+def shard_by_user_columns(items: Sequence[tuple[str, Sequence[Request]]],
+                          symbols, shards: int | None = None,
+                          backend: str | None = None) -> list[list[Any]]:
+    """Shard users into blocks of interned column buffers.
+
+    The columnar analogue of :func:`shard_by_user` — and the fix for the
+    A17 regression it measured: instead of per-chunk ``Request`` object
+    lists, workers receive :class:`~repro.core.columnar.UserColumns`
+    byte buffers, so the pool payload shrinks to well under half the
+    bytes (12 wire bytes per plain-CLF request against ~30 pickled) and,
+    decisively, decoding becomes a buffer copy instead of per-object
+    reconstruction — serialization stops eating the fan-out win.
+
+    Args:
+        items: ``(user_id, chronological requests)`` pairs, in the order
+            output must be reassembled.
+        symbols: the run's :class:`~repro.core.columnar.SymbolTable`
+            (page ids are interned into it as a side effect).
+        shards: target block count; defaults to
+            :data:`CHUNKS_PER_WORKER` blocks per usable CPU.
+        backend: columnar backend override (``None`` = auto).
+
+    Returns:
+        Contiguous user blocks, balanced by request count — concatenating
+        per-block results in order reproduces serial user order.
+    """
+    from repro.core.columnar import UserColumns
+
+    columns = [UserColumns.from_requests(user_id, requests, symbols,
+                                         backend=backend)
+               for user_id, requests in items]
+    if shards is None:
+        shards = available_cpus() * CHUNKS_PER_WORKER
+    shards = max(1, min(shards, len(columns)))
+    total = sum(len(column) for column in columns)
+    blocks: list[list[Any]] = []
+    block: list[Any] = []
+    block_records = 0
+    target = total / shards if shards else 0
+    for column in columns:
+        block.append(column)
+        block_records += len(column)
+        if block_records >= target and len(blocks) < shards - 1:
+            blocks.append(block)
+            block = []
+            block_records = 0
+    if block:
+        blocks.append(block)
+    return blocks

@@ -16,7 +16,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterable, Sequence
 
-from repro.exceptions import ReconstructionError
+from repro.exceptions import ConfigurationError, ReconstructionError
 from repro.obs import SIZE_BUCKETS, get_registry
 from repro.sessions.model import Request, Session, SessionSet
 
@@ -41,6 +41,19 @@ class SessionReconstructor(ABC):
     name: str = "base"
     #: human-readable label used in reports and plots.
     label: str = "abstract reconstructor"
+    #: whether :meth:`reconstruct` accepts ``engine="columnar"`` — set by
+    #: subclasses that implement :meth:`_columnar_plane`.
+    supports_columnar: bool = False
+
+    def _columnar_plane(self):
+        """The heuristic's :class:`~repro.core.columnar.ColumnarPlane`.
+
+        Only called when :attr:`supports_columnar` is true; subclasses
+        that set the flag must override this (and should cache the plane,
+        so the symbol table is interned once per heuristic instance).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares no columnar plane")
 
     @abstractmethod
     def reconstruct_user(self, requests: Sequence[Request]) -> list[Session]:
@@ -56,7 +69,8 @@ class SessionReconstructor(ABC):
 
     def reconstruct(self, requests: Iterable[Request], *,
                     workers: int | None = None,
-                    mode: str = "auto", supervision=None) -> SessionSet:
+                    mode: str = "auto", supervision=None,
+                    engine: str = "object") -> SessionSet:
         """Reconstruct sessions for a whole (possibly multi-user) stream.
 
         The stream is partitioned by ``user_id``; each user's sub-stream is
@@ -81,15 +95,32 @@ class SessionReconstructor(ABC):
                 backoff, pool respawn, serial degradation), with output
                 still byte-identical to the serial run.  Ignored when
                 ``workers`` is ``None``.
+            engine: ``"object"`` (default) runs :meth:`reconstruct_user`
+                per user; ``"columnar"`` runs the heuristic's vectorized
+                data plane (:mod:`repro.core.columnar`) over interned
+                int columns — same session *set*, deterministic but
+                possibly different construction order, and parallel
+                fan-out ships compact column buffers instead of pickled
+                request lists.  Only heuristics with
+                :attr:`supports_columnar` accept it.
 
         Raises:
             ReconstructionError: if any request has a negative timestamp.
-            ConfigurationError: for an invalid ``workers`` or ``mode``.
+            ConfigurationError: for an invalid ``workers``, ``mode`` or
+                ``engine``, or ``engine="columnar"`` on a heuristic
+                without a columnar plane.
             ExecutionError: a chunk exhausted its retries under
                 ``supervision`` with ``on_failure="raise"``.
         """
         from repro.parallel import parallel_map, paused_gc
 
+        if engine not in ("object", "columnar"):
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; use 'object' or 'columnar'")
+        if engine == "columnar" and not self.supports_columnar:
+            raise ConfigurationError(
+                f"heuristic {self.name!r} has no columnar data plane; "
+                "use engine='object'")
         registry = get_registry()
         # The whole batch — partitioning, sorting, reconstruction and the
         # result set — only allocates objects that stay live until it
@@ -115,7 +146,21 @@ class SessionReconstructor(ABC):
                                    heuristic=self.name):
                 for user_requests in per_user.values():
                     user_requests.sort(key=lambda r: r.timestamp)
-                if workers is None:
+                if engine == "columnar":
+                    from repro.core import columnar
+                    plane = self._columnar_plane()
+                    with registry.span("sessions.columnar",
+                                       heuristic=self.name), \
+                            registry.timer("sessions.columnar.seconds",
+                                           heuristic=self.name):
+                        if workers is None:
+                            sessions.extend(columnar.reconstruct_serial(
+                                plane, per_user))
+                        else:
+                            sessions.extend(columnar.reconstruct_parallel(
+                                plane, per_user, workers=workers,
+                                mode=mode, supervision=supervision))
+                elif workers is None:
                     for user_requests in per_user.values():
                         sessions.extend(
                             self.reconstruct_user(user_requests))

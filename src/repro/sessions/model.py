@@ -127,6 +127,25 @@ class Session:
         return cls(Request(start + i * gap, user_id, page)
                    for i, page in enumerate(pages))
 
+    @classmethod
+    def from_trusted_parts(cls, requests: tuple[Request, ...]) -> "Session":
+        """Construct from an already-validated request tuple, skipping checks.
+
+        The columnar data plane (:mod:`repro.core.columnar`) proves the
+        timestamp-ordering and single-user invariants on integer columns
+        before materializing, so re-walking the tuple here would double the
+        boundary cost for nothing.  Same contract as the fast path inside
+        :meth:`extended`: the caller guarantees the invariants hold.
+
+        The page view is built lazily on first :attr:`pages` access —
+        consumers that stay on the request view (or on the plane's index
+        output) never pay for it.
+        """
+        session = cls.__new__(cls)
+        session._requests = requests
+        session._pages = None
+        return session
+
     def extended(self, request: Request) -> "Session":
         """Return a new session with ``request`` appended.
 
@@ -155,7 +174,7 @@ class Session:
                 )
         session = Session.__new__(Session)
         session._requests = self._requests + (request,)
-        session._pages = self._pages + (request.page,)
+        session._pages = self.pages + (request.page,)
         return session
 
     # -- sequence protocol -------------------------------------------------
@@ -181,7 +200,7 @@ class Session:
         return hash(self._requests)
 
     def __repr__(self) -> str:
-        return f"Session({list(self._pages)!r})"
+        return f"Session({list(self.pages)!r})"
 
     # -- views -------------------------------------------------------------
 
@@ -192,8 +211,15 @@ class Session:
 
     @property
     def pages(self) -> tuple[str, ...]:
-        """Page ids in visit order (the view the capture metric compares)."""
-        return self._pages
+        """Page ids in visit order (the view the capture metric compares).
+
+        Sessions built by :meth:`from_trusted_parts` compute this lazily
+        on first access and cache it.
+        """
+        pages = self._pages
+        if pages is None:
+            pages = self._pages = tuple(r.page for r in self._requests)
+        return pages
 
     @property
     def user_id(self) -> str:
@@ -245,7 +271,7 @@ class Session:
 
     def distinct_pages(self) -> frozenset[str]:
         """The set of page ids visited in this session."""
-        return frozenset(self._pages)
+        return frozenset(self.pages)
 
     def canonical_key(self) -> tuple[str, tuple[tuple[float, str, bool], ...]]:
         """An engine-independent identity for differential comparison.

@@ -50,12 +50,22 @@ class DurationHeuristic(SessionReconstructor):
 
     name = "heur1"
     label = "time-oriented (total duration ≤ 30 min)"
+    supports_columnar = True
 
     def __init__(self, max_duration: float = DEFAULT_SESSION_DURATION) -> None:
         if max_duration <= 0:
             raise ConfigurationError(
                 f"max_duration must be positive, got {max_duration}")
         self.max_duration = max_duration
+        self._plane = None
+
+    def _columnar_plane(self):
+        plane = self._plane
+        if plane is None:
+            from repro.core.columnar import ColumnarPlane
+            plane = self._plane = ColumnarPlane.split_only(
+                max_duration=self.max_duration)
+        return plane
 
     def reconstruct_user(self, requests: Sequence[Request]) -> list[Session]:
         sessions: list[Session] = []
@@ -84,12 +94,22 @@ class PageStayHeuristic(SessionReconstructor):
 
     name = "heur2"
     label = "time-oriented (page stay ≤ 10 min)"
+    supports_columnar = True
 
     def __init__(self, max_gap: float = DEFAULT_PAGE_STAY) -> None:
         if max_gap <= 0:
             raise ConfigurationError(
                 f"max_gap must be positive, got {max_gap}")
         self.max_gap = max_gap
+        self._plane = None
+
+    def _columnar_plane(self):
+        plane = self._plane
+        if plane is None:
+            from repro.core.columnar import ColumnarPlane
+            plane = self._plane = ColumnarPlane.split_only(
+                max_gap=self.max_gap)
+        return plane
 
     def reconstruct_user(self, requests: Sequence[Request]) -> list[Session]:
         sessions: list[Session] = []

@@ -25,7 +25,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from scipy import stats
+try:                                    # optional: only the statistical
+    from scipy import stats             # validation layer needs scipy
+except ImportError:                     # (numpy-less installs run the
+    stats = None                        # columnar fallback without it)
 
 from repro.exceptions import SimulationError
 from repro.simulator.population import SimulationResult
@@ -99,6 +102,10 @@ def validate_simulation(result: SimulationResult,
     Raises:
         SimulationError: if the simulation is too small to test.
     """
+    if stats is None:
+        raise SimulationError(
+            "simulation validation needs scipy (goodness-of-fit tests); "
+            "install it or skip validate_simulation")
     config = result.config
     gaps: list[float] = []
     landings = 0

@@ -1,0 +1,124 @@
+"""Property tests: the columnar plane equals the object path everywhere.
+
+Three equivalences, each over hypothesis-generated multi-user streams with
+equal-timestamp ties and δ/ρ-boundary gaps:
+
+* Phase-1 split boundaries (``Phase1Only``) are identical to the object
+  path's — in the numpy backend *and* the stdlib fallback;
+* the full Smart-SRA columnar engine reconstructs the same canonical
+  session set as the object engine;
+* the fallback backend's output is *exactly* (order included) the numpy
+  backend's.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.columnar import COLUMNAR_FALLBACK_ENV, numpy_available
+from repro.core.smart_sra import Phase1Only, SmartSRA
+from repro.sessions.model import Request
+from repro.topology.generators import random_site
+
+DELTA = 30.0 * 60.0
+RHO = 10.0 * 60.0
+
+
+@st.composite
+def multi_user_stream(draw):
+    """A stream engineered to sit on the interesting boundaries: gaps
+    cluster around ρ and δ (exactly equal included), and timestamps
+    repeat to exercise equal-time tie handling."""
+    seed = draw(st.integers(0, 10_000))
+    n_pages = draw(st.integers(2, 16))
+    density = draw(st.floats(0.5, min(5.0, n_pages - 1)))
+    graph = random_site(n_pages, density, start_fraction=0.5, seed=seed)
+    pages = sorted(graph.pages)
+    rng = random.Random(seed + 1)
+    n_users = draw(st.integers(1, 4))
+    requests = []
+    for user in range(n_users):
+        length = draw(st.integers(0, 16))
+        clock = float(draw(st.integers(0, 3)))
+        for __ in range(length):
+            gap = draw(st.sampled_from(
+                [0.0, 0.0, 1.0, 30.0, RHO - 1.0, RHO, RHO + 1.0,
+                 DELTA - 1.0, DELTA, DELTA + 1.0]))
+            clock += gap
+            requests.append(Request(clock, f"user{user}",
+                                    rng.choice(pages)))
+    return graph, requests
+
+
+def _canonical(sessions):
+    return sorted(tuple((r.timestamp, r.user_id, r.page)
+                        for r in session.requests)
+                  for session in sessions)
+
+
+@contextlib.contextmanager
+def _forced_fallback():
+    previous = os.environ.get(COLUMNAR_FALLBACK_ENV)
+    os.environ[COLUMNAR_FALLBACK_ENV] = "1"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(COLUMNAR_FALLBACK_ENV, None)
+        else:
+            os.environ[COLUMNAR_FALLBACK_ENV] = previous
+
+
+def _boundaries(sessions):
+    """Phase-1 split boundaries as (user, first-ts, length) triples."""
+    return sorted((s.requests[0].user_id, s.requests[0].timestamp, len(s))
+                  for s in sessions)
+
+
+@settings(max_examples=80, deadline=None)
+@given(multi_user_stream())
+def test_phase1_split_boundaries_match_object_path(data):
+    graph, requests = data
+    object_sessions = Phase1Only().reconstruct(requests)
+    columnar_sessions = Phase1Only().reconstruct(requests,
+                                                 engine="columnar")
+    assert _boundaries(columnar_sessions) == _boundaries(object_sessions)
+    assert _canonical(columnar_sessions) == _canonical(object_sessions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(multi_user_stream())
+def test_phase1_split_boundaries_match_in_fallback(data):
+    graph, requests = data
+    object_sessions = Phase1Only().reconstruct(requests)
+    with _forced_fallback():
+        fallback_sessions = Phase1Only().reconstruct(requests,
+                                                     engine="columnar")
+    assert _boundaries(fallback_sessions) == _boundaries(object_sessions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(multi_user_stream())
+def test_smart_sra_columnar_equals_object_canonically(data):
+    graph, requests = data
+    smart = SmartSRA(graph)
+    assert (_canonical(smart.reconstruct(requests, engine="columnar"))
+            == _canonical(smart.reconstruct(requests)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(multi_user_stream())
+def test_fallback_backend_exactly_equals_numpy(data):
+    if not numpy_available():
+        return  # the whole suite already runs on the fallback
+    graph, requests = data
+    numpy_sessions = SmartSRA(graph).reconstruct(requests,
+                                                 engine="columnar")
+    with _forced_fallback():
+        fallback_sessions = SmartSRA(graph).reconstruct(requests,
+                                                        engine="columnar")
+    assert list(fallback_sessions) == list(numpy_sessions)
