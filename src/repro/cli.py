@@ -13,6 +13,9 @@ Subcommands mirror the paper's pipeline:
   feed the log in arrival order, emit sessions as they close;
   ``--memory-budget``/``--overload-policy`` put the resource governor
   in front so tracked state stays bounded under adversarial traffic;
+  ``--shards N`` hash-shards users across crash-safe worker processes
+  (:mod:`repro.streaming.sharded`) with ``--on-shard-failure``
+  selecting failover / shed-shard / raise degradation;
 * ``evaluate``   — score a reconstructed session file against ground truth;
 * ``experiment`` — regenerate Figure 8, 9 or 10 and print the table;
 * ``sweep``      — sweep one simulation parameter (stp/lpp/nip), scoring
@@ -35,13 +38,15 @@ Subcommands mirror the paper's pipeline:
   or — with ``--overload-selftest`` — stream an adversarial crawler+NAT
   workload through the governed pipeline under ``mem-pressure``/
   ``burst`` faults and verify memory stays bounded and the stats
-  ledger reconciles;
+  ledger reconciles, or — with ``--shard-selftest`` — kill sharded
+  stream workers mid-run and verify failover replay reproduces the
+  serial output byte-identically;
 * ``ingest``     — parse a (possibly degraded) log under an explicit
   error policy, with full accounting and a quarantine file;
 * ``doctor``     — audit a ``--checkpoint`` directory (schema, integrity
   hashes, orphans, what a ``--resume`` would skip or redo) or, given
-  overload flags, audit a streaming governor configuration for legal-
-  but-degenerate combinations;
+  overload/sharded flags, audit a streaming governor or sharded-runtime
+  configuration for legal-but-degenerate combinations;
 * ``diffcheck``  — the differential correctness oracle: run a corpus
   through every Smart-SRA execution path (serial, parallel, supervised,
   checkpoint/resume, streaming), verify the paper's five output rules,
@@ -298,6 +303,41 @@ def build_parser() -> argparse.ArgumentParser:
             help="requests held per quarantine channel before it is "
                  "flushed through the finisher")
 
+    def add_sharded_flags(command_parser: argparse.ArgumentParser) -> None:
+        """Sharded-runtime knobs (repro.streaming.sharded); the
+        crash-safe sharded runtime activates when any of them is
+        given."""
+        command_parser.add_argument(
+            "--shards", type=int, default=None, metavar="N",
+            help="hash-shard users across N crash-safe worker "
+                 "processes; sealed output is byte-identical to the "
+                 "single-process run")
+        command_parser.add_argument(
+            "--on-shard-failure", choices=["failover", "shed-shard",
+                                           "raise"], default=None,
+            help="what to do when a shard worker dies or wedges: "
+                 "failover (respawn from the acked capsule and replay "
+                 "the unsealed tail, default), shed-shard (abandon the "
+                 "shard's pending events, counted), or raise")
+        command_parser.add_argument(
+            "--ack-interval", type=int, default=None, metavar="N",
+            help="events between worker progress acks; smaller means "
+                 "less replay after a crash, more capsule traffic")
+        command_parser.add_argument(
+            "--shard-lease", type=float, default=None, metavar="SECONDS",
+            help="wall-clock quiet period with work outstanding after "
+                 "which a worker is declared wedged and failed over")
+        command_parser.add_argument(
+            "--replay-capacity", type=int, default=None, metavar="N",
+            help="unacked events retained per shard for failover "
+                 "replay; routing backpressures when a shard's log is "
+                 "full")
+        command_parser.add_argument(
+            "--replay-dir", metavar="DIR", default=None,
+            help="persist per-shard replay logs here (atomic, "
+                 "digest-sealed) instead of holding them only in "
+                 "coordinator memory")
+
     strm = sub.add_parser("stream",
                           help="incremental (streaming) reconstruction, "
                                "optionally under a memory governor")
@@ -328,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "event-time watermarks instead of only at end "
                            "of stream")
     add_overload_flags(strm)
+    add_sharded_flags(strm)
     add_serve_flags(strm)
 
     ev = sub.add_parser("evaluate", help="score reconstruction vs truth")
@@ -463,9 +504,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--exec-fault", action="append",
                        metavar="KIND:INDEX[:SECONDS[:ATTEMPTS]]",
                        help="execution fault to arm (with "
-                            "--exec-selftest), repeatable: crash-chunk, "
-                            "hang-chunk, slow-chunk, corrupt-checkpoint; "
-                            "default: crash-chunk:1 and hang-chunk:2:30")
+                            "--exec-selftest or --shard-selftest), "
+                            "repeatable: crash-chunk, hang-chunk, "
+                            "slow-chunk, corrupt-checkpoint, "
+                            "kill-worker, wedge-worker, drop-pipe; "
+                            "default: crash-chunk:1 and hang-chunk:2:30 "
+                            "(one kill-worker per shard for "
+                            "--shard-selftest)")
     chaos.add_argument("--selftest-items", type=int, default=64,
                        help="work items for --exec-selftest (default 64)")
     chaos.add_argument("--selftest-workers", type=int, default=2,
@@ -486,9 +531,20 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--overload-spill-dir", metavar="DIR",
                        help="spill directory for --overload-selftest "
                             "with policy block")
+    chaos.add_argument("--shard-selftest", action="store_true",
+                       help="run the sharded-failover selftest: kill "
+                            "stream workers mid-run (--exec-fault "
+                            "kill-worker/wedge-worker/drop-pipe specs, "
+                            "default one kill per shard) and verify the "
+                            "sealed output is byte-identical to the "
+                            "serial run and the ledger reconciles")
+    chaos.add_argument("--selftest-shards", type=int, default=2,
+                       help="worker processes for --shard-selftest "
+                            "(default 2)")
     chaos.add_argument("--json", action="store_true", dest="as_json",
-                       help="emit the --overload-selftest verdict as a "
-                            "JSON document instead of text")
+                       help="emit the --overload-selftest or "
+                            "--shard-selftest verdict as a JSON "
+                            "document instead of text")
 
     ing = sub.add_parser("ingest",
                          help="parse a degraded log under an error policy")
@@ -515,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the audit as a JSON document instead "
                              "of text")
     add_overload_flags(doctor)
+    add_sharded_flags(doctor)
     # telemetry flags are auditable too: doctor never starts a server,
     # it vets the configuration (interval, port, ring size vs budget).
     add_serve_flags(doctor)
@@ -771,6 +828,80 @@ def _governor_from(args: argparse.Namespace):
     return GovernorConfig(**overrides)
 
 
+#: CLI flag dest -> ShardedConfig field, for _sharded_from.
+_SHARDED_FLAGS = {"shards": "shards",
+                  "on_shard_failure": "on_shard_failure",
+                  "ack_interval": "ack_interval",
+                  "shard_lease": "lease",
+                  "replay_capacity": "replay_capacity",
+                  "replay_dir": "replay_dir"}
+
+
+def _sharded_from(args: argparse.Namespace):
+    """Build a ShardedConfig from the sharded flags (None = in-process).
+
+    The crash-safe sharded runtime activates when any flag is given;
+    unset companions take the :class:`ShardedConfig` defaults.
+    """
+    if all(getattr(args, flag, None) is None for flag in _SHARDED_FLAGS):
+        return None
+    from repro.streaming.sharded import ShardedConfig
+    overrides = {field: getattr(args, flag)
+                 for flag, field in _SHARDED_FLAGS.items()
+                 if getattr(args, flag, None) is not None}
+    return ShardedConfig(**overrides)
+
+
+def _stream_sharded(args: argparse.Namespace, sharded, governor) -> int:
+    """The ``repro stream --shards N`` leg: run the crash-safe sharded
+    runtime over the log and report the failover/replay ledger."""
+    from repro.streaming.sharded import ShardedStreamingRuntime
+    topology = None
+    if args.heuristic != "phase1":
+        if not args.topology:
+            print("error: smart-sra requires --topology", file=sys.stderr)
+            return 2
+        topology = load_graph(args.topology)
+    runtime = ShardedStreamingRuntime(
+        topology, sharded=sharded, governor=governor,
+        heuristic=args.heuristic, late_policy=args.late_policy,
+        reorder_window=args.reorder_window, dedup=args.dedup)
+    from repro.logs.ingest import IngestReport
+    report = IngestReport()
+    with open(args.log, encoding="utf-8") as handle:
+        result = runtime.run(
+            iter_requests(iter_clf_lines(handle, skip_malformed=True,
+                                         report=report)),
+            flush_interval=args.flush_every or None)
+    _note_drops(report)
+    result.sessions.save(args.output)
+    stats = result.stats
+    print(f"streamed {stats.fed} requests -> {stats.sealed_sessions} "
+          f"sessions ({args.heuristic}, {stats.shards} shards, "
+          f"on-failure {sharded.on_shard_failure})")
+    print(f"  ledger: routed {stats.routed}, replayed {stats.replayed}, "
+          f"shed {stats.shed} "
+          f"({'reconciles' if stats.reconciles() else 'DOES NOT RECONCILE'})")
+    if (stats.failovers or stats.wedged or stats.worker_deaths
+            or stats.shed_shards):
+        recovery = ", ".join(f"{seconds * 1000.0:.0f}ms"
+                             for seconds in result.recovery_seconds)
+        print(f"  failovers {stats.failovers} (respawns {stats.respawns}, "
+              f"wedged {stats.wedged}, deaths {stats.worker_deaths}, "
+              f"shards shed {stats.shed_shards})"
+              + (f"; recovery {recovery}" if recovery else ""))
+    if stats.replay_integrity_failures:
+        print(f"  replay log integrity failures: "
+              f"{stats.replay_integrity_failures} (replayed from memory)",
+              file=sys.stderr)
+    print(f"wrote {args.output}")
+    if not stats.reconciles():
+        print("error: sharded accounting does not reconcile",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.streaming import streaming_phase1, streaming_smart_sra
     from repro.streaming.governor import GovernedStreamingStats
@@ -779,6 +910,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     governor = _governor_from(args)
+    sharded = _sharded_from(args)
+    if sharded is not None:
+        return _stream_sharded(args, sharded, governor)
     options = dict(late_policy=args.late_policy,
                    reorder_window=args.reorder_window, dedup=args.dedup)
     if args.heuristic == "phase1":
@@ -1160,18 +1294,54 @@ def _chaos_overload_selftest(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _chaos_shard_selftest(args: argparse.Namespace) -> int:
+    """Run the sharded-failover self-test (``chaos --shard-selftest``)."""
+    from repro.faults import run_shard_selftest
+    result = run_shard_selftest(args.exec_fault, shards=args.selftest_shards,
+                                seed=args.seed)
+    ok = (result["identical"] and result["reconciled"]
+          and result["recovered"])
+    if args.as_json:
+        print(json.dumps({**result, "ok": ok}, indent=1, sort_keys=True))
+        return 0 if ok else 1
+    stats = result["stats"]
+    print(f"shard selftest: {result['requests']} requests over "
+          f"{result['shards']} shards with faults "
+          f"{'; '.join(result['specs'])}", file=sys.stderr)
+    print(f"  ledger: routed {stats['routed']}, "
+          f"replayed {stats['replayed']}, shed {stats['shed']} "
+          f"({'reconciles' if result['reconciled'] else 'DOES NOT RECONCILE'})",
+          file=sys.stderr)
+    print(f"  failovers {stats['failovers']} "
+          f"(respawns {stats['respawns']}, wedged {stats['wedged']}, "
+          f"deaths {stats['worker_deaths']}, "
+          f"shards shed {stats['shed_shards']}) -> "
+          f"{'recovered' if result['recovered'] else 'NO FAILOVER FIRED'}",
+          file=sys.stderr)
+    verdict = ("identical to serial" if result["identical"]
+               else "DIVERGED from serial")
+    print(f"  sealed output ({result['sessions']} sessions): {verdict}",
+          file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    if args.exec_selftest and args.overload_selftest:
-        print("error: --exec-selftest and --overload-selftest are "
-              "mutually exclusive", file=sys.stderr)
+    selftests = [flag for flag in ("exec_selftest", "overload_selftest",
+                                   "shard_selftest")
+                 if getattr(args, flag)]
+    if len(selftests) > 1:
+        print("error: --exec-selftest, --overload-selftest and "
+              "--shard-selftest are mutually exclusive", file=sys.stderr)
         return 2
     if args.exec_selftest:
         return _chaos_exec_selftest(args)
     if args.overload_selftest:
         return _chaos_overload_selftest(args)
+    if args.shard_selftest:
+        return _chaos_shard_selftest(args)
     if args.log is None:
-        print("error: --log is required (unless --exec-selftest or "
-              "--overload-selftest)", file=sys.stderr)
+        print("error: --log is required (unless --exec-selftest, "
+              "--overload-selftest or --shard-selftest)", file=sys.stderr)
         return 2
     from repro.faults import chaos_stream, parse_fault_spec
     specs = None
@@ -1248,18 +1418,22 @@ _TELEMETRY_FLAGS = ("serve_metrics", "timeline_interval",
 def _cmd_doctor(args: argparse.Namespace) -> int:
     from repro.parallel.checkpoint import CheckpointStore
     governor = _governor_from(args)
+    sharded = _sharded_from(args)
     telemetry = any(getattr(args, flag, None) is not None
                     for flag in _TELEMETRY_FLAGS)
-    if governor is not None or telemetry:
+    if governor is not None or sharded is not None or telemetry:
         if args.checkpoint is not None:
             print("error: audit either a checkpoint DIR or a "
-                  "configuration (overload/telemetry flags), not both",
-                  file=sys.stderr)
+                  "configuration (overload/sharded/telemetry flags), "
+                  "not both", file=sys.stderr)
             return 2
         audits = []
         if governor is not None:
             from repro.streaming.governor import audit_overload_config
             audits.append(audit_overload_config(governor))
+        if sharded is not None:
+            from repro.streaming.sharded import audit_sharded_config
+            audits.append(audit_sharded_config(sharded, governor))
         if telemetry:
             from repro.obs import audit_telemetry_config
             audits.append(audit_telemetry_config(
@@ -1284,8 +1458,8 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         return 0 if ok else 1
     if args.checkpoint is None:
         print("error: doctor needs a checkpoint DIR to audit, or "
-              "overload/telemetry flags (e.g. --memory-budget, "
-              "--serve-metrics) for a configuration audit",
+              "overload/sharded/telemetry flags (e.g. --memory-budget, "
+              "--shards, --serve-metrics) for a configuration audit",
               file=sys.stderr)
         return 2
     if not os.path.isdir(args.checkpoint):

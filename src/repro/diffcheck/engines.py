@@ -261,6 +261,53 @@ def _streaming_evicting(ctx: EngineContext) -> SessionSet:
     return SessionSet(sessions)
 
 
+def _streaming_sharded(ctx: EngineContext) -> SessionSet:
+    """The crash-safe sharded runtime, fault-free.
+
+    Users hash across two forked worker processes, each running its own
+    governed pipeline; the coordinator seals at the global low-watermark
+    and reassembles.  With no faults injected the sealed output must be
+    byte-identical to serial — partitioning and the wire protocol are
+    pure plumbing.
+    """
+    from repro.streaming import ShardedConfig, ShardedStreamingRuntime
+    from repro.streaming.governor import GovernorConfig
+    runtime = ShardedStreamingRuntime(
+        ctx.topology, ctx.config,
+        sharded=ShardedConfig(shards=2, ack_interval=16),
+        governor=GovernorConfig(memory_budget=1 << 30))
+    result = runtime.run(ctx.requests,
+                         flush_interval=max(ctx.config.max_gap, 1.0))
+    if not result.stats.reconciles():   # surfaces as a divergence
+        return SessionSet([])
+    return result.sessions
+
+
+def _streaming_sharded_chaos(ctx: EngineContext) -> SessionSet:
+    """The sharded runtime with both workers killed mid-stream.
+
+    Each shard's worker is crashed once at a low event ordinal; failover
+    must restore acked state, replay the unsealed tail and still produce
+    sealed output byte-identical to serial.  This is the repo's hardest
+    determinism claim exercised on every diffcheck corpus case.
+    """
+    from repro.parallel import RetryPolicy
+    from repro.streaming import ShardedConfig, ShardedStreamingRuntime
+    from repro.streaming.governor import GovernorConfig
+    retry = RetryPolicy(max_retries=3, deadline=30.0, backoff_base=0.01,
+                        backoff_cap=0.1, seed=ctx.seed)
+    runtime = ShardedStreamingRuntime(
+        ctx.topology, ctx.config,
+        sharded=ShardedConfig(shards=2, ack_interval=16, retry=retry),
+        governor=GovernorConfig(memory_budget=1 << 30))
+    with use_execution_faults("kill-worker:0:5", "kill-worker:1:9"):
+        result = runtime.run(ctx.requests,
+                             flush_interval=max(ctx.config.max_gap, 1.0))
+    if not result.stats.reconciles():   # surfaces as a divergence
+        return SessionSet([])
+    return result.sessions
+
+
 #: name -> engine, in report order.  ``serial`` is the baseline every
 #: other engine is diffed against and must stay first.
 ENGINE_REGISTRY: dict[str, EngineFn] = {
@@ -277,6 +324,8 @@ ENGINE_REGISTRY: dict[str, EngineFn] = {
     "streaming-reorder": _streaming_reorder,
     "streaming-governed": _streaming_governed,
     "streaming-evicting": _streaming_evicting,
+    "streaming-sharded": _streaming_sharded,
+    "streaming-sharded-chaos": _streaming_sharded_chaos,
 }
 
 #: engines whose output is *intentionally* not canonical-identical to

@@ -115,6 +115,18 @@ class TraceError(ReproError):
     """
 
 
+class WireProtocolError(ReproError):
+    """A sharded-runtime pipe frame could not be decoded.
+
+    Raised by :mod:`repro.streaming.wire` when a frame header is
+    malformed, a fixed-width event record has the wrong length, a symbol
+    reference points outside the interning table, or a JSON payload does
+    not parse.  The coordinator treats a protocol error from a worker
+    pipe the same way it treats a worker death: the shard is failed over
+    (or shed, or raised, per policy) rather than trusted.
+    """
+
+
 class ExecutionError(ReproError):
     """A supervised parallel execution exhausted its recovery budget.
 

@@ -34,9 +34,11 @@ from repro.faults.execution import (
     EXEC_FAULTS_ENV,
     ExecutionFault,
     active_exec_faults,
+    inject_shard_fault,
     parse_exec_fault,
     run_exec_selftest,
     run_overload_selftest,
+    run_shard_selftest,
     use_execution_faults,
 )
 from repro.faults.injectors import (
@@ -73,5 +75,7 @@ __all__ = [
     "parse_exec_fault",
     "run_exec_selftest",
     "run_overload_selftest",
+    "run_shard_selftest",
+    "inject_shard_fault",
     "use_execution_faults",
 ]

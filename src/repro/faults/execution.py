@@ -35,6 +35,24 @@ Each spec is ``kind:index[:seconds[:attempts]]``:
   ``C`` (default 64) extra same-timestamp requests from a synthetic
   burst user at feed ordinal ``N`` — models a thundering-herd arrival.
 
+Three further kinds target the *sharded* streaming runtime
+(:mod:`repro.streaming.sharded`), where the unit of failure is a whole
+shard worker rather than a chunk.  For these the spec fields are reused:
+``index`` is the **shard**, ``seconds`` is the worker-local **event
+ordinal** at which the fault fires, and ``attempts`` counts worker
+*incarnations* (so ``attempts=2`` kills the original worker and its
+first respawn):
+
+* ``kill-worker:SHARD[:ORDINAL[:ATTEMPTS]]`` — the shard worker dies
+  with ``os._exit`` just before processing its ``ORDINAL``-th event
+  (default 1, i.e. immediately);
+* ``wedge-worker:SHARD[:ORDINAL]`` — the worker stops making progress
+  (sleeps far past any lease) without dying, so only the coordinator's
+  lease supervision can detect it;
+* ``drop-pipe:SHARD[:ORDINAL]`` — the worker abruptly closes both of
+  its pipe ends and exits cleanly, modelling a torn transport rather
+  than a dead process.
+
 ``attempts`` (default 1) is the number of *attempts* the fault fires for:
 with the default, a chunk crashes on its first attempt and succeeds on
 retry — the canonical transient fault.  Worker faults only ever fire
@@ -62,8 +80,10 @@ __all__ = [
     "use_execution_faults",
     "active_exec_faults",
     "inject_chunk_faults",
+    "inject_shard_fault",
     "corrupt_checkpoint_file",
     "run_overload_selftest",
+    "run_shard_selftest",
 ]
 
 #: environment variable carrying the armed fault plan into pool workers.
@@ -71,13 +91,21 @@ EXEC_FAULTS_ENV = "REPRO_EXEC_FAULTS"
 
 #: the recognized execution-fault kinds.
 EXEC_FAULT_KINDS = ("crash-chunk", "hang-chunk", "slow-chunk",
-                    "corrupt-checkpoint", "mem-pressure", "burst")
+                    "corrupt-checkpoint", "mem-pressure", "burst",
+                    "kill-worker", "wedge-worker", "drop-pipe")
 
 #: default sleep, per kind, when the spec names no explicit duration.
 #: (For ``mem-pressure`` the field is a budget-shrink factor; for
-#: ``burst`` it is a request count — the spec grammar is shared.)
+#: ``burst`` it is a request count; for the shard-worker kinds it is the
+#: worker-local event ordinal — the spec grammar is shared.)
 _DEFAULT_SECONDS = {"hang-chunk": 30.0, "slow-chunk": 0.25,
-                    "mem-pressure": 0.5, "burst": 64.0}
+                    "mem-pressure": 0.5, "burst": 64.0,
+                    "kill-worker": 1.0, "wedge-worker": 1.0,
+                    "drop-pipe": 1.0}
+
+#: how long a wedged shard worker sleeps — far past any sane lease, so
+#: only the coordinator's lease supervision ends it.
+_WEDGE_SECONDS = 3600.0
 
 #: exit status of a fault-crashed worker (distinctive in core dumps/strace).
 _CRASH_EXIT_STATUS = 23
@@ -202,6 +230,40 @@ def inject_chunk_faults(chunk_index: int, attempt: int) -> None:
             # a real crash: no exception, no cleanup, no exit handlers —
             # the pool parent observes BrokenProcessPool.
             os._exit(_CRASH_EXIT_STATUS)
+
+
+def inject_shard_fault(shard: int, ordinal: int,
+                       incarnation: int) -> str | None:
+    """Apply any armed shard-worker fault matching this processing point.
+
+    Called by the sharded streaming worker just before processing the
+    event with worker-local 1-based ``ordinal``.  ``incarnation`` is 0
+    for the originally spawned worker and increments on every respawn,
+    and plays the role the retry *attempt* plays for chunk faults — a
+    fault with ``attempts=2`` fires for incarnations 0 and 1.
+
+    ``kill-worker`` exits the process immediately (no cleanup, exit
+    status :data:`_CRASH_EXIT_STATUS`); ``wedge-worker`` sleeps far past
+    any lease so the coordinator must detect the stall itself.
+    ``drop-pipe`` cannot be applied here — the pipe file descriptors
+    belong to the caller — so it is *reported*: the function returns the
+    string ``"drop-pipe"`` and the worker tears its transport down.
+    Returns ``None`` when nothing fires.  Only ever fires inside a
+    worker process, like :func:`inject_chunk_faults`.
+    """
+    faults = active_exec_faults()
+    if not faults or not _in_worker_process():
+        return None
+    for fault in faults:
+        if int(fault.seconds) != ordinal:
+            continue
+        if fault.fires("kill-worker", shard, incarnation):
+            os._exit(_CRASH_EXIT_STATUS)
+        if fault.fires("wedge-worker", shard, incarnation):
+            time.sleep(_WEDGE_SECONDS)
+        if fault.fires("drop-pipe", shard, incarnation):
+            return "drop-pipe"
+    return None
 
 
 def corrupt_checkpoint_file(path: str, ordinal: int) -> bool:
@@ -341,5 +403,74 @@ def run_overload_selftest(specs: list[str], *, budget: int = 48 * 1024,
             "quarantine_flushes": stats.quarantine_flushes,
             "cap_strikes": stats.cap_strikes,
             "late_dropped": stats.late_dropped,
+        },
+    }
+
+
+def run_shard_selftest(specs: list[str] | None = None, *, shards: int = 2,
+                       seed: int = 0, lease: float = 5.0) -> dict:
+    """Run the sharded-failover selftest (``repro chaos --shard-selftest``).
+
+    Streams an adversarial crawler + NAT workload through the sharded
+    runtime with worker faults armed (default: two ``kill-worker``
+    faults, one per shard) and checks the crash-safety contract end to
+    end: the sealed output is byte-identical — by canonical digest — to
+    the serial governed run of the same workload, the sharded ledger
+    reconciles (fed == routed + replayed + shed), and at least one
+    failover actually happened when a fault was armed.  Returns a plain
+    dict with the three verdicts plus the runtime counters.
+    """
+    from repro.sessions.model import SessionSet
+    from repro.simulator.adversarial import adversarial_workload
+    from repro.streaming.governor import GovernorConfig
+    from repro.streaming.pipeline import streaming_smart_sra
+    from repro.streaming.sharded import (ShardedConfig,
+                                         ShardedStreamingRuntime)
+    from repro.topology.generators import random_site
+
+    topology = random_site(n_pages=100, avg_out_degree=5.0, seed=seed)
+    workload = adversarial_workload(
+        topology, crawlers=2, crawler_requests=300, crawler_interval=5.0,
+        nat_pools=2, humans_per_pool=8, normal_agents=6, seed=seed)
+    # generous budget: per-user caps and quarantine still exercise the
+    # governor, but global eviction (which is shard-order dependent)
+    # never fires, keeping the byte-identity contract in scope.
+    governor = GovernorConfig(memory_budget=1 << 30, per_user_cap=64,
+                              quarantine_after=2, quarantine_cap=256)
+
+    serial = streaming_smart_sra(topology, governor=governor)
+    sessions = serial.feed_many(workload)
+    sessions.extend(serial.flush())
+    expected = SessionSet(sessions).canonical_digest()
+
+    if specs is None:
+        specs = ["kill-worker:0:40", f"kill-worker:{shards - 1}:60"]
+    shard_kinds = ("kill-worker", "wedge-worker", "drop-pipe")
+    armed = any(spec.split(":", 1)[0] in shard_kinds for spec in specs)
+    with use_execution_faults(*specs):
+        runtime = ShardedStreamingRuntime(
+            topology, governor=governor,
+            sharded=ShardedConfig(shards=shards, ack_interval=16,
+                                  lease=lease))
+        result = runtime.run(workload)
+    stats = result.stats
+    disturbed = stats.failovers + stats.shed_shards
+    return {
+        "identical": result.sessions.canonical_digest() == expected,
+        "reconciled": stats.reconciles(),
+        "recovered": (disturbed >= 1) if armed else True,
+        "specs": list(specs),
+        "shards": shards,
+        "requests": stats.fed,
+        "sessions": len(result.sessions),
+        "stats": {
+            "routed": stats.routed,
+            "replayed": stats.replayed,
+            "shed": stats.shed,
+            "failovers": stats.failovers,
+            "respawns": stats.respawns,
+            "wedged": stats.wedged,
+            "worker_deaths": stats.worker_deaths,
+            "shed_shards": stats.shed_shards,
         },
     }

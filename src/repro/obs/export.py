@@ -59,7 +59,11 @@ def health_report(snapshot: dict[str, Any]) -> dict[str, Any]:
     * the supervisor exhausted retries and **skipped** chunks (output is
       incomplete);
     * the supervisor fell back to degraded serial execution (still
-      correct, but the parallel engine is gone — worth a page).
+      correct, but the parallel engine is gone — worth a page);
+    * a sharded-runtime worker is dead (``sharded.shard.alive{shard=N}``
+      is 0) or its watermark lags the global head beyond the configured
+      threshold — each degraded shard contributes its own structured
+      reason, so a probe can tell *which* shard is hurting.
     """
     gauges = snapshot.get("gauges", {})
     counters = snapshot.get("counters", {})
@@ -95,10 +99,40 @@ def health_report(snapshot: dict[str, Any]) -> dict[str, Any]:
             reasons.append(f"supervisor degraded {degraded} chunk(s) to "
                            f"serial execution")
 
+    sharded: dict[str, Any] | None = None
+    if gauges.get("sharded.shards", 0):
+        lag_threshold = gauges.get("sharded.config.max_watermark_lag", 0)
+        shards_status: dict[str, dict[str, Any]] = {}
+        for series, value in gauges.items():
+            name, _, label = series.partition("{")
+            if not name.startswith("sharded.shard.") or not label:
+                continue
+            shard = label.rstrip("}").partition("=")[2]
+            entry = shards_status.setdefault(shard, {})
+            entry[name.rsplit(".", 1)[1]] = value
+        for shard in sorted(shards_status, key=int):
+            entry = shards_status[shard]
+            if entry.get("alive", 1) == 0:
+                reasons.append(f"shard {shard}: dead worker")
+            lag = entry.get("watermark_lag", 0)
+            if lag_threshold and lag > lag_threshold:
+                reasons.append(
+                    f"shard {shard}: watermark lag {lag:g}s exceeds "
+                    f"threshold {lag_threshold:g}s")
+        sharded = {
+            "shards": gauges.get("sharded.shards", 0),
+            "max_watermark_lag": lag_threshold,
+            "low_watermark": gauges.get("sharded.watermark.low"),
+            "failovers": counters.get("sharded.failovers", 0),
+            "worker_deaths": counters.get("sharded.worker_deaths", 0),
+            "per_shard": shards_status,
+        }
+
     return {"status": "degraded" if reasons else "ok",
             "reasons": reasons,
             "governor": governor,
-            "supervisor": supervisor}
+            "supervisor": supervisor,
+            "sharded": sharded}
 
 
 class _Handler(BaseHTTPRequestHandler):

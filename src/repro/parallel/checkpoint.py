@@ -42,6 +42,7 @@ from repro.obs import snapshot_digest
 __all__ = [
     "CHECKPOINT_SCHEMA",
     "atomic_write_json",
+    "load_verified_json",
     "MANIFEST_NAME",
     "CheckpointStore",
     "DoctorReport",
@@ -85,6 +86,30 @@ def atomic_write_json(path: str, document: dict[str, Any]) -> None:
         except OSError:
             pass
         raise
+
+
+def load_verified_json(path: str, schema: int) -> dict[str, Any] | None:
+    """Load a schema-versioned, digest-sealed JSON document, else ``None``.
+
+    The counterpart of writing a document whose ``digest`` key is
+    :func:`repro.obs.snapshot_digest` over everything else: any failure
+    mode — missing file, unparseable JSON, wrong schema, digest
+    mismatch — returns ``None``, because the caller's correct response
+    to all of them is the same (recompute, or fall back).  Shared by the
+    checkpoint store and the sharded runtime's
+    :class:`~repro.streaming.sharded.ReplayLog`.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(document, dict) or document.get("schema") != schema:
+        return None
+    stored = document.pop("digest", None)
+    if stored != snapshot_digest(document):
+        return None
+    return document
 
 
 @dataclass(slots=True)
@@ -286,18 +311,7 @@ class CheckpointStore:
 
     @staticmethod
     def _load_verified(path: str) -> dict[str, Any] | None:
-        try:
-            with open(path, encoding="utf-8") as handle:
-                document = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return None
-        if (not isinstance(document, dict)
-                or document.get("schema") != CHECKPOINT_SCHEMA):
-            return None
-        stored = document.pop("digest", None)
-        if stored != snapshot_digest(document):
-            return None
-        return document
+        return load_verified_json(path, CHECKPOINT_SCHEMA)
 
     def completed_units(self, kind: str | None = None
                         ) -> list[dict[str, Any]]:

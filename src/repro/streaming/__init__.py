@@ -27,6 +27,13 @@ For *adversarial* streams — crawlers that never idle, NAT addresses
 aggregating thousands of humans — :mod:`repro.streaming.governor` bounds
 tracked memory under an explicit budget with observable degradation
 (eviction, spill-to-disk, quarantine, shedding) instead of OOM.
+
+For population scale, :mod:`repro.streaming.sharded` hash-shards users
+across crash-safe worker processes: per-shard watermarks with a global
+low-watermark sealing rule, acked state capsules plus bounded replay
+logs so a killed or wedged worker fails over with byte-identical sealed
+output, and policy-driven degradation (``failover`` / ``shed-shard`` /
+``raise``) mirroring the governor.
 """
 
 from repro.streaming.governor import (
@@ -46,6 +53,18 @@ from repro.streaming.pipeline import (
     streaming_phase1,
     streaming_smart_sra,
 )
+from repro.streaming.sharded import (
+    SHARD_FAILURE_POLICIES,
+    ReplayLog,
+    ShardedAudit,
+    ShardedConfig,
+    ShardedRunResult,
+    ShardedStreamingRuntime,
+    ShardedStreamingStats,
+    ShardLedger,
+    audit_sharded_config,
+    shard_for,
+)
 
 __all__ = [
     "StreamingReconstructor",
@@ -61,4 +80,14 @@ __all__ = [
     "audit_overload_config",
     "parse_memory_budget",
     "request_cost",
+    "SHARD_FAILURE_POLICIES",
+    "ShardedConfig",
+    "ShardedStreamingRuntime",
+    "ShardedStreamingStats",
+    "ShardedRunResult",
+    "ShardedAudit",
+    "ShardLedger",
+    "ReplayLog",
+    "audit_sharded_config",
+    "shard_for",
 ]

@@ -1,0 +1,195 @@
+"""Framed binary wire protocol for the sharded streaming runtime.
+
+The coordinator feeds each shard worker over an OS pipe.  Pickling every
+:class:`~repro.sessions.model.Request` would spend most of the pipe
+bandwidth re-sending the same user and page strings (A17 measured this
+for the batch engine; PR 8's ``UserColumns`` fixed it with interned ids
+and fixed-width columns).  This module applies the same idiom to a byte
+stream:
+
+* every frame is ``!BI`` — one kind byte and a payload length — followed
+  by the payload, so a reader never needs lookahead;
+* strings are interned: a ``SYM`` frame carries the UTF-8 text and
+  implicitly assigns the *next* sequential id in the receiver's table,
+  so ids never appear on the wire at definition time;
+* an event is a fixed 21-byte record (float64 timestamp, three int32
+  symbol ids — referrer ``-1`` meaning absent — and one synthetic flag
+  byte), independent of how long the user/page strings are;
+* control and result frames (watermarks, capsules, emitted sessions,
+  acks) are small and infrequent, so they ride as canonical JSON.
+
+Both directions of the pipe use the same framing; only the kind sets
+differ.  The protocol is strictly sequential per connection — a fresh
+worker incarnation starts from an empty symbol table, and the
+coordinator re-interns from scratch when it replays.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Iterator
+
+from repro.exceptions import WireProtocolError
+
+__all__ = [
+    "SYM", "EVT", "WM", "EOF", "CAP", "OUT", "ACK", "DONE", "ERR",
+    "FrameReader", "SymbolEncoder", "SymbolDecoder",
+    "frame", "json_frame", "decode_json", "watermark_frame",
+    "decode_watermark",
+]
+
+# coordinator -> worker
+SYM = 1   #: intern the UTF-8 payload as the next symbol id
+EVT = 2   #: one request, fixed-width record
+WM = 3    #: flush watermark (float64)
+EOF = 4   #: end of stream — flush everything and send DONE
+CAP = 5   #: state capsule (JSON), sent before replaying into a respawn
+
+# worker -> coordinator
+OUT = 6   #: one emitted session (JSON)
+ACK = 7   #: progress acknowledgement + refreshed capsule (JSON)
+DONE = 8  #: final stats + obs snapshot (JSON)
+ERR = 9   #: fatal, deterministic worker error (UTF-8 traceback)
+
+_KINDS = frozenset((SYM, EVT, WM, EOF, CAP, OUT, ACK, DONE, ERR))
+
+_HEADER = struct.Struct("!BI")
+_EVENT = struct.Struct("!diiiB")
+_WM = struct.Struct("!d")
+
+#: sentinel symbol id for "no referrer" in an event record.
+NO_SYMBOL = -1
+
+
+def frame(kind: int, payload: bytes = b"") -> bytes:
+    """Serialize one frame: kind byte, payload length, payload."""
+    return _HEADER.pack(kind, len(payload)) + payload
+
+
+def json_frame(kind: int, document: Any) -> bytes:
+    """Serialize ``document`` as a canonical-JSON frame of ``kind``."""
+    payload = json.dumps(document, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return frame(kind, payload)
+
+
+def decode_json(payload: bytes) -> Any:
+    """Parse a JSON frame payload, typing failures as protocol errors."""
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WireProtocolError(f"undecodable JSON payload: {exc}") from exc
+
+
+def watermark_frame(watermark: float) -> bytes:
+    """Serialize a WM frame carrying ``watermark``."""
+    return frame(WM, _WM.pack(watermark))
+
+
+def decode_watermark(payload: bytes) -> float:
+    """Decode a WM frame payload."""
+    if len(payload) != _WM.size:
+        raise WireProtocolError(
+            f"watermark payload is {len(payload)} bytes, want {_WM.size}")
+    return float(_WM.unpack(payload)[0])
+
+
+class FrameReader:
+    """Incremental frame parser over an arbitrary chunking of the stream.
+
+    ``feed`` accepts whatever ``os.read`` produced — frames split across
+    chunks are reassembled, multiple frames per chunk are all yielded.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> Iterator[tuple[int, bytes]]:
+        """Absorb ``data``; yield every now-complete ``(kind, payload)``."""
+        self._buffer.extend(data)
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return
+            kind, length = _HEADER.unpack_from(self._buffer)
+            if kind not in _KINDS:
+                raise WireProtocolError(f"unknown frame kind {kind}")
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            yield kind, payload
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+        return len(self._buffer)
+
+
+class SymbolEncoder:
+    """Sender-side interning table shared by users, pages and referrers.
+
+    The first time a string is encoded, a ``SYM`` frame defining it is
+    appended *before* the record that references it; the receiver's
+    :class:`SymbolDecoder` assigns ids by arrival order, so the two
+    tables agree without ids ever being transmitted.
+    """
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def _intern(self, out: bytearray, text: str) -> int:
+        symbol = self._ids.get(text)
+        if symbol is None:
+            symbol = len(self._ids)
+            self._ids[text] = symbol
+            out += frame(SYM, text.encode("utf-8"))
+        return symbol
+
+    def encode_event(self, out: bytearray, timestamp: float, user: str,
+                     page: str, referrer: str | None,
+                     synthetic: bool) -> None:
+        """Append the SYM frames (if any) and the EVT frame to ``out``."""
+        user_id = self._intern(out, user)
+        page_id = self._intern(out, page)
+        ref_id = NO_SYMBOL if referrer is None else self._intern(out, referrer)
+        out += frame(EVT, _EVENT.pack(timestamp, user_id, page_id, ref_id,
+                                      1 if synthetic else 0))
+
+
+class SymbolDecoder:
+    """Receiver-side interning table mirroring :class:`SymbolEncoder`."""
+
+    def __init__(self) -> None:
+        self._table: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def add_symbol(self, payload: bytes) -> None:
+        """Define the next symbol id from a SYM frame payload."""
+        try:
+            self._table.append(payload.decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise WireProtocolError(f"undecodable symbol: {exc}") from exc
+
+    def _lookup(self, symbol: int) -> str:
+        if not 0 <= symbol < len(self._table):
+            raise WireProtocolError(
+                f"symbol id {symbol} outside table of {len(self._table)}")
+        return self._table[symbol]
+
+    def decode_event(self, payload: bytes) -> tuple[float, str, str,
+                                                    str | None, bool]:
+        """Decode an EVT payload to ``(ts, user, page, referrer, syn)``."""
+        if len(payload) != _EVENT.size:
+            raise WireProtocolError(
+                f"event payload is {len(payload)} bytes, want {_EVENT.size}")
+        timestamp, user_id, page_id, ref_id, synthetic = _EVENT.unpack(payload)
+        referrer = None if ref_id == NO_SYMBOL else self._lookup(ref_id)
+        return (timestamp, self._lookup(user_id), self._lookup(page_id),
+                referrer, bool(synthetic))

