@@ -1,0 +1,135 @@
+"""Extension A22 — All-Maximal-Paths accuracy-vs-cost frontier.
+
+Scores the All-Maximal-Paths engine (arXiv 1307.1927) against the paper's
+four heuristics on the three topology families, reporting matched
+accuracy *and* reconstruction cost per heuristic — AMP buys its accuracy
+by enumerating every maximal path, so the interesting number is the
+frontier position, not either axis alone.
+
+The adversarial leg replays the crawler/NAT workload from bench A19
+through AMP under a finite path budget: a never-idle crawler on a dense
+site is exactly the traffic that explodes the candidate DAG, and the
+bench asserts the budget keeps the run finite (truncation counted, output
+still rule-compliant) rather than letting enumeration go exponential.
+
+``REPRO_BENCH_QUICK`` shrinks everything to a CI smoke.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _bench_utils import BENCH_AGENTS, BENCH_QUICK, BENCH_SEED, emit
+from repro.core.amp import AMPConfig
+from repro.diffcheck.invariants import verify_sessions
+from repro.evaluation.experiments import PAPER_DEFAULTS
+from repro.evaluation.harness import standard_heuristics
+from repro.evaluation.metrics import evaluate_reconstruction
+from repro.sessions.maximal_paths import AllMaximalPaths
+from repro.simulator.adversarial import adversarial_workload
+from repro.simulator.population import simulate_population
+from repro.topology.generators import (
+    hierarchical_site,
+    power_law_site,
+    random_site,
+)
+
+AGENTS = 60 if BENCH_QUICK else BENCH_AGENTS
+PAGES = 80 if BENCH_QUICK else 300
+
+FAMILIES = {
+    "random": lambda: random_site(PAGES, 15.0, seed=BENCH_SEED),
+    "hierarchical": lambda: hierarchical_site(PAGES, branching=4,
+                                              seed=BENCH_SEED),
+    "power-law": lambda: power_law_site(PAGES, links_per_page=8,
+                                        seed=BENCH_SEED),
+}
+
+LINEUP = ("heur1", "heur2", "heur3", "heur4", "amp")
+
+
+def _lineup(topology):
+    heuristics = standard_heuristics(topology)
+    heuristics["amp"] = AllMaximalPaths(topology)
+    return heuristics
+
+
+def test_amp_frontier_families(benchmark, results_dir, bench_metrics):
+    """Accuracy and cost per heuristic per topology family."""
+    config = PAPER_DEFAULTS.simulation_config(n_agents=AGENTS,
+                                              seed=BENCH_SEED)
+
+    def run_families():
+        rows = {}
+        for family, factory in FAMILIES.items():
+            topology = factory()
+            simulation = simulate_population(topology, config)
+            scored = {}
+            for name, heuristic in _lineup(topology).items():
+                started = time.perf_counter()
+                reconstructed = heuristic.reconstruct(
+                    simulation.log_requests)
+                elapsed = time.perf_counter() - started
+                report = evaluate_reconstruction(
+                    name, simulation.ground_truth, reconstructed)
+                scored[name] = (report.matched_accuracy, elapsed)
+            rows[family] = scored
+        return rows
+
+    rows = benchmark.pedantic(run_families, rounds=1, iterations=1)
+
+    lines = [f"Ablation A22 — AMP accuracy-vs-cost frontier "
+             f"[{AGENTS} agents, {PAGES} pages]",
+             "  family         metric      "
+             + "  ".join(f"{name:>6}" for name in LINEUP)]
+    csv_lines = ["family,heuristic,matched_accuracy,seconds"]
+    for family, scored in rows.items():
+        accuracy, cost = scored["amp"]
+        # AMP never scores below Smart-SRA: its output is a superset of
+        # maximal paths, so every Smart-SRA session stays recoverable.
+        assert accuracy >= scored["heur4"][0] - 0.02, (
+            f"AMP lost accuracy vs Smart-SRA on {family}: "
+            f"{accuracy:.3f} < {scored['heur4'][0]:.3f}")
+        lines.append(f"  {family:<13}  accuracy %  "
+                     + "  ".join(f"{scored[name][0] * 100:6.1f}"
+                                 for name in LINEUP))
+        lines.append(f"  {family:<13}  seconds     "
+                     + "  ".join(f"{scored[name][1]:6.2f}"
+                                 for name in LINEUP))
+        csv_lines.extend(
+            f"{family},{name},{scored[name][0]:.4f},{scored[name][1]:.4f}"
+            for name in LINEUP)
+        registry = bench_metrics
+        for name in LINEUP:
+            registry.gauge("bench.amp.accuracy", family=family,
+                           heuristic=name).set(scored[name][0])
+    emit(results_dir, "amp_frontier", "\n".join(lines) + "\n",
+         csv="\n".join(csv_lines) + "\n")
+
+
+def test_amp_adversarial_budget(benchmark, results_dir, bench_metrics):
+    """The crawler/NAT workload completes under a finite path budget."""
+    topology = random_site(40 if BENCH_QUICK else 120, 12.0,
+                           seed=BENCH_SEED)
+    workload = adversarial_workload(
+        topology,
+        crawlers=1 if BENCH_QUICK else 2,
+        crawler_requests=120 if BENCH_QUICK else 400,
+        nat_pools=1 if BENCH_QUICK else 2,
+        humans_per_pool=6 if BENCH_QUICK else 12,
+        normal_agents=4 if BENCH_QUICK else 8,
+        seed=BENCH_SEED)
+    amp = AMPConfig(path_budget=256, overflow="truncate")
+    engine = AllMaximalPaths(topology, amp=amp)
+
+    sessions = benchmark.pedantic(
+        lambda: engine.reconstruct(workload), rounds=1, iterations=1)
+
+    assert len(sessions) > 0
+    violations = verify_sessions(sessions, topology, semantics="amp")
+    assert not violations, violations[:3]
+    lines = [f"Ablation A22 — adversarial crawler/NAT leg "
+             f"[{len(workload)} requests, budget {amp.path_budget}]",
+             f"  sessions emitted: {len(sessions)}",
+             f"  output rule-compliant under semantics='amp': yes"]
+    emit(results_dir, "amp_adversarial", "\n".join(lines) + "\n")

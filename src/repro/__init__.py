@@ -28,7 +28,7 @@ Quickstart::
     print(f"real accuracy: {report.accuracy:.1%}")
 """
 
-from repro.core import Phase1Only, SmartSRA, SmartSRAConfig
+from repro.core import AMPConfig, Phase1Only, SmartSRA, SmartSRAConfig
 from repro.evaluation import (
     AccuracyReport,
     evaluate_reconstruction,
@@ -56,6 +56,7 @@ from repro.obs import Registry, Tracer, get_registry, set_registry, use_registry
 from repro.evaluation import describe, render_statistics
 from repro.sessions import (
     AdaptiveTimeoutHeuristic,
+    AllMaximalPaths,
     DurationHeuristic,
     NavigationHeuristic,
     PageStayHeuristic,
@@ -65,7 +66,7 @@ from repro.sessions import (
     SessionReconstructor,
     SessionSet,
 )
-from repro.streaming import streaming_phase1, streaming_smart_sra
+from repro.streaming import streaming_amp, streaming_phase1, streaming_smart_sra
 from repro.simulator import (
     SimulationConfig,
     SimulationResult,
@@ -91,8 +92,9 @@ __all__ = [
     "NavigationHeuristic", "ReferrerHeuristic", "AdaptiveTimeoutHeuristic",
     "SmartSRA",
     "SmartSRAConfig", "Phase1Only",
+    "AllMaximalPaths", "AMPConfig",
     # streaming
-    "streaming_smart_sra", "streaming_phase1",
+    "streaming_smart_sra", "streaming_phase1", "streaming_amp",
     # statistics
     "describe", "render_statistics",
     # topology

@@ -251,11 +251,27 @@ def build_parser() -> argparse.ArgumentParser:
     clean.add_argument("--log", required=True)
     clean.add_argument("--output", required=True)
 
+    def add_amp_flags(command_parser: argparse.ArgumentParser) -> None:
+        """Path-explosion guards for the All-Maximal-Paths engine
+        (repro.core.amp); only meaningful with heuristic ``amp``."""
+        command_parser.add_argument(
+            "--path-budget", type=int, default=None, metavar="N",
+            help="max maximal paths materialized per candidate session "
+                 "by the amp heuristic (the count is computed exactly "
+                 "before anything is enumerated; default 4096)")
+        command_parser.add_argument(
+            "--path-overflow", choices=["block", "truncate", "raise"],
+            default=None,
+            help="what amp does when a candidate's maximal-path count "
+                 "exceeds the budget: truncate to the first N paths in "
+                 "deterministic order (default), block (skip the "
+                 "candidate, counted), or raise PathBudgetError")
+
     rec = sub.add_parser("reconstruct", aliases=["sessionize"],
                          help="apply a heuristic to a log")
     rec.add_argument("--log", required=True)
     rec.add_argument("--heuristic", default="heur4",
-                     help="heur1 | heur2 | heur3 | heur4 | phase1 | "
+                     help="heur1 | heur2 | heur3 | heur4 | amp | phase1 | "
                           "referrer (needs a combined-format log)")
     rec.add_argument("--topology",
                      help="topology JSON (required by heur3/heur4)")
@@ -269,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "columnar support, e.g. heur1/heur2/heur4)")
     add_workers_flag(rec)
     add_supervision_flags(rec)
+    add_amp_flags(rec)
 
     def add_overload_flags(command_parser: argparse.ArgumentParser) -> None:
         """Resource-governor knobs (repro.streaming.governor); the
@@ -343,11 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "optionally under a memory governor")
     strm.add_argument("--log", required=True,
                       help="CLF log, fed in file order")
-    strm.add_argument("--heuristic", choices=["smart-sra", "phase1"],
+    strm.add_argument("--heuristic",
+                      choices=["smart-sra", "phase1", "amp"],
                       default="smart-sra",
                       help="finisher for closed candidates: full "
-                           "Smart-SRA Phase 2 (needs --topology) or raw "
-                           "Phase-1 candidates")
+                           "Smart-SRA Phase 2 (needs --topology), raw "
+                           "Phase-1 candidates, or all maximal paths "
+                           "(needs --topology; see --path-budget)")
     strm.add_argument("--topology",
                       help="topology JSON (required by smart-sra)")
     strm.add_argument("--output", required=True,
@@ -370,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_overload_flags(strm)
     add_sharded_flags(strm)
     add_serve_flags(strm)
+    add_amp_flags(strm)
 
     ev = sub.add_parser("evaluate", help="score reconstruction vs truth")
     ev.add_argument("--truth", required=True)
@@ -403,6 +423,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="reconstruction data plane for every point; "
                           "heuristics without columnar support keep the "
                           "object path (accuracies are identical)")
+    swp.add_argument("--heuristics", default=None,
+                     help="comma-separated lineup to score per value "
+                          "(spec-runner names, e.g. heur1,heur4,amp); "
+                          "the paper's four when omitted")
     swp.add_argument("--csv", help="also write the series as CSV here")
     add_workers_flag(swp)
     add_supervision_flags(swp)
@@ -575,6 +599,8 @@ def build_parser() -> argparse.ArgumentParser:
     # telemetry flags are auditable too: doctor never starts a server,
     # it vets the configuration (interval, port, ring size vs budget).
     add_serve_flags(doctor)
+    # likewise the amp path-budget vs --memory-budget interaction.
+    add_amp_flags(doctor)
 
     diff = sub.add_parser("diffcheck",
                           help="cross-engine differential correctness "
@@ -779,7 +805,8 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
     if args.heuristic == "referrer":
         from repro.sessions.referrer import ReferrerHeuristic
         heuristic = ReferrerHeuristic()
-    elif args.heuristic in ("heur3", "navigation", "heur4", "smart-sra"):
+    elif args.heuristic in ("heur3", "navigation", "heur4", "smart-sra",
+                            "amp", "maximal-paths"):
         if not args.topology:
             print(f"error: {args.heuristic} requires --topology",
                   file=sys.stderr)
@@ -787,6 +814,9 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
         graph = load_graph(args.topology)
         if args.heuristic in ("heur3", "navigation"):
             heuristic = NavigationHeuristic(graph)
+        elif args.heuristic in ("amp", "maximal-paths"):
+            from repro.sessions.maximal_paths import AllMaximalPaths
+            heuristic = AllMaximalPaths(graph, amp=_amp_from(args))
         else:
             heuristic = SmartSRA(graph)
     else:
@@ -809,6 +839,21 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
 
 _OVERLOAD_FLAGS = ("memory_budget", "overload_policy", "per_user_cap",
                    "spill_dir", "quarantine_after", "quarantine_cap")
+
+_AMP_FLAGS = ("path_budget", "path_overflow")
+
+
+def _amp_from(args: argparse.Namespace):
+    """Build an AMPConfig from the path-explosion flags (None = defaults)."""
+    if all(getattr(args, flag, None) is None for flag in _AMP_FLAGS):
+        return None
+    from repro.core.amp import AMPConfig
+    overrides = {}
+    if getattr(args, "path_budget", None) is not None:
+        overrides["path_budget"] = args.path_budget
+    if getattr(args, "path_overflow", None) is not None:
+        overrides["overflow"] = args.path_overflow
+    return AMPConfig(**overrides)
 
 
 def _governor_from(args: argparse.Namespace):
@@ -903,7 +948,11 @@ def _stream_sharded(args: argparse.Namespace, sharded, governor) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
-    from repro.streaming import streaming_phase1, streaming_smart_sra
+    from repro.streaming import (
+        streaming_amp,
+        streaming_phase1,
+        streaming_smart_sra,
+    )
     from repro.streaming.governor import GovernedStreamingStats
     if args.flush_every < 0:
         print(f"error: --flush-every must be >= 0, got {args.flush_every}",
@@ -912,11 +961,22 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     governor = _governor_from(args)
     sharded = _sharded_from(args)
     if sharded is not None:
+        if args.heuristic == "amp":
+            print("error: --shards supports smart-sra and phase1 only; "
+                  "run amp without sharding flags", file=sys.stderr)
+            return 2
         return _stream_sharded(args, sharded, governor)
     options = dict(late_policy=args.late_policy,
                    reorder_window=args.reorder_window, dedup=args.dedup)
     if args.heuristic == "phase1":
         pipeline = streaming_phase1(governor=governor, **options)
+    elif args.heuristic == "amp":
+        if not args.topology:
+            print("error: amp requires --topology", file=sys.stderr)
+            return 2
+        pipeline = streaming_amp(load_graph(args.topology),
+                                 amp=_amp_from(args), governor=governor,
+                                 **options)
     else:
         if not args.topology:
             print("error: smart-sra requires --topology", file=sys.stderr)
@@ -1021,8 +1081,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         graph = load_graph(args.topology)
     else:
         graph = random_site(300, 15.0, seed=args.seed)
+    heuristic_factory = None
+    if getattr(args, "heuristics", None):
+        from repro.evaluation.spec import build_heuristics
+        names = [token.strip() for token in args.heuristics.split(",")
+                 if token.strip()]
+        build_heuristics(names, graph)  # fail on unknown names up front
+        heuristic_factory = lambda: build_heuristics(names, graph)
     base = SimulationConfig(n_agents=args.agents, seed=args.seed)
     result = run_sweep(graph, base, args.parameter, values,
+                       heuristic_factory=heuristic_factory,
                        workers=_validated_workers(args),
                        engine=args.engine,
                        supervision=_supervision_from(args),
@@ -1419,12 +1487,14 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     from repro.parallel.checkpoint import CheckpointStore
     governor = _governor_from(args)
     sharded = _sharded_from(args)
+    amp = _amp_from(args)
     telemetry = any(getattr(args, flag, None) is not None
                     for flag in _TELEMETRY_FLAGS)
-    if governor is not None or sharded is not None or telemetry:
+    if governor is not None or sharded is not None or telemetry \
+            or amp is not None:
         if args.checkpoint is not None:
             print("error: audit either a checkpoint DIR or a "
-                  "configuration (overload/sharded/telemetry flags), "
+                  "configuration (overload/sharded/telemetry/amp flags), "
                   "not both", file=sys.stderr)
             return 2
         audits = []
@@ -1434,6 +1504,11 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         if sharded is not None:
             from repro.streaming.sharded import audit_sharded_config
             audits.append(audit_sharded_config(sharded, governor))
+        if amp is not None:
+            from repro.core.amp import audit_amp_config
+            audits.append(audit_amp_config(
+                amp, memory_budget=(governor.memory_budget
+                                    if governor is not None else None)))
         if telemetry:
             from repro.obs import audit_telemetry_config
             audits.append(audit_telemetry_config(
@@ -1458,8 +1533,9 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         return 0 if ok else 1
     if args.checkpoint is None:
         print("error: doctor needs a checkpoint DIR to audit, or "
-              "overload/sharded/telemetry flags (e.g. --memory-budget, "
-              "--shards, --serve-metrics) for a configuration audit",
+              "overload/sharded/telemetry/amp flags (e.g. "
+              "--memory-budget, --shards, --serve-metrics, "
+              "--path-budget) for a configuration audit",
               file=sys.stderr)
         return 2
     if not os.path.isdir(args.checkpoint):
@@ -1487,9 +1563,11 @@ def _cmd_diffcheck(args: argparse.Namespace) -> int:
         seed = args.seed if args.seed is not None else 0
         pinned = []
         for case in generate_corpus(seed=seed):
-            reference = run_engine("serial", EngineContext(
-                case.requests, case.topology, case.config, case.seed))
-            pinned.append(case.with_expected(reference))
+            ctx = EngineContext(case.requests, case.topology, case.config,
+                                case.seed)
+            reference = run_engine("serial", ctx)
+            amp_reference = run_engine("amp-reference", ctx)
+            pinned.append(case.with_expected(reference, amp_reference))
         paths = save_corpus(pinned, args.write_golden)
         print(f"wrote {len(paths)} golden case(s) to {args.write_golden}")
         return 0

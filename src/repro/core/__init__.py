@@ -22,7 +22,17 @@ Use :class:`~repro.core.smart_sra.SmartSRA` as a drop-in
 
 """
 
+# columnar first: it pulls in the repro.sessions package, whose
+# maximal_paths module imports repro.core.amp — importing amp before the
+# sessions package finishes initializing would close an import cycle.
 from repro.core.columnar import ColumnarPlane, SymbolTable, UserColumns
+from repro.core.amp import (
+    AMPConfig,
+    amp_sessions_optimized,
+    amp_sessions_reference,
+    audit_amp_config,
+    count_maximal_paths,
+)
 from repro.core.config import SmartSRAConfig
 from repro.core.phase1 import split_candidates
 from repro.core.phase2 import maximal_sessions, maximal_sessions_fast
@@ -32,9 +42,14 @@ __all__ = [
     "SmartSRA",
     "Phase1Only",
     "SmartSRAConfig",
+    "AMPConfig",
     "split_candidates",
     "maximal_sessions",
     "maximal_sessions_fast",
+    "amp_sessions_reference",
+    "amp_sessions_optimized",
+    "count_maximal_paths",
+    "audit_amp_config",
     "ColumnarPlane",
     "SymbolTable",
     "UserColumns",

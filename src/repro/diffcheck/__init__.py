@@ -37,7 +37,9 @@ from repro.diffcheck.corpus import (
     save_corpus,
 )
 from repro.diffcheck.engines import (
+    ENGINE_BASELINE,
     ENGINE_REGISTRY,
+    ENGINE_SEMANTICS,
     INVARIANT_ONLY_ENGINES,
     EngineContext,
     available_engines,
@@ -62,7 +64,9 @@ __all__ = [
     "CorpusCase",
     "DiffcheckReport",
     "Divergence",
+    "ENGINE_BASELINE",
     "ENGINE_REGISTRY",
+    "ENGINE_SEMANTICS",
     "INVARIANT_ONLY_ENGINES",
     "EngineContext",
     "INVARIANT_RULES",

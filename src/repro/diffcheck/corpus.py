@@ -11,9 +11,10 @@ divergence fixed once can never silently return.
 for: ρ/δ-boundary timestamps (threshold-exactly and threshold-plus-
 epsilon gaps), duplicate events, equal timestamps, single-page sessions
 (including pages unknown to the topology), many interleaved users
-spanning parallel chunk boundaries, and a simulator population — all
-seeded, so regenerating with the same seed reproduces the committed
-corpus byte for byte.
+spanning parallel chunk boundaries, cyclic topologies (2-cycles, rings
+and a dense complete core, so pages repeat within one candidate), and a
+simulator population — all seeded, so regenerating with the same seed
+reproduces the committed corpus byte for byte.
 """
 
 from __future__ import annotations
@@ -64,6 +65,11 @@ class CorpusCase:
             sorted item list), or ``None`` before pinning.
         expected_digest: pinned
             :meth:`~repro.sessions.model.SessionSet.canonical_digest`.
+        expected_amp_digest: pinned canonical digest of the
+            All-Maximal-Paths output (the ``amp-reference`` engine's) —
+            a *second*, algorithm-independent golden over the same case,
+            or ``None`` before pinning.  Optional in the JSON document,
+            so pre-AMP corpus files still load.
     """
 
     name: str
@@ -75,15 +81,25 @@ class CorpusCase:
     expected_form: tuple[tuple[str, tuple[tuple[tuple[float, str, bool],
                                                 ...], ...]], ...] | None = None
     expected_digest: str | None = None
+    expected_amp_digest: str | None = None
 
-    def with_expected(self, reference: SessionSet) -> "CorpusCase":
-        """Pin the reference output (normally the serial engine's)."""
+    def with_expected(self, reference: SessionSet,
+                      amp_reference: SessionSet | None = None
+                      ) -> "CorpusCase":
+        """Pin the reference output (normally the serial engine's).
+
+        ``amp_reference`` additionally pins the All-Maximal-Paths golden
+        (normally the ``amp-reference`` engine's output).
+        """
         form = tuple(
             (user, tuple(bodies))
             for user, bodies in sorted(reference.canonical_form().items()))
         return dataclasses.replace(
             self, expected_form=form,
-            expected_digest=reference.canonical_digest())
+            expected_digest=reference.canonical_digest(),
+            expected_amp_digest=(amp_reference.canonical_digest()
+                                 if amp_reference is not None
+                                 else self.expected_amp_digest))
 
 
 def case_to_jsonable(case: CorpusCase) -> dict[str, Any]:
@@ -108,6 +124,8 @@ def case_to_jsonable(case: CorpusCase) -> dict[str, Any]:
             "sessions": [[user, [list(map(list, body)) for body in bodies]]
                          for user, bodies in (case.expected_form or ())],
         }
+    if case.expected_amp_digest is not None:
+        document["expected_amp"] = {"digest": case.expected_amp_digest}
     return document
 
 
@@ -123,6 +141,7 @@ def case_from_jsonable(data: Mapping[str, Any]) -> CorpusCase:
             f"this reader ({CORPUS_SCHEMA})")
     config = data.get("config", {})
     expected = data.get("expected")
+    expected_amp = data.get("expected_amp")
     expected_form = None
     expected_digest = None
     if expected is not None:
@@ -146,6 +165,8 @@ def case_from_jsonable(data: Mapping[str, Any]) -> CorpusCase:
             for t, user, page in data["requests"])),
         expected_form=expected_form,
         expected_digest=expected_digest,
+        expected_amp_digest=(str(expected_amp["digest"])
+                             if expected_amp is not None else None),
     )
 
 
@@ -309,6 +330,51 @@ def _chunk_spanning_case(config: SmartSRAConfig, seed: int) -> CorpusCase:
         requests=_sorted(requests))
 
 
+def _cyclic_case(config: SmartSRAConfig, seed: int) -> CorpusCase:
+    """Cyclic topologies: 2-cycles, a ring, and a dense complete core.
+
+    Page graphs are cyclic in practice (nav bars link back to the home
+    page) even though the *session DAGs* built over request ordinals are
+    acyclic by construction.  A user ping-ponging a 2-cycle, or lapping a
+    ring, repeats the same page inside one candidate — exactly where an
+    id-keyed index (``by_last``, trie backfill, interned symbol reuse)
+    can conflate two visits to one page.  The dense K4 core additionally
+    branches every wave, and a duplicate event sits *on* the 2-cycle.
+    """
+    cycles = [f"C{i}" for i in range(5)]
+    dense = [f"D{i}" for i in range(4)]
+    edges = [("C0", "C1"), ("C1", "C0"),                 # 2-cycle
+             ("C1", "C2"), ("C2", "C3"), ("C3", "C1"),   # 3-ring
+             ("C3", "C4"), ("C4", "C0"),                 # closing arc
+             ("C4", "D0")]
+    edges += [(a, b) for a in dense for b in dense if a != b]  # K4 core
+    topology = WebGraph(edges, pages=cycles + dense, start_pages=["C0"])
+    requests = [
+        # ping-pong the 2-cycle: the same two pages alternate within ρ.
+        Request(0.0, "cyc-pong", "C0"), Request(30.0, "cyc-pong", "C1"),
+        Request(60.0, "cyc-pong", "C0"), Request(90.0, "cyc-pong", "C1"),
+        Request(120.0, "cyc-pong", "C0"),
+        # two full laps of the 3-ring: every page repeats once.
+        Request(0.0, "cyc-ring", "C1"), Request(20.0, "cyc-ring", "C2"),
+        Request(40.0, "cyc-ring", "C3"), Request(60.0, "cyc-ring", "C1"),
+        Request(80.0, "cyc-ring", "C2"), Request(100.0, "cyc-ring", "C3"),
+        # dense complete core with a revisit and a same-instant tie.
+        Request(0.0, "cyc-dense", "D0"), Request(15.0, "cyc-dense", "D1"),
+        Request(15.0, "cyc-dense", "D2"), Request(30.0, "cyc-dense", "D3"),
+        Request(45.0, "cyc-dense", "D0"), Request(60.0, "cyc-dense", "D2"),
+        # a literal duplicate event sitting on the 2-cycle.
+        Request(10.0, "cyc-dup", "C0"), Request(40.0, "cyc-dup", "C1"),
+        Request(40.0, "cyc-dup", "C1"), Request(70.0, "cyc-dup", "C0"),
+    ]
+    return CorpusCase(
+        name="cyclic-topologies",
+        description="2-cycle ping-pong, ring laps and a dense complete "
+                    "core: repeated pages within one candidate stress "
+                    "id-keyed session indexes in every engine",
+        seed=seed, config=config, topology=topology,
+        requests=_sorted(requests))
+
+
 def _simulated_case(config: SmartSRAConfig, seed: int) -> CorpusCase:
     """A small simulator population — realistic branching navigation."""
     topology = random_site(30, 4.0, seed=seed + 1)
@@ -338,5 +404,6 @@ def generate_corpus(seed: int = 0,
         _duplicate_case(cfg, seed),
         _single_page_case(cfg, seed),
         _chunk_spanning_case(cfg, seed),
+        _cyclic_case(cfg, seed),
         _simulated_case(cfg, seed),
     ]

@@ -34,6 +34,8 @@ from repro.topology.graph import WebGraph
 
 __all__ = [
     "ENGINE_REGISTRY",
+    "ENGINE_BASELINE",
+    "ENGINE_SEMANTICS",
     "INVARIANT_ONLY_ENGINES",
     "EngineContext",
     "available_engines",
@@ -283,6 +285,36 @@ def _streaming_sharded(ctx: EngineContext) -> SessionSet:
     return result.sessions
 
 
+def _amp_reference(ctx: EngineContext) -> SessionSet:
+    """All-Maximal-Paths, clear DFS enumerator.
+
+    A *different algorithm* from Smart-SRA, not a different execution of
+    it: AMP emits every maximal link-consistent path of each Phase-1
+    candidate (arXiv 1307.1927), so its output is deliberately not
+    diffed against serial.  It serves as an independent Phase-2-semantics
+    oracle — the harness diffs ``amp-optimized`` against this engine
+    instead (see :data:`ENGINE_BASELINE`) and verifies its output under
+    AMP maximality semantics (see :data:`ENGINE_SEMANTICS`).
+    """
+    from repro.sessions.maximal_paths import AllMaximalPaths
+    return AllMaximalPaths(
+        ctx.topology, ctx.config,
+        implementation="reference").reconstruct(ctx.requests)
+
+
+def _amp_optimized(ctx: EngineContext) -> SessionSet:
+    """All-Maximal-Paths, interned-adjacency memoized enumerator.
+
+    Must be byte-identical to ``amp-reference`` on every corpus case —
+    including truncated output, because both implementations share one
+    deterministic enumeration order.
+    """
+    from repro.sessions.maximal_paths import AllMaximalPaths
+    return AllMaximalPaths(
+        ctx.topology, ctx.config,
+        implementation="optimized").reconstruct(ctx.requests)
+
+
 def _streaming_sharded_chaos(ctx: EngineContext) -> SessionSet:
     """The sharded runtime with both workers killed mid-stream.
 
@@ -326,6 +358,8 @@ ENGINE_REGISTRY: dict[str, EngineFn] = {
     "streaming-evicting": _streaming_evicting,
     "streaming-sharded": _streaming_sharded,
     "streaming-sharded-chaos": _streaming_sharded_chaos,
+    "amp-reference": _amp_reference,
+    "amp-optimized": _amp_optimized,
 }
 
 #: engines whose output is *intentionally* not canonical-identical to
@@ -333,6 +367,27 @@ ENGINE_REGISTRY: dict[str, EngineFn] = {
 #: runs the invariant verifier over them but skips the canonical diff
 #: and the golden-digest comparison.
 INVARIANT_ONLY_ENGINES = frozenset({"streaming-evicting"})
+
+#: engines diffed against a baseline other than ``serial``.  The amp
+#: engines run a *different algorithm* (All-Maximal-Paths), so comparing
+#: them to Smart-SRA output would flag every case; instead the optimized
+#: implementation is held byte-identical to the reference one, and the
+#: reference engine itself is pinned by the corpus's
+#: ``expected_amp_digest`` golden (its own baseline entry is ``None``).
+ENGINE_BASELINE: dict[str, str | None] = {
+    "amp-reference": None,
+    "amp-optimized": "amp-reference",
+}
+
+#: which output-rule semantics the invariant verifier applies per engine
+#: (:func:`repro.diffcheck.invariants.verify_sessions` ``semantics=``).
+#: Engines not listed use ``"smart-sra"``.  AMP's overlapping maximal
+#: paths are legal output, so its maximality rule checks contiguous-infix
+#: containment instead of the prefix rule.
+ENGINE_SEMANTICS: dict[str, str] = {
+    "amp-reference": "amp",
+    "amp-optimized": "amp",
+}
 
 
 def available_engines() -> tuple[str, ...]:
@@ -344,8 +399,9 @@ def resolve_engines(spec: str | Sequence[str]) -> tuple[str, ...]:
     """Expand an ``--engines`` value into registry names.
 
     Accepts ``"all"``, a comma-separated string, or a sequence of names.
-    The serial baseline is always included (a diff needs its reference)
-    and ordering follows the registry, not the spec.
+    The serial baseline is always included (a diff needs its reference),
+    as is any selected engine's own baseline (``amp-optimized`` pulls in
+    ``amp-reference``), and ordering follows the registry, not the spec.
 
     Raises:
         ConfigurationError: for an unknown engine name.
@@ -362,6 +418,10 @@ def resolve_engines(spec: str | Sequence[str]) -> tuple[str, ...]:
             f"unknown engine(s) {', '.join(sorted(unknown))} "
             f"(known: {known})")
     chosen = set(names) | {"serial"}
+    for name in names:
+        baseline = ENGINE_BASELINE.get(name, "serial")
+        if baseline is not None:
+            chosen.add(baseline)
     return tuple(name for name in ENGINE_REGISTRY if name in chosen)
 
 

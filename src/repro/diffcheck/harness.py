@@ -27,6 +27,8 @@ from typing import Any
 
 from repro.diffcheck.corpus import CorpusCase
 from repro.diffcheck.engines import (
+    ENGINE_BASELINE,
+    ENGINE_SEMANTICS,
     INVARIANT_ONLY_ENGINES,
     EngineContext,
     resolve_engines,
@@ -100,6 +102,7 @@ class CaseOutcome:
     divergences: tuple[Divergence, ...]
     violations: dict[str, tuple[InvariantViolation, ...]]
     expected_digest: str | None = None
+    expected_amp_digest: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -112,6 +115,7 @@ class CaseOutcome:
             "engines": list(self.engines),
             "digests": dict(self.digests),
             "expected_digest": self.expected_digest,
+            "expected_amp_digest": self.expected_amp_digest,
             "divergences": [d.to_dict() for d in self.divergences],
             "violations": {engine: [v.to_dict() for v in found]
                            for engine, found in self.violations.items()},
@@ -236,23 +240,31 @@ def run_diffcheck(cases: Iterable[CorpusCase],
         digests = {name: output.canonical_digest()
                    for name, output in outputs.items()}
         violations = {
-            name: verify_sessions(output, case.topology, case.config)
+            name: verify_sessions(
+                output, case.topology, case.config,
+                semantics=ENGINE_SEMANTICS.get(name, "smart-sra"))
             for name, output in outputs.items()}
 
         divergences: list[Divergence] = []
-        baseline_form = forms["serial"]
         for name in chosen:
             if name == "serial" or name in INVARIANT_ONLY_ENGINES:
                 # invariant-only engines degrade segmentation on purpose;
                 # their outputs are rule-checked above, not diffed.
+                continue
+            # each engine diffs against its own semantic baseline:
+            # Smart-SRA engines against serial, amp-optimized against
+            # amp-reference; amp-reference itself has no in-run baseline
+            # (it is held to the pinned golden digest below).
+            baseline_name = ENGINE_BASELINE.get(name, "serial")
+            if baseline_name is None:
                 continue
             # attribute a rule to the diff when the engine's own output
             # breaks one for that user; else it is a pure segmentation
             # difference between two individually-valid outputs.
             rules_hint = {violation.user_id: violation.rule
                           for violation in reversed(violations[name])}
-            found = _first_divergence(case.name, "serial", name,
-                                      baseline_form, forms[name],
+            found = _first_divergence(case.name, baseline_name, name,
+                                      forms[baseline_name], forms[name],
                                       rules_hint)
             if found is not None:
                 divergences.append(found)
@@ -261,6 +273,7 @@ def run_diffcheck(cases: Iterable[CorpusCase],
                            for user, bodies in case.expected_form}
             for name in chosen:
                 if (name in INVARIANT_ONLY_ENGINES
+                        or ENGINE_SEMANTICS.get(name, "smart-sra") != "smart-sra"
                         or digests[name] == case.expected_digest):
                     continue
                 found = _first_divergence(case.name, "golden", name,
@@ -269,9 +282,17 @@ def run_diffcheck(cases: Iterable[CorpusCase],
                                    Divergence(case.name, "golden", name,
                                               "", 0, None, None,
                                               rule="digest"))
+        if case.expected_amp_digest is not None:
+            for name in chosen:
+                if (ENGINE_SEMANTICS.get(name, "smart-sra") == "amp"
+                        and digests[name] != case.expected_amp_digest):
+                    divergences.append(
+                        Divergence(case.name, "golden-amp", name,
+                                   "", 0, None, None, rule="digest"))
         outcomes.append(CaseOutcome(
             case=case.name, engines=chosen, digests=digests,
             divergences=tuple(divergences), violations=violations,
-            expected_digest=case.expected_digest))
+            expected_digest=case.expected_digest,
+            expected_amp_digest=case.expected_amp_digest))
     return DiffcheckReport(outcomes=tuple(outcomes), engines=chosen,
                            seed=seed if seed is not None else 0)

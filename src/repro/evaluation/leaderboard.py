@@ -32,7 +32,7 @@ __all__ = ["LeaderboardRow", "leaderboard", "render_leaderboard",
 
 #: heuristics ranked by default (referrer last = the data-advantage entry).
 DEFAULT_LINEUP = ("heur1", "heur2", "adaptive", "phase1", "heur3", "heur4",
-                  "referrer")
+                  "amp", "referrer")
 
 
 @dataclass(frozen=True, slots=True)

@@ -39,6 +39,7 @@ from repro.evaluation.harness import (
 from repro.exceptions import EvaluationError
 from repro.sessions.base import SessionReconstructor
 from repro.sessions.adaptive import AdaptiveTimeoutHeuristic
+from repro.sessions.maximal_paths import AllMaximalPaths
 from repro.sessions.navigation_oriented import NavigationHeuristic
 from repro.sessions.referrer import ReferrerHeuristic
 from repro.sessions.time_oriented import DurationHeuristic, PageStayHeuristic
@@ -118,6 +119,7 @@ def build_heuristics(names: list[str], topology: WebGraph
         "phase1": lambda: Phase1Only(),
         "referrer": lambda: ReferrerHeuristic(),
         "adaptive": lambda: AdaptiveTimeoutHeuristic(),
+        "amp": lambda: AllMaximalPaths(topology),
     }
     heuristics: dict[str, SessionReconstructor] = {}
     for name in names:

@@ -68,6 +68,19 @@ class ReconstructionError(ReproError):
     """
 
 
+class PathBudgetError(ReconstructionError):
+    """All-Maximal-Paths enumeration would exceed its path budget.
+
+    Raised only under ``overflow="raise"`` (see
+    :class:`repro.core.amp.AMPConfig`): the exact pre-enumeration path
+    count for one Phase-1 candidate exceeds ``path_budget``, and the
+    deployment chose a hard failure over blocking the candidate or
+    truncating its enumeration.  The count is computed *before* any path
+    is materialized, so no partial output escapes and memory stays
+    bounded even on dense crawler-shaped graphs.
+    """
+
+
 class LateEventError(ReconstructionError):
     """A streamed request arrived after the pipeline's watermark passed it.
 

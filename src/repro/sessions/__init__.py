@@ -31,6 +31,7 @@ from repro.sessions.ops import (
 )
 from repro.sessions.navigation_oriented import NavigationHeuristic
 from repro.sessions.adaptive import AdaptiveTimeoutHeuristic
+from repro.sessions.maximal_paths import AllMaximalPaths
 from repro.sessions.referrer import ReferrerHeuristic
 from repro.sessions.time_oriented import DurationHeuristic, PageStayHeuristic
 
@@ -44,6 +45,7 @@ __all__ = [
     "NavigationHeuristic",
     "ReferrerHeuristic",
     "AdaptiveTimeoutHeuristic",
+    "AllMaximalPaths",
     "HEURISTIC_REGISTRY",
     "register_heuristic",
     "get_heuristic",

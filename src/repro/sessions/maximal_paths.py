@@ -1,0 +1,129 @@
+"""The :class:`AllMaximalPaths` reconstructor (``amp``).
+
+Composes Phase 1 (:func:`repro.core.phase1.split_candidates`) with the
+All-Maximal-Paths enumeration (:mod:`repro.core.amp` — Bayir–Toroslu
+2013, arXiv 1307.1927) behind the standard
+:class:`~repro.sessions.base.SessionReconstructor` interface.
+
+Where Smart-SRA's Phase 2 extends one wave of sessions, AMP emits *every*
+maximal link-consistent path of each candidate, guarded by
+:class:`~repro.core.amp.AMPConfig`'s path budget so dense crawler/NAT
+traffic degrades gracefully instead of exploding.  The ``implementation``
+knob selects the clear reference enumerator or the interned memoized one
+— the ``amp-reference`` / ``amp-optimized`` diffcheck engines hold them
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.amp import (
+    AMPConfig,
+    amp_sessions_optimized,
+    amp_sessions_reference,
+    _publish_amp,
+)
+from repro.core.config import SmartSRAConfig
+from repro.core.phase1 import split_candidates
+from repro.exceptions import ConfigurationError
+from repro.obs import get_registry
+from repro.sessions.base import HEURISTIC_REGISTRY, SessionReconstructor
+from repro.sessions.model import Request, Session
+from repro.topology.graph import WebGraph
+
+__all__ = ["AllMaximalPaths"]
+
+
+class AllMaximalPaths(SessionReconstructor):
+    """amp — All-Maximal-Paths session reconstruction.
+
+    Args:
+        topology: the site's hyperlink graph.
+        config: Smart-SRA thresholds (shared δ/ρ semantics); defaults to
+            the paper's (δ = 30 min, ρ = 10 min).
+        amp: path-explosion guards; defaults to
+            :class:`~repro.core.amp.AMPConfig` (budget 4096, truncate).
+        implementation: ``"optimized"`` (default — interned adjacency,
+            memoized suffix extension) or ``"reference"`` (clear DFS);
+            outputs are byte-identical.
+
+    Example:
+        >>> from repro.topology import WebGraph
+        >>> graph = WebGraph([("A", "B"), ("A", "C")], start_pages=["A"])
+        >>> from repro.sessions.model import Request
+        >>> stream = [Request(0.0, "u", "A"), Request(30.0, "u", "B"),
+        ...           Request(60.0, "u", "C")]
+        >>> sorted(s.pages for s in AllMaximalPaths(graph).reconstruct(stream))
+        [('A', 'B'), ('A', 'C')]
+    """
+
+    name = "amp"
+    label = "All Maximal Paths (Bayir-Toroslu 2013)"
+    supports_columnar = False
+
+    def __init__(self, topology: WebGraph,
+                 config: SmartSRAConfig | None = None,
+                 amp: AMPConfig | None = None,
+                 implementation: str = "optimized") -> None:
+        if implementation not in ("optimized", "reference"):
+            raise ConfigurationError(
+                f"unknown AMP implementation {implementation!r}; "
+                "use 'optimized' or 'reference'")
+        self.topology = topology
+        self.config = config if config is not None else SmartSRAConfig()
+        self.amp = amp if amp is not None else AMPConfig()
+        self.implementation = implementation
+        self._symbols = None
+
+    def _interner(self):
+        """The cached per-instance symbol table (optimized path only)."""
+        symbols = self._symbols
+        if symbols is None:
+            from repro.core.columnar import SymbolTable
+            symbols = self._symbols = SymbolTable.for_topology(self.topology)
+        return symbols
+
+    def __getstate__(self) -> dict[str, object]:
+        # the interner duplicates page names the topology already carries;
+        # parallel workers re-seed their own copy instead of unpickling it.
+        state = self.__dict__.copy()
+        state["_symbols"] = None
+        return state
+
+    def reconstruct_user(self, requests: Sequence[Request]) -> list[Session]:
+        registry = get_registry()
+        sessions: list[Session] = []
+        with registry.span("sessions.phase1"), \
+                registry.timer("sessions.phase1.seconds"):
+            candidates = split_candidates(requests, self.config)
+        n_paths = truncated = blocked = 0
+        with registry.span("sessions.amp"), \
+                registry.timer("sessions.amp.seconds"):
+            for candidate in candidates:
+                if self.implementation == "optimized":
+                    outcome = amp_sessions_optimized(
+                        candidate, self.topology, self.config, self.amp,
+                        interner=self._interner())
+                else:
+                    outcome = amp_sessions_reference(
+                        candidate, self.topology, self.config, self.amp)
+                sessions.extend(outcome.sessions)
+                n_paths += len(outcome.sessions)
+                if outcome.policy == "truncate":
+                    truncated += outcome.path_count - len(outcome.sessions)
+                elif outcome.policy == "block":
+                    blocked += 1
+        _publish_amp(len(candidates), n_paths, truncated, blocked)
+        return sessions
+
+
+def _amp_needs_topology() -> SessionReconstructor:  # pragma: no cover
+    raise ConfigurationError(
+        "amp (All-Maximal-Paths) requires a site topology; construct "
+        "AllMaximalPaths(topology) directly or use "
+        "repro.evaluation.spec.build_heuristics(['amp'], topology)")
+
+
+HEURISTIC_REGISTRY.setdefault("amp", _amp_needs_topology)
+HEURISTIC_REGISTRY.setdefault("maximal-paths", _amp_needs_topology)

@@ -50,6 +50,7 @@ from repro.streaming.governor import (
 from repro.streaming.pipeline import (
     StreamingReconstructor,
     StreamingStats,
+    streaming_amp,
     streaming_phase1,
     streaming_smart_sra,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "StreamingStats",
     "streaming_smart_sra",
     "streaming_phase1",
+    "streaming_amp",
     "OVERLOAD_POLICIES",
     "GovernorConfig",
     "GovernedStreamingReconstructor",

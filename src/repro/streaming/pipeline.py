@@ -59,6 +59,7 @@ __all__ = [
     "StreamingReconstructor",
     "streaming_smart_sra",
     "streaming_phase1",
+    "streaming_amp",
     "StreamingStats",
 ]
 
@@ -396,3 +397,39 @@ def streaming_phase1(config: SmartSRAConfig | None = None, *,
     return _make_pipeline(
         lambda candidate: [Session(candidate)], config, governor,
         dict(options))
+
+
+def streaming_amp(topology: WebGraph,
+                  config: SmartSRAConfig | None = None, *,
+                  amp: object | None = None,
+                  governor: object | None = None,
+                  **options: object) -> StreamingReconstructor:
+    """A streaming pipeline emitting All-Maximal-Paths sessions.
+
+    Each time-closed Phase-1 candidate is finished with the AMP optimized
+    enumerator (:func:`repro.core.amp.amp_sessions_optimized`) under the
+    configured :class:`~repro.core.amp.AMPConfig` explosion guards —
+    identical to the batch :class:`~repro.sessions.maximal_paths.
+    AllMaximalPaths` output, because AMP (like Phase 2) never looks across
+    candidate boundaries.  The symbol table is interned once and shared by
+    every finisher call.
+
+    Keyword options (``late_policy``, ``reorder_window``, ``dedup``) pass
+    through to :class:`StreamingReconstructor`; ``governor`` selects the
+    budgeted variant exactly as in :func:`streaming_smart_sra` (pair it
+    with ``repro doctor --path-budget`` to catch a path budget that
+    undoes the memory budget).
+    """
+    from repro.core.amp import AMPConfig, amp_sessions_optimized
+    from repro.core.columnar import SymbolTable
+
+    resolved = config if config is not None else SmartSRAConfig()
+    resolved_amp = amp if amp is not None else AMPConfig()
+    symbols = SymbolTable.for_topology(topology)
+
+    def finish(candidate: Sequence[Request]) -> list[Session]:
+        return amp_sessions_optimized(
+            candidate, topology, resolved, resolved_amp,
+            interner=symbols).sessions
+
+    return _make_pipeline(finish, resolved, governor, dict(options))

@@ -1,0 +1,122 @@
+"""Property tests for All-Maximal-Paths (repro.core.amp).
+
+Four contracts, each over randomized candidates and topologies:
+
+* every emitted path is link-consistent and within the ρ/δ bounds;
+* reference and optimized enumerations are byte-identical at *any*
+  budget — including budgets small enough to truncate — under every
+  overflow policy that returns;
+* the overflow policy verdict is a pure function of the exact count
+  (block and truncate never disagree about whether the budget fired);
+* nothing is dropped: every request of the candidate appears in at
+  least one emitted path when the budget does not fire.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.amp import (
+    AMPConfig,
+    amp_sessions_optimized,
+    amp_sessions_reference,
+)
+from repro.core.config import SmartSRAConfig
+from repro.core.phase1 import split_candidates
+from repro.exceptions import PathBudgetError
+from repro.sessions.model import Request, SessionSet
+from repro.topology.generators import random_site
+
+
+@st.composite
+def candidate_and_topology(draw):
+    seed = draw(st.integers(0, 10_000))
+    n_pages = draw(st.integers(2, 16))
+    density = draw(st.floats(0.5, min(6.0, n_pages - 1)))
+    graph = random_site(n_pages, density, start_fraction=0.5, seed=seed)
+    pages = sorted(graph.pages)
+    rng = random.Random(seed + 1)
+    length = draw(st.integers(0, 24))
+    gaps = draw(st.lists(st.floats(0.0, 700.0), min_size=length,
+                         max_size=length))
+    clock = 0.0
+    stream = []
+    for gap in gaps:
+        clock += gap
+        stream.append(Request(clock, "u", rng.choice(pages)))
+    # AMP's contract is over *legal Phase-1 candidates* (that is what
+    # bounds δ), so run the real split and take the longest candidate.
+    candidates = split_candidates(stream)
+    candidate = max(candidates, key=len) if candidates else []
+    return graph, candidate
+
+
+def _digest(outcome):
+    return SessionSet(outcome.sessions).canonical_digest()
+
+
+@settings(max_examples=100, deadline=None)
+@given(candidate_and_topology())
+def test_paths_are_link_consistent_and_bounded(data):
+    graph, candidate = data
+    config = SmartSRAConfig()
+    outcome = amp_sessions_reference(candidate, graph, config)
+    for session in outcome.sessions:
+        span = session.requests[-1].timestamp - session.requests[0].timestamp
+        assert span <= config.max_duration
+        for earlier, later in zip(session.requests, session.requests[1:]):
+            assert graph.has_link(earlier.page, later.page)
+            assert 0 <= later.timestamp - earlier.timestamp <= config.max_gap
+
+
+@settings(max_examples=100, deadline=None)
+@given(candidate_and_topology(), st.integers(1, 64))
+def test_reference_equals_optimized_at_any_budget(data, budget):
+    graph, candidate = data
+    amp = AMPConfig(path_budget=budget, overflow="truncate")
+    reference = amp_sessions_reference(candidate, graph, amp=amp)
+    optimized = amp_sessions_optimized(candidate, graph, amp=amp)
+    assert reference.path_count == optimized.path_count
+    assert reference.policy == optimized.policy
+    assert _digest(reference) == _digest(optimized)
+    assert len(reference.sessions) <= budget
+
+
+@settings(max_examples=60, deadline=None)
+@given(candidate_and_topology(), st.integers(1, 8))
+def test_overflow_verdict_is_deterministic(data, budget):
+    graph, candidate = data
+    count = amp_sessions_reference(
+        candidate, graph,
+        amp=AMPConfig(path_budget=budget, overflow="truncate")).path_count
+    blocked = amp_sessions_reference(
+        candidate, graph,
+        amp=AMPConfig(path_budget=budget, overflow="block"))
+    if count > budget:
+        assert blocked.policy == "block"
+        assert blocked.sessions == []
+        try:
+            amp_sessions_optimized(
+                candidate, graph,
+                amp=AMPConfig(path_budget=budget, overflow="raise"))
+            raised = False
+        except PathBudgetError:
+            raised = True
+        assert raised
+    else:
+        assert blocked.policy is None
+        assert len(blocked.sessions) == count
+
+
+@settings(max_examples=100, deadline=None)
+@given(candidate_and_topology())
+def test_nothing_dropped_under_default_budget(data):
+    graph, candidate = data
+    outcome = amp_sessions_optimized(candidate, graph)
+    if outcome.policy is not None:
+        return  # budget fired: coverage is deliberately sacrificed
+    covered = {(r.timestamp, r.page)
+               for session in outcome.sessions for r in session}
+    assert covered == {(r.timestamp, r.page) for r in candidate}

@@ -122,3 +122,46 @@ def test_fallback_backend_exactly_equals_numpy(data):
         fallback_sessions = SmartSRA(graph).reconstruct(requests,
                                                         engine="columnar")
     assert list(fallback_sessions) == list(numpy_sessions)
+
+
+@st.composite
+def cyclic_walk_stream(draw):
+    """Pong walks over a ring of 2-cycles: every page is revisitable, so
+    one session legally holds the same page several times — the shape
+    the random-site strategy almost never produces (``random_site``
+    forbids self-loops and rarely closes a 2-cycle), and exactly where a
+    Phase-2 implementation keying on pages instead of ordinals breaks."""
+    seed = draw(st.integers(0, 5_000))
+    n = draw(st.integers(2, 8))
+    pages = [f"C{i}" for i in range(n)]
+    edges = set()
+    for i in range(n):
+        edges.add((pages[i], pages[(i + 1) % n]))
+        edges.add((pages[(i + 1) % n], pages[i]))
+    from repro.topology.graph import WebGraph
+    graph = WebGraph(sorted(edges), start_pages=pages[:1])
+    rng = random.Random(seed + 1)
+    requests = []
+    position = 0
+    clock = 0.0
+    for __ in range(draw(st.integers(1, 24))):
+        requests.append(Request(clock, "u", pages[position]))
+        position = (position + rng.choice([-1, 1])) % n
+        clock += draw(st.sampled_from([0.0, 30.0, RHO, RHO + 1.0]))
+    return graph, requests
+
+
+@settings(max_examples=80, deadline=None)
+@given(cyclic_walk_stream())
+def test_cyclic_revisits_columnar_equals_object(data):
+    """Satellite audit: repeated pages inside one session (2-cycle pong,
+    ring laps) reconstruct identically on the object and columnar
+    Phase-2 planes, numpy and fallback alike."""
+    graph, requests = data
+    smart = SmartSRA(graph)
+    object_sessions = smart.reconstruct(requests)
+    columnar_sessions = smart.reconstruct(requests, engine="columnar")
+    assert _canonical(columnar_sessions) == _canonical(object_sessions)
+    with _forced_fallback():
+        fallback_sessions = smart.reconstruct(requests, engine="columnar")
+    assert _canonical(fallback_sessions) == _canonical(object_sessions)

@@ -1,0 +1,262 @@
+"""Unit tests for All-Maximal-Paths: the enumerators, the budget
+policies, the reconstructor facade and the doctor audit.
+
+Anchored on the paper pair's shared worked example: the Table 3 candidate
+over the Figure 1 topology.  Smart-SRA's Phase 2 emits three maximal
+sessions there (Table 4); AMP must emit exactly the same three — on that
+example every maximal path is also a Phase-2 session — while diverging
+from Phase 2 only on inputs with skip-link shortcuts.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.amp import (
+    AMP_OVERFLOW_POLICIES,
+    AMPConfig,
+    amp_sessions_optimized,
+    amp_sessions_reference,
+    audit_amp_config,
+    count_maximal_paths,
+)
+from repro.core.config import SmartSRAConfig
+from repro.core.phase1 import split_candidates
+from repro.exceptions import ConfigurationError, PathBudgetError
+from repro.sessions.base import get_heuristic
+from repro.sessions.maximal_paths import AllMaximalPaths
+from repro.sessions.model import Request, SessionSet
+from repro.topology.graph import WebGraph
+
+MIN = 60.0
+
+
+def _bodies(sessions):
+    return sorted(tuple((r.timestamp, r.page) for r in session)
+                  for session in sessions)
+
+
+@pytest.fixture()
+def skip_link_site():
+    """A -> B -> C plus the shortcut A -> C: two maximal paths."""
+    return WebGraph([("A", "B"), ("B", "C"), ("A", "C")],
+                    start_pages=["A"])
+
+
+@pytest.fixture()
+def complete_site():
+    """A complete 12-page site — the path-explosion workload."""
+    pages = [f"P{i}" for i in range(12)]
+    return WebGraph([(a, b) for a in pages for b in pages if a != b],
+                    start_pages=pages[:1])
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = AMPConfig()
+        assert config.path_budget == 4096
+        assert config.overflow == "truncate"
+        assert config.overflow in AMP_OVERFLOW_POLICIES
+
+    @pytest.mark.parametrize("kwargs", [
+        {"path_budget": 0},
+        {"path_budget": -5},
+        {"overflow": "explode"},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AMPConfig(**kwargs)
+
+
+class TestPaperExample:
+    def test_table3_matches_phase2_table4(self, fig1_topology,
+                                          table3_stream):
+        (candidate,) = split_candidates(table3_stream)
+        outcome = amp_sessions_reference(candidate, fig1_topology)
+        assert outcome.policy is None
+        assert outcome.path_count == 3
+        assert {s.pages for s in outcome.sessions} == {
+            ("P1", "P13", "P34", "P23"),
+            ("P1", "P13", "P49", "P23"),
+            ("P1", "P20", "P23"),
+        }
+
+    def test_optimized_agrees_byte_for_byte(self, fig1_topology,
+                                            table3_stream):
+        (candidate,) = split_candidates(table3_stream)
+        reference = amp_sessions_reference(candidate, fig1_topology)
+        optimized = amp_sessions_optimized(candidate, fig1_topology)
+        assert (SessionSet(reference.sessions).canonical_digest()
+                == SessionSet(optimized.sessions).canonical_digest())
+
+
+class TestEnumeration:
+    def test_skip_link_emits_both_paths(self, skip_link_site):
+        stream = [Request(0.0, "u", "A"), Request(30.0, "u", "B"),
+                  Request(60.0, "u", "C")]
+        outcome = amp_sessions_reference(stream, skip_link_site)
+        # [A, C] is NOT maximal (A -> B -> C passes through it as a
+        # subsequence is irrelevant — but C is reachable from B, so the
+        # only roots are ordinal 0): paths are A-B-C and A-C.
+        assert _bodies(outcome.sessions) == [
+            ((0.0, "A"), (30.0, "B"), (60.0, "C")),
+            ((0.0, "A"), (60.0, "C")),
+        ]
+
+    def test_off_topology_page_is_singleton_path(self, skip_link_site):
+        stream = [Request(0.0, "u", "A"), Request(30.0, "u", "X"),
+                  Request(60.0, "u", "B")]
+        for enumerate_with in (amp_sessions_reference,
+                               amp_sessions_optimized):
+            outcome = enumerate_with(stream, skip_link_site)
+            assert ((30.0, "X"),) in _bodies(outcome.sessions)
+
+    def test_every_request_appears_in_some_path(self, skip_link_site):
+        stream = [Request(i * 120.0, "u", page)
+                  for i, page in enumerate("ABCBXA")]
+        outcome = amp_sessions_reference(stream, skip_link_site)
+        covered = {(r.timestamp, r.page)
+                   for session in outcome.sessions for r in session}
+        assert covered == {(r.timestamp, r.page) for r in stream}
+
+    def test_rho_window_limits_edges(self, skip_link_site):
+        config = SmartSRAConfig(max_duration=60 * MIN, max_gap=1 * MIN)
+        stream = [Request(0.0, "u", "A"), Request(5 * MIN, "u", "B")]
+        outcome = amp_sessions_reference(stream, skip_link_site, config)
+        # the gap exceeds rho, so no edge: two singleton paths.
+        assert _bodies(outcome.sessions) == [((0.0, "A"),),
+                                             ((5 * MIN, "B"),)]
+
+    def test_empty_candidate(self, skip_link_site):
+        assert amp_sessions_reference([], skip_link_site).sessions == []
+        assert amp_sessions_optimized([], skip_link_site).sessions == []
+
+
+class TestCounting:
+    def test_counts_without_enumerating(self):
+        # a diamond: 0 -> {1, 2} -> 3.
+        roots, successors = [0], [[1, 2], [3], [3], []]
+        assert count_maximal_paths(roots, successors) == 2
+
+    def test_complete_candidate_counts_exponentially(self):
+        pages = [f"P{i}" for i in range(40)]
+        site = WebGraph([(a, b) for a in pages for b in pages if a != b],
+                        start_pages=pages[:1])
+        stream = [Request(float(i), "u", pages[i]) for i in range(40)]
+        outcome = amp_sessions_reference(
+            stream, site, amp=AMPConfig(path_budget=4,
+                                        overflow="truncate"))
+        # 40 distinct pages over a complete graph: the only root is
+        # ordinal 0, the only sink ordinal 39, and every subset of the 38
+        # interior ordinals is a path — 2^38 of them, counted exactly,
+        # and only 4 materialized.
+        assert outcome.path_count == 2 ** 38
+        assert len(outcome.sessions) == 4
+
+
+class TestOverflowPolicies:
+    @pytest.fixture()
+    def dense_candidate(self):
+        return [Request(float(i), "u", f"P{i % 12}") for i in range(20)]
+
+    def test_truncate_emits_exactly_budget(self, complete_site,
+                                           dense_candidate):
+        amp = AMPConfig(path_budget=7, overflow="truncate")
+        outcome = amp_sessions_reference(dense_candidate, complete_site,
+                                         amp=amp)
+        assert outcome.policy == "truncate"
+        assert len(outcome.sessions) == 7
+
+    def test_truncated_prefix_is_shared_between_implementations(
+            self, complete_site, dense_candidate):
+        amp = AMPConfig(path_budget=7, overflow="truncate")
+        reference = amp_sessions_reference(dense_candidate, complete_site,
+                                           amp=amp)
+        optimized = amp_sessions_optimized(dense_candidate, complete_site,
+                                           amp=amp)
+        assert (_bodies(reference.sessions)
+                == _bodies(optimized.sessions))
+
+    def test_block_skips_candidate(self, complete_site, dense_candidate):
+        amp = AMPConfig(path_budget=7, overflow="block")
+        outcome = amp_sessions_optimized(dense_candidate, complete_site,
+                                         amp=amp)
+        assert outcome.policy == "block"
+        assert outcome.sessions == []
+        assert outcome.path_count > 7
+
+    def test_raise_carries_the_count(self, complete_site, dense_candidate):
+        amp = AMPConfig(path_budget=7, overflow="raise")
+        with pytest.raises(PathBudgetError, match="maximal paths"):
+            amp_sessions_reference(dense_candidate, complete_site, amp=amp)
+
+    def test_under_budget_policy_is_none(self, skip_link_site):
+        stream = [Request(0.0, "u", "A"), Request(30.0, "u", "B")]
+        outcome = amp_sessions_reference(stream, skip_link_site)
+        assert outcome.policy is None
+
+
+class TestReconstructor:
+    def test_facade_composes_phase1(self, fig1_topology, table1_stream):
+        sessions = AllMaximalPaths(fig1_topology).reconstruct(table1_stream)
+        # Table 1 splits into three candidates; each enumerates
+        # independently, so no session crosses a Phase-1 boundary.
+        boundaries = {0.0, 32 * MIN, 47 * MIN}
+        for session in sessions:
+            crossed = {r.timestamp for r in session} & boundaries
+            assert len(crossed) <= 1
+
+    def test_implementations_agree_end_to_end(self, fig1_topology,
+                                              table1_stream):
+        optimized = AllMaximalPaths(fig1_topology).reconstruct(table1_stream)
+        reference = AllMaximalPaths(
+            fig1_topology, implementation="reference").reconstruct(
+            table1_stream)
+        assert (optimized.canonical_digest()
+                == reference.canonical_digest())
+
+    def test_rejects_unknown_implementation(self, fig1_topology):
+        with pytest.raises(ConfigurationError, match="implementation"):
+            AllMaximalPaths(fig1_topology, implementation="fast")
+
+    def test_pickles_without_interner(self, fig1_topology, table3_stream):
+        engine = AllMaximalPaths(fig1_topology)
+        engine.reconstruct(table3_stream)  # populate the cached interner
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone._symbols is None
+        assert (clone.reconstruct(table3_stream).canonical_digest()
+                == engine.reconstruct(table3_stream).canonical_digest())
+
+    def test_registry_entry_demands_topology(self):
+        with pytest.raises(ConfigurationError, match="topology"):
+            get_heuristic("amp")
+        with pytest.raises(ConfigurationError, match="topology"):
+            get_heuristic("maximal-paths")
+
+
+class TestAudit:
+    def test_standalone_config_is_ok(self):
+        audit = audit_amp_config(AMPConfig())
+        assert audit.ok
+        assert audit.to_dict()["path_budget"] == 4096
+
+    def test_budget_overdraws_memory_budget(self):
+        audit = audit_amp_config(AMPConfig(path_budget=1 << 20),
+                                 memory_budget=64 * 1024)
+        assert not audit.ok
+        assert any(level == "FAIL" for level, _ in audit.checks)
+        assert "memory budget" in audit.render()
+
+    def test_half_budget_warns(self):
+        # 96B x 8 requests x 64 paths = 49152B: over half of 64k.
+        audit = audit_amp_config(AMPConfig(path_budget=64),
+                                 memory_budget=64 * 1024)
+        assert audit.ok
+        assert any(level == "warn" for level, _ in audit.checks)
+
+    def test_raise_policy_warns(self):
+        audit = audit_amp_config(AMPConfig(overflow="raise"))
+        assert audit.ok
+        assert any("raise" in message for _, message in audit.checks)

@@ -9,6 +9,8 @@ import pytest
 
 from repro.core.config import SmartSRAConfig
 from repro.diffcheck import (
+    ENGINE_BASELINE,
+    ENGINE_SEMANTICS,
     INVARIANT_ONLY_ENGINES,
     CorpusCase,
     EngineContext,
@@ -167,6 +169,8 @@ class TestEngines:
         for name in available_engines():
             if name in INVARIANT_ONLY_ENGINES:
                 continue
+            if ENGINE_SEMANTICS.get(name, "smart-sra") != "smart-sra":
+                continue  # amp engines answer to amp-reference, not serial
             assert run_engine(name, ctx).canonical_digest() == reference, name
 
     def test_invariant_only_engines_stay_rule_clean(self, chain_topology):
@@ -183,6 +187,91 @@ class TestEngines:
             output = run_engine(name, ctx)
             assert verify_sessions(output, chain_topology,
                                    SmartSRAConfig()) == ()
+
+
+# -- amp engines -------------------------------------------------------------
+
+
+class TestAmpEngines:
+    def test_registered_with_baseline_and_semantics(self):
+        engines = available_engines()
+        assert "amp-reference" in engines and "amp-optimized" in engines
+        assert ENGINE_BASELINE["amp-reference"] is None
+        assert ENGINE_BASELINE["amp-optimized"] == "amp-reference"
+        assert ENGINE_SEMANTICS["amp-reference"] == "amp"
+        assert ENGINE_SEMANTICS["amp-optimized"] == "amp"
+
+    def test_selecting_optimized_pulls_in_its_baseline(self):
+        assert resolve_engines("amp-optimized") == (
+            "serial", "amp-reference", "amp-optimized")
+
+    def test_implementations_agree_on_a_case(self, chain_topology):
+        requests = tuple(sorted([
+            Request(float(i * 30), f"u{i % 2}", page)
+            for i, page in enumerate("ABCD" * 3)
+        ], key=lambda r: (r.timestamp, r.user_id)))
+        ctx = EngineContext(requests=requests, topology=chain_topology,
+                            config=SmartSRAConfig(), seed=1)
+        assert (run_engine("amp-reference", ctx).canonical_digest()
+                == run_engine("amp-optimized", ctx).canonical_digest())
+
+    def test_harness_runs_amp_clean(self, chain_topology):
+        case = CorpusCase(
+            name="amp-tiny", description="", seed=0,
+            config=SmartSRAConfig(), topology=chain_topology,
+            requests=(Request(0.0, "u", "A"), Request(10.0, "u", "B"),
+                      Request(20.0, "u", "C"), Request(1000.0, "u", "A")))
+        report = run_diffcheck(
+            [case], engines="serial,amp-reference,amp-optimized")
+        assert report.ok, report.render()
+
+    def test_amp_golden_mismatch_is_divergence(self, chain_topology):
+        case = CorpusCase(
+            name="amp-golden", description="", seed=0,
+            config=SmartSRAConfig(), topology=chain_topology,
+            requests=(Request(0.0, "u", "A"), Request(10.0, "u", "B")))
+        ctx = EngineContext(case.requests, case.topology, case.config)
+        pinned = case.with_expected(
+            run_engine("serial", ctx),
+            amp_reference=SessionSet([_session([(0.0, "A"), (10.0, "C")])]))
+        report = run_diffcheck([pinned], engines="amp-reference")
+        assert not report.ok
+        (divergence,) = [d for d in report.outcomes[0].divergences
+                         if d.baseline == "golden-amp"]
+        assert divergence.engine == "amp-reference"
+        assert divergence.rule == "digest"
+
+    def test_sabotaged_optimized_is_caught_by_reference(self, monkeypatch,
+                                                        chain_topology):
+        import repro.diffcheck.engines as engines_module
+
+        def lossy(ctx):
+            good = engines_module.ENGINE_REGISTRY["amp-reference"](ctx)
+            return SessionSet(list(good)[:-1])
+
+        monkeypatch.setitem(engines_module.ENGINE_REGISTRY,
+                            "amp-optimized", lossy)
+        case = CorpusCase(
+            name="amp-sabotage", description="", seed=0,
+            config=SmartSRAConfig(), topology=chain_topology,
+            requests=(Request(0.0, "u", "A"), Request(10.0, "u", "B"),
+                      Request(20.0, "u", "C")))
+        report = run_diffcheck([case], engines="amp-optimized")
+        assert not report.ok
+        divergence = report.outcomes[0].divergences[0]
+        assert divergence.engine == "amp-optimized"
+        assert divergence.baseline == "amp-reference"
+
+    def test_golden_corpus_pins_amp_and_cyclic_case(self):
+        cases = load_corpus(GOLDEN_DIR)
+        assert "cyclic-topologies" in {case.name for case in cases}
+        assert all(case.expected_amp_digest for case in cases)
+
+    def test_golden_corpus_cli_with_amp_engines(self, capsys):
+        from repro.cli import main
+        assert main(["diffcheck", "--corpus", GOLDEN_DIR, "--engines",
+                     "serial,amp-reference,amp-optimized"]) == 0
+        assert "all engines equivalent" in capsys.readouterr().out
 
 
 # -- corpus ------------------------------------------------------------------

@@ -1,0 +1,167 @@
+"""Mutation tests for the invariant verifier: every rule must be falsifiable.
+
+A verifier that never fires is indistinguishable from one that works.
+For each of the five output rules (plus the AMP-semantics maximality
+variant) these tests take a *clean* session list, apply one targeted
+mutation, and assert the verifier reports exactly the rule the mutation
+breaks — proving each check is live, not vacuously green.
+
+The AMP half also locks the semantics boundary both ways: output shapes
+that are *legal* All-Maximal-Paths results (overlapping paths, proper
+prefixes under skip links) must NOT be flagged under ``semantics="amp"``,
+while a deliberately truncated session (a contiguous infix with a
+strictly-ordered boundary neighbor) must be.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import SmartSRAConfig
+from repro.core.smart_sra import SmartSRA
+from repro.diffcheck.invariants import verify_sessions
+from repro.sessions.maximal_paths import AllMaximalPaths
+from repro.sessions.model import Request, Session
+from repro.topology.graph import WebGraph
+
+MIN = 60.0
+
+
+@pytest.fixture()
+def site():
+    """A -> B -> C -> D plus the skip link A -> C."""
+    return WebGraph([("A", "B"), ("B", "C"), ("C", "D"), ("A", "C")],
+                    start_pages=["A"])
+
+
+@pytest.fixture()
+def clean_sessions(site):
+    stream = [Request(0.0, "u", "A"), Request(60.0, "u", "B"),
+              Request(120.0, "u", "C"), Request(180.0, "u", "D")]
+    sessions = SmartSRA(site).reconstruct(stream)
+    assert verify_sessions(sessions, site) == ()
+    return [tuple(session) for session in sessions]
+
+
+def _rules(violations):
+    return {violation.rule for violation in violations}
+
+
+class TestEachRuleIsFalsifiable:
+    def test_ordering_mutation_fires_ordering(self, site, clean_sessions):
+        session = clean_sessions[0]
+        mutated = (session[1],) + (session[0],) + session[2:]
+        rules = _rules(verify_sessions([mutated], site))
+        assert "ordering" in rules
+
+    def test_topology_mutation_fires_topology(self, site, clean_sessions):
+        session = clean_sessions[0]
+        # retarget one request at a page with no inbound link from its
+        # predecessor, keeping timestamps legal so only rule 2 fires.
+        mutated = (session[0],
+                   dataclasses.replace(session[1], page="D")) + session[2:]
+        violations = verify_sessions([mutated], site)
+        assert _rules(violations) == {"topology"}
+
+    def test_gap_mutation_fires_max_gap(self, site, clean_sessions):
+        session = clean_sessions[0]
+        late = dataclasses.replace(session[-1],
+                                   timestamp=session[-2].timestamp
+                                   + 11 * MIN)
+        violations = verify_sessions([session[:-1] + (late,)], site)
+        assert "max-gap" in _rules(violations)
+
+    def test_duration_mutation_fires_max_duration(self, site):
+        # gaps of 9 minutes each stay under rho; five of them exceed delta.
+        session = tuple(Request(i * 9 * MIN, "u", page)
+                        for i, page in enumerate("ABCDC"))
+        site_loop = WebGraph([("A", "B"), ("B", "C"), ("C", "D"),
+                              ("D", "C")], start_pages=["A"])
+        violations = verify_sessions([session], site_loop)
+        assert _rules(violations) == {"max-duration"}
+
+    def test_synthetic_mutation_fires_maximality(self, site, clean_sessions):
+        session = clean_sessions[0]
+        mutated = session[:1] + (
+            dataclasses.replace(session[1], synthetic=True),) + session[2:]
+        violations = verify_sessions([mutated], site)
+        assert _rules(violations) == {"maximality"}
+        assert "synthetic" in violations[0].detail
+
+    def test_prefix_mutation_fires_maximality(self, site, clean_sessions):
+        session = clean_sessions[0]
+        truncated = session[:-1]
+        violations = verify_sessions([session, truncated], site)
+        assert _rules(violations) == {"maximality"}
+        assert "proper prefix" in violations[0].detail
+
+    def test_unknown_semantics_rejected(self, site, clean_sessions):
+        with pytest.raises(ValueError, match="semantics"):
+            verify_sessions(clean_sessions, site, semantics="phase9")
+
+
+class TestAmpSemantics:
+    def test_legal_amp_output_is_clean(self, site):
+        stream = [Request(0.0, "u", "A"), Request(30.0, "u", "B"),
+                  Request(60.0, "u", "C"), Request(90.0, "u", "D")]
+        sessions = AllMaximalPaths(site).reconstruct(stream)
+        # the skip link makes [A, C, D] overlap [A, B, C, D] — legal AMP
+        # output that the smart-sra prefix rule would never produce.
+        assert len(sessions) == 2
+        assert verify_sessions(sessions, site, semantics="amp") == ()
+
+    def test_prefix_under_equal_timestamps_is_legal_amp(self, site):
+        # duplicate request at one timestamp: a root can share its body
+        # with a sibling's prefix, so the tie boundary must not be
+        # flagged under amp semantics (but stays a smart-sra violation).
+        long = (Request(0.0, "u", "A"), Request(30.0, "u", "B"),
+                Request(60.0, "u", "C"))
+        short = (Request(0.0, "u", "A"), Request(30.0, "u", "B"))
+        tied = (Request(30.0, "u", "B"), Request(30.0, "u", "C"))
+        amp_clean = verify_sessions([long, tied], site, semantics="amp")
+        assert amp_clean == ()
+        assert _rules(verify_sessions([long, short], site)) == {
+            "maximality"}
+
+    def test_truncated_session_fires_amp_maximality(self, site):
+        # chop the tail off one AMP path: the surviving sibling's
+        # strictly-later neighbor at the cut proves the endpoint had an
+        # edge, so the infix rule must fire.
+        full = (Request(0.0, "u", "A"), Request(30.0, "u", "B"),
+                Request(60.0, "u", "C"), Request(90.0, "u", "D"))
+        truncated = full[:2]
+        violations = verify_sessions([full, truncated], site,
+                                     semantics="amp")
+        assert _rules(violations) == {"maximality"}
+        assert "contiguous infix" in violations[0].detail
+
+    def test_interior_infix_fires_amp_maximality(self, site):
+        full = (Request(0.0, "u", "A"), Request(30.0, "u", "B"),
+                Request(60.0, "u", "C"), Request(90.0, "u", "D"))
+        interior = full[1:3]
+        violations = verify_sessions([full, interior], site,
+                                     semantics="amp")
+        assert _rules(violations) == {"maximality"}
+
+    def test_amp_engine_output_end_to_end(self, site):
+        # the real engine's output over a cyclic revisit stream passes
+        # its own semantics and fails nothing else.
+        loop_site = WebGraph([("A", "B"), ("B", "A"), ("B", "C")],
+                             start_pages=["A"])
+        stream = [Request(float(i * 30), "u", page)
+                  for i, page in enumerate("ABABC")]
+        sessions = AllMaximalPaths(loop_site).reconstruct(stream)
+        assert verify_sessions(sessions, loop_site, semantics="amp") == ()
+
+    def test_rules_one_to_four_identical_across_semantics(self, site,
+                                                          clean_sessions):
+        session = clean_sessions[0]
+        late = dataclasses.replace(session[-1],
+                                   timestamp=session[-2].timestamp
+                                   + 11 * MIN)
+        mutated = session[:-1] + (late,)
+        for semantics in ("smart-sra", "amp"):
+            assert "max-gap" in _rules(verify_sessions(
+                [mutated], site, semantics=semantics))

@@ -39,8 +39,14 @@ class TestLeaderboard:
                    if row.name != "referrer")
 
     def test_smart_sra_is_best_reactive(self, board):
+        # AMP enumerates every maximal path, a superset of Smart-SRA's
+        # output, so it may edge heur4 out of the top reactive slot;
+        # among the paper's own four, heur4 must stay on top.
         reactive = [row for row in board if row.name != "referrer"]
-        assert reactive[0].name == "heur4"
+        assert reactive[0].name in ("heur4", "amp")
+        paper_four = [row for row in board
+                      if row.name in ("heur1", "heur2", "heur3", "heur4")]
+        assert paper_four[0].name == "heur4"
 
     def test_intervals_bracket_estimates(self, board):
         for row in board:
